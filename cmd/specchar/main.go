@@ -1,0 +1,135 @@
+// Command specchar characterizes a SPEC suite on the simulated machine
+// and prints per-pair metrics plus suite summaries, mirroring the paper's
+// Section IV measurement campaign.
+//
+// Usage:
+//
+//	specchar [-suite cpu2017|cpu2006] [-mini all|rate-int|rate-fp|speed-int|speed-fp]
+//	         [-size test|train|ref] [-n instructions] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	speckit "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	suiteFlag := flag.String("suite", "cpu2017", "suite to characterize: cpu2017 or cpu2006")
+	miniFlag := flag.String("mini", "all", "mini-suite filter: all, rate-int, rate-fp, speed-int, speed-fp")
+	sizeFlag := flag.String("size", "ref", "input size: test, train or ref")
+	nFlag := flag.Uint64("n", 300000, "simulated instructions per pair")
+	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	if err := run(*suiteFlag, *miniFlag, *sizeFlag, *nFlag, *csvFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "specchar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(suiteName, mini, sizeName string, n uint64, csv bool) error {
+	suite, err := pickSuite(suiteName)
+	if err != nil {
+		return err
+	}
+	if suite, err = filterMini(suite, mini); err != nil {
+		return err
+	}
+	size, err := pickSize(sizeName)
+	if err != nil {
+		return err
+	}
+	chars, err := speckit.Characterize(suite, size, speckit.Options{Instructions: n})
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Characterization of %s (%s inputs, %d pairs)", suiteName, sizeName, len(chars)),
+		"Pair", "Instr (B)", "IPC", "Time (s)", "%Loads", "%Stores", "%Branches",
+		"Misp%", "L1%", "L2%", "L3%", "RSS (MiB)", "VSZ (MiB)")
+	for i := range chars {
+		c := &chars[i]
+		t.AddRowf(c.Pair.Name(), c.InstrBillions, c.IPC, c.ExecSeconds,
+			c.LoadPct, c.StorePct, c.BranchPct, c.MispredictPct,
+			c.L1MissPct, c.L2MissPct, c.L3MissPct, c.RSSMiB, c.VSZMiB)
+	}
+	if csv {
+		if err := t.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		if err := t.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println()
+	sum := report.NewTable("Suite aggregates (per-application means)",
+		"Metric", "Mean", "StdDev")
+	metrics := []struct {
+		name string
+		pick func(*speckit.Characteristics) float64
+	}{
+		{"IPC", func(c *speckit.Characteristics) float64 { return c.IPC }},
+		{"% Loads", func(c *speckit.Characteristics) float64 { return c.LoadPct }},
+		{"% Stores", func(c *speckit.Characteristics) float64 { return c.StorePct }},
+		{"% Branches", func(c *speckit.Characteristics) float64 { return c.BranchPct }},
+		{"Mispredict %", func(c *speckit.Characteristics) float64 { return c.MispredictPct }},
+		{"L1 miss %", func(c *speckit.Characteristics) float64 { return c.L1MissPct }},
+		{"L2 miss %", func(c *speckit.Characteristics) float64 { return c.L2MissPct }},
+		{"L3 miss %", func(c *speckit.Characteristics) float64 { return c.L3MissPct }},
+		{"RSS (MiB)", func(c *speckit.Characteristics) float64 { return c.RSSMiB }},
+	}
+	for _, m := range metrics {
+		s := speckit.Aggregate(chars, m.pick)
+		sum.AddRowf(m.name, s.Mean, s.Std)
+	}
+	return sum.WriteText(os.Stdout)
+}
+
+func pickSuite(name string) (speckit.Suite, error) {
+	switch strings.ToLower(name) {
+	case "cpu2017", "cpu17":
+		return speckit.CPU2017(), nil
+	case "cpu2006", "cpu06":
+		return speckit.CPU2006(), nil
+	default:
+		return nil, fmt.Errorf("unknown suite %q", name)
+	}
+}
+
+func filterMini(s speckit.Suite, mini string) (speckit.Suite, error) {
+	switch strings.ToLower(mini) {
+	case "all", "":
+		return s, nil
+	case "rate-int":
+		return s.Mini(speckit.RateInt), nil
+	case "rate-fp":
+		return s.Mini(speckit.RateFP), nil
+	case "speed-int":
+		return s.Mini(speckit.SpeedInt), nil
+	case "speed-fp":
+		return s.Mini(speckit.SpeedFP), nil
+	default:
+		return nil, fmt.Errorf("unknown mini-suite %q", mini)
+	}
+}
+
+func pickSize(name string) (speckit.InputSize, error) {
+	switch strings.ToLower(name) {
+	case "test":
+		return speckit.Test, nil
+	case "train":
+		return speckit.Train, nil
+	case "ref":
+		return speckit.Ref, nil
+	default:
+		return speckit.Ref, fmt.Errorf("unknown input size %q", name)
+	}
+}

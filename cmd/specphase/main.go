@@ -1,0 +1,110 @@
+// Command specphase demonstrates the paper's future-work direction: phase
+// analysis of workload streams to identify simulation points. It builds a
+// phased workload alternating between two SPEC application models, slices
+// it into intervals, detects phases, and reports the simulation points
+// with their weights and the simulation-time saving.
+//
+// Usage:
+//
+//	specphase [-a 525.x264_r] [-b 505.mcf_r] [-interval 5000] [-intervals 24]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	speckit "repro"
+	"repro/internal/phase"
+	"repro/internal/profile"
+	"repro/internal/report"
+)
+
+func main() {
+	aFlag := flag.String("a", "525.x264_r", "first phase application")
+	bFlag := flag.String("b", "505.mcf_r", "second phase application")
+	ilen := flag.Uint64("interval", 5000, "instructions per interval")
+	n := flag.Int("intervals", 24, "intervals to analyze")
+	flag.Parse()
+	if err := run(*aFlag, *bFlag, *ilen, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "specphase:", err)
+		os.Exit(1)
+	}
+}
+
+func run(aName, bName string, intervalLen uint64, n int) error {
+	a, err := findApp(aName)
+	if err != nil {
+		return err
+	}
+	b, err := findApp(bName)
+	if err != nil {
+		return err
+	}
+	segLen := intervalLen * 3 // three intervals per phase leg
+	src, err := speckit.NewPhasedWorkload([]speckit.PhaseSegment{
+		{Model: a.Expand(profile.Ref)[0].Model, Instr: segLen},
+		{Model: b.Expand(profile.Ref)[0].Model, Instr: segLen},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phased workload: %s <-> %s, %d instructions per leg\n\n", aName, bName, segLen)
+
+	intervals, err := speckit.SliceIntervals(src, intervalLen, n)
+	if err != nil {
+		return err
+	}
+	res, err := speckit.DetectPhases(intervals, speckit.PhaseOptions{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("detected %d phases over %d intervals (coverage error %.3f, %.1fx simulation saving)\n\n",
+		res.K, n, res.CoverageError, res.SpeedupFactor())
+
+	t := report.NewTable("Phases", "Phase", "Weight", "Sim point (interval)", "Members")
+	for i, p := range res.Phases {
+		t.AddRowf(i, p.Weight, p.Representative, len(p.Intervals))
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	sig := report.NewTable("Phase centroids", append([]string{"Component"}, phaseLabels(res)...)...)
+	for j, name := range phase.Names() {
+		cells := []interface{}{name}
+		for _, p := range res.Phases {
+			cells = append(cells, p.Centroid[j])
+		}
+		sig.AddRowf(cells...)
+	}
+	if err := sig.WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println("\ninterval -> phase timeline:")
+	for _, p := range res.Assign {
+		fmt.Printf("%d", p)
+	}
+	fmt.Println()
+	return nil
+}
+
+func phaseLabels(res *speckit.PhaseResult) []string {
+	labels := make([]string, len(res.Phases))
+	for i := range res.Phases {
+		labels[i] = fmt.Sprintf("phase %d", i)
+	}
+	return labels
+}
+
+func findApp(name string) (*speckit.Workload, error) {
+	for _, p := range speckit.CPU2017() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown application %q", name)
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestFindApp(t *testing.T) {
+	if _, err := findApp("505.mcf_r"); err != nil {
+		t.Errorf("known app rejected: %v", err)
+	}
+	if _, err := findApp("999.nothing"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+// TestRunSmoke drives the phase tool end to end.
+func TestRunSmoke(t *testing.T) {
+	if err := run("525.x264_r", "505.mcf_r", 3000, 12); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run("nope", "505.mcf_r", 3000, 12); err == nil {
+		t.Error("unknown app accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWritesAllArtifacts drives the full report generation end to end
+// with a small simulation window and checks every expected file exists
+// and is well-formed.
+func TestRunWritesAllArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report generation in -short mode")
+	}
+	dir := t.TempDir()
+	if err := run(dir, 25000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	wantFiles := []string{
+		"table2.txt", "table2.csv", "table3.txt", "table4.txt", "table5.txt",
+		"table6.txt", "table7.txt", "table9.txt", "table10.txt",
+		"fig1a.svg", "fig1b.svg", "fig2a.svg", "fig3a.svg", "fig4a.svg",
+		"fig5a.svg", "fig6a.svg", "cpistacka.svg", "cpistackb.svg",
+		"fig7a.svg", "fig7b.svg", "fig8.svg", "fig9a.svg", "fig9b.svg",
+		"fig10a.svg", "fig10b.svg",
+		"similarity.svg", "reuse-505.mcf_r.svg", "reuse-525.x264_r.svg",
+		"summary.txt",
+	}
+	for _, name := range wantFiles {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("artifact %s is empty", name)
+		}
+		if strings.HasSuffix(name, ".svg") && !strings.HasPrefix(string(data), "<svg") {
+			t.Errorf("artifact %s is not an SVG", name)
+		}
+	}
+	summary, err := os.ReadFile(filepath.Join(dir, "summary.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CPU17 mean IPC", "Rate subset size", "instr ratio"} {
+		if !strings.Contains(string(summary), want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadDir(t *testing.T) {
+	if err := run("/proc/definitely/not/writable", 1000); err == nil {
+		t.Error("unwritable output dir accepted")
+	}
+}

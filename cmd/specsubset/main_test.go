@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestPickLinkage(t *testing.T) {
+	cases := map[string]cluster.Linkage{
+		"ward": cluster.Ward, "": cluster.Ward,
+		"single": cluster.Single, "complete": cluster.Complete,
+		"average": cluster.Average, "WARD": cluster.Ward,
+	}
+	for name, want := range cases {
+		got, err := pickLinkage(name)
+		if err != nil {
+			t.Errorf("pickLinkage(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("pickLinkage(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := pickLinkage("centroid"); err == nil {
+		t.Error("unknown linkage accepted")
+	}
+}
+
+// TestRunSmoke drives the subsetting tool end to end with a small window.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite characterization in -short mode")
+	}
+	if err := run(20000, 4, "ward", true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run(1000, 0, "diagonal", false); err == nil {
+		t.Error("bad linkage accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package speckit_test
+
+import (
+	"fmt"
+	"log"
+
+	speckit "repro"
+)
+
+// Characterize one application-input pair and read its headline metrics.
+func ExampleCharacterize() {
+	suite := speckit.CPU2017().Mini(speckit.RateInt)
+	// Just 505.mcf_r for a quick, deterministic example.
+	var mcf speckit.Suite
+	for _, app := range suite {
+		if app.Name == "505.mcf_r" {
+			mcf = append(mcf, app)
+		}
+	}
+	chars, err := speckit.Characterize(mcf, speckit.Ref, speckit.Options{Instructions: 60000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := chars[0]
+	fmt.Printf("%s IPC=%.3f branches=%.0f%%\n", c.Pair.Name(), c.IPC, c.BranchPct)
+	// Output:
+	// 505.mcf_r IPC=0.886 branches=31%
+}
+
+// Enumerate the suite's application-input pairs without simulating.
+func ExamplePairs() {
+	for _, size := range []speckit.InputSize{speckit.Test, speckit.Train, speckit.Ref} {
+		fmt.Printf("%s: %d pairs\n", size, len(speckit.Pairs(speckit.CPU2017(), size)))
+	}
+	// Output:
+	// test: 69 pairs
+	// train: 61 pairs
+	// ref: 64 pairs
+}
+
+// Run the subsetting methodology on a characterized mini-suite.
+func ExampleSubset() {
+	chars, err := speckit.Characterize(
+		speckit.CPU2017().Mini(speckit.RateInt), speckit.Ref,
+		speckit.Options{Instructions: 50000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := speckit.Subset(chars, speckit.SubsetOptions{Components: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d pairs -> %d representatives, saving > 0: %v\n",
+		len(chars), len(res.Representatives), res.Saving() > 0)
+	// Output:
+	// 20 pairs -> 10 representatives, saving > 0: true
+}
+
+// Detect phases in a two-phase composite workload.
+func ExampleDetectPhases() {
+	apps := speckit.CPU2017()
+	var a, b *speckit.Workload
+	for _, app := range apps {
+		switch app.Name {
+		case "525.x264_r":
+			a = app
+		case "505.mcf_r":
+			b = app
+		}
+	}
+	src, err := speckit.NewPhasedWorkload([]speckit.PhaseSegment{
+		{Model: speckit.Pairs(speckit.Suite{a}, speckit.Ref)[0].Model, Instr: 12000},
+		{Model: speckit.Pairs(speckit.Suite{b}, speckit.Ref)[0].Model, Instr: 12000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	intervals, err := speckit.SliceIntervals(src, 4000, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := speckit.DetectPhases(intervals, speckit.PhaseOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phases=%d speedup=%.0fx\n", res.K, res.SpeedupFactor())
+	// Output:
+	// phases=2 speedup=12x
+}

@@ -1,0 +1,95 @@
+// Custom workload: define your own application model, characterize it
+// alongside the SPEC CPU2017 applications, and find which SPEC
+// application it most resembles — the "which benchmark represents my
+// code?" question benchmark subsetting exists to answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	speckit "repro"
+)
+
+func main() {
+	// A pointer-chasing in-memory database shard: memory-bound, branchy,
+	// with a large resident set — defined with the same knobs as the
+	// built-in SPEC models.
+	myApp := &speckit.Workload{
+		Name:          "900.mydb",
+		Suite:         speckit.RateInt,
+		InstrBillions: 800,
+		TargetIPC:     0.95,
+		LoadPct:       30, StorePct: 8, BranchPct: 24,
+		Mix:           speckit.CPU2017()[0].Mix, // reuse the integer branch mix
+		MispredictPct: 5.5,
+		L1MissPct:     9, L2MissPct: 60, L3MissPct: 22,
+		RSSMiB: 900, VSZMiB: 1100,
+		MLP: 3.5, CodeKiB: 300, BranchSites: 2500, Threads: 1,
+	}
+
+	suite := append(speckit.Suite{myApp}, speckit.CPU2017().Mini(speckit.RateInt)...)
+	chars, err := speckit.Characterize(suite, speckit.Ref, speckit.Options{
+		Instructions: 200000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find mydb and compare against every SPEC pair with a simple
+	// normalized distance over the headline characteristics.
+	var mine *speckit.Characteristics
+	for i := range chars {
+		if chars[i].Pair.App.Name == "900.mydb" {
+			mine = &chars[i]
+		}
+	}
+	fmt.Printf("%s: IPC %.3f, %.1f%% mem uops, L2 miss %.1f%%, mispredict %.1f%%\n\n",
+		mine.Pair.Name(), mine.IPC, mine.MemPct(), mine.L2MissPct, mine.MispredictPct)
+
+	type match struct {
+		name string
+		d    float64
+	}
+	var best []match
+	for i := range chars {
+		c := &chars[i]
+		if c.Pair.App.Name == "900.mydb" {
+			continue
+		}
+		d := dist(mine, c)
+		best = append(best, match{c.Pair.Name(), d})
+	}
+	for i := 0; i < len(best); i++ {
+		for j := i + 1; j < len(best); j++ {
+			if best[j].d < best[i].d {
+				best[i], best[j] = best[j], best[i]
+			}
+		}
+	}
+	fmt.Println("closest SPECrate 2017 Integer pairs:")
+	for _, m := range best[:5] {
+		fmt.Printf("  %-24s distance %.3f\n", m.name, m.d)
+	}
+	fmt.Println("\n(expect mcf-like neighbours: memory-bound and branchy)")
+}
+
+// dist is a hand-rolled normalized Euclidean distance over the metrics
+// that dominate the paper's PC1/PC2.
+func dist(a, b *speckit.Characteristics) float64 {
+	terms := [][2]float64{
+		{a.IPC, b.IPC},
+		{a.MemPct() / 10, b.MemPct() / 10},
+		{a.BranchPct / 10, b.BranchPct / 10},
+		{a.L2MissPct / 20, b.L2MissPct / 20},
+		{a.MispredictPct / 3, b.MispredictPct / 3},
+		{math.Log10(a.RSSMiB + 1), math.Log10(b.RSSMiB + 1)},
+	}
+	s := 0.0
+	for _, t := range terms {
+		d := t[0] - t[1]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,64 @@
+// Phases: detect execution phases in a composite workload and show how
+// simulating only one representative interval per phase reconstructs
+// whole-program behaviour — the paper's Section VI future-work direction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	speckit "repro"
+	"repro/internal/profile"
+)
+
+func main() {
+	// A compiler-like composite: a front-end phase (branchy, small
+	// footprint: x264-ish), a middle-end phase (pointer-chasing: mcf)
+	// and a back-end phase (streaming stores: lbm).
+	apps := map[string]*speckit.Workload{}
+	for _, p := range speckit.CPU2017() {
+		apps[p.Name] = p
+	}
+	model := func(name string) profile.Model {
+		return apps[name].Expand(profile.Ref)[0].Model
+	}
+
+	const leg = 12000
+	src, err := speckit.NewPhasedWorkload([]speckit.PhaseSegment{
+		{Model: model("525.x264_r"), Instr: leg},
+		{Model: model("505.mcf_r"), Instr: leg},
+		{Model: model("519.lbm_r"), Instr: leg},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	intervals, err := speckit.SliceIntervals(src, 4000, 36)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := speckit.DetectPhases(intervals, speckit.PhaseOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("three-legged workload -> %d detected phases\n", res.K)
+	fmt.Printf("simulation points: ")
+	for _, p := range res.Phases {
+		fmt.Printf("interval %d (weight %.2f)  ", p.Representative, p.Weight)
+	}
+	fmt.Printf("\nsimulation saving: %.1fx, coverage error %.3f\n\n",
+		res.SpeedupFactor(), res.CoverageError)
+
+	fmt.Println("timeline (interval -> phase):")
+	for _, p := range res.Assign {
+		fmt.Printf("%d", p)
+	}
+	fmt.Println()
+
+	fmt.Println("\nper-phase character:")
+	for i, p := range res.Phases {
+		fmt.Printf("  phase %d: %.1f%% loads, %.1f%% branches, %.3f new lines/instr\n",
+			i, p.Centroid[0]*100, p.Centroid[2]*100, p.Centroid[7])
+	}
+}

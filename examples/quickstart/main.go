@@ -1,0 +1,33 @@
+// Quickstart: characterize one SPEC CPU2017 mini-suite and print the
+// headline metrics, end to end in a few lines of code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	speckit "repro"
+)
+
+func main() {
+	// Pick the SPECrate 2017 Integer applications at the ref input size.
+	suite := speckit.CPU2017().Mini(speckit.RateInt)
+
+	// Simulate each application-input pair on the (scaled) Haswell
+	// machine model. Instructions controls the sampled window per pair.
+	chars, err := speckit.Characterize(suite, speckit.Ref, speckit.Options{
+		Instructions: 200000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %6s %8s %8s %8s\n", "pair", "IPC", "branch%", "L2miss%", "misp%")
+	for _, c := range chars {
+		fmt.Printf("%-22s %6.3f %8.2f %8.2f %8.2f\n",
+			c.Pair.Name(), c.IPC, c.BranchPct, c.L2MissPct, c.MispredictPct)
+	}
+
+	ipc := speckit.Aggregate(chars, func(c *speckit.Characteristics) float64 { return c.IPC })
+	fmt.Printf("\nrate int mean IPC = %.3f +- %.3f (paper Table II: 1.724)\n", ipc.Mean, ipc.Std)
+}

@@ -1,0 +1,60 @@
+// Subsetting walkthrough: reproduce the paper's Section V methodology on
+// the SPECrate suites — PCA over the 20 microarchitecture-independent
+// characteristics, hierarchical clustering of the PC scores, and the
+// Pareto-knee choice of a representative subset.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	speckit "repro"
+)
+
+func main() {
+	suite := append(speckit.CPU2017().Mini(speckit.RateInt),
+		speckit.CPU2017().Mini(speckit.RateFP)...)
+
+	chars, err := speckit.Characterize(suite, speckit.Ref, speckit.Options{
+		Instructions: 200000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("characterized %d rate application-input pairs\n\n", len(chars))
+
+	res, err := speckit.Subset(chars, speckit.SubsetOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: the PCA reduces 20 characteristics to a few components.
+	fmt.Printf("PCA: retained %d components explaining %.1f%% of variance\n",
+		res.Components, res.VarianceExplained*100)
+	for k := 1; k <= res.Components; k++ {
+		fmt.Printf("  PC%-2d eigenvalue %6.3f (cumulative %.1f%%)\n",
+			k, res.PCA.Eigenvalues[k-1], res.PCA.VarianceExplained(k)*100)
+	}
+
+	// Step 2: the Pareto sweep trades clustering error against the
+	// subset's execution time.
+	fmt.Printf("\nPareto sweep (knee at k=%d):\n", res.ChosenK)
+	for _, tr := range res.Tradeoffs {
+		if tr.K > res.ChosenK+3 {
+			break
+		}
+		marker := " "
+		if tr.K == res.ChosenK {
+			marker = "*"
+		}
+		fmt.Printf(" %s k=%-3d SSE=%8.2f subset time=%8.0fs\n", marker, tr.K, tr.SSE, tr.Cost)
+	}
+
+	// Step 3: one representative per cluster, by minimum execution time.
+	fmt.Printf("\nsuggested subset (%d of %d pairs, %.1f%% time saving):\n",
+		len(res.Representatives), len(chars), res.Saving()*100)
+	for _, rep := range res.Representatives {
+		fmt.Printf("  %-24s represents %2d pairs (%.0fs)\n",
+			rep.Name, rep.ClusterSize, rep.ExecSeconds)
+	}
+}

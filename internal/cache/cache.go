@@ -1,0 +1,280 @@
+// Package cache models set-associative caches and multi-level cache
+// hierarchies, mirroring the memory system of the paper's Haswell testbed
+// (32 KB 8-way L1I/L1D, 256 KB 8-way unified L2, 30 MB shared L3, 64-byte
+// lines).
+//
+// The models are functional (hit/miss behaviour and replacement state),
+// not timed; the pipeline model converts the hierarchy's per-level hit and
+// miss counts into stall cycles.
+package cache
+
+import "fmt"
+
+// Replacement selects a victim way within a set and tracks recency state.
+// Implementations are created per cache via a Policy factory.
+type Replacement interface {
+	// Touch records a hit or fill of way w in set s.
+	Touch(s, w int)
+	// Victim returns the way to evict from set s.
+	Victim(s int) int
+	// Fill records that way w of set s was filled with a new line.
+	// Most policies treat this like Touch; SRRIP inserts at long
+	// re-reference interval instead.
+	Fill(s, w int)
+}
+
+// Policy names a replacement policy and constructs its per-cache state.
+type Policy interface {
+	// Name returns the canonical lowercase policy name.
+	Name() string
+	// New returns replacement state for a cache with sets sets of
+	// associativity ways.
+	New(sets, ways int) Replacement
+}
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the cache in stats output (e.g. "l1d").
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+	// LineBytes is the cache line size.
+	LineBytes int
+	// Policy selects the replacement policy; nil means LRU.
+	Policy Policy
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache %q: non-positive geometry", c.Name)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache %q: size %d not a multiple of line size %d", c.Name, c.SizeBytes, c.LineBytes)
+	}
+	sets := lines / c.Ways
+	if sets <= 0 || sets*c.Ways != lines {
+		return fmt.Errorf("cache %q: %d lines not divisible into %d ways", c.Name, lines, c.Ways)
+	}
+	return nil
+}
+
+// Stats accumulates access outcomes for one cache.
+type Stats struct {
+	// Hits counts accesses that found their line resident.
+	Hits uint64
+	// Misses counts accesses that did not.
+	Misses uint64
+	// Evictions counts valid lines displaced by fills.
+	Evictions uint64
+}
+
+// Accesses returns Hits + Misses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns Misses / Accesses, or 0 when there were no accesses.
+func (s Stats) MissRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(a)
+}
+
+// Cache is a single set-associative cache level.
+type Cache struct {
+	cfg        Config
+	sets       int
+	ways       int
+	lineShift  uint
+	setMask    uint64 // sets-1 when sets is a power of two, else 0
+	pow2       bool
+	tags       []uint64 // sets*ways entries
+	valid      []bool
+	repl       Replacement
+	stats      Stats
+	loadStats  Stats // subset of stats attributable to load uops
+	storeStats Stats
+}
+
+// New constructs a cache from cfg. It panics if cfg is invalid; callers
+// that accept external configuration should call cfg.Validate first.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic("cache: " + err.Error())
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / cfg.Ways
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = LRU{}
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		ways:      cfg.Ways,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		pow2:      sets&(sets-1) == 0,
+		tags:      make([]uint64, lines),
+		valid:     make([]bool, lines),
+		repl:      pol.New(sets, cfg.Ways),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Lines returns the total line capacity.
+func (c *Cache) Lines() int { return c.sets * c.ways }
+
+// Stats returns the accumulated access statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LoadStats returns statistics for accesses marked as loads.
+func (c *Cache) LoadStats() Stats { return c.loadStats }
+
+// StoreStats returns statistics for accesses marked as stores.
+func (c *Cache) StoreStats() Stats { return c.storeStats }
+
+// AccessKind tells the cache what the access is on behalf of, so per-kind
+// statistics can mirror the paper's load-specific counters
+// (mem_load_uops_retired.l*_hit/miss).
+type AccessKind uint8
+
+const (
+	// AccessLoad is a demand load.
+	AccessLoad AccessKind = iota
+	// AccessStore is a demand store (write-allocate).
+	AccessStore
+	// AccessFetch is an instruction fetch.
+	AccessFetch
+	// AccessPrefetch is a hardware prefetch (not counted in demand stats).
+	AccessPrefetch
+)
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr >> c.lineShift
+	if c.pow2 {
+		// Fast path: power-of-two set count indexes by low bits; the tag
+		// is the remaining high bits.
+		return int(line & c.setMask), line >> uint(bitsFor(c.sets))
+	}
+	// Non-power-of-two set counts (e.g. a 30 MB 20-way L3) index by
+	// modulo; the full line number serves as the tag.
+	return int(line % uint64(c.sets)), line
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Lookup probes the cache without modifying replacement state or
+// statistics. It reports whether the line holding addr is resident.
+func (c *Cache) Lookup(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand access for addr. It returns true on hit. On a
+// miss the line is filled (write-allocate for stores), possibly evicting a
+// victim; the caller is responsible for propagating the miss to the next
+// level.
+func (c *Cache) Access(addr uint64, kind AccessKind) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	hitWay := -1
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			hitWay = w
+			break
+		}
+	}
+	hit := hitWay >= 0
+	if hit {
+		c.repl.Touch(set, hitWay)
+	} else {
+		w := c.fill(set, tag)
+		c.repl.Fill(set, w)
+	}
+	if kind != AccessPrefetch {
+		c.record(kind, hit)
+	}
+	return hit
+}
+
+func (c *Cache) fill(set int, tag uint64) int {
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			c.valid[base+w] = true
+			c.tags[base+w] = tag
+			return w
+		}
+	}
+	w := c.repl.Victim(set)
+	if w < 0 || w >= c.ways {
+		panic(fmt.Sprintf("cache %q: policy returned invalid victim way %d", c.cfg.Name, w))
+	}
+	c.stats.Evictions++
+	c.tags[base+w] = tag
+	return w
+}
+
+func (c *Cache) record(kind AccessKind, hit bool) {
+	bump := func(s *Stats) {
+		if hit {
+			s.Hits++
+		} else {
+			s.Misses++
+		}
+	}
+	bump(&c.stats)
+	switch kind {
+	case AccessLoad:
+		bump(&c.loadStats)
+	case AccessStore:
+		bump(&c.storeStats)
+	}
+}
+
+// Reset invalidates all lines and zeroes statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.stats = Stats{}
+	c.loadStats = Stats{}
+	c.storeStats = Stats{}
+}
+
+// ResetStats zeroes the access statistics while keeping cache contents,
+// for discarding a warmup window.
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	c.loadStats = Stats{}
+	c.storeStats = Stats{}
+}

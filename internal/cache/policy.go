@@ -1,0 +1,174 @@
+package cache
+
+import "repro/internal/xrand"
+
+// LRU is true least-recently-used replacement. Recency is tracked with an
+// age counter per line; Victim picks the oldest.
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "lru" }
+
+type lruState struct {
+	ways  int
+	ages  []uint64 // sets*ways
+	clock uint64
+}
+
+// New implements Policy.
+func (LRU) New(sets, ways int) Replacement {
+	return &lruState{ways: ways, ages: make([]uint64, sets*ways)}
+}
+
+func (s *lruState) Touch(set, w int) {
+	s.clock++
+	s.ages[set*s.ways+w] = s.clock
+}
+
+func (s *lruState) Fill(set, w int) { s.Touch(set, w) }
+
+func (s *lruState) Victim(set int) int {
+	base := set * s.ways
+	victim, oldest := 0, s.ages[base]
+	for w := 1; w < s.ways; w++ {
+		if s.ages[base+w] < oldest {
+			victim, oldest = w, s.ages[base+w]
+		}
+	}
+	return victim
+}
+
+// TreePLRU is tree-based pseudo-LRU, the policy real L1/L2 caches commonly
+// approximate LRU with. Associativity must be a power of two.
+type TreePLRU struct{}
+
+// Name implements Policy.
+func (TreePLRU) Name() string { return "plru" }
+
+type plruState struct {
+	ways int
+	bits [][]bool // per set: ways-1 internal tree nodes
+}
+
+// New implements Policy.
+func (TreePLRU) New(sets, ways int) Replacement {
+	if ways&(ways-1) != 0 {
+		panic("cache: TreePLRU requires power-of-two associativity")
+	}
+	st := &plruState{ways: ways, bits: make([][]bool, sets)}
+	for i := range st.bits {
+		st.bits[i] = make([]bool, ways-1)
+	}
+	return st
+}
+
+// Touch walks from the root to way w, pointing every traversed node away
+// from w.
+func (s *plruState) Touch(set, w int) {
+	bits := s.bits[set]
+	node, lo, hi := 0, 0, s.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if w < mid {
+			bits[node] = true // point away: right half is colder
+			node = 2*node + 1
+			hi = mid
+		} else {
+			bits[node] = false
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+func (s *plruState) Fill(set, w int) { s.Touch(set, w) }
+
+// Victim follows the cold pointers from the root.
+func (s *plruState) Victim(set int) int {
+	bits := s.bits[set]
+	node, lo, hi := 0, 0, s.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if bits[node] {
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Random replacement picks a uniformly random victim. Deterministic given
+// the seed.
+type Random struct {
+	// Seed initializes the victim PRNG; the zero value is a valid seed.
+	Seed uint64
+}
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+type randomState struct {
+	ways int
+	rng  *xrand.PCG32
+}
+
+// New implements Policy.
+func (r Random) New(sets, ways int) Replacement {
+	return &randomState{ways: ways, rng: xrand.NewPCG32(r.Seed ^ 0x9d5c)}
+}
+
+func (s *randomState) Touch(set, w int)   {}
+func (s *randomState) Fill(set, w int)    {}
+func (s *randomState) Victim(set int) int { return s.rng.Intn(s.ways) }
+
+// SRRIP is static re-reference interval prediction (Jaleel et al., ISCA
+// 2010) with 2-bit RRPVs: fills insert at distant re-reference (RRPV 2),
+// hits promote to 0, victims are lines with RRPV 3 (aging as needed).
+// It resists thrashing and scanning better than LRU at L3.
+type SRRIP struct{}
+
+// Name implements Policy.
+func (SRRIP) Name() string { return "srrip" }
+
+const rrpvMax = 3
+
+type srripState struct {
+	ways int
+	rrpv []uint8
+}
+
+// New implements Policy.
+func (SRRIP) New(sets, ways int) Replacement {
+	st := &srripState{ways: ways, rrpv: make([]uint8, sets*ways)}
+	for i := range st.rrpv {
+		st.rrpv[i] = rrpvMax
+	}
+	return st
+}
+
+func (s *srripState) Touch(set, w int) { s.rrpv[set*s.ways+w] = 0 }
+
+func (s *srripState) Fill(set, w int) { s.rrpv[set*s.ways+w] = rrpvMax - 1 }
+
+func (s *srripState) Victim(set int) int {
+	base := set * s.ways
+	for {
+		for w := 0; w < s.ways; w++ {
+			if s.rrpv[base+w] == rrpvMax {
+				return w
+			}
+		}
+		for w := 0; w < s.ways; w++ {
+			s.rrpv[base+w]++
+		}
+	}
+}
+
+// Policies returns all built-in replacement policies, for sweeps and
+// ablation benchmarks.
+func Policies() []Policy {
+	return []Policy{LRU{}, TreePLRU{}, Random{}, SRRIP{}}
+}

@@ -1,0 +1,334 @@
+// Package cluster implements the agglomerative hierarchical clustering of
+// the paper's Section V-B: points (application-input pairs in PC space)
+// are iteratively merged by least linkage distance, producing a
+// dendrogram that can be cut at any cluster count; cut quality is scored
+// with the sum of squared errors the paper uses to pick the
+// Pareto-optimal subset size.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Linkage selects how inter-cluster distance is computed.
+type Linkage int
+
+const (
+	// Ward merges to minimize the increase in within-cluster variance;
+	// it matches the paper's SSE quality metric and, being the zero
+	// value, is the default linkage.
+	Ward Linkage = iota
+	// Single linkage merges by minimum pairwise distance.
+	Single
+	// Complete linkage merges by maximum pairwise distance.
+	Complete
+	// Average linkage (UPGMA) merges by mean pairwise distance.
+	Average
+)
+
+// String returns the lowercase linkage name.
+func (l Linkage) String() string {
+	switch l {
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	case Average:
+		return "average"
+	case Ward:
+		return "ward"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Linkages returns all supported linkages (for the linkage ablation).
+func Linkages() []Linkage { return []Linkage{Single, Complete, Average, Ward} }
+
+// Merge records one agglomeration step.
+type Merge struct {
+	// A and B are the node ids merged at this step: ids < n are leaves
+	// (original points); id n+k is the cluster formed by step k.
+	A, B int
+	// Distance is the linkage distance at which A and B merged.
+	Distance float64
+	// Size is the number of leaves in the merged cluster.
+	Size int
+}
+
+// Dendrogram is the full merge history of n points.
+type Dendrogram struct {
+	// N is the number of original points.
+	N int
+	// Merges has exactly N-1 entries in merge order.
+	Merges []Merge
+}
+
+// Euclidean returns the Euclidean distance between two points.
+func Euclidean(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Agglomerate clusters the points (rows) hierarchically under the given
+// linkage using the Lance-Williams update, returning the dendrogram.
+// It panics if fewer than one point or ragged rows are supplied.
+func Agglomerate(points [][]float64, linkage Linkage) *Dendrogram {
+	n := len(points)
+	if n == 0 {
+		panic("cluster: no points")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			panic(fmt.Sprintf("cluster: point %d has %d dims, want %d", i, len(p), dim))
+		}
+	}
+	d := &Dendrogram{N: n}
+	if n == 1 {
+		return d
+	}
+
+	// Pairwise distance matrix between active clusters. For Ward the
+	// stored quantity is squared Euclidean distance (the Lance-Williams
+	// recurrence for Ward operates on squared distances).
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := Euclidean(points[i], points[j])
+			if linkage == Ward {
+				v = v * v
+			}
+			dist[i][j] = v
+			dist[j][i] = v
+		}
+	}
+	active := make([]bool, n)
+	size := make([]int, n)
+	id := make([]int, n) // dendrogram node id of slot i
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+		id[i] = i
+	}
+	next := n
+	for step := 0; step < n-1; step++ {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if dist[i][j] < best {
+					bi, bj, best = i, j, dist[i][j]
+				}
+			}
+		}
+		reported := best
+		if linkage == Ward {
+			reported = math.Sqrt(best)
+		}
+		d.Merges = append(d.Merges, Merge{
+			A: id[bi], B: id[bj], Distance: reported, Size: size[bi] + size[bj],
+		})
+		// Lance-Williams update: the merged cluster lives in slot bi.
+		si, sj := float64(size[bi]), float64(size[bj])
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			dik, djk := dist[bi][k], dist[bj][k]
+			var v float64
+			switch linkage {
+			case Single:
+				v = math.Min(dik, djk)
+			case Complete:
+				v = math.Max(dik, djk)
+			case Average:
+				v = (si*dik + sj*djk) / (si + sj)
+			case Ward:
+				sk := float64(size[k])
+				v = ((si+sk)*dik + (sj+sk)*djk - sk*dist[bi][bj]) / (si + sj + sk)
+			}
+			dist[bi][k] = v
+			dist[k][bi] = v
+		}
+		active[bj] = false
+		size[bi] += size[bj]
+		id[bi] = next
+		next++
+	}
+	return d
+}
+
+// Cut returns cluster assignments for exactly k clusters: a slice of
+// length N mapping each point to a cluster index in [0, k). It panics if
+// k is out of [1, N].
+func (d *Dendrogram) Cut(k int) []int {
+	if k < 1 || k > d.N {
+		panic(fmt.Sprintf("cluster: Cut(%d) of %d points", k, d.N))
+	}
+	// Union-find over the first N-k merges.
+	parent := make([]int, d.N+len(d.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for s := 0; s < d.N-k; s++ {
+		m := d.Merges[s]
+		node := d.N + s
+		parent[find(m.A)] = node
+		parent[find(m.B)] = node
+	}
+	label := map[int]int{}
+	out := make([]int, d.N)
+	for i := 0; i < d.N; i++ {
+		root := find(i)
+		if _, ok := label[root]; !ok {
+			label[root] = len(label)
+		}
+		out[i] = label[root]
+	}
+	return out
+}
+
+// SSE returns the sum of squared Euclidean distances from each point to
+// its cluster centroid under the given assignment — the clustering
+// quality measure of Section V-C.
+func SSE(points [][]float64, assign []int) float64 {
+	if len(points) != len(assign) {
+		panic("cluster: SSE length mismatch")
+	}
+	if len(points) == 0 {
+		return 0
+	}
+	dim := len(points[0])
+	k := 0
+	for _, a := range assign {
+		if a+1 > k {
+			k = a + 1
+		}
+	}
+	centroids := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range centroids {
+		centroids[i] = make([]float64, dim)
+	}
+	for i, p := range points {
+		c := assign[i]
+		counts[c]++
+		for j, v := range p {
+			centroids[c][j] += v
+		}
+	}
+	for c := range centroids {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(counts[c])
+		}
+	}
+	sse := 0.0
+	for i, p := range points {
+		c := centroids[assign[i]]
+		for j, v := range p {
+			d := v - c[j]
+			sse += d * d
+		}
+	}
+	return sse
+}
+
+// Tradeoff is one candidate cluster count with its quality and cost.
+type Tradeoff struct {
+	// K is the cluster count.
+	K int
+	// SSE is the clustering error at K clusters.
+	SSE float64
+	// Cost is the caller-supplied objective to minimize alongside SSE
+	// (the paper uses the subset's total execution time).
+	Cost float64
+}
+
+// ParetoFront returns the subset of candidates not dominated by any other
+// (no other candidate has both lower SSE and lower Cost), sorted by K.
+func ParetoFront(cands []Tradeoff) []Tradeoff {
+	var front []Tradeoff
+	for _, c := range cands {
+		dominated := false
+		for _, o := range cands {
+			if (o.SSE < c.SSE && o.Cost <= c.Cost) || (o.SSE <= c.SSE && o.Cost < c.Cost) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].K < front[j].K })
+	return front
+}
+
+// Knee picks the candidate closest to the ideal point after min-max
+// normalizing both objectives — the standard knee heuristic for choosing
+// the Pareto-optimal cluster count (Fig. 10). It panics on an empty
+// candidate list.
+func Knee(cands []Tradeoff) Tradeoff { return KneeWeighted(cands, 1) }
+
+// KneeWeighted is Knee with the normalized SSE axis scaled by sseWeight:
+// weights above 1 favour clustering quality over subset cost, selecting
+// larger subsets. It panics on an empty candidate list or non-positive
+// weight.
+func KneeWeighted(cands []Tradeoff, sseWeight float64) Tradeoff {
+	if len(cands) == 0 {
+		panic("cluster: Knee with no candidates")
+	}
+	if sseWeight <= 0 {
+		panic("cluster: non-positive SSE weight")
+	}
+	minS, maxS := math.Inf(1), math.Inf(-1)
+	minC, maxC := math.Inf(1), math.Inf(-1)
+	for _, c := range cands {
+		minS, maxS = math.Min(minS, c.SSE), math.Max(maxS, c.SSE)
+		minC, maxC = math.Min(minC, c.Cost), math.Max(maxC, c.Cost)
+	}
+	norm := func(v, lo, hi float64) float64 {
+		if hi <= lo {
+			return 0
+		}
+		return (v - lo) / (hi - lo)
+	}
+	best := cands[0]
+	bestD := math.Inf(1)
+	for _, c := range cands {
+		ns := norm(c.SSE, minS, maxS) * sseWeight
+		nc := norm(c.Cost, minC, maxC)
+		d := math.Sqrt(ns*ns + nc*nc)
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}

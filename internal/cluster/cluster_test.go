@@ -1,0 +1,315 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// twoBlobs returns n points split between two well-separated clusters.
+func twoBlobs(rng *xrand.PCG32, n int) ([][]float64, []int) {
+	pts := make([][]float64, n)
+	truth := make([]int, n)
+	for i := range pts {
+		c := i % 2
+		truth[i] = c
+		base := float64(c) * 100
+		pts[i] = []float64{base + rng.NormFloat64(), base + rng.NormFloat64()}
+	}
+	return pts, truth
+}
+
+func TestEuclidean(t *testing.T) {
+	if got := Euclidean([]float64{0, 0}, []float64{3, 4}); got != 5 {
+		t.Errorf("Euclidean = %v, want 5", got)
+	}
+	if got := Euclidean([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("identical points distance %v", got)
+	}
+}
+
+func TestAgglomerateMergeCount(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}, {11}}
+	for _, l := range Linkages() {
+		d := Agglomerate(pts, l)
+		if len(d.Merges) != 3 {
+			t.Errorf("%v: %d merges, want 3", l, len(d.Merges))
+		}
+		last := d.Merges[len(d.Merges)-1]
+		if last.Size != 4 {
+			t.Errorf("%v: final merge size %d, want 4", l, last.Size)
+		}
+	}
+}
+
+func TestClosestPairMergesFirst(t *testing.T) {
+	pts := [][]float64{{0}, {0.5}, {10}, {30}}
+	d := Agglomerate(pts, Average)
+	m := d.Merges[0]
+	if !(m.A == 0 && m.B == 1) {
+		t.Errorf("first merge = %d,%d, want 0,1", m.A, m.B)
+	}
+}
+
+func TestCutRecoversBlobs(t *testing.T) {
+	rng := xrand.NewPCG32(3)
+	pts, truth := twoBlobs(rng, 40)
+	for _, l := range Linkages() {
+		d := Agglomerate(pts, l)
+		assign := d.Cut(2)
+		// All same-truth points share a label and cross-truth differ.
+		for i := 1; i < len(pts); i++ {
+			want := assign[0]
+			if truth[i] != truth[0] {
+				if assign[i] == want {
+					t.Errorf("%v: clusters merged across blobs", l)
+					break
+				}
+			} else if assign[i] != want {
+				t.Errorf("%v: blob split", l)
+				break
+			}
+		}
+	}
+}
+
+func TestCutExtremes(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {2}, {3}}
+	d := Agglomerate(pts, Ward)
+	one := d.Cut(1)
+	for _, a := range one {
+		if a != 0 {
+			t.Error("Cut(1) not a single cluster")
+		}
+	}
+	all := d.Cut(4)
+	seen := map[int]bool{}
+	for _, a := range all {
+		seen[a] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("Cut(n) gave %d clusters", len(seen))
+	}
+}
+
+func TestCutPanics(t *testing.T) {
+	d := Agglomerate([][]float64{{0}, {1}}, Ward)
+	for _, k := range []int{0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Cut(%d) did not panic", k)
+				}
+			}()
+			d.Cut(k)
+		}()
+	}
+}
+
+func TestAgglomeratePanics(t *testing.T) {
+	for _, pts := range [][][]float64{nil, {{1, 2}, {1}}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			Agglomerate(pts, Ward)
+		}()
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	d := Agglomerate([][]float64{{5, 5}}, Ward)
+	if len(d.Merges) != 0 {
+		t.Error("single point produced merges")
+	}
+	if got := d.Cut(1); got[0] != 0 {
+		t.Error("single point cut broken")
+	}
+}
+
+// TestMonotoneMergeDistances: for complete, average and Ward linkage the
+// merge distances are non-decreasing (no inversions).
+func TestMonotoneMergeDistances(t *testing.T) {
+	rng := xrand.NewPCG32(7)
+	pts := make([][]float64, 30)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+	}
+	for _, l := range []Linkage{Complete, Average, Ward} {
+		d := Agglomerate(pts, l)
+		for i := 1; i < len(d.Merges); i++ {
+			if d.Merges[i].Distance < d.Merges[i-1].Distance-1e-9 {
+				t.Errorf("%v: merge distance inversion at step %d", l, i)
+			}
+		}
+	}
+}
+
+// TestSSEMonotoneInK: SSE decreases (weakly) as the cluster count grows.
+func TestSSEMonotoneInK(t *testing.T) {
+	rng := xrand.NewPCG32(9)
+	pts := make([][]float64, 25)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64() * 5, rng.NormFloat64() * 5, rng.NormFloat64()}
+	}
+	d := Agglomerate(pts, Ward)
+	prev := math.Inf(1)
+	for k := 1; k <= len(pts); k++ {
+		sse := SSE(pts, d.Cut(k))
+		if sse > prev+1e-9 {
+			t.Errorf("SSE rose from %v to %v at k=%d", prev, sse, k)
+		}
+		prev = sse
+	}
+	if last := SSE(pts, d.Cut(len(pts))); last != 0 {
+		t.Errorf("SSE with singleton clusters = %v, want 0", last)
+	}
+}
+
+func TestSSEKnown(t *testing.T) {
+	pts := [][]float64{{0}, {2}, {10}, {12}}
+	// Clusters {0,2} and {10,12}: centroids 1 and 11, SSE = 4×1 = 4.
+	if got := SSE(pts, []int{0, 0, 1, 1}); got != 4 {
+		t.Errorf("SSE = %v, want 4", got)
+	}
+	if got := SSE(nil, nil); got != 0 {
+		t.Errorf("empty SSE = %v", got)
+	}
+}
+
+func TestSSEMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatch")
+		}
+	}()
+	SSE([][]float64{{1}}, []int{0, 1})
+}
+
+func TestParetoFront(t *testing.T) {
+	cands := []Tradeoff{
+		{K: 1, SSE: 100, Cost: 10},
+		{K: 2, SSE: 50, Cost: 20},
+		{K: 3, SSE: 60, Cost: 30}, // dominated by K=2
+		{K: 4, SSE: 10, Cost: 40},
+	}
+	front := ParetoFront(cands)
+	if len(front) != 3 {
+		t.Fatalf("front size = %d, want 3", len(front))
+	}
+	for _, f := range front {
+		if f.K == 3 {
+			t.Error("dominated candidate on front")
+		}
+	}
+}
+
+func TestKneePicksElbow(t *testing.T) {
+	// Classic L-curve: big SSE drop early, then diminishing returns while
+	// cost keeps rising; the knee is in the middle.
+	cands := []Tradeoff{
+		{K: 1, SSE: 100, Cost: 0},
+		{K: 2, SSE: 40, Cost: 10},
+		{K: 3, SSE: 12, Cost: 20},
+		{K: 4, SSE: 10, Cost: 55},
+		{K: 5, SSE: 9, Cost: 80},
+		{K: 6, SSE: 8.5, Cost: 100},
+	}
+	knee := Knee(cands)
+	if knee.K != 3 {
+		t.Errorf("knee at K=%d, want 3", knee.K)
+	}
+}
+
+func TestKneePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Knee(nil)
+}
+
+func TestKneeSingleCandidate(t *testing.T) {
+	if got := Knee([]Tradeoff{{K: 7, SSE: 1, Cost: 1}}); got.K != 7 {
+		t.Errorf("Knee single = %+v", got)
+	}
+}
+
+// TestCutPartitionProperty: any cut is a valid partition with exactly k
+// non-empty parts.
+func TestCutPartitionProperty(t *testing.T) {
+	rng := xrand.NewPCG32(21)
+	f := func(seed uint16) bool {
+		n := int(seed%20) + 2
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		d := Agglomerate(pts, Average)
+		for k := 1; k <= n; k++ {
+			assign := d.Cut(k)
+			seen := map[int]bool{}
+			for _, a := range assign {
+				if a < 0 || a >= k {
+					return false
+				}
+				seen[a] = true
+			}
+			if len(seen) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAgglomerate64(b *testing.B) {
+	rng := xrand.NewPCG32(41)
+	pts := make([][]float64, 64)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Agglomerate(pts, Ward)
+	}
+}
+
+func TestKneeWeightedFavorsQuality(t *testing.T) {
+	cands := []Tradeoff{
+		{K: 1, SSE: 100, Cost: 0},
+		{K: 2, SSE: 40, Cost: 10},
+		{K: 3, SSE: 12, Cost: 20},
+		{K: 4, SSE: 10, Cost: 55},
+		{K: 5, SSE: 4, Cost: 80},
+		{K: 6, SSE: 0.5, Cost: 100},
+	}
+	base := KneeWeighted(cands, 1)
+	heavy := KneeWeighted(cands, 8)
+	if heavy.K < base.K {
+		t.Errorf("SSE weight 8 chose k=%d below unweighted k=%d", heavy.K, base.K)
+	}
+}
+
+func TestKneeWeightedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive weight accepted")
+		}
+	}()
+	KneeWeighted([]Tradeoff{{K: 1}}, 0)
+}
+
+func TestParetoFrontEmpty(t *testing.T) {
+	if got := ParetoFront(nil); got != nil {
+		t.Errorf("empty front = %v", got)
+	}
+}

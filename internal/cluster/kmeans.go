@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// KMeansResult holds a converged k-means clustering.
+type KMeansResult struct {
+	// Assign maps each point to its cluster in [0, K).
+	Assign []int
+	// Centroids are the cluster centers.
+	Centroids [][]float64
+	// SSE is the within-cluster sum of squared distances.
+	SSE float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// KMeans clusters points into k clusters with Lloyd's algorithm and
+// k-means++ seeding (deterministic given seed). It panics on invalid
+// input. Empty clusters are re-seeded with the point farthest from its
+// centroid, so exactly k non-empty clusters are returned whenever
+// k <= len(points).
+func KMeans(points [][]float64, k int, seed uint64) *KMeansResult {
+	n := len(points)
+	if n == 0 {
+		panic("cluster: KMeans with no points")
+	}
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("cluster: KMeans k=%d of %d points", k, n))
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			panic(fmt.Sprintf("cluster: point %d has %d dims, want %d", i, len(p), dim))
+		}
+	}
+	rng := xrand.NewPCG32(seed)
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	res := &KMeansResult{}
+	const maxIter = 200
+	for iter := 0; iter < maxIter; iter++ {
+		changed := assignPoints(points, centroids, assign)
+		recompute(points, assign, centroids)
+		fixEmpty(points, assign, centroids)
+		res.Iterations = iter + 1
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	res.Assign = assign
+	res.Centroids = centroids
+	res.SSE = SSE(points, assign)
+	return res
+}
+
+// seedPlusPlus picks initial centroids with D^2 weighting.
+func seedPlusPlus(points [][]float64, k int, rng *xrand.PCG32) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, clonePoint(points[first]))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var idx int
+		if total == 0 {
+			// All points coincide with centroids; pick any unused point.
+			idx = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			cum := 0.0
+			idx = n - 1
+			for i, d := range d2 {
+				cum += d
+				if cum >= r {
+					idx = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, clonePoint(points[idx]))
+	}
+	return centroids
+}
+
+func assignPoints(points, centroids [][]float64, assign []int) bool {
+	changed := false
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c, cen := range centroids {
+			if d := sqDist(p, cen); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed = true
+		}
+	}
+	return changed
+}
+
+func recompute(points [][]float64, assign []int, centroids [][]float64) {
+	dim := len(points[0])
+	counts := make([]int, len(centroids))
+	for c := range centroids {
+		for j := 0; j < dim; j++ {
+			centroids[c][j] = 0
+		}
+	}
+	for i, p := range points {
+		c := assign[i]
+		counts[c]++
+		for j, v := range p {
+			centroids[c][j] += v
+		}
+	}
+	for c := range centroids {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(counts[c])
+		}
+	}
+}
+
+// fixEmpty reseeds empty clusters with the point farthest from its
+// current centroid.
+func fixEmpty(points [][]float64, assign []int, centroids [][]float64) {
+	counts := make([]int, len(centroids))
+	for _, a := range assign {
+		counts[a]++
+	}
+	for c := range centroids {
+		if counts[c] > 0 {
+			continue
+		}
+		worst, worstD := -1, -1.0
+		for i, p := range points {
+			if counts[assign[i]] <= 1 {
+				continue // do not empty another cluster
+			}
+			if d := sqDist(p, centroids[assign[i]]); d > worstD {
+				worst, worstD = i, d
+			}
+		}
+		if worst < 0 {
+			continue
+		}
+		counts[assign[worst]]--
+		assign[worst] = c
+		counts[c] = 1
+		copy(centroids[c], points[worst])
+	}
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func clonePoint(p []float64) []float64 {
+	out := make([]float64, len(p))
+	copy(out, p)
+	return out
+}
+
+// BIC scores a k-means clustering with the Bayesian information
+// criterion under a spherical Gaussian model (higher is better), the
+// standard x-means criterion for choosing k when no execution-time
+// Pareto axis exists (phase analysis uses it).
+func BIC(points [][]float64, res *KMeansResult) float64 {
+	n := float64(len(points))
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	d := float64(len(points[0]))
+	k := float64(len(res.Centroids))
+	variance := res.SSE / math.Max(n-k, 1) / d
+	if variance <= 0 {
+		variance = 1e-12
+	}
+	counts := make([]float64, len(res.Centroids))
+	for _, a := range res.Assign {
+		counts[a]++
+	}
+	ll := 0.0
+	for _, cn := range counts {
+		if cn == 0 {
+			continue
+		}
+		ll += cn*math.Log(cn) - cn*math.Log(n) -
+			cn*d/2*math.Log(2*math.Pi*variance) - (cn-1)*d/2
+	}
+	params := k * (d + 1)
+	return ll - params/2*math.Log(n)
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := xrand.NewPCG32(2)
+	pts, truth := twoBlobs(rng, 60)
+	res := KMeans(pts, 2, 7)
+	for i := 1; i < len(pts); i++ {
+		same := truth[i] == truth[0]
+		got := res.Assign[i] == res.Assign[0]
+		if same != got {
+			t.Fatalf("point %d misclustered", i)
+		}
+	}
+	if res.SSE <= 0 {
+		t.Errorf("SSE = %v", res.SSE)
+	}
+	if res.Iterations < 1 {
+		t.Error("no iterations recorded")
+	}
+}
+
+func TestKMeansExactClusters(t *testing.T) {
+	pts := [][]float64{{0}, {0}, {10}, {10}, {20}, {20}}
+	res := KMeans(pts, 3, 1)
+	seen := map[int]bool{}
+	for _, a := range res.Assign {
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("clusters used = %d, want 3", len(seen))
+	}
+	if res.SSE != 0 {
+		t.Errorf("SSE = %v, want 0 for coincident pairs", res.SSE)
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	pts := [][]float64{{0}, {5}, {9}, {14}}
+	res := KMeans(pts, 4, 3)
+	seen := map[int]bool{}
+	for _, a := range res.Assign {
+		seen[a] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("k=n clusters used = %d", len(seen))
+	}
+	if res.SSE != 0 {
+		t.Errorf("k=n SSE = %v", res.SSE)
+	}
+}
+
+func TestKMeansSingleCluster(t *testing.T) {
+	pts := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	res := KMeans(pts, 1, 9)
+	for _, a := range res.Assign {
+		if a != 0 {
+			t.Fatal("k=1 produced multiple labels")
+		}
+	}
+	want := []float64{2, 2}
+	for j, v := range res.Centroids[0] {
+		if math.Abs(v-want[j]) > 1e-12 {
+			t.Errorf("centroid[%d] = %v, want %v", j, v, want[j])
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := xrand.NewPCG32(4)
+	pts, _ := twoBlobs(rng, 40)
+	a := KMeans(pts, 3, 42)
+	b := KMeans(pts, 3, 42)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed, different assignments")
+		}
+	}
+}
+
+func TestKMeansPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { KMeans(nil, 1, 0) },
+		func() { KMeans([][]float64{{1}}, 0, 0) },
+		func() { KMeans([][]float64{{1}}, 2, 0) },
+		func() { KMeans([][]float64{{1, 2}, {1}}, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestKMeansSSEBeatsRandomAssignment: converged k-means has lower SSE
+// than a random assignment of the same k.
+func TestKMeansSSEBeatsRandomAssignment(t *testing.T) {
+	rng := xrand.NewPCG32(5)
+	pts := make([][]float64, 50)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64() * 5, rng.NormFloat64() * 5}
+	}
+	res := KMeans(pts, 5, 11)
+	randAssign := make([]int, len(pts))
+	for i := range randAssign {
+		randAssign[i] = rng.Intn(5)
+	}
+	if res.SSE >= SSE(pts, randAssign) {
+		t.Errorf("k-means SSE %v not below random %v", res.SSE, SSE(pts, randAssign))
+	}
+}
+
+// TestKMeansVsWardAgreement: on well-separated data both algorithms find
+// the same partition.
+func TestKMeansVsWardAgreement(t *testing.T) {
+	rng := xrand.NewPCG32(6)
+	pts, _ := twoBlobs(rng, 30)
+	km := KMeans(pts, 2, 3)
+	hac := Agglomerate(pts, Ward).Cut(2)
+	// Partitions match up to label permutation.
+	match := func(flip bool) bool {
+		for i := range pts {
+			a := km.Assign[i]
+			if flip {
+				a = 1 - a
+			}
+			if a != hac[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !match(false) && !match(true) {
+		t.Error("k-means and Ward disagree on separated blobs")
+	}
+}
+
+func TestBICPrefersTrueK(t *testing.T) {
+	rng := xrand.NewPCG32(8)
+	// Three tight, well-separated blobs.
+	var pts [][]float64
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 20; i++ {
+			pts = append(pts, []float64{
+				float64(c)*50 + rng.NormFloat64(),
+				float64(c)*50 + rng.NormFloat64(),
+			})
+		}
+	}
+	best, bestBIC := 0, math.Inf(-1)
+	for k := 1; k <= 6; k++ {
+		res := KMeans(pts, k, 13)
+		if b := BIC(pts, res); b > bestBIC {
+			best, bestBIC = k, b
+		}
+	}
+	if best != 3 {
+		t.Errorf("BIC chose k=%d, want 3", best)
+	}
+}
+
+func TestBICEmptyPoints(t *testing.T) {
+	if got := BIC(nil, &KMeansResult{}); !math.IsInf(got, -1) {
+		t.Errorf("BIC(empty) = %v", got)
+	}
+}
+
+func BenchmarkKMeans194x4(b *testing.B) {
+	rng := xrand.NewPCG32(10)
+	pts := make([][]float64, 194)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KMeans(pts, 12, uint64(i))
+	}
+}

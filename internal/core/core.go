@@ -1,0 +1,251 @@
+// Package core implements the paper's primary contribution: the workload
+// characterization pipeline of Sections III-IV. It runs every
+// application-input pair's synthetic workload on the simulated machine,
+// collects the perf-style counters, and derives the per-pair
+// characteristics and per-suite aggregates behind every table and figure.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/machine"
+	"repro/internal/perf"
+	"repro/internal/pipeline"
+	"repro/internal/profile"
+	"repro/internal/synth"
+)
+
+// Options configure a characterization campaign.
+type Options struct {
+	// Machine is the simulated hardware; the zero value selects the
+	// scaled Haswell characterization machine.
+	Machine machine.Config
+	// Instructions is the measured window per pair (default 300000).
+	Instructions uint64
+	// Parallelism bounds concurrent pair simulations (default NumCPU).
+	Parallelism int
+	// MultiplexSlots, when positive, emulates perf's counter multiplexing
+	// with that many hardware counter slots (the paper programs 15
+	// events on a 4-slot Haswell PMU): all derived metrics then carry the
+	// corresponding scaling noise. Zero reads exact counters.
+	MultiplexSlots int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Machine.ClockHz == 0 {
+		o.Machine = machine.HaswellScaled()
+	}
+	if o.Instructions == 0 {
+		o.Instructions = 300000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	return o
+}
+
+// Characteristics holds one application-input pair's characterization:
+// the row unit of every table and figure in the paper.
+type Characteristics struct {
+	// Pair identifies the application, input size and input.
+	Pair profile.Pair
+
+	// InstrBillions is the nominal full-run instruction count.
+	InstrBillions float64
+	// IPC is the modeled instructions per cycle.
+	IPC float64
+	// ExecSeconds is the modeled full-run execution time
+	// (nominal instructions / (IPC x clock x threads)).
+	ExecSeconds float64
+
+	// Instruction mix (measured from the simulated stream).
+	LoadPct, StorePct, BranchPct float64
+	// Branch class shares as percentages of all branches.
+	CondPct, JumpPct, CallPct, IndirectPct, ReturnPct float64
+	// MispredictPct is mispredicted branches per executed branch.
+	MispredictPct float64
+	// Per-level local load miss rates.
+	L1MissPct, L2MissPct, L3MissPct float64
+	// Footprint (nominal model values; see DESIGN.md).
+	RSSMiB, VSZMiB float64
+
+	// Counters is the raw perf snapshot of the sampled window.
+	Counters *perf.Counters
+	// Breakdown is the CPI stack of the sampled window.
+	Breakdown pipeline.Breakdown
+	// Calibrated reports whether the IPC target was reachable.
+	Calibrated bool
+}
+
+// MemPct returns loads+stores as a percentage of uops.
+func (c *Characteristics) MemPct() float64 { return c.LoadPct + c.StorePct }
+
+// Characterize simulates every pair and returns their characteristics in
+// pair order. Pairs run in parallel; any simulation error aborts the
+// campaign.
+func Characterize(pairs []profile.Pair, opt Options) ([]Characteristics, error) {
+	opt = opt.withDefaults()
+	out := make([]Characteristics, len(pairs))
+	errs := make([]error, len(pairs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Parallelism)
+	for i := range pairs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c, err := CharacterizePair(pairs[i], opt)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", pairs[i].Name(), err)
+				return
+			}
+			out[i] = *c
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// CharacterizePair simulates a single application-input pair.
+func CharacterizePair(pair profile.Pair, opt Options) (*Characteristics, error) {
+	opt = opt.withDefaults()
+	m := pair.Model
+	gen, err := synth.New(m, opt.Machine.Geometry())
+	if err != nil {
+		return nil, err
+	}
+	res, err := machine.Run(opt.Machine, gen, machine.Options{
+		Instructions:       opt.Instructions,
+		WarmupInstructions: gen.Prologue(),
+		Workload:           pipeline.Workload{ILP: 2, MLP: m.MLP},
+		CalibrateIPC:       m.TargetIPC,
+	})
+	if err != nil {
+		return nil, err
+	}
+	counters := res.Counters
+	if opt.MultiplexSlots > 0 {
+		counters = perf.Multiplex(counters, opt.MultiplexSlots, m.Seed)
+	}
+	c := &Characteristics{
+		Pair:          pair,
+		InstrBillions: m.InstrBillions,
+		IPC:           counters.IPC(),
+		LoadPct:       counters.LoadPct(),
+		StorePct:      counters.StorePct(),
+		BranchPct:     counters.BranchPct(),
+		MispredictPct: counters.MispredictPct(),
+		L1MissPct:     counters.CacheMissPct(1),
+		L2MissPct:     counters.CacheMissPct(2),
+		L3MissPct:     counters.CacheMissPct(3),
+		RSSMiB:        m.RSSMiB,
+		VSZMiB:        m.VSZMiB,
+		Counters:      counters,
+		Breakdown:     res.Breakdown,
+		Calibrated:    res.Calibrated,
+	}
+	branches := float64(counters.MustValue(perf.AllBranches))
+	if branches > 0 {
+		pct := func(name string) float64 {
+			return 100 * float64(counters.MustValue(name)) / branches
+		}
+		c.CondPct = pct(perf.CondBranches)
+		c.JumpPct = pct(perf.DirectJumps)
+		c.CallPct = pct(perf.DirectCalls)
+		c.IndirectPct = pct(perf.IndirectJumps)
+		c.ReturnPct = pct(perf.Returns)
+	}
+	threads := float64(m.Threads)
+	c.ExecSeconds = m.InstrBillions * 1e9 / (c.IPC * opt.Machine.ClockHz * threads)
+	return c, nil
+}
+
+// CharacterizeSuites expands and characterizes a full application list at
+// one input size.
+func CharacterizeSuites(apps []*profile.Profile, size profile.InputSize, opt Options) ([]Characteristics, error) {
+	return Characterize(profile.ExpandSuite(apps, size), opt)
+}
+
+// Filter returns the characteristics whose pair satisfies keep.
+func Filter(chars []Characteristics, keep func(*Characteristics) bool) []Characteristics {
+	var out []Characteristics
+	for i := range chars {
+		if keep(&chars[i]) {
+			out = append(out, chars[i])
+		}
+	}
+	return out
+}
+
+// BySuite returns the characteristics belonging to one mini-suite.
+func BySuite(chars []Characteristics, s profile.Suite) []Characteristics {
+	return Filter(chars, func(c *Characteristics) bool { return c.Pair.App.Suite == s })
+}
+
+// Summary is a mean and sample standard deviation, the aggregate form of
+// the paper's comparison tables.
+type Summary struct {
+	Mean, Std float64
+	N         int
+}
+
+// PerAppMeans averages a metric over each application's inputs first
+// (the paper's convention for multi-input applications), returning one
+// value per application sorted by name.
+func PerAppMeans(chars []Characteristics, pick func(*Characteristics) float64) []float64 {
+	byApp := map[string][]float64{}
+	for i := range chars {
+		name := chars[i].Pair.App.Name
+		byApp[name] = append(byApp[name], pick(&chars[i]))
+	}
+	names := make([]string, 0, len(byApp))
+	for n := range byApp {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]float64, 0, len(names))
+	for _, n := range names {
+		vals := byApp[n]
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		out = append(out, s/float64(len(vals)))
+	}
+	return out
+}
+
+// Aggregate summarizes a metric across applications (per-app means, then
+// mean and standard deviation across applications).
+func Aggregate(chars []Characteristics, pick func(*Characteristics) float64) Summary {
+	vals := PerAppMeans(chars, pick)
+	n := len(vals)
+	if n == 0 {
+		return Summary{}
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(n)
+	ss := 0.0
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	std := 0.0
+	if n > 1 {
+		std = math.Sqrt(ss / float64(n-1))
+	}
+	return Summary{Mean: mean, Std: std, N: n}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+// testOpt keeps single-CPU test runs fast while staying in the regime
+// where rates are stable.
+func testOpt() Options {
+	return Options{Instructions: 60000}
+}
+
+// rateIntChars characterizes the rate-int suite once per test binary.
+var rateIntCache []Characteristics
+
+func rateIntChars(t *testing.T) []Characteristics {
+	t.Helper()
+	if rateIntCache != nil {
+		return rateIntCache
+	}
+	var rateInt []*profile.Profile
+	for _, p := range profile.CPU2017() {
+		if p.Suite == profile.RateInt {
+			rateInt = append(rateInt, p)
+		}
+	}
+	chars, err := CharacterizeSuites(rateInt, profile.Ref, testOpt())
+	if err != nil {
+		t.Fatalf("characterize: %v", err)
+	}
+	rateIntCache = chars
+	return chars
+}
+
+func TestCharacterizeRateInt(t *testing.T) {
+	chars := rateIntChars(t)
+	if len(chars) != 20 {
+		t.Fatalf("rate int ref pairs = %d, want 20", len(chars))
+	}
+	for i := range chars {
+		c := &chars[i]
+		if c.IPC <= 0 || math.IsNaN(c.IPC) {
+			t.Errorf("%s: IPC %v", c.Pair.Name(), c.IPC)
+		}
+		if c.ExecSeconds <= 0 {
+			t.Errorf("%s: exec seconds %v", c.Pair.Name(), c.ExecSeconds)
+		}
+		if c.LoadPct <= 0 || c.StorePct <= 0 || c.BranchPct <= 0 {
+			t.Errorf("%s: degenerate mix %v/%v/%v", c.Pair.Name(), c.LoadPct, c.StorePct, c.BranchPct)
+		}
+		if c.Counters == nil {
+			t.Errorf("%s: no counters", c.Pair.Name())
+		}
+	}
+}
+
+// TestIPCNearTargets: calibrated pairs land on their model's target IPC.
+func TestIPCNearTargets(t *testing.T) {
+	for _, c := range rateIntChars(t) {
+		if !c.Calibrated {
+			t.Logf("%s: IPC target %.3f unreachable, ran width-limited at %.3f",
+				c.Pair.Name(), c.Pair.Model.TargetIPC, c.IPC)
+			continue
+		}
+		if rel := math.Abs(c.IPC-c.Pair.Model.TargetIPC) / c.Pair.Model.TargetIPC; rel > 0.05 {
+			t.Errorf("%s: IPC %.3f vs target %.3f", c.Pair.Name(), c.IPC, c.Pair.Model.TargetIPC)
+		}
+	}
+}
+
+// TestMixNearTargets: measured instruction mix tracks the models.
+func TestMixNearTargets(t *testing.T) {
+	for _, c := range rateIntChars(t) {
+		m := c.Pair.Model
+		if math.Abs(c.LoadPct-m.LoadPct) > 1.5 {
+			t.Errorf("%s: loads %.2f vs model %.2f", c.Pair.Name(), c.LoadPct, m.LoadPct)
+		}
+		if math.Abs(c.BranchPct-m.BranchPct) > 1.5 {
+			t.Errorf("%s: branches %.2f vs model %.2f", c.Pair.Name(), c.BranchPct, m.BranchPct)
+		}
+	}
+}
+
+func TestBranchClassSharesSum(t *testing.T) {
+	for _, c := range rateIntChars(t) {
+		sum := c.CondPct + c.JumpPct + c.CallPct + c.IndirectPct + c.ReturnPct
+		if math.Abs(sum-100) > 0.5 {
+			t.Errorf("%s: branch class shares sum to %.2f", c.Pair.Name(), sum)
+		}
+	}
+}
+
+func TestFilterAndBySuite(t *testing.T) {
+	chars := rateIntChars(t)
+	all := BySuite(chars, profile.RateInt)
+	if len(all) != len(chars) {
+		t.Errorf("BySuite lost pairs: %d vs %d", len(all), len(chars))
+	}
+	none := BySuite(chars, profile.SpeedFP)
+	if len(none) != 0 {
+		t.Errorf("BySuite leaked %d pairs", len(none))
+	}
+	mcf := Filter(chars, func(c *Characteristics) bool {
+		return strings.HasPrefix(c.Pair.Name(), "505.")
+	})
+	if len(mcf) != 1 {
+		t.Errorf("mcf pairs = %d, want 1", len(mcf))
+	}
+}
+
+func TestPerAppMeansCollapsesInputs(t *testing.T) {
+	chars := rateIntChars(t)
+	vals := PerAppMeans(chars, func(c *Characteristics) float64 { return c.IPC })
+	if len(vals) != 10 {
+		t.Fatalf("per-app values = %d, want 10 apps", len(vals))
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	chars := rateIntChars(t)
+	s := Aggregate(chars, func(c *Characteristics) float64 { return c.IPC })
+	if s.N != 10 {
+		t.Errorf("N = %d, want 10", s.N)
+	}
+	if s.Mean < 1.0 || s.Mean > 2.5 {
+		t.Errorf("rate int mean IPC = %v, expected ~1.7", s.Mean)
+	}
+	if s.Std <= 0 {
+		t.Errorf("zero std dev across heterogeneous apps")
+	}
+	empty := Aggregate(nil, func(c *Characteristics) float64 { return 0 })
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty aggregate = %+v", empty)
+	}
+}
+
+func TestSummarizeSuite(t *testing.T) {
+	chars := rateIntChars(t)
+	sum := SummarizeSuite(chars, profile.RateInt, profile.Ref)
+	if sum.Apps != 10 || sum.Pairs != 20 {
+		t.Errorf("summary apps/pairs = %d/%d, want 10/20", sum.Apps, sum.Pairs)
+	}
+	if math.Abs(sum.InstrBillions-1751.516)/1751.516 > 0.12 {
+		t.Errorf("instr billions = %v, want ~1751.5", sum.InstrBillions)
+	}
+	if math.Abs(sum.IPC-1.724)/1.724 > 0.12 {
+		t.Errorf("IPC = %v, want ~1.724", sum.IPC)
+	}
+	missing := SummarizeSuite(chars, profile.SpeedFP, profile.Ref)
+	if missing.Apps != 0 || missing.InstrBillions != 0 {
+		t.Errorf("missing suite summary = %+v", missing)
+	}
+}
+
+func TestPCAMatrixShape(t *testing.T) {
+	chars := rateIntChars(t)
+	m, names := PCAMatrix(chars)
+	if m.Rows() != len(chars) || m.Cols() != 20 {
+		t.Fatalf("matrix %dx%d, want %dx20", m.Rows(), m.Cols(), len(chars))
+	}
+	if len(PCACharacteristicNames) != 20 {
+		t.Fatalf("characteristic names = %d, want 20", len(PCACharacteristicNames))
+	}
+	if len(names) != len(chars) {
+		t.Fatalf("pair names = %d", len(names))
+	}
+	// Count characteristics scale with nominal instructions.
+	for i := range chars {
+		nominal := chars[i].InstrBillions * 1e9
+		if m.At(i, 0) != nominal {
+			t.Errorf("row %d inst_retired = %v, want %v", i, m.At(i, 0), nominal)
+		}
+		if m.At(i, 1) <= 0 || m.At(i, 1) >= nominal {
+			t.Errorf("row %d loads count %v out of range", i, m.At(i, 1))
+		}
+		// Footprints present.
+		if m.At(i, 18) <= 0 || m.At(i, 19) < m.At(i, 18) {
+			t.Errorf("row %d rss/vsz = %v/%v", i, m.At(i, 18), m.At(i, 19))
+		}
+	}
+}
+
+func TestIntFP(t *testing.T) {
+	chars := rateIntChars(t)
+	ints, fps := IntFP(chars)
+	if len(ints) != len(chars) || len(fps) != 0 {
+		t.Errorf("IntFP split = %d/%d", len(ints), len(fps))
+	}
+}
+
+func TestCompareMetricShape(t *testing.T) {
+	chars := rateIntChars(t)
+	rows := CompareMetric(chars, chars, func(c *Characteristics) float64 { return c.IPC })
+	if len(rows) != 6 {
+		t.Fatalf("comparison rows = %d, want 6", len(rows))
+	}
+	labels := []string{"CPU06 int", "CPU17 int", "CPU06 fp", "CPU17 fp", "CPU06 all", "CPU17 all"}
+	for i, r := range rows {
+		if r.Label != labels[i] {
+			t.Errorf("row %d label %q, want %q", i, r.Label, labels[i])
+		}
+	}
+	if rows[0].Summary.Mean != rows[1].Summary.Mean {
+		t.Error("identical inputs produced different summaries")
+	}
+}
+
+func TestCharacterizePairDeterministic(t *testing.T) {
+	pair := profile.CPU2017()[2].Expand(profile.Ref)[0] // 505.mcf_r
+	a, err := CharacterizePair(pair, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CharacterizePair(pair, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IPC != b.IPC || a.L2MissPct != b.L2MissPct || a.MispredictPct != b.MispredictPct {
+		t.Error("characterization not deterministic")
+	}
+}
+
+func TestExecSecondsAccountsForThreads(t *testing.T) {
+	// 657.xz_s runs 4 OpenMP threads; its exec time divides by 4.
+	var xz *profile.Profile
+	for _, p := range profile.CPU2017() {
+		if p.Name == "657.xz_s" {
+			xz = p
+		}
+	}
+	pair := xz.Expand(profile.Ref)[0]
+	c, err := CharacterizePair(pair, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := pair.Model.InstrBillions * 1e9 / (c.IPC * 1.8e9)
+	if math.Abs(c.ExecSeconds-single/4)/c.ExecSeconds > 1e-9 {
+		t.Errorf("exec seconds %v, want %v (single/4)", c.ExecSeconds, single/4)
+	}
+}
+
+// TestFullSizeMachine: running a pair on the full 30 MB Haswell instead
+// of the 2 MB scale model keeps the microarchitecture-independent
+// characteristics identical and can only lower the deep-cache pressure
+// (the generator sizes its pools to the machine it runs on, so rates
+// stay near targets on both).
+func TestFullSizeMachine(t *testing.T) {
+	pair := profile.CPU2017()[2].Expand(profile.Ref)[0] // 505.mcf_r
+	scaled, err := CharacterizePair(pair, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullOpt := testOpt()
+	fullOpt.Machine = machine.Haswell()
+	full, err := CharacterizePair(pair, fullOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.LoadPct-scaled.LoadPct) > 1.5 {
+		t.Errorf("load pct differs across machines: %v vs %v", full.LoadPct, scaled.LoadPct)
+	}
+	if math.Abs(full.BranchPct-scaled.BranchPct) > 1.5 {
+		t.Errorf("branch pct differs across machines: %v vs %v", full.BranchPct, scaled.BranchPct)
+	}
+	if math.Abs(full.L2MissPct-scaled.L2MissPct) > 12 {
+		t.Errorf("L2 miss diverges: full %v vs scaled %v", full.L2MissPct, scaled.L2MissPct)
+	}
+	if full.IPC <= 0 || scaled.IPC <= 0 {
+		t.Error("non-positive IPC")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"repro/internal/perf"
+	"repro/internal/profile"
+	"repro/internal/stats"
+)
+
+// PCACharacteristicNames lists the 20 microarchitecture-independent
+// characteristics of Table VIII, in matrix column order.
+var PCACharacteristicNames = []string{
+	perf.InstRetired,
+	perf.AllLoads,
+	perf.AllStores,
+	"load_uops(%)",
+	"store_uops(%)",
+	"total_mem_uops(%)",
+	perf.AllBranches,
+	"branch_inst(%)",
+	perf.CondBranches,
+	perf.DirectJumps,
+	perf.DirectCalls,
+	perf.IndirectJumps,
+	perf.Returns,
+	"branch_conditional(%)",
+	"branch_direct_jump(%)",
+	"branch_near_call(%)",
+	"branch_indirect_jump_non_call_ret(%)",
+	"branch_indirect_near_return(%)",
+	"rss",
+	"vsz",
+}
+
+// PCAMatrix assembles the paper's [pairs x 20] observation matrix from a
+// characterization run. Count-valued characteristics are extrapolated to
+// nominal full-run totals (measured per-instruction rates times the
+// nominal instruction count); percentage and footprint characteristics
+// are used directly. It also returns the pair names in row order.
+func PCAMatrix(chars []Characteristics) (*stats.Matrix, []string) {
+	m := stats.NewMatrix(len(chars), len(PCACharacteristicNames))
+	names := make([]string, len(chars))
+	for i := range chars {
+		c := &chars[i]
+		names[i] = c.Pair.Name()
+		nominal := c.InstrBillions * 1e9
+		// Scale a sampled counter to a nominal full-run count.
+		count := func(name string) float64 {
+			v := float64(c.Counters.MustValue(name))
+			n := float64(c.Counters.MustValue(perf.InstRetired))
+			if n == 0 {
+				return 0
+			}
+			return v / n * nominal
+		}
+		row := []float64{
+			nominal,
+			count(perf.AllLoads),
+			count(perf.AllStores),
+			c.LoadPct,
+			c.StorePct,
+			c.MemPct(),
+			count(perf.AllBranches),
+			c.BranchPct,
+			count(perf.CondBranches),
+			count(perf.DirectJumps),
+			count(perf.DirectCalls),
+			count(perf.IndirectJumps),
+			count(perf.Returns),
+			c.CondPct,
+			c.JumpPct,
+			c.CallPct,
+			c.IndirectPct,
+			c.ReturnPct,
+			c.RSSMiB,
+			c.VSZMiB,
+		}
+		for j, v := range row {
+			m.Set(i, j, v)
+		}
+	}
+	return m, names
+}
+
+// SuiteSummary is one row of Table II: a mini-suite's average nominal
+// execution characteristics at one input size.
+type SuiteSummary struct {
+	Suite         profile.Suite
+	Size          profile.InputSize
+	InstrBillions float64
+	IPC           float64
+	ExecSeconds   float64
+	Apps          int
+	Pairs         int
+}
+
+// SummarizeSuite computes one Table II row from a characterization run
+// (which must already be filtered to a single input size).
+func SummarizeSuite(chars []Characteristics, s profile.Suite, size profile.InputSize) SuiteSummary {
+	sub := Filter(chars, func(c *Characteristics) bool {
+		return c.Pair.App.Suite == s && c.Pair.Size == size
+	})
+	sum := SuiteSummary{Suite: s, Size: size, Pairs: len(sub)}
+	instr := PerAppMeans(sub, func(c *Characteristics) float64 { return c.InstrBillions })
+	ipc := PerAppMeans(sub, func(c *Characteristics) float64 { return c.IPC })
+	exec := PerAppMeans(sub, func(c *Characteristics) float64 { return c.ExecSeconds })
+	sum.Apps = len(instr)
+	if len(instr) == 0 {
+		return sum
+	}
+	sum.InstrBillions = mean(instr)
+	sum.IPC = mean(ipc)
+	sum.ExecSeconds = mean(exec)
+	return sum
+}
+
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// IntFP splits CPU17 or CPU06 characteristics into integer and
+// floating-point groups for the comparison tables (III-VII).
+func IntFP(chars []Characteristics) (intChars, fpChars []Characteristics) {
+	intChars = Filter(chars, func(c *Characteristics) bool { return c.Pair.App.Suite.IsInt() })
+	fpChars = Filter(chars, func(c *Characteristics) bool { return !c.Pair.App.Suite.IsInt() })
+	return intChars, fpChars
+}
+
+// ComparisonRow is one suite-group line of a comparison table.
+type ComparisonRow struct {
+	Label   string
+	Summary Summary
+}
+
+// CompareMetric builds the six-row CPU06/CPU17 comparison (int, fp, all
+// for each suite generation) the paper uses in Tables III-VII.
+func CompareMetric(cpu17, cpu06 []Characteristics, pick func(*Characteristics) float64) []ComparisonRow {
+	i17, f17 := IntFP(cpu17)
+	i06, f06 := IntFP(cpu06)
+	return []ComparisonRow{
+		{Label: "CPU06 int", Summary: Aggregate(i06, pick)},
+		{Label: "CPU17 int", Summary: Aggregate(i17, pick)},
+		{Label: "CPU06 fp", Summary: Aggregate(f06, pick)},
+		{Label: "CPU17 fp", Summary: Aggregate(f17, pick)},
+		{Label: "CPU06 all", Summary: Aggregate(cpu06, pick)},
+		{Label: "CPU17 all", Summary: Aggregate(cpu17, pick)},
+	}
+}

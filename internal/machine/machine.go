@@ -1,0 +1,329 @@
+// Package machine assembles the cache, branch, TLB, footprint and pipeline
+// models into a simulated core and runs uop streams through it, producing
+// perf-style counter snapshots.
+//
+// Two machine configurations matter in this project:
+//
+//   - Haswell() mirrors the paper's Xeon E5-2650L v3 exactly (30 MB L3),
+//     for component-level studies and ablations.
+//   - HaswellScaled() is the characterization workhorse: identical L1/L2
+//     but a 2 MB L3 slice, so that a few hundred thousand simulated
+//     instructions can exercise the full reuse-distance range that a
+//     multi-billion-instruction SPEC run exercises on the real 30 MB part
+//     (a 1:15 capacity scale model; see DESIGN.md).
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/perf"
+	"repro/internal/pipeline"
+	"repro/internal/synth"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+)
+
+// Config describes a simulated machine.
+type Config struct {
+	// Name labels the configuration in reports.
+	Name string
+	// Hierarchy is the cache stack configuration.
+	Hierarchy cache.HierarchyConfig
+	// NewPredictor constructs the branch direction predictor; nil means
+	// gshare(14,12).
+	NewPredictor func() branch.Predictor
+	// BTBBits and RASDepth size the branch target structures.
+	BTBBits, RASDepth int
+	// Pipeline holds the interval-model timing parameters.
+	Pipeline pipeline.Params
+	// ClockHz is the core frequency (execution-time conversion).
+	ClockHz float64
+	// UnifiedCodePath routes L1I misses into L2/L3 (as real Haswell
+	// does). The scaled characterization machine disables it so that the
+	// data-side insertion rates seen by L2/L3 are exactly the generator's
+	// (the paper's L2/L3 miss rates are load-specific counters anyway).
+	UnifiedCodePath bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Hierarchy.Validate(); err != nil {
+		return err
+	}
+	if err := c.Pipeline.Validate(); err != nil {
+		return err
+	}
+	if c.BTBBits <= 0 || c.BTBBits > 24 || c.RASDepth <= 0 {
+		return fmt.Errorf("machine %q: bad branch structure sizes", c.Name)
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("machine %q: non-positive clock", c.Name)
+	}
+	return nil
+}
+
+// Geometry returns the cache capacities in lines, for the trace generator.
+func (c Config) Geometry() synth.Geometry {
+	return synth.Geometry{
+		L1Lines: c.Hierarchy.L1D.SizeBytes / c.Hierarchy.L1D.LineBytes,
+		L2Lines: c.Hierarchy.L2.SizeBytes / c.Hierarchy.L2.LineBytes,
+		L3Lines: c.Hierarchy.L3.SizeBytes / c.Hierarchy.L3.LineBytes,
+	}
+}
+
+func haswellBase(l3Bytes, l3Ways int) Config {
+	return Config{
+		Hierarchy: cache.HierarchyConfig{
+			L1I: cache.Config{Name: "l1i", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64},
+			L1D: cache.Config{Name: "l1d", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64},
+			L2:  cache.Config{Name: "l2", SizeBytes: 256 << 10, Ways: 8, LineBytes: 64},
+			L3:  cache.Config{Name: "l3", SizeBytes: l3Bytes, Ways: l3Ways, LineBytes: 64},
+		},
+		NewPredictor: func() branch.Predictor { return branch.NewTournament(14) },
+		BTBBits:      12,
+		RASDepth:     16,
+		Pipeline:     pipeline.Haswell(),
+		ClockHz:      1.8e9,
+	}
+}
+
+// Haswell returns the full-size paper machine: Xeon E5-2650L v3, 30 MB
+// 20-way shared L3, 1.8 GHz.
+func Haswell() Config {
+	c := haswellBase(30<<20, 20)
+	c.Name = "haswell-e5-2650lv3"
+	c.UnifiedCodePath = true
+	return c
+}
+
+// HaswellScaled returns the characterization scale model: identical
+// private levels, 2 MB 16-way L3.
+func HaswellScaled() Config {
+	c := haswellBase(2<<20, 16)
+	c.Name = "haswell-scaled-l3"
+	return c
+}
+
+// Options control one simulation run.
+type Options struct {
+	// Instructions is the measured window length. It must be positive.
+	Instructions uint64
+	// WarmupFraction adds Instructions*WarmupFraction uncounted warmup
+	// instructions before measurement (default 0.25; negative disables).
+	WarmupFraction float64
+	// WarmupInstructions adds an absolute number of uncounted warmup
+	// instructions on top of the fractional warmup. Callers running a
+	// synth.Generator must cover its Prologue() here.
+	WarmupInstructions uint64
+	// Workload supplies the pipeline model's ILP/MLP. When CalibrateIPC
+	// is set, ILP is solved instead and only MLP is used.
+	Workload pipeline.Workload
+	// CalibrateIPC, when positive, solves the workload ILP so the
+	// interval model lands on this IPC (the published per-application
+	// value). See DESIGN.md: miss rates and mix are measured from the
+	// simulation; IPC is anchored to the paper's measurement.
+	CalibrateIPC float64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Counters is the perf-style named counter snapshot.
+	Counters *perf.Counters
+	// Events are the pipeline-model inputs measured during the window.
+	Events pipeline.Events
+	// Breakdown is the CPI stack in cycles.
+	Breakdown pipeline.Breakdown
+	// IPC is instructions per cycle over the measured window.
+	IPC float64
+	// ILP is the workload ILP used (solved when calibrating).
+	ILP float64
+	// Calibrated reports whether ILP was solved to hit CalibrateIPC
+	// exactly; false means the target was unreachable and the machine ran
+	// width-limited.
+	Calibrated bool
+	// SimRSSBytes is the resident footprint the sampled stream actually
+	// touched (pre-extrapolation; see DESIGN.md on footprint scaling).
+	SimRSSBytes uint64
+}
+
+// Run simulates one uop stream on the machine. The source must produce at
+// least the requested number of instructions.
+func Run(cfg Config, src trace.Source, opt Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Instructions == 0 {
+		return nil, fmt.Errorf("machine: zero-length run")
+	}
+	hier := cache.NewHierarchy(cfg.Hierarchy)
+	return run(cfg, hier, src, opt)
+}
+
+// core holds the per-stream simulation state.
+type core struct {
+	hier    *cache.Hierarchy
+	unified bool
+	unit    *branch.Unit
+	tlb     *tlb.TLB
+	foot    *mem.Footprint
+	kinds   [trace.NumKinds]uint64
+	// Load-specific per-level outcome counts
+	// (mem_load_uops_retired.lN_hit/miss semantics).
+	loadLevel [4]uint64
+	// All-access per-level outcomes feeding the pipeline model.
+	dataLevel [4]uint64
+}
+
+func newCore(cfg Config, hier *cache.Hierarchy) *core {
+	pred := cfg.NewPredictor
+	if pred == nil {
+		pred = func() branch.Predictor { return branch.NewTournament(14) }
+	}
+	return &core{
+		hier:    hier,
+		unified: cfg.UnifiedCodePath,
+		unit:    branch.NewUnit(pred(), cfg.BTBBits, cfg.RASDepth),
+		tlb:     tlb.NewHaswell(),
+		foot:    mem.NewFootprint(0, 1<<30, 0),
+	}
+}
+
+// step consumes one uop. It returns false when the source is exhausted.
+func (c *core) step(src trace.Source, u *trace.Uop) bool {
+	if !src.Next(u) {
+		return false
+	}
+	c.kinds[u.Kind]++
+	if c.unified {
+		c.hier.Fetch(u.PC)
+	} else if !c.hier.L1I().Access(u.PC, cache.AccessFetch) {
+		// Sequential next-line instruction prefetch, as every modern
+		// front-end performs; hides straight-line code misses.
+		c.hier.L1I().Access(u.PC+64, cache.AccessPrefetch)
+	}
+	switch u.Kind {
+	case trace.KindLoad, trace.KindStore:
+		kind := cache.AccessLoad
+		if u.Kind == trace.KindStore {
+			kind = cache.AccessStore
+		}
+		level := c.hier.Data(u.Addr, kind)
+		c.dataLevel[level]++
+		if u.Kind == trace.KindLoad {
+			c.loadLevel[level]++
+		}
+		c.tlb.Translate(u.Addr)
+		c.foot.Touch(u.Addr)
+	case trace.KindBranch:
+		c.unit.Resolve(u)
+	}
+	return true
+}
+
+func (c *core) resetStats() {
+	c.hier.ResetStats()
+	c.unit.ResetStats()
+	c.tlb.ResetStats()
+	for i := range c.kinds {
+		c.kinds[i] = 0
+	}
+	c.loadLevel = [4]uint64{}
+	c.dataLevel = [4]uint64{}
+}
+
+func run(cfg Config, hier *cache.Hierarchy, src trace.Source, opt Options) (*Result, error) {
+	c := newCore(cfg, hier)
+	warm := warmupLength(opt)
+	if warm > 0 {
+		var u trace.Uop
+		for i := uint64(0); i < warm; i++ {
+			if !c.step(src, &u) {
+				return nil, fmt.Errorf("machine: source exhausted during warmup")
+			}
+		}
+		c.resetStats()
+	}
+	var u trace.Uop
+	for i := uint64(0); i < opt.Instructions; i++ {
+		if !c.step(src, &u) {
+			return nil, fmt.Errorf("machine: source exhausted after %d instructions", i)
+		}
+	}
+	return c.finish(cfg, opt)
+}
+
+func (c *core) finish(cfg Config, opt Options) (*Result, error) {
+	n := uint64(0)
+	for _, k := range c.kinds {
+		n += k
+	}
+	ev := pipeline.Events{
+		Instructions: n,
+		L2Hits:       c.dataLevel[cache.HitL2],
+		L3Hits:       c.dataLevel[cache.HitL3],
+		MemAccesses:  c.dataLevel[cache.HitMemory],
+		FetchMisses:  c.hier.L1I().Stats().Misses,
+		Walks:        c.tlb.Walks(),
+	}
+	_, misp := func() (uint64, uint64) { s := c.unit.Stats(); return s.Total() }()
+	ev.Mispredicts = misp
+
+	w := opt.Workload
+	res := &Result{Events: ev, ILP: w.ILP, Calibrated: false}
+	if opt.CalibrateIPC > 0 {
+		stalls := ev
+		stalls.Instructions = 0
+		stallPer := pipeline.Cycles(cfg.Pipeline, w, stalls).Total() / float64(n)
+		res.ILP, res.Calibrated = pipeline.SolveILP(cfg.Pipeline, opt.CalibrateIPC, stallPer)
+		w.ILP = res.ILP
+	}
+	res.Breakdown = pipeline.Cycles(cfg.Pipeline, w, ev)
+	cycles := res.Breakdown.Total()
+	if cycles <= 0 {
+		return nil, fmt.Errorf("machine: non-positive cycle count")
+	}
+	res.IPC = float64(n) / cycles
+
+	bs := c.unit.Stats()
+	values := map[string]uint64{
+		perf.InstRetired:   n,
+		perf.RefCycles:     uint64(cycles),
+		perf.UopsRetired:   n,
+		perf.AllLoads:      c.kinds[trace.KindLoad],
+		perf.AllStores:     c.kinds[trace.KindStore],
+		perf.AllBranches:   c.kinds[trace.KindBranch],
+		perf.MispBranches:  misp,
+		perf.CondBranches:  bs.Executed[trace.BranchConditional],
+		perf.DirectJumps:   bs.Executed[trace.BranchDirectJump],
+		perf.DirectCalls:   bs.Executed[trace.BranchDirectCall],
+		perf.IndirectJumps: bs.Executed[trace.BranchIndirectJump],
+		perf.Returns:       bs.Executed[trace.BranchReturn],
+		perf.L1Hit:         c.loadLevel[cache.HitL1],
+		perf.L1Miss:        c.loadLevel[cache.HitL2] + c.loadLevel[cache.HitL3] + c.loadLevel[cache.HitMemory],
+		perf.L2Hit:         c.loadLevel[cache.HitL2],
+		perf.L2Miss:        c.loadLevel[cache.HitL3] + c.loadLevel[cache.HitMemory],
+		perf.L3Hit:         c.loadLevel[cache.HitL3],
+		perf.L3Miss:        c.loadLevel[cache.HitMemory],
+		perf.ICacheMisses:  ev.FetchMisses,
+		perf.DTLBWalks:     ev.Walks,
+	}
+	seconds := cycles / cfg.ClockHz
+	res.Counters = perf.NewCounters(values, c.foot.PeakRSS(), c.foot.VSZ(), seconds)
+	res.SimRSSBytes = c.foot.PeakRSS()
+	return res, nil
+}
+
+// warmupLength resolves the warmup policy from the options.
+func warmupLength(opt Options) uint64 {
+	warmF := opt.WarmupFraction
+	if warmF == 0 {
+		warmF = 0.25
+	}
+	if warmF < 0 {
+		warmF = 0
+	}
+	return opt.WarmupInstructions + uint64(float64(opt.Instructions)*warmF)
+}

@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// SharedResult is the outcome of a multi-core shared-L3 run.
+type SharedResult struct {
+	// PerCore holds each stream's individual result.
+	PerCore []*Result
+	// AggregateIPC is total instructions over the slowest core's cycles —
+	// the throughput view of a SPECspeed OpenMP run.
+	AggregateIPC float64
+}
+
+// RunShared simulates several uop streams on identical cores that share a
+// single L3 cache, interleaving round-robin at instruction granularity.
+// It models the paper's multi-threaded SPECspeed runs and the shared-L3
+// contention ablation.
+func RunShared(cfg Config, srcs []trace.Source, opt Options) (*SharedResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("machine: no streams")
+	}
+	if opt.Instructions == 0 {
+		return nil, fmt.Errorf("machine: zero-length run")
+	}
+	l3 := cache.New(cfg.Hierarchy.L3)
+	cores := make([]*core, len(srcs))
+	for i := range cores {
+		cores[i] = newCore(cfg, cache.NewShared(cfg.Hierarchy, l3))
+	}
+	var u trace.Uop
+	if warm := warmupLength(opt); warm > 0 {
+		for i := uint64(0); i < warm; i++ {
+			for ci, c := range cores {
+				if !c.step(srcs[ci], &u) {
+					return nil, fmt.Errorf("machine: stream %d exhausted during warmup", ci)
+				}
+			}
+		}
+		for _, c := range cores {
+			c.resetStats()
+		}
+	}
+	for i := uint64(0); i < opt.Instructions; i++ {
+		for ci, c := range cores {
+			if !c.step(srcs[ci], &u) {
+				return nil, fmt.Errorf("machine: stream %d exhausted after %d instructions", ci, i)
+			}
+		}
+	}
+	out := &SharedResult{PerCore: make([]*Result, len(cores))}
+	maxCycles := 0.0
+	totalInstr := uint64(0)
+	for i, c := range cores {
+		r, err := c.finish(cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		out.PerCore[i] = r
+		if t := r.Breakdown.Total(); t > maxCycles {
+			maxCycles = t
+		}
+		totalInstr += r.Events.Instructions
+	}
+	if maxCycles > 0 {
+		out.AggregateIPC = float64(totalInstr) / maxCycles
+	}
+	return out, nil
+}
+
+// WorkloadFromModel maps the profile-level ILP/MLP knobs into the pipeline
+// model's Workload. The ILP field is only a starting point when the run
+// calibrates to a target IPC.
+func WorkloadFromModel(mlp float64) pipeline.Workload {
+	return pipeline.Workload{ILP: 2, MLP: mlp}
+}

@@ -1,0 +1,115 @@
+// Package mem tracks process memory footprint the way the paper measures
+// it with `ps -o vsz,rss`: the Virtual Set Size is the address space the
+// workload reserves, and the Resident Set Size is the physical memory it
+// has actually touched (first-touch page accounting).
+//
+// It also provides a small DRAM latency model used by the pipeline's
+// stall accounting.
+package mem
+
+// PageBytes is the accounting granularity (4 KB pages).
+const PageBytes = 4096
+
+// Footprint tracks touched pages and reserved address space.
+//
+// Touched pages are tracked with a bitmap over a contiguous heap segment
+// plus a map fallback for sparse segments, so tracking stays O(1) per
+// access for the synthetic workloads' dense heaps.
+type Footprint struct {
+	reserved uint64 // bytes of reserved address space (VSZ)
+	base     uint64
+	lazyBase bool
+	bitmap   []uint64 // one bit per page in [base, base+len*64*PageBytes)
+	sparse   map[uint64]struct{}
+	resident uint64 // touched page count
+	peakRSS  uint64
+}
+
+// NewFootprint returns a tracker for a workload whose dense heap starts at
+// base and may span up to denseBytes; accesses outside that window are
+// tracked in a sparse map. reservedBytes is the initial VSZ. When base is
+// zero the dense window is anchored lazily at the first touched address
+// (rounded down to a 1 GiB boundary), which suits generators that place
+// their heap at a seed-dependent offset.
+func NewFootprint(base uint64, denseBytes, reservedBytes uint64) *Footprint {
+	pages := (denseBytes + PageBytes - 1) / PageBytes
+	return &Footprint{
+		reserved: reservedBytes,
+		base:     base,
+		lazyBase: base == 0,
+		bitmap:   make([]uint64, (pages+63)/64),
+		sparse:   make(map[uint64]struct{}),
+	}
+}
+
+// Reserve grows the reserved address space (VSZ) by n bytes.
+func (f *Footprint) Reserve(n uint64) { f.reserved += n }
+
+// Touch records an access to addr, marking its page resident.
+func (f *Footprint) Touch(addr uint64) {
+	if f.lazyBase {
+		f.base = addr &^ (1<<30 - 1)
+		f.lazyBase = false
+	}
+	page := addr / PageBytes
+	basePage := f.base / PageBytes
+	if page >= basePage {
+		idx := page - basePage
+		if int(idx/64) < len(f.bitmap) {
+			mask := uint64(1) << (idx % 64)
+			if f.bitmap[idx/64]&mask == 0 {
+				f.bitmap[idx/64] |= mask
+				f.resident++
+				if f.resident > f.peakRSS {
+					f.peakRSS = f.resident
+				}
+			}
+			return
+		}
+	}
+	if _, ok := f.sparse[page]; !ok {
+		f.sparse[page] = struct{}{}
+		f.resident++
+		if f.resident > f.peakRSS {
+			f.peakRSS = f.resident
+		}
+	}
+}
+
+// RSS returns the current resident set size in bytes.
+func (f *Footprint) RSS() uint64 { return f.resident * PageBytes }
+
+// PeakRSS returns the maximum resident set size observed, in bytes — the
+// quantity the paper reports from periodic `ps` sampling.
+func (f *Footprint) PeakRSS() uint64 { return f.peakRSS * PageBytes }
+
+// VSZ returns the reserved address space in bytes. Reserved space is
+// always at least the resident set.
+func (f *Footprint) VSZ() uint64 {
+	if f.reserved < f.RSS() {
+		return f.RSS()
+	}
+	return f.reserved
+}
+
+// DRAMModel converts memory-level events into latency. The defaults
+// approximate a DDR4-2133 system behind a 30 MB L3.
+type DRAMModel struct {
+	// BaseLatencyCycles is the row-hit access latency in core cycles.
+	BaseLatencyCycles float64
+	// RowMissExtraCycles is added for row-buffer misses.
+	RowMissExtraCycles float64
+	// RowMissFraction is the fraction of accesses that miss the row
+	// buffer.
+	RowMissFraction float64
+}
+
+// DefaultDRAM returns the default memory latency model.
+func DefaultDRAM() DRAMModel {
+	return DRAMModel{BaseLatencyCycles: 200, RowMissExtraCycles: 90, RowMissFraction: 0.35}
+}
+
+// AverageLatency returns the expected DRAM access latency in cycles.
+func (d DRAMModel) AverageLatency() float64 {
+	return d.BaseLatencyCycles + d.RowMissFraction*d.RowMissExtraCycles
+}

@@ -1,0 +1,83 @@
+package mem
+
+import "testing"
+
+func TestFootprintFirstTouch(t *testing.T) {
+	f := NewFootprint(0x10000, 1<<20, 1<<21)
+	f.Touch(0x10000)
+	f.Touch(0x10100) // same page
+	if got := f.RSS(); got != PageBytes {
+		t.Errorf("RSS = %d, want one page (%d)", got, PageBytes)
+	}
+	f.Touch(0x10000 + PageBytes)
+	if got := f.RSS(); got != 2*PageBytes {
+		t.Errorf("RSS = %d, want two pages", got)
+	}
+}
+
+func TestFootprintSparseFallback(t *testing.T) {
+	f := NewFootprint(0x10000, 1<<16, 0)
+	f.Touch(1 << 40) // far outside the dense window
+	f.Touch(1 << 40)
+	if got := f.RSS(); got != PageBytes {
+		t.Errorf("sparse RSS = %d, want one page", got)
+	}
+}
+
+func TestFootprintBelowBaseUsesSparse(t *testing.T) {
+	f := NewFootprint(1<<20, 1<<20, 0)
+	f.Touch(0x100)
+	if got := f.RSS(); got != PageBytes {
+		t.Errorf("below-base RSS = %d, want one page", got)
+	}
+}
+
+func TestVSZFloorsAtRSS(t *testing.T) {
+	f := NewFootprint(0, 1<<20, PageBytes) // reserve just one page
+	for p := 0; p < 10; p++ {
+		f.Touch(uint64(p) * PageBytes)
+	}
+	if f.VSZ() < f.RSS() {
+		t.Errorf("VSZ %d < RSS %d", f.VSZ(), f.RSS())
+	}
+}
+
+func TestReserveGrowsVSZ(t *testing.T) {
+	f := NewFootprint(0, 1<<20, 1<<20)
+	f.Reserve(1 << 20)
+	if got := f.VSZ(); got != 2<<20 {
+		t.Errorf("VSZ = %d, want %d", got, 2<<20)
+	}
+}
+
+func TestPeakRSS(t *testing.T) {
+	f := NewFootprint(0, 1<<20, 0)
+	for p := 0; p < 5; p++ {
+		f.Touch(uint64(p) * PageBytes)
+	}
+	if f.PeakRSS() != f.RSS() {
+		t.Errorf("PeakRSS %d != RSS %d for monotone growth", f.PeakRSS(), f.RSS())
+	}
+	if f.PeakRSS() != 5*PageBytes {
+		t.Errorf("PeakRSS = %d, want 5 pages", f.PeakRSS())
+	}
+}
+
+func TestDRAMAverageLatency(t *testing.T) {
+	d := DRAMModel{BaseLatencyCycles: 100, RowMissExtraCycles: 100, RowMissFraction: 0.5}
+	if got := d.AverageLatency(); got != 150 {
+		t.Errorf("AverageLatency = %v, want 150", got)
+	}
+	def := DefaultDRAM()
+	if def.AverageLatency() <= def.BaseLatencyCycles {
+		t.Error("default DRAM latency not above base")
+	}
+}
+
+func BenchmarkTouchDense(b *testing.B) {
+	f := NewFootprint(0, 1<<30, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Touch(uint64(i%(1<<28)) * 64)
+	}
+}

@@ -1,0 +1,170 @@
+// Package ostree implements an order-statistic treap: a randomized balanced
+// binary tree that supports selecting, removing and inserting elements by
+// rank in O(log n) expected time.
+//
+// The synthetic trace generator uses it as an exact LRU stack: the most
+// recently used cache line sits at rank 0, and referencing the line at rank
+// d produces a memory access with reuse distance exactly d. Select-by-rank
+// plus move-to-front are the only operations on the hot path, so both must
+// be logarithmic; a plain linked-list LRU stack would cost O(d) per access
+// with d up to several hundred thousand lines (a 30 MB L3).
+package ostree
+
+import "repro/internal/xrand"
+
+type node struct {
+	value    uint64
+	priority uint32
+	size     int // size of the subtree rooted here
+	left     *node
+	right    *node
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) update() {
+	n.size = 1 + size(n.left) + size(n.right)
+}
+
+// Tree is an order-statistic treap over uint64 values. Ranks are
+// zero-based: rank 0 is the front of the sequence. The zero value is an
+// empty tree ready to use, with priorities drawn from a fixed-seed PRNG;
+// use New to supply a custom seed.
+type Tree struct {
+	root *node
+	rng  *xrand.PCG32
+}
+
+// New returns an empty tree whose node priorities are drawn from a PRNG
+// seeded with seed. Trees with different seeds have independent shapes but
+// identical observable behaviour.
+func New(seed uint64) *Tree {
+	return &Tree{rng: xrand.NewPCG32(seed)}
+}
+
+func (t *Tree) lazyInit() {
+	if t.rng == nil {
+		t.rng = xrand.NewPCG32(0x05ec17)
+	}
+}
+
+// Len returns the number of elements in the tree.
+func (t *Tree) Len() int { return size(t.root) }
+
+// split divides n into (left, right) where left holds the first k elements.
+func split(n *node, k int) (*node, *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if size(n.left) >= k {
+		l, r := split(n.left, k)
+		n.left = r
+		n.update()
+		return l, n
+	}
+	l, r := split(n.right, k-size(n.left)-1)
+	n.right = l
+	n.update()
+	return n, r
+}
+
+// merge joins two trees where every element of l precedes every element
+// of r.
+func merge(l, r *node) *node {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	if l.priority >= r.priority {
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	}
+	r.left = merge(l, r.left)
+	r.update()
+	return r
+}
+
+// InsertAt inserts value at the given rank, shifting later elements back.
+// It panics if rank is out of [0, Len()].
+func (t *Tree) InsertAt(rank int, value uint64) {
+	t.lazyInit()
+	if rank < 0 || rank > t.Len() {
+		panic("ostree: InsertAt rank out of range")
+	}
+	n := &node{value: value, priority: t.rng.Uint32(), size: 1}
+	l, r := split(t.root, rank)
+	t.root = merge(merge(l, n), r)
+}
+
+// PushFront inserts value at rank 0.
+func (t *Tree) PushFront(value uint64) { t.InsertAt(0, value) }
+
+// At returns the value at the given rank. It panics if rank is out of
+// [0, Len()).
+func (t *Tree) At(rank int) uint64 {
+	if rank < 0 || rank >= t.Len() {
+		panic("ostree: At rank out of range")
+	}
+	n := t.root
+	for {
+		ls := size(n.left)
+		switch {
+		case rank < ls:
+			n = n.left
+		case rank == ls:
+			return n.value
+		default:
+			rank -= ls + 1
+			n = n.right
+		}
+	}
+}
+
+// RemoveAt removes and returns the value at the given rank. It panics if
+// rank is out of [0, Len()).
+func (t *Tree) RemoveAt(rank int) uint64 {
+	if rank < 0 || rank >= t.Len() {
+		panic("ostree: RemoveAt rank out of range")
+	}
+	l, r := split(t.root, rank)
+	mid, r := split(r, 1)
+	t.root = merge(l, r)
+	return mid.value
+}
+
+// MoveToFront removes the element at rank and reinserts it at rank 0,
+// returning its value. This is the LRU-stack "touch" operation.
+func (t *Tree) MoveToFront(rank int) uint64 {
+	v := t.RemoveAt(rank)
+	t.PushFront(v)
+	return v
+}
+
+// Walk calls fn for each value in rank order, stopping early if fn
+// returns false.
+func (t *Tree) Walk(fn func(rank int, value uint64) bool) {
+	rank := 0
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n == nil {
+			return true
+		}
+		if !walk(n.left) {
+			return false
+		}
+		if !fn(rank, n.value) {
+			return false
+		}
+		rank++
+		return walk(n.right)
+	}
+	walk(t.root)
+}

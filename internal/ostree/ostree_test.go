@@ -1,0 +1,289 @@
+package ostree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// refStack is a trivially correct slice-based reference implementation used
+// to cross-check the treap.
+type refStack struct {
+	s []uint64
+}
+
+func (r *refStack) insertAt(rank int, v uint64) {
+	r.s = append(r.s, 0)
+	copy(r.s[rank+1:], r.s[rank:])
+	r.s[rank] = v
+}
+
+func (r *refStack) removeAt(rank int) uint64 {
+	v := r.s[rank]
+	r.s = append(r.s[:rank], r.s[rank+1:]...)
+	return v
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(1)
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", tr.Len())
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var tr Tree
+	tr.PushFront(42)
+	if got := tr.At(0); got != 42 {
+		t.Fatalf("At(0) = %d, want 42", got)
+	}
+}
+
+func TestPushFrontOrder(t *testing.T) {
+	tr := New(1)
+	for i := uint64(0); i < 100; i++ {
+		tr.PushFront(i)
+	}
+	// Last pushed is at the front.
+	for i := 0; i < 100; i++ {
+		want := uint64(99 - i)
+		if got := tr.At(i); got != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestInsertAtArbitrary(t *testing.T) {
+	tr := New(2)
+	tr.PushFront(1)
+	tr.PushFront(0)
+	tr.InsertAt(1, 99)
+	tr.InsertAt(3, 100) // at the end
+	want := []uint64{0, 99, 1, 100}
+	for i, w := range want {
+		if got := tr.At(i); got != w {
+			t.Errorf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRemoveAt(t *testing.T) {
+	tr := New(3)
+	for i := 4; i >= 0; i-- {
+		tr.PushFront(uint64(i))
+	}
+	if v := tr.RemoveAt(2); v != 2 {
+		t.Fatalf("RemoveAt(2) = %d, want 2", v)
+	}
+	want := []uint64{0, 1, 3, 4}
+	if tr.Len() != len(want) {
+		t.Fatalf("Len() = %d, want %d", tr.Len(), len(want))
+	}
+	for i, w := range want {
+		if got := tr.At(i); got != w {
+			t.Errorf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMoveToFront(t *testing.T) {
+	tr := New(4)
+	for i := 4; i >= 0; i-- {
+		tr.PushFront(uint64(i))
+	}
+	if v := tr.MoveToFront(3); v != 3 {
+		t.Fatalf("MoveToFront(3) = %d, want 3", v)
+	}
+	want := []uint64{3, 0, 1, 2, 4}
+	for i, w := range want {
+		if got := tr.At(i); got != w {
+			t.Errorf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if tr.Len() != 5 {
+		t.Errorf("Len() = %d, want 5", tr.Len())
+	}
+}
+
+func TestWalkVisitsInOrder(t *testing.T) {
+	tr := New(5)
+	for i := 9; i >= 0; i-- {
+		tr.PushFront(uint64(i))
+	}
+	var got []uint64
+	tr.Walk(func(rank int, v uint64) bool {
+		if rank != len(got) {
+			t.Fatalf("rank %d out of order (visited %d)", rank, len(got))
+		}
+		got = append(got, v)
+		return true
+	})
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Errorf("walk[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := New(6)
+	for i := 0; i < 10; i++ {
+		tr.PushFront(uint64(i))
+	}
+	visited := 0
+	tr.Walk(func(rank int, v uint64) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Errorf("visited %d nodes, want 3", visited)
+	}
+}
+
+func TestPanicsOnBadRank(t *testing.T) {
+	tr := New(7)
+	tr.PushFront(1)
+	for _, fn := range []func(){
+		func() { tr.At(-1) },
+		func() { tr.At(1) },
+		func() { tr.RemoveAt(5) },
+		func() { tr.InsertAt(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on out-of-range rank")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestAgainstReference drives random operations against the slice-based
+// reference implementation.
+func TestAgainstReference(t *testing.T) {
+	tr := New(8)
+	ref := &refStack{}
+	rng := xrand.NewPCG32(999)
+	for step := 0; step < 20000; step++ {
+		n := tr.Len()
+		if n != len(ref.s) {
+			t.Fatalf("step %d: Len mismatch %d vs %d", step, n, len(ref.s))
+		}
+		op := rng.Intn(4)
+		switch {
+		case n == 0 || op == 0: // insert
+			rank := 0
+			if n > 0 {
+				rank = rng.Intn(n + 1)
+			}
+			v := rng.Uint64()
+			tr.InsertAt(rank, v)
+			ref.insertAt(rank, v)
+		case op == 1: // remove
+			rank := rng.Intn(n)
+			a := tr.RemoveAt(rank)
+			b := ref.removeAt(rank)
+			if a != b {
+				t.Fatalf("step %d: RemoveAt(%d) = %d, ref %d", step, rank, a, b)
+			}
+		case op == 2: // move to front
+			rank := rng.Intn(n)
+			a := tr.MoveToFront(rank)
+			b := ref.removeAt(rank)
+			ref.insertAt(0, b)
+			if a != b {
+				t.Fatalf("step %d: MoveToFront(%d) = %d, ref %d", step, rank, a, b)
+			}
+		default: // read
+			rank := rng.Intn(n)
+			if a, b := tr.At(rank), ref.s[rank]; a != b {
+				t.Fatalf("step %d: At(%d) = %d, ref %d", step, rank, a, b)
+			}
+		}
+	}
+}
+
+// TestSizeInvariant checks the subtree-size bookkeeping by property.
+func TestSizeInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := New(9)
+		count := 0
+		for _, op := range ops {
+			if count == 0 || op%3 != 0 {
+				tr.InsertAt(int(op)%(count+1), uint64(op))
+				count++
+			} else {
+				tr.RemoveAt(int(op) % count)
+				count--
+			}
+			if tr.Len() != count {
+				return false
+			}
+		}
+		// Walk must visit exactly count elements with sequential ranks.
+		visited := 0
+		tr.Walk(func(rank int, v uint64) bool {
+			if rank != visited {
+				return false
+			}
+			visited++
+			return true
+		})
+		return visited == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeLRUStackBehaviour(t *testing.T) {
+	// Simulate an LRU stack: push 10k lines, touch rank d, verify the
+	// touched value moves to rank 0 and everything above shifts down one.
+	tr := New(10)
+	const n = 10000
+	for i := n - 1; i >= 0; i-- {
+		tr.PushFront(uint64(i))
+	}
+	v := tr.MoveToFront(5000)
+	if v != 5000 {
+		t.Fatalf("MoveToFront(5000) = %d, want 5000", v)
+	}
+	if got := tr.At(0); got != 5000 {
+		t.Fatalf("At(0) = %d, want 5000", got)
+	}
+	if got := tr.At(5000); got != 4999 {
+		t.Fatalf("At(5000) = %d, want 4999", got)
+	}
+	if got := tr.At(5001); got != 5001 {
+		t.Fatalf("At(5001) = %d, want 5001", got)
+	}
+}
+
+func BenchmarkMoveToFront100k(b *testing.B) {
+	tr := New(11)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.PushFront(uint64(i))
+	}
+	rng := xrand.NewPCG32(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.MoveToFront(rng.Intn(n))
+	}
+}
+
+func BenchmarkInsertRemove(b *testing.B) {
+	tr := New(12)
+	for i := 0; i < 1000; i++ {
+		tr.PushFront(uint64(i))
+	}
+	rng := xrand.NewPCG32(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.InsertAt(rng.Intn(tr.Len()+1), uint64(i))
+		tr.RemoveAt(rng.Intn(tr.Len()))
+	}
+}

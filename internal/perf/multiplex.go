@@ -1,0 +1,57 @@
+package perf
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Multiplex emulates Linux perf's counter multiplexing: the paper
+// programs 15 events onto a PMU with far fewer hardware slots, so perf
+// time-slices the events and scales each count by observed/enabled time.
+// Scaling is unbiased but noisy; this function applies the corresponding
+// deterministic relative error to every event so analyses can be tested
+// for robustness to the paper's measurement methodology.
+//
+// slots is the number of simultaneously programmable counters (4 general
+// purpose counters on Haswell per thread with hyperthreading enabled);
+// seed fixes the noise realization. Counts, footprints and time are
+// returned in a new snapshot; the input is unmodified.
+func Multiplex(c *Counters, slots int, seed uint64) *Counters {
+	if slots <= 0 {
+		slots = 4
+	}
+	names := c.Names()
+	groups := (len(names) + slots - 1) / slots
+	if groups <= 1 {
+		// Everything fits; no multiplexing, no error.
+		return NewCounters(snapshotMap(c, names), c.RSSBytes, c.VSZBytes, c.Seconds)
+	}
+	// Each event is live for 1/groups of the run; the relative sampling
+	// error of the scaled estimate shrinks with the live fraction.
+	// Empirically perf's multiplexing error on steady workloads is a few
+	// percent; model sigma = 2% x sqrt(groups-1).
+	sigma := 0.02 * math.Sqrt(float64(groups-1))
+	rng := xrand.NewPCG32(seed ^ 0x9e1f)
+	sort.Strings(names)
+	out := make(map[string]uint64, len(names))
+	for _, name := range names {
+		v, _ := c.Value(name)
+		scale := 1 + sigma*rng.NormFloat64()
+		if scale < 0 {
+			scale = 0
+		}
+		out[name] = uint64(float64(v) * scale)
+	}
+	return NewCounters(out, c.RSSBytes, c.VSZBytes, c.Seconds)
+}
+
+func snapshotMap(c *Counters, names []string) map[string]uint64 {
+	m := make(map[string]uint64, len(names))
+	for _, n := range names {
+		v, _ := c.Value(n)
+		m[n] = v
+	}
+	return m
+}

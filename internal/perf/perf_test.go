@@ -1,0 +1,192 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func sample() *Counters {
+	return NewCounters(map[string]uint64{
+		InstRetired:  1000,
+		RefCycles:    500,
+		UopsRetired:  1000,
+		AllLoads:     250,
+		AllStores:    90,
+		AllBranches:  160,
+		MispBranches: 8,
+		CondBranches: 120,
+		L1Hit:        237,
+		L1Miss:       13,
+		L2Hit:        8,
+		L2Miss:       5,
+		L3Hit:        4,
+		L3Miss:       1,
+	}, 4096*10, 4096*20, 1.5)
+}
+
+func TestValueAndMustValue(t *testing.T) {
+	c := sample()
+	if v, ok := c.Value(InstRetired); !ok || v != 1000 {
+		t.Errorf("Value = %d,%v", v, ok)
+	}
+	if _, ok := c.Value("nonexistent.event"); ok {
+		t.Error("missing event reported present")
+	}
+	if got := c.MustValue(AllLoads); got != 250 {
+		t.Errorf("MustValue = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustValue on missing event did not panic")
+		}
+	}()
+	c.MustValue("nope")
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := sample().Names()
+	if len(names) == 0 {
+		t.Fatal("no names")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("names unsorted at %d: %s < %s", i, names[i], names[i-1])
+		}
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	c := sample()
+	if got := c.IPC(); got != 2 {
+		t.Errorf("IPC = %v, want 2", got)
+	}
+	if got := c.LoadPct(); got != 25 {
+		t.Errorf("LoadPct = %v, want 25", got)
+	}
+	if got := c.StorePct(); got != 9 {
+		t.Errorf("StorePct = %v, want 9", got)
+	}
+	if got := c.MemPct(); got != 34 {
+		t.Errorf("MemPct = %v, want 34", got)
+	}
+	if got := c.BranchPct(); got != 16 {
+		t.Errorf("BranchPct = %v, want 16", got)
+	}
+	if got := c.MispredictPct(); got != 5 {
+		t.Errorf("MispredictPct = %v, want 5", got)
+	}
+}
+
+func TestCacheMissPct(t *testing.T) {
+	c := sample()
+	if got := c.CacheMissPct(1); got != 5.2 {
+		t.Errorf("L1 = %v, want 5.2", got)
+	}
+	if got := c.CacheMissPct(2); math.Abs(got-38.4615) > 0.001 {
+		t.Errorf("L2 = %v, want ~38.46", got)
+	}
+	if got := c.CacheMissPct(3); got != 20 {
+		t.Errorf("L3 = %v, want 20", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid level did not panic")
+		}
+	}()
+	c.CacheMissPct(4)
+}
+
+func TestRatioEdgeCases(t *testing.T) {
+	c := NewCounters(map[string]uint64{"a": 5, "b": 0}, 0, 0, 0)
+	if got := c.Ratio("a", "b"); got != 0 {
+		t.Errorf("zero denominator ratio = %v", got)
+	}
+	if got := c.Ratio("a", "missing"); got != 0 {
+		t.Errorf("missing event ratio = %v", got)
+	}
+	empty := NewCounters(nil, 0, 0, 0)
+	if empty.CacheMissPct(1) != 0 {
+		t.Error("empty counters miss pct != 0")
+	}
+}
+
+func TestCountersCopied(t *testing.T) {
+	src := map[string]uint64{"x": 1}
+	c := NewCounters(src, 0, 0, 0)
+	src["x"] = 99
+	if v, _ := c.Value("x"); v != 1 {
+		t.Error("NewCounters did not copy the map")
+	}
+}
+
+func TestFootprintFields(t *testing.T) {
+	c := sample()
+	if c.RSSBytes != 40960 || c.VSZBytes != 81920 || c.Seconds != 1.5 {
+		t.Errorf("footprint fields = %d/%d/%v", c.RSSBytes, c.VSZBytes, c.Seconds)
+	}
+}
+
+func TestMultiplexNoErrorWhenFits(t *testing.T) {
+	c := sample()
+	m := Multiplex(c, 64, 1)
+	for _, name := range c.Names() {
+		a, _ := c.Value(name)
+		b, _ := m.Value(name)
+		if a != b {
+			t.Errorf("event %s changed %d -> %d with ample slots", name, a, b)
+		}
+	}
+}
+
+func TestMultiplexBoundedError(t *testing.T) {
+	c := sample()
+	m := Multiplex(c, 4, 7)
+	for _, name := range c.Names() {
+		a, _ := c.Value(name)
+		b, _ := m.Value(name)
+		if a == 0 {
+			continue
+		}
+		rel := math.Abs(float64(b)-float64(a)) / float64(a)
+		if rel > 0.25 {
+			t.Errorf("event %s error %.2f too large", name, rel)
+		}
+	}
+	// Footprint and time pass through unscaled.
+	if m.RSSBytes != c.RSSBytes || m.Seconds != c.Seconds {
+		t.Error("non-counter fields modified")
+	}
+}
+
+func TestMultiplexDeterministic(t *testing.T) {
+	c := sample()
+	a := Multiplex(c, 4, 9)
+	b := Multiplex(c, 4, 9)
+	for _, name := range c.Names() {
+		va, _ := a.Value(name)
+		vb, _ := b.Value(name)
+		if va != vb {
+			t.Fatal("same seed, different multiplexing noise")
+		}
+	}
+	d := Multiplex(c, 4, 10)
+	same := true
+	for _, name := range c.Names() {
+		va, _ := a.Value(name)
+		vd, _ := d.Value(name)
+		if va != vd {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestMultiplexPreservesRatiosApproximately(t *testing.T) {
+	c := sample()
+	m := Multiplex(c, 4, 3)
+	if got, want := m.IPC(), c.IPC(); math.Abs(got-want)/want > 0.2 {
+		t.Errorf("multiplexed IPC %v too far from %v", got, want)
+	}
+}

@@ -1,0 +1,278 @@
+package phase
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func testGeo() synth.Geometry {
+	return synth.Geometry{L1Lines: 512, L2Lines: 4096, L3Lines: 32768}
+}
+
+// computeModel is ALU-heavy with few branches and tiny footprint.
+func computeModel(seed uint64) profile.Model {
+	return profile.Model{
+		InstrBillions: 100, TargetIPC: 2.5,
+		LoadPct: 15, StorePct: 5, BranchPct: 8,
+		Mix:           profile.DefaultFPBranchMix(),
+		MispredictPct: 1, L1MissPct: 1, L2MissPct: 10, L3MissPct: 5,
+		RSSMiB: 8, VSZMiB: 20, MLP: 2, CodeKiB: 64, BranchSites: 400,
+		Threads: 1, Seed: seed,
+	}
+}
+
+// memoryModel is load/store and branch heavy with a big moving footprint.
+func memoryModel(seed uint64) profile.Model {
+	return profile.Model{
+		InstrBillions: 100, TargetIPC: 0.9,
+		LoadPct: 30, StorePct: 12, BranchPct: 25,
+		Mix:           profile.DefaultIntBranchMix(),
+		MispredictPct: 6, L1MissPct: 10, L2MissPct: 60, L3MissPct: 30,
+		RSSMiB: 512, VSZMiB: 600, MLP: 3, CodeKiB: 800, BranchSites: 5000,
+		Threads: 1, Seed: seed,
+	}
+}
+
+func phasedSource(t *testing.T, perSegment uint64) *PhasedSource {
+	t.Helper()
+	src, err := NewPhasedSource([]Segment{
+		{Model: computeModel(1), Instr: perSegment},
+		{Model: memoryModel(2), Instr: perSegment},
+	}, testGeo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestSliceShape(t *testing.T) {
+	src := phasedSource(t, 5000)
+	ivs, err := Slice(src, 1000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 20 {
+		t.Fatalf("intervals = %d, want 20", len(ivs))
+	}
+	for i, iv := range ivs {
+		if iv.Index != i {
+			t.Errorf("interval %d has index %d", i, iv.Index)
+		}
+		sum := iv.Sig[SigLoad] + iv.Sig[SigStore] + iv.Sig[SigBranch] + iv.Sig[SigFP]
+		if sum <= 0 || sum > 1 {
+			t.Errorf("interval %d mix fractions sum %v", i, sum)
+		}
+	}
+}
+
+func TestSliceErrors(t *testing.T) {
+	src := phasedSource(t, 1000)
+	if _, err := Slice(src, 0, 5); err == nil {
+		t.Error("zero interval length accepted")
+	}
+	if _, err := Slice(src, 100, 0); err == nil {
+		t.Error("zero interval count accepted")
+	}
+	short := &trace.SliceSource{Uops: make([]trace.Uop, 10)}
+	if _, err := Slice(short, 100, 1); err == nil {
+		t.Error("exhausted source not reported")
+	}
+}
+
+func TestSignaturesSeparatePhases(t *testing.T) {
+	src := phasedSource(t, 4000)
+	ivs, err := Slice(src, 4000, 10) // interval == segment length
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even intervals come from the compute model, odd from the memory
+	// model: load fractions should separate cleanly.
+	for i := 0; i < 10; i += 2 {
+		if ivs[i].Sig[SigLoad] >= ivs[i+1].Sig[SigLoad] {
+			t.Errorf("interval %d load %.3f not below memory-phase %.3f",
+				i, ivs[i].Sig[SigLoad], ivs[i+1].Sig[SigLoad])
+		}
+	}
+}
+
+func TestDetectTwoPhases(t *testing.T) {
+	src := phasedSource(t, 4000)
+	ivs, err := Slice(src, 4000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(ivs, Options{MaxPhases: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("detected %d phases, want 2", res.K)
+	}
+	// Alternating assignment: all even intervals in one phase, odd in the
+	// other.
+	for i := 2; i < len(ivs); i++ {
+		if res.Assign[i] != res.Assign[i%2] {
+			t.Errorf("interval %d assigned %d, want %d", i, res.Assign[i], res.Assign[i%2])
+		}
+	}
+	// Both phases have weight 0.5 and a representative of their parity.
+	for _, p := range res.Phases {
+		if math.Abs(p.Weight-0.5) > 1e-9 {
+			t.Errorf("phase weight %v, want 0.5", p.Weight)
+		}
+	}
+	if res.SpeedupFactor() != 8 {
+		t.Errorf("speedup = %v, want 8 (16 intervals / 2 reps)", res.SpeedupFactor())
+	}
+}
+
+func TestDetectHomogeneousStream(t *testing.T) {
+	g, err := synth.New(computeModel(5), testGeo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u trace.Uop
+	for i, n := uint64(0), g.Prologue(); i < n; i++ {
+		g.Next(&u)
+	}
+	ivs, err := Slice(g, 3000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(ivs, Options{MaxPhases: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 2 {
+		t.Errorf("homogeneous stream split into %d phases", res.K)
+	}
+}
+
+func TestDetectFixedK(t *testing.T) {
+	src := phasedSource(t, 3000)
+	ivs, err := Slice(src, 3000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(ivs, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 || len(res.Phases) != 3 {
+		t.Errorf("fixed k: %d phases", len(res.Phases))
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	if _, err := Detect(nil, Options{}); err == nil {
+		t.Error("empty intervals accepted")
+	}
+	if _, err := Detect([]Interval{{}}, Options{}); err == nil {
+		t.Error("single interval accepted")
+	}
+}
+
+func TestCoverageErrorSmall(t *testing.T) {
+	src := phasedSource(t, 4000)
+	ivs, err := Slice(src, 4000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(ivs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Representatives weighted by phase size must reconstruct the mean
+	// signature closely (SimPoint's fidelity claim).
+	if res.CoverageError > 0.15 {
+		t.Errorf("coverage error = %v, want < 0.15", res.CoverageError)
+	}
+}
+
+func TestPhaseWeightsSumToOne(t *testing.T) {
+	src := phasedSource(t, 2500)
+	ivs, err := Slice(src, 2500, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(ivs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	members := 0
+	for _, p := range res.Phases {
+		sum += p.Weight
+		members += len(p.Intervals)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	if members != len(ivs) {
+		t.Errorf("phase members = %d, want %d", members, len(ivs))
+	}
+}
+
+func TestPhasedSourceSchedule(t *testing.T) {
+	src := phasedSource(t, 100)
+	var u trace.Uop
+	// First 100 uops from segment 0, next 100 from segment 1, repeat.
+	for i := 0; i < 100; i++ {
+		if src.CurrentSegment() != 0 {
+			t.Fatalf("uop %d from segment %d", i, src.CurrentSegment())
+		}
+		src.Next(&u)
+	}
+	src.Next(&u)
+	if src.CurrentSegment() != 1 {
+		t.Fatal("segment did not advance")
+	}
+	for i := 0; i < 99; i++ {
+		src.Next(&u)
+	}
+	src.Next(&u)
+	if src.CurrentSegment() != 0 {
+		t.Fatal("schedule did not wrap")
+	}
+}
+
+func TestPhasedSourceErrors(t *testing.T) {
+	if _, err := NewPhasedSource(nil, testGeo()); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := NewPhasedSource([]Segment{{Model: computeModel(1), Instr: 0}}, testGeo()); err == nil {
+		t.Error("zero-length segment accepted")
+	}
+	if _, err := NewPhasedSource([]Segment{{Model: computeModel(1), Instr: 10}}, synth.Geometry{}); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if len(Names()) != SignatureDim {
+		t.Errorf("Names() has %d entries, want %d", len(Names()), SignatureDim)
+	}
+}
+
+func BenchmarkSliceAndDetect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		src, err := NewPhasedSource([]Segment{
+			{Model: computeModel(1), Instr: 3000},
+			{Model: memoryModel(2), Instr: 3000},
+		}, testGeo())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ivs, err := Slice(src, 3000, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Detect(ivs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package phase
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Segment is one leg of a phased workload: run the model for Instr uops.
+type Segment struct {
+	Model profile.Model
+	Instr uint64
+}
+
+// PhasedSource replays a repeating schedule of workload models,
+// emulating the phase behaviour of real applications (e.g. gcc
+// alternating between parsing and register allocation). It implements
+// trace.Source and loops over the schedule indefinitely.
+type PhasedSource struct {
+	gens    []*synth.Generator
+	lens    []uint64
+	seg     int
+	left    uint64
+	started bool
+}
+
+// NewPhasedSource builds generators for each segment over the given
+// geometry. Segment seeds should differ so the phases occupy distinct
+// address regions.
+func NewPhasedSource(segments []Segment, geo synth.Geometry) (*PhasedSource, error) {
+	if len(segments) == 0 {
+		return nil, fmt.Errorf("phase: empty schedule")
+	}
+	p := &PhasedSource{}
+	for i, seg := range segments {
+		if seg.Instr == 0 {
+			return nil, fmt.Errorf("phase: segment %d has zero length", i)
+		}
+		g, err := synth.New(seg.Model, geo)
+		if err != nil {
+			return nil, fmt.Errorf("phase: segment %d: %w", i, err)
+		}
+		// Drain each generator's prologue up front so phase boundaries
+		// show steady-state behaviour, not warmup sweeps.
+		var u trace.Uop
+		for k, n := uint64(0), g.Prologue(); k < n; k++ {
+			g.Next(&u)
+		}
+		p.gens = append(p.gens, g)
+		p.lens = append(p.lens, seg.Instr)
+	}
+	p.left = p.lens[0]
+	return p, nil
+}
+
+// Next implements trace.Source; the schedule repeats forever.
+func (p *PhasedSource) Next(u *trace.Uop) bool {
+	if p.left == 0 {
+		p.seg = (p.seg + 1) % len(p.gens)
+		p.left = p.lens[p.seg]
+	}
+	p.left--
+	return p.gens[p.seg].Next(u)
+}
+
+// CurrentSegment reports which segment the next uop comes from.
+func (p *PhasedSource) CurrentSegment() int { return p.seg }

@@ -1,0 +1,152 @@
+// Package pipeline converts event counts from the cache, branch and TLB
+// models into execution cycles using first-order interval analysis
+// (Eyerman, Eeckhout, Karkhanis & Smith, "A Mechanistic Performance Model
+// for Superscalar Out-of-Order Processors", TOCS 2009).
+//
+// The model treats execution as a background dispatch stream at the
+// workload's inherent ILP (capped by the machine width), punctuated by
+// miss-event intervals: branch-mispredict pipeline refills, instruction
+// fetch stalls, and data-miss stalls whose exposure is reduced by
+// memory-level parallelism.
+package pipeline
+
+import "fmt"
+
+// Params holds the machine's timing parameters in core clock cycles.
+type Params struct {
+	// Width is the maximum sustainable dispatch rate (uops/cycle).
+	Width float64
+	// MispredictPenalty is the front-end refill after a branch mispredict.
+	MispredictPenalty float64
+	// L2HitLatency is the extra latency of an L1 miss that hits L2.
+	L2HitLatency float64
+	// L3HitLatency is the extra latency of an L2 miss that hits L3.
+	L3HitLatency float64
+	// MemLatency is the extra latency of an L3 miss served by DRAM.
+	MemLatency float64
+	// FetchMissPenalty is the front-end stall for an L1I miss.
+	FetchMissPenalty float64
+	// WalkPenalty is the cost of a page-table walk (STLB miss).
+	WalkPenalty float64
+	// ShortMLP divides the exposure of L2/L3-hit latencies: out-of-order
+	// execution overlaps most short misses.
+	ShortMLP float64
+}
+
+// Haswell returns timing parameters approximating the paper's Xeon
+// E5-2650L v3 at 1.8 GHz.
+func Haswell() Params {
+	return Params{
+		Width:             4,
+		MispredictPenalty: 12,
+		L2HitLatency:      12,
+		L3HitLatency:      36,
+		MemLatency:        230,
+		FetchMissPenalty:  3,
+		WalkPenalty:       30,
+		ShortMLP:          6,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.Width <= 0 {
+		return fmt.Errorf("pipeline: non-positive width %v", p.Width)
+	}
+	if p.ShortMLP <= 0 {
+		return fmt.Errorf("pipeline: non-positive short MLP %v", p.ShortMLP)
+	}
+	return nil
+}
+
+// Events are the miss-event counts accumulated over a simulated
+// instruction window.
+type Events struct {
+	// Instructions is the number of instructions retired in the window.
+	Instructions uint64
+	// Mispredicts counts branch mispredicts.
+	Mispredicts uint64
+	// L2Hits counts demand data accesses that missed L1 and hit L2.
+	L2Hits uint64
+	// L3Hits counts demand data accesses that missed L2 and hit L3.
+	L3Hits uint64
+	// MemAccesses counts demand data accesses served by DRAM.
+	MemAccesses uint64
+	// FetchMisses counts L1I misses.
+	FetchMisses uint64
+	// Walks counts page-table walks.
+	Walks uint64
+}
+
+// Workload holds the application-inherent parameters of the model.
+type Workload struct {
+	// ILP is the workload's inherent instructions-per-cycle when no miss
+	// events occur (dependence-chain limited dispatch rate).
+	ILP float64
+	// MLP is the average number of overlapping DRAM accesses; it divides
+	// the exposed DRAM latency.
+	MLP float64
+}
+
+// Breakdown is a CPI stack: cycles attributed to each component.
+type Breakdown struct {
+	Base, Mispredict, L2, L3, Memory, Fetch, TLB float64
+}
+
+// Total returns the summed cycle count.
+func (b Breakdown) Total() float64 {
+	return b.Base + b.Mispredict + b.L2 + b.L3 + b.Memory + b.Fetch + b.TLB
+}
+
+// Cycles evaluates the interval model, returning the cycle breakdown for
+// the event window. The workload's ILP is capped at the machine width and
+// MLP is floored at 1.
+func Cycles(p Params, w Workload, e Events) Breakdown {
+	ilp := w.ILP
+	if ilp > p.Width {
+		ilp = p.Width
+	}
+	if ilp <= 0 {
+		ilp = 0.1
+	}
+	mlp := w.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	return Breakdown{
+		Base:       float64(e.Instructions) / ilp,
+		Mispredict: float64(e.Mispredicts) * p.MispredictPenalty,
+		L2:         float64(e.L2Hits) * p.L2HitLatency / p.ShortMLP,
+		L3:         float64(e.L3Hits) * p.L3HitLatency / p.ShortMLP,
+		Memory:     float64(e.MemAccesses) * p.MemLatency / mlp,
+		Fetch:      float64(e.FetchMisses) * p.FetchMissPenalty,
+		TLB:        float64(e.Walks) * p.WalkPenalty,
+	}
+}
+
+// StallPerInstruction returns the expected non-base stall cycles per
+// instruction implied by per-instruction event rates. The profile
+// calibrator uses this closed form to solve for the ILP that lands a
+// workload on its target IPC.
+func StallPerInstruction(p Params, w Workload, perInstr Events) float64 {
+	e := perInstr
+	e.Instructions = 0
+	b := Cycles(p, w, e)
+	return b.Total()
+}
+
+// SolveILP returns the workload ILP that makes the interval model produce
+// targetIPC given the expected per-instruction stall cycles. When the
+// stalls alone already exceed the cycle budget (target unreachable), it
+// returns the machine width and false.
+func SolveILP(p Params, targetIPC, stallPerInstr float64) (float64, bool) {
+	if targetIPC <= 0 {
+		return 0.1, false
+	}
+	budget := 1/targetIPC - stallPerInstr
+	if budget <= 1/p.Width {
+		// Even dispatching at full width cannot reach the target.
+		return p.Width, false
+	}
+	return 1 / budget, true
+}

@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaswellValid(t *testing.T) {
+	if err := Haswell().Validate(); err != nil {
+		t.Fatalf("Haswell params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	p := Haswell()
+	p.Width = 0
+	if p.Validate() == nil {
+		t.Error("zero width accepted")
+	}
+	p = Haswell()
+	p.ShortMLP = -1
+	if p.Validate() == nil {
+		t.Error("negative ShortMLP accepted")
+	}
+}
+
+func TestNoEventsPureILP(t *testing.T) {
+	p := Haswell()
+	e := Events{Instructions: 1000}
+	b := Cycles(p, Workload{ILP: 2, MLP: 1}, e)
+	if b.Total() != 500 {
+		t.Errorf("cycles = %v, want 500 at ILP 2", b.Total())
+	}
+	if b.Mispredict+b.L2+b.L3+b.Memory+b.Fetch+b.TLB != 0 {
+		t.Error("non-base components nonzero without events")
+	}
+}
+
+func TestILPCappedAtWidth(t *testing.T) {
+	p := Haswell()
+	e := Events{Instructions: 1000}
+	b := Cycles(p, Workload{ILP: 100, MLP: 1}, e)
+	if got := b.Total(); got != 250 {
+		t.Errorf("cycles = %v, want 250 (width-capped ILP 4)", got)
+	}
+}
+
+func TestNonPositiveILPFloored(t *testing.T) {
+	b := Cycles(Haswell(), Workload{ILP: 0, MLP: 1}, Events{Instructions: 100})
+	if math.IsInf(b.Base, 0) || math.IsNaN(b.Base) || b.Base <= 0 {
+		t.Errorf("base = %v with zero ILP, want finite positive", b.Base)
+	}
+}
+
+func TestMLPReducesMemoryStall(t *testing.T) {
+	p := Haswell()
+	e := Events{Instructions: 1000, MemAccesses: 100}
+	noMLP := Cycles(p, Workload{ILP: 2, MLP: 1}, e)
+	withMLP := Cycles(p, Workload{ILP: 2, MLP: 4}, e)
+	if withMLP.Memory*4 != noMLP.Memory {
+		t.Errorf("MLP 4 memory stall = %v, want quarter of %v", withMLP.Memory, noMLP.Memory)
+	}
+}
+
+func TestMLPFlooredAtOne(t *testing.T) {
+	p := Haswell()
+	e := Events{Instructions: 100, MemAccesses: 10}
+	a := Cycles(p, Workload{ILP: 2, MLP: 0.25}, e)
+	b := Cycles(p, Workload{ILP: 2, MLP: 1}, e)
+	if a.Memory != b.Memory {
+		t.Errorf("MLP < 1 not floored: %v vs %v", a.Memory, b.Memory)
+	}
+}
+
+func TestEventCosts(t *testing.T) {
+	p := Params{Width: 4, MispredictPenalty: 10, L2HitLatency: 6, L3HitLatency: 30,
+		MemLatency: 200, FetchMissPenalty: 8, WalkPenalty: 25, ShortMLP: 2}
+	e := Events{Instructions: 400, Mispredicts: 3, L2Hits: 4, L3Hits: 2, MemAccesses: 1, FetchMisses: 5, Walks: 2}
+	b := Cycles(p, Workload{ILP: 4, MLP: 2}, e)
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("base", b.Base, 100)
+	check("mispredict", b.Mispredict, 30)
+	check("l2", b.L2, 12)
+	check("l3", b.L3, 30)
+	check("memory", b.Memory, 100)
+	check("fetch", b.Fetch, 40)
+	check("tlb", b.TLB, 50)
+	check("total", b.Total(), 362)
+}
+
+func TestStallPerInstructionExcludesBase(t *testing.T) {
+	p := Haswell()
+	per := Events{Instructions: 1, Mispredicts: 1}
+	got := StallPerInstruction(p, Workload{ILP: 2, MLP: 1}, per)
+	if got != p.MispredictPenalty {
+		t.Errorf("stall = %v, want %v", got, p.MispredictPenalty)
+	}
+}
+
+// TestSolveILPRoundTrip: for reachable targets, plugging the solved ILP
+// back into the model reproduces the target IPC.
+func TestSolveILPRoundTrip(t *testing.T) {
+	p := Haswell()
+	f := func(rawIPC, rawStall uint8) bool {
+		target := 0.1 + float64(rawIPC%30)/10 // 0.1 .. 3.0
+		stall := float64(rawStall%20) / 100   // 0 .. 0.19 cycles/instr
+		ilp, ok := SolveILP(p, target, stall)
+		if !ok {
+			return true // unreachable targets are allowed to fail
+		}
+		if ilp > p.Width {
+			return true // width-capped solution: model cannot reach target
+		}
+		// Reconstruct: cycles/instr = 1/ilp + stall must equal 1/target.
+		got := 1 / (1/ilp + stall)
+		return math.Abs(got-target) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveILPUnreachable(t *testing.T) {
+	p := Haswell()
+	// Target IPC 4 with huge stalls cannot be reached.
+	ilp, ok := SolveILP(p, 4, 10)
+	if ok {
+		t.Error("unreachable target reported reachable")
+	}
+	if ilp != p.Width {
+		t.Errorf("unreachable ILP = %v, want width %v", ilp, p.Width)
+	}
+}
+
+func TestSolveILPZeroTarget(t *testing.T) {
+	if _, ok := SolveILP(Haswell(), 0, 0); ok {
+		t.Error("zero target reported reachable")
+	}
+}

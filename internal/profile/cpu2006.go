@@ -1,0 +1,76 @@
+package profile
+
+// This file tabulates workload models for the 29 SPEC CPU2006 applications
+// used in the paper's CPU17-vs-CPU06 comparison tables (III–VII). Only
+// suite-level aggregates appear in the paper, so the per-application
+// values are interpolations constrained to reproduce those aggregates
+// (IPC int 1.762 / fp 1.815; loads 26.2/23.7 %; stores 10.3/7.2 %;
+// branches 19.1/10.8 %; mispredicts 2.39/1.97 %; L1 4.13/2.53 %;
+// L2 40.9/31.9 %; L3 12.2/14.0 %; RSS ~0.39/0.37 GiB).
+
+// CPU2006 returns the profiles of all 29 CPU2006 applications.
+func CPU2006() []*Profile {
+	var apps []*Profile
+	apps = append(apps, cpu06Int()...)
+	apps = append(apps, cpu06FP()...)
+	return apps
+}
+
+func cpu06Int() []*Profile {
+	mix := DefaultIntBranchMix()
+	row := func(name string, instr, ipc, ld, st, br, misp, l1, l2, l3, rss, vsz, mlp, code float64, sites int) *Profile {
+		return &Profile{
+			Name: name, Suite: CPU06Int,
+			InstrBillions: instr, TargetIPC: ipc,
+			LoadPct: ld, StorePct: st, BranchPct: br, Mix: mix,
+			MispredictPct: misp, L1MissPct: l1, L2MissPct: l2, L3MissPct: l3,
+			RSSMiB: rss, VSZMiB: vsz, MLP: mlp, CodeKiB: code, BranchSites: sites, Threads: 1,
+		}
+	}
+	return []*Profile{
+		row("400.perlbench", 1550, 2.10, 27.5, 12.5, 22.0, 2.9, 1.4, 24, 6, 250, 270, 2.2, 900, 7000),
+		row("401.bzip2", 1200, 1.95, 26.0, 9.5, 17.5, 3.0, 2.8, 34, 9, 340, 360, 2.0, 90, 900),
+		row("403.gcc", 800, 1.40, 27.0, 13.0, 22.5, 3.2, 4.8, 42, 13, 450, 490, 2.6, 1900, 15000),
+		row("429.mcf", 700, 0.70, 31.0, 9.0, 24.5, 4.5, 13.5, 72, 32, 860, 880, 5.5, 30, 500),
+		row("445.gobmk", 1050, 1.70, 24.5, 11.5, 21.0, 3.8, 1.9, 28, 7, 110, 140, 1.5, 700, 6000),
+		row("456.hmmer", 1875, 2.90, 27.5, 12.0, 14.0, 1.2, 1.1, 18, 5, 25, 60, 2.0, 120, 1200),
+		row("458.sjeng", 1400, 1.75, 22.0, 9.0, 19.5, 4.4, 1.6, 26, 8, 170, 190, 1.6, 140, 1700),
+		row("462.libquantum", 2350, 1.25, 24.0, 6.5, 25.5, 0.9, 8.5, 75, 30, 96, 120, 6.0, 30, 300),
+		row("464.h264ref", 2050, 2.85, 28.5, 11.0, 12.0, 1.7, 1.0, 16, 4, 65, 100, 3.5, 500, 3800),
+		row("471.omnetpp", 775, 1.10, 27.5, 12.5, 20.5, 2.8, 5.2, 62, 20, 160, 190, 2.6, 850, 6500),
+		row("473.astar", 975, 1.35, 26.5, 9.5, 17.0, 3.2, 4.6, 48, 9, 320, 340, 1.9, 50, 600),
+		row("483.xalancbmk", 1200, 2.05, 28.0, 7.5, 27.5, 1.7, 3.2, 45, 3, 420, 450, 3.2, 1500, 11000),
+	}
+}
+
+func cpu06FP() []*Profile {
+	mix := DefaultFPBranchMix()
+	row := func(name string, instr, ipc, ld, st, br, misp, l1, l2, l3, rss, vsz, mlp, code float64, sites int) *Profile {
+		return &Profile{
+			Name: name, Suite: CPU06FP,
+			InstrBillions: instr, TargetIPC: ipc,
+			LoadPct: ld, StorePct: st, BranchPct: br, Mix: mix,
+			MispredictPct: misp, L1MissPct: l1, L2MissPct: l2, L3MissPct: l3,
+			RSSMiB: rss, VSZMiB: vsz, MLP: mlp, CodeKiB: code, BranchSites: sites, Threads: 1,
+		}
+	}
+	return []*Profile{
+		row("410.bwaves", 2125, 1.90, 26.5, 5.5, 12.5, 0.7, 2.6, 32, 21, 880, 900, 4.5, 60, 600),
+		row("416.gamess", 2750, 2.55, 26.0, 7.0, 10.0, 2.8, 0.8, 10, 3, 65, 680, 1.6, 2300, 7000),
+		row("433.milc", 1350, 1.15, 23.5, 7.5, 9.5, 0.6, 4.5, 52, 28, 680, 700, 4.0, 140, 900),
+		row("434.zeusmp", 1800, 1.70, 21.5, 6.5, 8.5, 1.1, 3.0, 33, 15, 510, 530, 3.0, 420, 1600),
+		row("435.gromacs", 2200, 2.05, 24.5, 8.5, 9.0, 2.0, 1.5, 17, 6, 28, 60, 2.0, 720, 2200),
+		row("436.cactusADM", 1575, 1.35, 36.5, 8.0, 3.5, 0.3, 5.2, 35, 22, 670, 690, 4.2, 1300, 2000),
+		row("437.leslie3d", 1900, 1.55, 25.5, 7.5, 7.0, 0.8, 4.4, 42, 20, 130, 150, 3.6, 180, 900),
+		row("444.namd", 2625, 2.35, 28.5, 7.5, 6.0, 1.0, 1.3, 14, 5, 47, 80, 2.4, 360, 1200),
+		row("447.dealII", 2550, 2.45, 29.5, 8.0, 16.0, 2.2, 1.9, 22, 7, 800, 820, 3.0, 1900, 7500),
+		row("450.soplex", 1125, 1.20, 27.0, 6.0, 16.5, 3.2, 5.8, 55, 24, 430, 450, 2.6, 420, 2600),
+		row("453.povray", 2450, 2.30, 28.0, 9.5, 14.5, 3.6, 0.9, 11, 4, 4, 40, 1.5, 680, 3600),
+		row("454.calculix", 2875, 2.50, 25.5, 6.5, 9.0, 2.3, 1.2, 13, 5, 160, 180, 2.1, 1500, 4200),
+		row("459.GemsFDTD", 1750, 1.25, 27.0, 7.5, 8.0, 0.6, 5.5, 50, 26, 830, 850, 4.4, 390, 1400),
+		row("465.tonto", 2525, 2.20, 26.0, 8.5, 12.0, 2.6, 1.4, 15, 5, 40, 80, 1.8, 3200, 8800),
+		row("470.lbm", 1550, 1.30, 20.5, 11.0, 1.5, 0.3, 6.2, 48, 27, 410, 430, 5.5, 22, 160),
+		row("481.wrf", 2375, 1.75, 24.5, 7.5, 11.0, 1.8, 3.1, 30, 13, 680, 700, 2.8, 3900, 8500),
+		row("482.sphinx3", 2225, 1.30, 27.0, 4.5, 12.5, 2.4, 4.1, 57, 26, 45, 80, 3.0, 140, 900),
+	}
+}

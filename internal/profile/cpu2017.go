@@ -1,0 +1,368 @@
+package profile
+
+// This file tabulates the workload models for the 43 SPEC CPU2017
+// applications. Values the paper prints per application (Section IV and
+// Table IX) are used verbatim; the rest are interpolated so the per-suite
+// aggregates match Tables II–VII. See DESIGN.md "Known approximations".
+//
+// Input multiplicities: the paper reports 69 test, 61 train and 64 ref
+// distinct application-input pairs. The ref multiplicities follow the SPEC
+// documentation (perlbench 3, gcc 5, bwaves 4, x264 3, xz 3 on the rate
+// side; 3/3/2/3/2 on the speed side); test/train splits are chosen to
+// match the published totals.
+
+func inputs(n int) []string {
+	if n <= 1 {
+		return nil
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "in" + string(rune('1'+i))
+	}
+	return names
+}
+
+// CPU2017 returns the profiles of all 43 CPU2017 applications.
+func CPU2017() []*Profile {
+	var apps []*Profile
+	apps = append(apps, rateInt()...)
+	apps = append(apps, rateFP()...)
+	apps = append(apps, speedInt()...)
+	apps = append(apps, speedFP()...)
+	return apps
+}
+
+func rateInt() []*Profile {
+	intMix := DefaultIntBranchMix()
+	return []*Profile{
+		{
+			Name: "500.perlbench_r", Suite: RateInt,
+			InstrBillions: 2500, TargetIPC: 1.90,
+			LoadPct: 24.5, StorePct: 11.2, BranchPct: 20.8, Mix: intMix,
+			MispredictPct: 2.6, L1MissPct: 1.5, L2MissPct: 25, L3MissPct: 8,
+			RSSMiB: 210, VSZMiB: 250, MLP: 2.0, CodeKiB: 1200, BranchSites: 9000, Threads: 1,
+			RefInputs: inputs(3), TestInputs: inputs(4), TrainInputs: inputs(3), InputSpread: 0.8,
+		},
+		{
+			Name: "502.gcc_r", Suite: RateInt,
+			InstrBillions: 1250, TargetIPC: 1.25,
+			LoadPct: 26.0, StorePct: 12.0, BranchPct: 21.0, Mix: intMix,
+			MispredictPct: 3.5, L1MissPct: 4.5, L2MissPct: 38, L3MissPct: 12,
+			RSSMiB: 1230, VSZMiB: 1500, MLP: 1.9, CodeKiB: 2100, BranchSites: 16000, Threads: 1,
+			RefInputs: inputs(5), TestInputs: inputs(5), TrainInputs: inputs(5), InputSpread: 1.4,
+		},
+		{
+			Name: "505.mcf_r", Suite: RateInt,
+			InstrBillions: 1000, TargetIPC: 0.886,
+			LoadPct: 27.0, StorePct: 9.0, BranchPct: 31.277, Mix: intMix,
+			MispredictPct: 6.5, L1MissPct: 10.5, L2MissPct: 65.721, L3MissPct: 20,
+			RSSMiB: 630, VSZMiB: 790, MLP: 3.8, CodeKiB: 40, BranchSites: 700, Threads: 1,
+		},
+		{
+			Name: "520.omnetpp_r", Suite: RateInt,
+			InstrBillions: 1100, TargetIPC: 1.05,
+			LoadPct: 28.0, StorePct: 13.0, BranchPct: 20.0, Mix: intMix,
+			MispredictPct: 2.5, L1MissPct: 5.0, L2MissPct: 58, L3MissPct: 30,
+			RSSMiB: 250, VSZMiB: 410, MLP: 2.6, CodeKiB: 900, BranchSites: 7000, Threads: 1,
+		},
+		{
+			Name: "523.xalancbmk_r", Suite: RateInt,
+			InstrBillions: 1300, TargetIPC: 1.55,
+			LoadPct: 29.151, StorePct: 8.0, BranchPct: 25.0, Mix: intMix,
+			MispredictPct: 2.0, L1MissPct: 12.174, L2MissPct: 40, L3MissPct: 5,
+			RSSMiB: 490, VSZMiB: 660, MLP: 3.2, CodeKiB: 1600, BranchSites: 12000, Threads: 1,
+		},
+		{
+			Name: "525.x264_r", Suite: RateInt,
+			InstrBillions: 2500, TargetIPC: 3.024,
+			LoadPct: 25.0, StorePct: 7.0, BranchPct: 8.0, Mix: intMix,
+			MispredictPct: 1.5, L1MissPct: 1.2, L2MissPct: 20, L3MissPct: 6,
+			RSSMiB: 160, VSZMiB: 350, MLP: 4.5, CodeKiB: 250, BranchSites: 2500, Threads: 1,
+			RefInputs: inputs(3), TestInputs: inputs(3), TrainInputs: inputs(3), InputSpread: 1.2,
+		},
+		{
+			Name: "531.deepsjeng_r", Suite: RateInt,
+			InstrBillions: 1800, TargetIPC: 1.85,
+			LoadPct: 21.0, StorePct: 10.0, BranchPct: 16.0, Mix: intMix,
+			MispredictPct: 4.0, L1MissPct: 2.5, L2MissPct: 30, L3MissPct: 67.516,
+			RSSMiB: 700, VSZMiB: 880, MLP: 4.0, CodeKiB: 180, BranchSites: 2200, Threads: 1,
+		},
+		{
+			Name: "541.leela_r", Suite: RateInt,
+			InstrBillions: 1850, TargetIPC: 1.55,
+			LoadPct: 20.0, StorePct: 9.0, BranchPct: 15.0, Mix: intMix,
+			MispredictPct: 8.656, L1MissPct: 1.8, L2MissPct: 28, L3MissPct: 10,
+			RSSMiB: 25, VSZMiB: 190, MLP: 1.4, CodeKiB: 160, BranchSites: 2000, Threads: 1,
+		},
+		{
+			Name: "548.exchange2_r", Suite: RateInt,
+			InstrBillions: 2900, TargetIPC: 2.70,
+			LoadPct: 22.0, StorePct: 15.911, BranchPct: 14.0, Mix: intMix,
+			MispredictPct: 1.2, L1MissPct: 0.3, L2MissPct: 10, L3MissPct: 3,
+			RSSMiB: 1.148, VSZMiB: 15.16, MLP: 1.2, CodeKiB: 120, BranchSites: 1500, Threads: 1,
+		},
+		{
+			Name: "557.xz_r", Suite: RateInt,
+			InstrBillions: 1400, TargetIPC: 1.741,
+			LoadPct: 21.0, StorePct: 8.0, BranchPct: 16.0, Mix: intMix,
+			MispredictPct: 3.2, L1MissPct: 4.0, L2MissPct: 40, L3MissPct: 25,
+			RSSMiB: 1150, VSZMiB: 1290, MLP: 3.2, CodeKiB: 150, BranchSites: 1800, Threads: 1,
+			RefInputs: inputs(3), TestInputs: inputs(4), TrainInputs: inputs(2), InputSpread: 1.3,
+		},
+	}
+}
+
+func rateFP() []*Profile {
+	fpMix := DefaultFPBranchMix()
+	return []*Profile{
+		{
+			Name: "503.bwaves_r", Suite: RateFP,
+			InstrBillions: 2600, TargetIPC: 2.10,
+			LoadPct: 27.5, StorePct: 5.0, BranchPct: 13.4, Mix: fpMix,
+			MispredictPct: 0.6, L1MissPct: 2.5, L2MissPct: 30, L3MissPct: 20,
+			RSSMiB: 720, VSZMiB: 780, MLP: 4.5, CodeKiB: 60, BranchSites: 600, Threads: 1,
+			RefInputs: inputs(4), TestInputs: inputs(4), TrainInputs: inputs(4), InputSpread: 0.5,
+		},
+		{
+			Name: "507.cactuBSSN_r", Suite: RateFP,
+			InstrBillions: 1300, TargetIPC: 1.30,
+			LoadPct: 39.786, StorePct: 8.589, BranchPct: 3.7, Mix: fpMix,
+			MispredictPct: 0.4, L1MissPct: 19.485, L2MissPct: 20, L3MissPct: 15,
+			RSSMiB: 770, VSZMiB: 880, MLP: 5.0, CodeKiB: 1600, BranchSites: 2400, Threads: 1,
+		},
+		{
+			Name: "508.namd_r", Suite: RateFP,
+			InstrBillions: 2400, TargetIPC: 2.265,
+			LoadPct: 29.0, StorePct: 7.0, BranchPct: 5.0, Mix: fpMix,
+			MispredictPct: 0.9, L1MissPct: 1.5, L2MissPct: 15, L3MissPct: 5,
+			RSSMiB: 48, VSZMiB: 170, MLP: 2.5, CodeKiB: 380, BranchSites: 1200, Threads: 1,
+		},
+		{
+			Name: "510.parest_r", Suite: RateFP,
+			InstrBillions: 2900, TargetIPC: 1.80,
+			LoadPct: 30.0, StorePct: 6.0, BranchPct: 11.0, Mix: fpMix,
+			MispredictPct: 1.1, L1MissPct: 2.8, L2MissPct: 25, L3MissPct: 10,
+			RSSMiB: 420, VSZMiB: 510, MLP: 2.4, CodeKiB: 1400, BranchSites: 5200, Threads: 1,
+		},
+		{
+			Name: "511.povray_r", Suite: RateFP,
+			InstrBillions: 3000, TargetIPC: 2.20,
+			LoadPct: 28.0, StorePct: 9.0, BranchPct: 14.0, Mix: fpMix,
+			MispredictPct: 2.2, L1MissPct: 1.0, L2MissPct: 12, L3MissPct: 4,
+			RSSMiB: 6, VSZMiB: 80, MLP: 1.5, CodeKiB: 700, BranchSites: 3800, Threads: 1,
+		},
+		{
+			Name: "519.lbm_r", Suite: RateFP,
+			InstrBillions: 1300, TargetIPC: 1.20,
+			LoadPct: 23.0, StorePct: 13.076, BranchPct: 1.198, Mix: fpMix,
+			MispredictPct: 0.3, L1MissPct: 6.5, L2MissPct: 45, L3MissPct: 25,
+			RSSMiB: 410, VSZMiB: 450, MLP: 5.5, CodeKiB: 22, BranchSites: 160, Threads: 1,
+		},
+		{
+			Name: "521.wrf_r", Suite: RateFP,
+			InstrBillions: 2600, TargetIPC: 1.55,
+			LoadPct: 26.0, StorePct: 7.0, BranchPct: 10.0, Mix: fpMix,
+			MispredictPct: 1.3, L1MissPct: 3.0, L2MissPct: 28, L3MissPct: 12,
+			RSSMiB: 210, VSZMiB: 340, MLP: 2.8, CodeKiB: 4200, BranchSites: 9000, Threads: 1,
+		},
+		{
+			Name: "526.blender_r", Suite: RateFP,
+			InstrBillions: 1700, TargetIPC: 1.50,
+			LoadPct: 26.0, StorePct: 8.0, BranchPct: 11.0, Mix: fpMix,
+			MispredictPct: 2.1, L1MissPct: 2.2, L2MissPct: 22, L3MissPct: 9,
+			RSSMiB: 500, VSZMiB: 680, MLP: 2.0, CodeKiB: 3200, BranchSites: 12000, Threads: 1,
+		},
+		{
+			Name: "527.cam4_r", Suite: RateFP,
+			InstrBillions: 1500, TargetIPC: 1.40,
+			LoadPct: 25.0, StorePct: 7.0, BranchPct: 12.0, Mix: fpMix,
+			MispredictPct: 1.6, L1MissPct: 3.2, L2MissPct: 26, L3MissPct: 11,
+			RSSMiB: 920, VSZMiB: 1050, MLP: 2.6, CodeKiB: 3600, BranchSites: 8000, Threads: 1,
+		},
+		{
+			Name: "538.imagick_r", Suite: RateFP,
+			InstrBillions: 3800, TargetIPC: 2.10,
+			LoadPct: 27.0, StorePct: 5.0, BranchPct: 10.0, Mix: fpMix,
+			MispredictPct: 0.8, L1MissPct: 1.1, L2MissPct: 18, L3MissPct: 8,
+			RSSMiB: 260, VSZMiB: 330, MLP: 2.2, CodeKiB: 900, BranchSites: 3000, Threads: 1,
+		},
+		{
+			Name: "544.nab_r", Suite: RateFP,
+			InstrBillions: 2200, TargetIPC: 1.70,
+			LoadPct: 28.0, StorePct: 6.0, BranchPct: 12.0, Mix: fpMix,
+			MispredictPct: 1.4, L1MissPct: 2.0, L2MissPct: 20, L3MissPct: 9,
+			RSSMiB: 150, VSZMiB: 230, MLP: 2.3, CodeKiB: 240, BranchSites: 1400, Threads: 1,
+		},
+		{
+			Name: "549.fotonik3d_r", Suite: RateFP,
+			InstrBillions: 1400, TargetIPC: 1.117,
+			LoadPct: 29.0, StorePct: 8.0, BranchPct: 6.0, Mix: fpMix,
+			MispredictPct: 0.5, L1MissPct: 7.5, L2MissPct: 71.609, L3MissPct: 66.291,
+			RSSMiB: 850, VSZMiB: 940, MLP: 6.0, CodeKiB: 140, BranchSites: 700, Threads: 1,
+		},
+		{
+			Name: "554.roms_r", Suite: RateFP,
+			InstrBillions: 2400, TargetIPC: 1.55,
+			LoadPct: 25.0, StorePct: 6.0, BranchPct: 9.0, Mix: fpMix,
+			MispredictPct: 0.7, L1MissPct: 3.5, L2MissPct: 33, L3MissPct: 15,
+			RSSMiB: 830, VSZMiB: 930, MLP: 3.2, CodeKiB: 680, BranchSites: 2600, Threads: 1,
+		},
+	}
+}
+
+func speedInt() []*Profile {
+	intMix := DefaultIntBranchMix()
+	return []*Profile{
+		{
+			Name: "600.perlbench_s", Suite: SpeedInt,
+			InstrBillions: 2700, TargetIPC: 1.90,
+			LoadPct: 24.5, StorePct: 11.2, BranchPct: 20.8, Mix: intMix,
+			MispredictPct: 2.6, L1MissPct: 1.6, L2MissPct: 26, L3MissPct: 9,
+			RSSMiB: 250, VSZMiB: 300, MLP: 2.0, CodeKiB: 1200, BranchSites: 9000, Threads: 1,
+			RefInputs: inputs(3), TestInputs: inputs(4), TrainInputs: inputs(3), InputSpread: 0.8,
+		},
+		{
+			Name: "602.gcc_s", Suite: SpeedInt,
+			InstrBillions: 2000, TargetIPC: 1.30,
+			LoadPct: 26.0, StorePct: 12.0, BranchPct: 21.0, Mix: intMix,
+			MispredictPct: 3.4, L1MissPct: 5.0, L2MissPct: 42, L3MissPct: 14,
+			RSSMiB: 4600, VSZMiB: 5200, MLP: 2.6, CodeKiB: 2100, BranchSites: 16000, Threads: 1,
+			RefInputs: inputs(3), TestInputs: inputs(3), TrainInputs: inputs(2), InputSpread: 0.6,
+		},
+		{
+			Name: "605.mcf_s", Suite: SpeedInt,
+			InstrBillions: 1800, TargetIPC: 0.93,
+			LoadPct: 29.581, StorePct: 9.0, BranchPct: 32.939, Mix: intMix,
+			MispredictPct: 7.0, L1MissPct: 14.138, L2MissPct: 77.824, L3MissPct: 22,
+			RSSMiB: 3700, VSZMiB: 4100, MLP: 6.5, CodeKiB: 40, BranchSites: 700, Threads: 1,
+		},
+		{
+			Name: "620.omnetpp_s", Suite: SpeedInt,
+			InstrBillions: 1100, TargetIPC: 1.05,
+			LoadPct: 28.0, StorePct: 13.0, BranchPct: 20.0, Mix: intMix,
+			MispredictPct: 2.5, L1MissPct: 5.2, L2MissPct: 60, L3MissPct: 32,
+			RSSMiB: 4000, VSZMiB: 4400, MLP: 2.6, CodeKiB: 900, BranchSites: 7000, Threads: 1,
+		},
+		{
+			Name: "623.xalancbmk_s", Suite: SpeedInt,
+			InstrBillions: 1400, TargetIPC: 1.55,
+			LoadPct: 29.0, StorePct: 8.0, BranchPct: 25.0, Mix: intMix,
+			MispredictPct: 2.0, L1MissPct: 11.5, L2MissPct: 42, L3MissPct: 6,
+			RSSMiB: 510, VSZMiB: 690, MLP: 3.2, CodeKiB: 1600, BranchSites: 12000, Threads: 1,
+		},
+		{
+			Name: "625.x264_s", Suite: SpeedInt,
+			InstrBillions: 2600, TargetIPC: 3.038,
+			LoadPct: 25.0, StorePct: 7.0, BranchPct: 8.0, Mix: intMix,
+			MispredictPct: 1.5, L1MissPct: 1.3, L2MissPct: 21, L3MissPct: 7,
+			RSSMiB: 250, VSZMiB: 440, MLP: 4.5, CodeKiB: 250, BranchSites: 2500, Threads: 1,
+			RefInputs: inputs(3), TestInputs: inputs(3), TrainInputs: inputs(3), InputSpread: 1.2,
+		},
+		{
+			Name: "631.deepsjeng_s", Suite: SpeedInt,
+			InstrBillions: 2100, TargetIPC: 1.85,
+			LoadPct: 21.0, StorePct: 10.0, BranchPct: 16.0, Mix: intMix,
+			MispredictPct: 4.0, L1MissPct: 2.7, L2MissPct: 32, L3MissPct: 68.579,
+			RSSMiB: 7000, VSZMiB: 7400, MLP: 4.0, CodeKiB: 180, BranchSites: 2200, Threads: 1,
+		},
+		{
+			Name: "641.leela_s", Suite: SpeedInt,
+			InstrBillions: 2200, TargetIPC: 1.55,
+			LoadPct: 20.0, StorePct: 9.0, BranchPct: 15.0, Mix: intMix,
+			MispredictPct: 8.636, L1MissPct: 1.8, L2MissPct: 28, L3MissPct: 10,
+			RSSMiB: 25, VSZMiB: 190, MLP: 1.4, CodeKiB: 160, BranchSites: 2000, Threads: 1,
+		},
+		{
+			Name: "648.exchange2_s", Suite: SpeedInt,
+			InstrBillions: 3200, TargetIPC: 2.70,
+			LoadPct: 22.0, StorePct: 15.910, BranchPct: 14.0, Mix: intMix,
+			MispredictPct: 1.2, L1MissPct: 0.3, L2MissPct: 10, L3MissPct: 3,
+			RSSMiB: 1.2, VSZMiB: 15.2, MLP: 1.2, CodeKiB: 120, BranchSites: 1500, Threads: 1,
+		},
+		{
+			Name: "657.xz_s", Suite: SpeedInt,
+			InstrBillions: 3500, TargetIPC: 0.903,
+			LoadPct: 21.0, StorePct: 8.0, BranchPct: 16.0, Mix: intMix,
+			MispredictPct: 3.5, L1MissPct: 5.5, L2MissPct: 60, L3MissPct: 45,
+			RSSMiB: 12682, VSZMiB: 15792, MLP: 2.6, CodeKiB: 150, BranchSites: 1800, Threads: 4,
+			RefInputs: inputs(2), TestInputs: inputs(4), TrainInputs: inputs(1), InputSpread: 1.0,
+		},
+	}
+}
+
+func speedFP() []*Profile {
+	fpMix := DefaultFPBranchMix()
+	return []*Profile{
+		{
+			Name: "603.bwaves_s", Suite: SpeedFP,
+			InstrBillions: 49452, TargetIPC: 0.95,
+			LoadPct: 27.4, StorePct: 5.0, BranchPct: 13.45, Mix: fpMix,
+			MispredictPct: 0.6, L1MissPct: 3.5, L2MissPct: 45, L3MissPct: 35,
+			RSSMiB: 11989, VSZMiB: 12368, MLP: 6.0, CodeKiB: 60, BranchSites: 600, Threads: 4,
+			RefInputs: inputs(2), TestInputs: inputs(2), TrainInputs: inputs(2), InputSpread: 0.25,
+		},
+		{
+			Name: "607.cactuBSSN_s", Suite: SpeedFP,
+			InstrBillions: 10617, TargetIPC: 0.90,
+			LoadPct: 33.536, StorePct: 7.610, BranchPct: 3.734, Mix: fpMix,
+			MispredictPct: 0.4, L1MissPct: 14.584, L2MissPct: 35, L3MissPct: 25,
+			RSSMiB: 7050, VSZMiB: 7462, MLP: 4.0, CodeKiB: 1600, BranchSites: 2400, Threads: 4,
+		},
+		{
+			Name: "619.lbm_s", Suite: SpeedFP,
+			InstrBillions: 13100, TargetIPC: 0.062,
+			LoadPct: 22.0, StorePct: 13.480, BranchPct: 3.646, Mix: fpMix,
+			MispredictPct: 0.3, L1MissPct: 9.0, L2MissPct: 60, L3MissPct: 55,
+			RSSMiB: 3240, VSZMiB: 3430, MLP: 3.0, CodeKiB: 22, BranchSites: 160, Threads: 4,
+		},
+		{
+			Name: "621.wrf_s", Suite: SpeedFP,
+			InstrBillions: 20000, TargetIPC: 0.60,
+			LoadPct: 25.0, StorePct: 7.0, BranchPct: 10.0, Mix: fpMix,
+			MispredictPct: 1.3, L1MissPct: 4.5, L2MissPct: 38, L3MissPct: 20,
+			RSSMiB: 720, VSZMiB: 980, MLP: 2.8, CodeKiB: 4200, BranchSites: 9000, Threads: 4,
+		},
+		{
+			Name: "627.cam4_s", Suite: SpeedFP,
+			InstrBillions: 15000, TargetIPC: 0.70,
+			LoadPct: 25.0, StorePct: 7.0, BranchPct: 12.0, Mix: fpMix,
+			MispredictPct: 1.6, L1MissPct: 4.2, L2MissPct: 35, L3MissPct: 18,
+			RSSMiB: 1230, VSZMiB: 1460, MLP: 2.6, CodeKiB: 3600, BranchSites: 8000, Threads: 4,
+		},
+		{
+			Name: "628.pop2_s", Suite: SpeedFP,
+			InstrBillions: 25000, TargetIPC: 1.642,
+			LoadPct: 26.0, StorePct: 6.0, BranchPct: 11.0, Mix: fpMix,
+			MispredictPct: 1.2, L1MissPct: 2.8, L2MissPct: 25, L3MissPct: 12,
+			RSSMiB: 1440, VSZMiB: 1660, MLP: 3.0, CodeKiB: 2900, BranchSites: 7000, Threads: 4,
+		},
+		{
+			Name: "638.imagick_s", Suite: SpeedFP,
+			InstrBillions: 40000, TargetIPC: 1.00,
+			LoadPct: 27.0, StorePct: 5.0, BranchPct: 10.0, Mix: fpMix,
+			MispredictPct: 0.8, L1MissPct: 2.0, L2MissPct: 22, L3MissPct: 10,
+			RSSMiB: 2560, VSZMiB: 2830, MLP: 2.2, CodeKiB: 900, BranchSites: 3000, Threads: 4,
+		},
+		{
+			Name: "644.nab_s", Suite: SpeedFP,
+			InstrBillions: 18000, TargetIPC: 0.95,
+			LoadPct: 28.0, StorePct: 6.0, BranchPct: 12.0, Mix: fpMix,
+			MispredictPct: 1.4, L1MissPct: 2.5, L2MissPct: 24, L3MissPct: 11,
+			RSSMiB: 610, VSZMiB: 780, MLP: 2.3, CodeKiB: 240, BranchSites: 1400, Threads: 4,
+		},
+		{
+			Name: "649.fotonik3d_s", Suite: SpeedFP,
+			InstrBillions: 12000, TargetIPC: 0.35,
+			LoadPct: 29.0, StorePct: 8.0, BranchPct: 6.0, Mix: fpMix,
+			MispredictPct: 0.5, L1MissPct: 8.5, L2MissPct: 54.730, L3MissPct: 41.369,
+			RSSMiB: 8190, VSZMiB: 8570, MLP: 5.0, CodeKiB: 140, BranchSites: 700, Threads: 4,
+		},
+		{
+			Name: "654.roms_s", Suite: SpeedFP,
+			InstrBillions: 16000, TargetIPC: 0.50,
+			LoadPct: 11.504, StorePct: 0.895, BranchPct: 9.0, Mix: fpMix,
+			MispredictPct: 0.7, L1MissPct: 5.0, L2MissPct: 40, L3MissPct: 25,
+			RSSMiB: 9220, VSZMiB: 9630, MLP: 3.5, CodeKiB: 680, BranchSites: 2600, Threads: 4,
+		},
+	}
+}

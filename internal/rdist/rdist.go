@@ -1,0 +1,267 @@
+// Package rdist measures reuse-distance profiles of address streams: for
+// each memory reference, the number of distinct cache lines touched since
+// the last reference to the same line (infinite for cold misses).
+//
+// Reuse-distance histograms are the microarchitecture-independent
+// description of temporal locality: a fully-associative LRU cache of C
+// lines hits exactly the references with distance < C. The profiler is
+// used to validate the synthetic trace generator (its per-level pools
+// must produce mass in the right distance bands) and as a standalone
+// analysis tool for custom workloads.
+//
+// The implementation keeps an exact LRU stack in an order-statistic treap
+// plus a line → stack-position lookup via a recency epoch map, giving
+// O(log n) per reference.
+package rdist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ostree"
+)
+
+// Infinite marks a cold (first-touch) reference.
+const Infinite = int(math.MaxInt32)
+
+// Profiler computes exact reuse distances over a line-address stream.
+type Profiler struct {
+	lineBytes uint64
+	stack     *ostree.Tree
+	// epoch[line] is the monotonically decreasing insertion stamp of the
+	// line's current stack node; rank lookup walks the treap by stamp.
+	pos      map[uint64]uint64 // line -> stamp
+	nextTick uint64
+	hist     *Histogram
+}
+
+// NewProfiler returns a profiler for the given cache-line size (64 for
+// the simulated machines). It panics on a non-power-of-two line size.
+func NewProfiler(lineBytes int) *Profiler {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		panic("rdist: line size must be a positive power of two")
+	}
+	return &Profiler{
+		lineBytes: uint64(lineBytes),
+		stack:     ostree.New(0xd157),
+		pos:       make(map[uint64]uint64),
+		nextTick:  math.MaxUint64,
+		hist:      NewHistogram(),
+	}
+}
+
+// Touch records a reference to addr and returns its reuse distance
+// (Infinite when cold).
+func (p *Profiler) Touch(addr uint64) int {
+	lineAddr := addr / p.lineBytes
+	d := Infinite
+	if stamp, ok := p.pos[lineAddr]; ok {
+		d = p.rankOf(stamp)
+		p.stack.RemoveAt(d)
+	}
+	stamp := p.nextTick
+	p.nextTick--
+	p.stack.PushFront(stamp)
+	p.pos[lineAddr] = stamp
+	p.hist.Add(d)
+	return d
+}
+
+// rankOf finds the stack rank of the node carrying the given stamp.
+// Stamps strictly decrease over time and a touched line always moves to
+// the front, so stack rank order equals ascending stamp order; a binary
+// search over ranks recovers the position in O(log^2 n).
+func (p *Profiler) rankOf(stamp uint64) int {
+	lo, hi := 0, p.stack.Len()-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.stack.At(mid) < stamp {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if p.stack.At(lo) != stamp {
+		panic("rdist: stamp not found at computed rank")
+	}
+	return lo
+}
+
+// Lines returns the number of distinct lines touched.
+func (p *Profiler) Lines() int { return p.stack.Len() }
+
+// Histogram returns the accumulated distance histogram.
+func (p *Profiler) Histogram() *Histogram { return p.hist }
+
+// Histogram accumulates reuse distances in power-of-two buckets plus a
+// cold-reference count.
+type Histogram struct {
+	// buckets[i] counts distances in [2^(i-1), 2^i), with buckets[0]
+	// counting distance 0.
+	buckets []uint64
+	cold    uint64
+	total   uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make([]uint64, 33)}
+}
+
+// Add records one distance.
+func (h *Histogram) Add(d int) {
+	h.total++
+	if d == Infinite {
+		h.cold++
+		return
+	}
+	h.buckets[bucketOf(d)]++
+}
+
+func bucketOf(d int) int {
+	if d <= 0 {
+		return 0
+	}
+	b := 1
+	for 1<<b <= d {
+		b++
+	}
+	return b
+}
+
+// Total returns the number of recorded references.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Cold returns the number of first-touch references.
+func (h *Histogram) Cold() uint64 { return h.cold }
+
+// MassBelow returns the fraction of warm references with distance < c.
+// Bucket boundaries are conservative: partial buckets contribute
+// proportionally under a uniform assumption.
+func (h *Histogram) MassBelow(c int) float64 {
+	warm := h.total - h.cold
+	if warm == 0 || c <= 0 {
+		return 0
+	}
+	var mass float64
+	for b, n := range h.buckets {
+		lo, hi := bucketBounds(b)
+		switch {
+		case hi <= c:
+			mass += float64(n)
+		case lo < c:
+			mass += float64(n) * float64(c-lo) / float64(hi-lo)
+		}
+	}
+	return mass / float64(warm)
+}
+
+// bucketBounds returns the [lo, hi) distance range of bucket b.
+func bucketBounds(b int) (lo, hi int) {
+	if b == 0 {
+		return 0, 1
+	}
+	return 1 << (b - 1), 1 << b
+}
+
+// HitRateAt estimates the hit rate of a fully-associative LRU cache of c
+// lines over the recorded stream (cold references miss).
+func (h *Histogram) HitRateAt(c int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	warm := float64(h.total - h.cold)
+	return h.MassBelow(c) * warm / float64(h.total)
+}
+
+// Buckets returns the non-empty buckets as (lowBound, count) pairs in
+// ascending distance order, for report rendering.
+func (h *Histogram) Buckets() (bounds []int, counts []uint64) {
+	for b, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo, _ := bucketBounds(b)
+		bounds = append(bounds, lo)
+		counts = append(counts, n)
+	}
+	return bounds, counts
+}
+
+// String renders a compact textual histogram.
+func (h *Histogram) String() string {
+	bounds, counts := h.Buckets()
+	out := ""
+	for i, lo := range bounds {
+		out += fmt.Sprintf("%8d: %d\n", lo, counts[i])
+	}
+	out += fmt.Sprintf("    cold: %d\n", h.cold)
+	return out
+}
+
+// Percentile returns the warm-reference distance at the given quantile
+// (0 < q <= 1), using bucket lower bounds; -1 when there are no warm
+// references.
+func (h *Histogram) Percentile(q float64) int {
+	warm := h.total - h.cold
+	if warm == 0 {
+		return -1
+	}
+	target := uint64(math.Ceil(q * float64(warm)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	bounds, counts := h.Buckets()
+	for i := range bounds {
+		cum += counts[i]
+		if cum >= target {
+			return bounds[i]
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Compare returns the total-variation distance between two histograms'
+// warm-distance distributions (0 = identical, 1 = disjoint), a similarity
+// measure for streams.
+func Compare(a, b *Histogram) float64 {
+	warmA := float64(a.total - a.cold)
+	warmB := float64(b.total - b.cold)
+	if warmA == 0 || warmB == 0 {
+		if warmA == warmB {
+			return 0
+		}
+		return 1
+	}
+	n := len(a.buckets)
+	if len(b.buckets) > n {
+		n = len(b.buckets)
+	}
+	tv := 0.0
+	for i := 0; i < n; i++ {
+		var pa, pb float64
+		if i < len(a.buckets) {
+			pa = float64(a.buckets[i]) / warmA
+		}
+		if i < len(b.buckets) {
+			pb = float64(b.buckets[i]) / warmB
+		}
+		tv += math.Abs(pa - pb)
+	}
+	return tv / 2
+}
+
+// Profile runs a callback-driven address stream through a fresh profiler
+// and returns its histogram — a convenience for analyzing generators.
+func Profile(lineBytes int, n int, next func() (addr uint64, ok bool)) *Histogram {
+	p := NewProfiler(lineBytes)
+	for i := 0; i < n; i++ {
+		addr, ok := next()
+		if !ok {
+			break
+		}
+		p.Touch(addr)
+	}
+	return p.Histogram()
+}

@@ -1,0 +1,325 @@
+package rdist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/profile"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+func TestColdThenReuse(t *testing.T) {
+	p := NewProfiler(64)
+	if d := p.Touch(0x1000); d != Infinite {
+		t.Fatalf("first touch distance = %d, want Infinite", d)
+	}
+	if d := p.Touch(0x1000); d != 0 {
+		t.Fatalf("immediate reuse distance = %d, want 0", d)
+	}
+	if d := p.Touch(0x1020); d != 0 {
+		t.Fatalf("same-line offset distance = %d, want 0", d)
+	}
+}
+
+func TestDistanceCountsDistinctLines(t *testing.T) {
+	p := NewProfiler(64)
+	p.Touch(0)   // line 0
+	p.Touch(64)  // line 1
+	p.Touch(128) // line 2
+	p.Touch(64)  // re-touch line 1: one distinct line (2) in between
+	if d := p.Touch(0); d != 2 {
+		t.Fatalf("distance = %d, want 2 (lines 2 and 1 touched since)", d)
+	}
+}
+
+func TestRepeatTouchesDoNotInflate(t *testing.T) {
+	p := NewProfiler(64)
+	p.Touch(0)
+	for i := 0; i < 10; i++ {
+		p.Touch(64) // hammer one line
+	}
+	if d := p.Touch(0); d != 1 {
+		t.Fatalf("distance = %d, want 1 (only one distinct line between)", d)
+	}
+}
+
+func TestLines(t *testing.T) {
+	p := NewProfiler(64)
+	for i := 0; i < 10; i++ {
+		p.Touch(uint64(i) * 64)
+		p.Touch(uint64(i) * 64)
+	}
+	if got := p.Lines(); got != 10 {
+		t.Errorf("Lines = %d, want 10", got)
+	}
+}
+
+func TestPanicsOnBadLineSize(t *testing.T) {
+	for _, n := range []int{0, -1, 48} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("line size %d accepted", n)
+				}
+			}()
+			NewProfiler(n)
+		}()
+	}
+}
+
+// referenceDistance is a brute-force O(n) reuse-distance oracle.
+type referenceDistance struct {
+	order []uint64 // most recent first
+}
+
+func (r *referenceDistance) touch(line uint64) int {
+	d := Infinite
+	for i, l := range r.order {
+		if l == line {
+			d = i
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.order = append([]uint64{line}, r.order...)
+	return d
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	p := NewProfiler(64)
+	ref := &referenceDistance{}
+	rng := xrand.NewPCG32(7)
+	for i := 0; i < 5000; i++ {
+		line := uint64(rng.Intn(200))
+		got := p.Touch(line * 64)
+		want := ref.touch(line)
+		if got != want {
+			t.Fatalf("step %d line %d: distance %d, oracle %d", i, line, got, want)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Add(0)
+	h.Add(1)
+	h.Add(2)
+	h.Add(3)
+	h.Add(1000)
+	h.Add(Infinite)
+	if h.Total() != 6 || h.Cold() != 1 {
+		t.Fatalf("total/cold = %d/%d", h.Total(), h.Cold())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != len(counts) || len(bounds) == 0 {
+		t.Fatal("bucket shape")
+	}
+	if bounds[0] != 0 || counts[0] != 1 {
+		t.Errorf("bucket 0 = (%d,%d)", bounds[0], counts[0])
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 1023: 10, 1024: 11}
+	for d, want := range cases {
+		if got := bucketOf(d); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestMassBelowMonotone(t *testing.T) {
+	h := NewHistogram()
+	rng := xrand.NewPCG32(3)
+	for i := 0; i < 10000; i++ {
+		h.Add(rng.Intn(5000))
+	}
+	prev := 0.0
+	for c := 1; c <= 1<<14; c *= 2 {
+		m := h.MassBelow(c)
+		if m < prev-1e-12 {
+			t.Fatalf("MassBelow not monotone at %d: %v < %v", c, m, prev)
+		}
+		prev = m
+	}
+	if math.Abs(prev-1) > 1e-9 {
+		t.Errorf("MassBelow at max = %v, want 1", prev)
+	}
+}
+
+func TestHitRateAt(t *testing.T) {
+	h := NewHistogram()
+	// 3 warm refs below 8, 1 above, 1 cold.
+	h.Add(1)
+	h.Add(2)
+	h.Add(4)
+	h.Add(100)
+	h.Add(Infinite)
+	got := h.HitRateAt(8)
+	if math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("HitRateAt(8) = %v, want 0.6", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 90; i++ {
+		h.Add(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1 << 10)
+	}
+	if got := h.Percentile(0.5); got != 1 {
+		t.Errorf("p50 = %d, want 1", got)
+	}
+	if got := h.Percentile(0.99); got != 1<<10 {
+		t.Errorf("p99 = %d, want 1024", got)
+	}
+	if got := NewHistogram().Percentile(0.5); got != -1 {
+		t.Errorf("empty percentile = %d", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := NewHistogram()
+	b := NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Add(1)
+		b.Add(1)
+	}
+	if got := Compare(a, b); got != 0 {
+		t.Errorf("identical histograms distance = %v", got)
+	}
+	c := NewHistogram()
+	for i := 0; i < 100; i++ {
+		c.Add(1 << 20)
+	}
+	if got := Compare(a, c); math.Abs(got-1) > 1e-9 {
+		t.Errorf("disjoint histograms distance = %v, want 1", got)
+	}
+	if got := Compare(NewHistogram(), NewHistogram()); got != 0 {
+		t.Errorf("empty vs empty = %v", got)
+	}
+	if got := Compare(a, NewHistogram()); got != 1 {
+		t.Errorf("warm vs empty = %v, want 1", got)
+	}
+}
+
+// TestLRUConsistency: hit rate at capacity c equals the fraction of refs
+// with distance < c (the LRU stack property), via the oracle-checked
+// profiler on a synthetic loop.
+func TestLRUConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.NewPCG32(seed)
+		p := NewProfiler(64)
+		hits8 := 0
+		total := 0
+		for i := 0; i < 3000; i++ {
+			line := uint64(rng.Intn(30))
+			d := p.Touch(line * 64)
+			total++
+			if d != Infinite && d < 8 {
+				hits8++
+			}
+		}
+		want := float64(hits8) / float64(total)
+		got := p.Histogram().HitRateAt(8)
+		// Bucketed histogram interpolates within [4,8); allow slack.
+		return math.Abs(got-want) < 0.08
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGeneratorBands: the synthetic generator's data stream has
+// reuse-distance mass consistent with its miss-rate targets — the
+// validation loop the profiler exists for.
+func TestGeneratorBands(t *testing.T) {
+	model := profile.Model{
+		InstrBillions: 100, TargetIPC: 1.5,
+		LoadPct: 25, StorePct: 9, BranchPct: 16,
+		Mix:           profile.DefaultIntBranchMix(),
+		MispredictPct: 3, L1MissPct: 6, L2MissPct: 40, L3MissPct: 15,
+		RSSMiB: 256, VSZMiB: 300, MLP: 2, CodeKiB: 200, BranchSites: 1500,
+		Threads: 1, Seed: 99,
+	}
+	geo := synth.Geometry{L1Lines: 512, L2Lines: 4096, L3Lines: 32768}
+	g, err := synth.New(model, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profile from the very first reference (prologue included) so the
+	// pools' steady-state reuses are warm to the profiler.
+	p := NewProfiler(64)
+	var u trace.Uop
+	refs := 0
+	for refs < 120000 {
+		if !g.Next(&u) {
+			t.Fatal("stream ended")
+		}
+		if u.IsMem() {
+			p.Touch(u.Addr)
+			refs++
+		}
+	}
+	h := p.Histogram()
+	// The hot pool dominates: most warm references reuse within the L1
+	// capacity.
+	l1Mass := h.MassBelow(geo.L1Lines)
+	if l1Mass < 0.88 || l1Mass > 0.98 {
+		t.Errorf("L1-range warm mass = %.3f, want ~0.94", l1Mass)
+	}
+	// The L2 pool contributes a distinct mid-range band: measurable mass
+	// between the L1 and L2 capacities.
+	l2Band := h.MassBelow(geo.L2Lines) - l1Mass
+	if l2Band < 0.005 || l2Band > 0.08 {
+		t.Errorf("L2 band warm mass = %.3f, want a few percent", l2Band)
+	}
+	// Deep pools produce references beyond the L2 capacity too.
+	if deep := 1 - h.MassBelow(geo.L2Lines); deep <= 0 {
+		t.Error("no warm mass beyond the L2 capacity")
+	}
+	// The streaming pool keeps generating cold references.
+	if h.Cold() == 0 {
+		t.Error("no cold references from the streaming pool")
+	}
+}
+
+func BenchmarkTouch(b *testing.B) {
+	p := NewProfiler(64)
+	rng := xrand.NewPCG32(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Touch(uint64(rng.Intn(100000)) * 64)
+	}
+}
+
+func TestProfileConvenience(t *testing.T) {
+	addrs := []uint64{0, 64, 0, 64, 128}
+	i := 0
+	h := Profile(64, 10, func() (uint64, bool) {
+		if i >= len(addrs) {
+			return 0, false
+		}
+		a := addrs[i]
+		i++
+		return a, true
+	})
+	if h.Total() != 5 || h.Cold() != 3 {
+		t.Errorf("total/cold = %d/%d, want 5/3", h.Total(), h.Cold())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Add(3)
+	h.Add(Infinite)
+	s := h.String()
+	if len(s) == 0 || s[len(s)-1] != '\n' {
+		t.Error("bad string rendering")
+	}
+}

@@ -1,0 +1,140 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteMarkdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Markdown renders the table to a markdown string.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	t.WriteMarkdown(&b)
+	return b.String()
+}
+
+// HistogramSVG renders a log-x histogram (e.g. a reuse-distance profile):
+// bounds are bucket lower edges, counts the bucket masses.
+func HistogramSVG(title, xlabel string, bounds []int, counts []uint64) string {
+	c := newCanvas(720, 400)
+	c.text(c.w/2, 16, 14, "middle", title)
+	c.text(c.w/2, c.h-8, 11, "middle", xlabel)
+	if len(bounds) == 0 {
+		return c.finish()
+	}
+	maxCount := uint64(0)
+	for _, n := range counts {
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	if maxCount == 0 {
+		maxCount = 1
+	}
+	c.line(c.margin, 30, c.margin, c.h-c.margin, "#333", 1)
+	c.line(c.margin, c.h-c.margin, c.w-20, c.h-c.margin, "#333", 1)
+	bw := (c.w - c.margin - 30) / float64(len(bounds))
+	plotH := c.h - c.margin - 40
+	for i, n := range counts {
+		h := float64(n) / float64(maxCount) * plotH
+		x := c.margin + float64(i)*bw + bw*0.1
+		c.rect(x, c.h-c.margin-h, bw*0.8, h, Palette[0])
+		label := formatBound(bounds[i])
+		c.text(c.margin+float64(i)*bw+bw/2, c.h-c.margin+14, 9, "middle", label)
+	}
+	// Log-count gridline labels.
+	for _, frac := range []float64{0.5, 1.0} {
+		y := c.h - c.margin - frac*plotH
+		c.line(c.margin, y, c.w-20, y, "#ddd", 0.5)
+		c.text(c.margin-4, y+3, 9, "end", formatCount(uint64(float64(maxCount)*frac)))
+	}
+	return c.finish()
+}
+
+func formatBound(v int) string {
+	switch {
+	case v >= 1<<20:
+		return fmt.Sprintf("%dM", v>>20)
+	case v >= 1<<10:
+		return fmt.Sprintf("%dK", v>>10)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+func formatCount(v uint64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+// Heatmap renders a simple value matrix (e.g. pairwise similarity) with a
+// two-color diverging scale. rows and cols label the axes; vals[i][j] is
+// the cell value.
+func Heatmap(title string, rowLabels, colLabels []string, vals [][]float64) string {
+	c := newCanvas(120+24*float64(len(colLabels)), 80+18*float64(len(rowLabels)))
+	c.text(c.w/2, 16, 14, "middle", title)
+	if len(vals) == 0 {
+		return c.finish()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range vals {
+		for _, v := range row {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	cell := 24.0
+	x0, y0 := 110.0, 40.0
+	for i, row := range vals {
+		c.text(x0-6, y0+float64(i)*18+12, 8, "end", rowLabels[i])
+		for j, v := range row {
+			frac := (v - lo) / (hi - lo)
+			// White -> blue ramp.
+			shade := int(255 - frac*180)
+			color := fmt.Sprintf("#%02x%02xff", shade, shade)
+			c.rect(x0+float64(j)*cell, y0+float64(i)*18, cell-2, 16, color)
+		}
+	}
+	for j, l := range colLabels {
+		fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="8" font-family="sans-serif" text-anchor="start" transform="rotate(-60 %.1f %.1f)">%s</text>`+"\n",
+			x0+float64(j)*cell+8, y0-6, x0+float64(j)*cell+8, y0-6.0, escape(l))
+	}
+	return c.finish()
+}

@@ -1,0 +1,209 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("Table X", "Name", "IPC")
+	tb.AddRow("505.mcf_r", "0.886")
+	tb.AddRowf("525.x264_r", 3.024)
+	txt := tb.Text()
+	for _, want := range []string{"Table X", "Name", "IPC", "505.mcf_r", "0.886", "3.024", "---"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("text output missing %q:\n%s", want, txt)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "A", "LongHeader")
+	tb.AddRow("x", "y")
+	lines := strings.Split(strings.TrimRight(tb.Text(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	if len(lines[2]) < len("x  LongHeader")-len("LongHeader")+1 {
+		t.Errorf("row not padded: %q", lines[2])
+	}
+}
+
+func TestTableRowShapeHandling(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("only")
+	tb.AddRow("a", "b", "extra-dropped")
+	txt := tb.Text()
+	if strings.Contains(txt, "extra-dropped") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	tb.AddRow(`quoted "x"`, "a,b")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.Contains(got, `"quoted ""x"""`) {
+		t.Errorf("quote escaping broken: %s", got)
+	}
+	if !strings.Contains(got, `"a,b"`) {
+		t.Errorf("comma quoting broken: %s", got)
+	}
+	if !strings.HasPrefix(got, "name,value\n") {
+		t.Errorf("header missing: %s", got)
+	}
+}
+
+func TestAddRowfFormats(t *testing.T) {
+	tb := NewTable("", "a", "b", "c", "d")
+	tb.AddRowf("s", 1.23456, 42, uint64(7))
+	txt := tb.Text()
+	for _, want := range []string{"1.235", "42", "7"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("missing %q in %s", want, txt)
+		}
+	}
+}
+
+func validSVG(t *testing.T, svg string) {
+	t.Helper()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatalf("not an SVG document: %.60s...", svg)
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("SVG contains non-finite coordinates")
+	}
+}
+
+func TestScatterSVG(t *testing.T) {
+	svg := Scatter("Fig 7", "PC1", "PC2",
+		[]float64{1, 2, 3}, []float64{4, 5, 6},
+		[]string{"a", "b", "c"}, []int{0, 1, 0})
+	validSVG(t, svg)
+	if strings.Count(svg, "<circle") != 3 {
+		t.Error("wrong point count")
+	}
+	for _, want := range []string{"Fig 7", "PC1", "PC2", ">a<"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestScatterConstantValues(t *testing.T) {
+	svg := Scatter("t", "x", "y", []float64{5, 5}, []float64{5, 5}, nil, nil)
+	validSVG(t, svg)
+}
+
+func TestBarsSVG(t *testing.T) {
+	svg := Bars("Fig 2", "%", []string{"mcf", "gcc"},
+		[]string{"loads", "stores"},
+		[][]float64{{27, 26}, {9, 12}})
+	validSVG(t, svg)
+	if strings.Count(svg, "<rect") < 5 { // background + 4 bars + legend
+		t.Error("bars missing")
+	}
+	if !strings.Contains(svg, "loads") || !strings.Contains(svg, "mcf") {
+		t.Error("labels missing")
+	}
+}
+
+func TestBarsEmpty(t *testing.T) {
+	validSVG(t, Bars("t", "y", nil, nil, nil))
+}
+
+func TestBarsEscapesLabels(t *testing.T) {
+	svg := Bars("a<b", "%", []string{"x&y"}, []string{"s"}, [][]float64{{1}})
+	validSVG(t, svg)
+	if strings.Contains(svg, "a<b") || strings.Contains(svg, "x&y") {
+		t.Error("labels not escaped")
+	}
+}
+
+func TestDendrogramSVG(t *testing.T) {
+	d := cluster.Agglomerate([][]float64{{0}, {1}, {10}, {11}}, cluster.Ward)
+	svg := DendrogramSVG("Fig 9", d, []string{"a", "b", "c", "d"})
+	validSVG(t, svg)
+	for _, want := range []string{">a<", ">b<", ">c<", ">d<", "linkage distance"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// 3 merges x 3 lines each + 2 axis-ish lines minimum.
+	if strings.Count(svg, "<line") < 9 {
+		t.Error("merge lines missing")
+	}
+}
+
+func TestParetoSVG(t *testing.T) {
+	tr := []cluster.Tradeoff{
+		{K: 1, SSE: 100, Cost: 10},
+		{K: 2, SSE: 40, Cost: 30},
+		{K: 3, SSE: 10, Cost: 60},
+	}
+	svg := ParetoSVG("Fig 10", tr, 2)
+	validSVG(t, svg)
+	if !strings.Contains(svg, "k = 2") {
+		t.Error("knee marker missing")
+	}
+	validSVG(t, ParetoSVG("empty", nil, 0))
+}
+
+func TestLoadingsSVG(t *testing.T) {
+	svg := Loadings("Fig 8", []string{"rss", "vsz"},
+		[][]float64{{0.9, -0.2}, {0.8, -0.3}})
+	validSVG(t, svg)
+	if !strings.Contains(svg, "PC1") || !strings.Contains(svg, "PC2") {
+		t.Error("PC legend missing")
+	}
+	validSVG(t, Loadings("empty", nil, nil))
+}
+
+func TestMarkdownTable(t *testing.T) {
+	tb := NewTable("Table M", "name", "v|alue")
+	tb.AddRow("a|b", "1")
+	md := tb.Markdown()
+	if !strings.Contains(md, "### Table M") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(md, "| name | v\\|alue |") {
+		t.Errorf("header escaping broken:\n%s", md)
+	}
+	if !strings.Contains(md, "| a\\|b | 1 |") {
+		t.Errorf("cell escaping broken:\n%s", md)
+	}
+	if !strings.Contains(md, "| --- | --- |") {
+		t.Error("separator missing")
+	}
+}
+
+func TestHistogramSVG(t *testing.T) {
+	svg := HistogramSVG("reuse", "distance (lines)",
+		[]int{0, 1, 2, 4, 1024, 1 << 20}, []uint64{10, 20, 5, 40, 3, 1})
+	validSVG(t, svg)
+	for _, want := range []string{"reuse", "1K", "1M", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	validSVG(t, HistogramSVG("empty", "x", nil, nil))
+}
+
+func TestHeatmap(t *testing.T) {
+	svg := Heatmap("similarity", []string{"a", "b"}, []string{"x", "y"},
+		[][]float64{{0, 1}, {0.5, 0.25}})
+	validSVG(t, svg)
+	if strings.Count(svg, "<rect") < 5 {
+		t.Error("cells missing")
+	}
+	validSVG(t, Heatmap("empty", nil, nil, nil))
+}

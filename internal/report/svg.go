@@ -1,0 +1,294 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+// svgCanvas accumulates SVG elements with a margin-based plot area.
+type svgCanvas struct {
+	w, h   float64
+	margin float64
+	b      strings.Builder
+}
+
+func newCanvas(w, h float64) *svgCanvas {
+	c := &svgCanvas{w: w, h: h, margin: 56}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(&c.b, `<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", w, h)
+	return c
+}
+
+func (c *svgCanvas) finish() string {
+	c.b.WriteString("</svg>\n")
+	return c.b.String()
+}
+
+func (c *svgCanvas) text(x, y float64, size int, anchor, s string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="%d" font-family="sans-serif" text-anchor="%s">%s</text>`+"\n",
+		x, y, size, anchor, escape(s))
+}
+
+func (c *svgCanvas) line(x1, y1, x2, y2 float64, color string, width float64) {
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, color, width)
+}
+
+func (c *svgCanvas) circle(x, y, r float64, color string) {
+	fmt.Fprintf(&c.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, color)
+}
+
+func (c *svgCanvas) rect(x, y, w, h float64, color string) {
+	fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n", x, y, w, h, color)
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return strings.ReplaceAll(s, ">", "&gt;")
+}
+
+type scale struct {
+	lo, hi   float64
+	plo, phi float64 // pixel range
+}
+
+func newScale(vals []float64, plo, phi float64) scale {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.05
+	return scale{lo: lo - pad, hi: hi + pad, plo: plo, phi: phi}
+}
+
+func (s scale) px(v float64) float64 {
+	return s.plo + (v-s.lo)/(s.hi-s.lo)*(s.phi-s.plo)
+}
+
+// Palette is a small categorical color set used by all figures.
+var Palette = []string{"#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5"}
+
+// Scatter renders a labeled 2-D scatter plot (Fig. 7 style). The group
+// slice (optional, may be nil) colors points categorically.
+func Scatter(title, xlabel, ylabel string, xs, ys []float64, labels []string, group []int) string {
+	c := newCanvas(760, 560)
+	sx := newScale(xs, c.margin, c.w-20)
+	sy := newScale(ys, c.h-c.margin, 20)
+	c.text(c.w/2, 16, 14, "middle", title)
+	c.text(c.w/2, c.h-8, 12, "middle", xlabel)
+	c.text(14, c.h/2, 12, "middle", ylabel)
+	// Axes.
+	c.line(c.margin, 20, c.margin, c.h-c.margin, "#333", 1)
+	c.line(c.margin, c.h-c.margin, c.w-20, c.h-c.margin, "#333", 1)
+	for i := range xs {
+		col := Palette[0]
+		if group != nil {
+			col = Palette[group[i]%len(Palette)]
+		}
+		x, y := sx.px(xs[i]), sy.px(ys[i])
+		c.circle(x, y, 3.5, col)
+		if labels != nil && labels[i] != "" {
+			c.text(x+5, y-4, 8, "start", labels[i])
+		}
+	}
+	return c.finish()
+}
+
+// Bars renders a per-item bar chart with one or more stacked series
+// (Figs. 1-6 style): values[s][i] is series s for item i.
+func Bars(title, ylabel string, items []string, series []string, values [][]float64) string {
+	c := newCanvas(900, 480)
+	n := len(items)
+	if n == 0 {
+		return c.finish()
+	}
+	// Stacked totals set the y scale (zero-based).
+	maxTotal := 0.0
+	for i := 0; i < n; i++ {
+		total := 0.0
+		for s := range series {
+			total += values[s][i]
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	c.text(c.w/2, 16, 14, "middle", title)
+	c.text(14, c.h/2, 12, "middle", ylabel)
+	c.line(c.margin, 30, c.margin, c.h-110, "#333", 1)
+	c.line(c.margin, c.h-110, c.w-20, c.h-110, "#333", 1)
+	plotH := c.h - 110 - 40
+	bw := (c.w - c.margin - 30) / float64(n)
+	for i := 0; i < n; i++ {
+		x := c.margin + float64(i)*bw + bw*0.15
+		yBase := c.h - 110.0
+		for s := range series {
+			h := values[s][i] / maxTotal * plotH
+			if h < 0 {
+				h = 0
+			}
+			c.rect(x, yBase-h, bw*0.7, h, Palette[s%len(Palette)])
+			yBase -= h
+		}
+		// Rotated item labels.
+		fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="8" font-family="sans-serif" text-anchor="end" transform="rotate(-55 %.1f %.1f)">%s</text>`+"\n",
+			c.margin+float64(i)*bw+bw/2, c.h-96, c.margin+float64(i)*bw+bw/2, c.h-96.0, escape(items[i]))
+	}
+	// Legend.
+	for s, name := range series {
+		x := c.margin + float64(s)*140
+		c.rect(x, 22, 10, 10, Palette[s%len(Palette)])
+		c.text(x+14, 31, 10, "start", name)
+	}
+	return c.finish()
+}
+
+// DendrogramSVG renders a left-to-right dendrogram (Fig. 9 style).
+func DendrogramSVG(title string, d *cluster.Dendrogram, labels []string) string {
+	c := newCanvas(760, 28*float64(d.N)+80)
+	c.text(c.w/2, 16, 14, "middle", title)
+	// Leaf vertical positions follow the merge order for a tidy layout:
+	// walk the tree to order the leaves.
+	order := leafOrder(d)
+	ypos := make(map[int]float64, d.N)
+	for rank, leaf := range order {
+		y := 40 + float64(rank)*26
+		ypos[leaf] = y
+		c.text(c.w-180, y+3, 9, "start", labels[leaf])
+	}
+	maxDist := 0.0
+	for _, m := range d.Merges {
+		if m.Distance > maxDist {
+			maxDist = m.Distance
+		}
+	}
+	if maxDist == 0 {
+		maxDist = 1
+	}
+	xFor := func(dist float64) float64 {
+		return (c.w - 190) - dist/maxDist*(c.w-250)
+	}
+	xpos := make(map[int]float64, d.N)
+	for i := 0; i < d.N; i++ {
+		xpos[i] = c.w - 190
+	}
+	for step, m := range d.Merges {
+		node := d.N + step
+		x := xFor(m.Distance)
+		ya, yb := ypos[m.A], ypos[m.B]
+		c.line(xpos[m.A], ya, x, ya, "#4269d0", 1.2)
+		c.line(xpos[m.B], yb, x, yb, "#4269d0", 1.2)
+		c.line(x, ya, x, yb, "#4269d0", 1.2)
+		ypos[node] = (ya + yb) / 2
+		xpos[node] = x
+	}
+	c.text(c.w/2, c.h-8, 11, "middle", "linkage distance")
+	return c.finish()
+}
+
+// leafOrder returns the leaves in dendrogram traversal order so drawn
+// subtrees never cross.
+func leafOrder(d *cluster.Dendrogram) []int {
+	if d.N == 1 {
+		return []int{0}
+	}
+	children := map[int][2]int{}
+	for step, m := range d.Merges {
+		children[d.N+step] = [2]int{m.A, m.B}
+	}
+	var order []int
+	var walk func(node int)
+	walk = func(node int) {
+		if node < d.N {
+			order = append(order, node)
+			return
+		}
+		ch := children[node]
+		walk(ch[0])
+		walk(ch[1])
+	}
+	walk(d.N + len(d.Merges) - 1)
+	return order
+}
+
+// ParetoSVG renders the SSE and execution-time curves against cluster
+// count with the chosen knee highlighted (Fig. 10 style).
+func ParetoSVG(title string, tradeoffs []cluster.Tradeoff, chosenK int) string {
+	c := newCanvas(720, 440)
+	c.text(c.w/2, 16, 14, "middle", title)
+	if len(tradeoffs) == 0 {
+		return c.finish()
+	}
+	ks := make([]float64, len(tradeoffs))
+	sses := make([]float64, len(tradeoffs))
+	costs := make([]float64, len(tradeoffs))
+	for i, t := range tradeoffs {
+		ks[i] = float64(t.K)
+		sses[i] = t.SSE
+		costs[i] = t.Cost
+	}
+	sx := newScale(ks, c.margin, c.w-60)
+	sy1 := newScale(sses, c.h-c.margin, 30)
+	sy2 := newScale(costs, c.h-c.margin, 30)
+	c.line(c.margin, 30, c.margin, c.h-c.margin, "#333", 1)
+	c.line(c.margin, c.h-c.margin, c.w-60, c.h-c.margin, "#333", 1)
+	for i := 1; i < len(tradeoffs); i++ {
+		c.line(sx.px(ks[i-1]), sy1.px(sses[i-1]), sx.px(ks[i]), sy1.px(sses[i]), Palette[0], 1.5)
+		c.line(sx.px(ks[i-1]), sy2.px(costs[i-1]), sx.px(ks[i]), sy2.px(costs[i]), Palette[2], 1.5)
+	}
+	kx := sx.px(float64(chosenK))
+	c.line(kx, 30, kx, c.h-c.margin, "#3ca951", 1)
+	c.text(kx+4, 44, 11, "start", fmt.Sprintf("k = %d", chosenK))
+	c.rect(c.margin+10, 34, 10, 10, Palette[0])
+	c.text(c.margin+24, 43, 10, "start", "SSE")
+	c.rect(c.margin+90, 34, 10, 10, Palette[2])
+	c.text(c.margin+104, 43, 10, "start", "subset execution time")
+	c.text(c.w/2, c.h-8, 11, "middle", "number of clusters")
+	return c.finish()
+}
+
+// Loadings renders the factor-loading bars per characteristic per
+// component (Fig. 8 style).
+func Loadings(title string, characteristic []string, loadings [][]float64) string {
+	c := newCanvas(900, 500)
+	c.text(c.w/2, 16, 14, "middle", title)
+	n := len(characteristic)
+	if n == 0 {
+		return c.finish()
+	}
+	k := len(loadings[0])
+	mid := (c.h - 110 + 30) / 2
+	c.line(c.margin, mid, c.w-20, mid, "#333", 1)
+	bw := (c.w - c.margin - 30) / float64(n)
+	unit := (c.h - 140) / 2 // pixels per loading of 1.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			v := loadings[i][j]
+			x := c.margin + float64(i)*bw + float64(j)*bw/float64(k+1) + 2
+			h := math.Abs(v) * unit
+			y := mid - h
+			if v < 0 {
+				y = mid
+			}
+			c.rect(x, y, bw/float64(k+1)*0.9, h, Palette[j%len(Palette)])
+		}
+		fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="8" font-family="sans-serif" text-anchor="end" transform="rotate(-55 %.1f %.1f)">%s</text>`+"\n",
+			c.margin+float64(i)*bw+bw/2, c.h-96, c.margin+float64(i)*bw+bw/2, c.h-96.0, escape(characteristic[i]))
+	}
+	for j := 0; j < k; j++ {
+		x := c.margin + float64(j)*90
+		c.rect(x, 22, 10, 10, Palette[j%len(Palette)])
+		c.text(x+14, 31, 10, "start", fmt.Sprintf("PC%d", j+1))
+	}
+	return c.finish()
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds a symmetric eigendecomposition: Values[k] is the k-th
+// eigenvalue (descending) and Vectors column k is its unit eigenvector.
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// SymEigen computes the eigendecomposition of a symmetric matrix with the
+// cyclic Jacobi rotation method. It returns an error if the matrix is not
+// square or fails to converge (which for symmetric input it practically
+// never does).
+func SymEigen(a *Matrix) (*Eigen, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("stats: SymEigen on %dx%d non-square matrix", a.rows, a.cols)
+	}
+	n := a.rows
+	// Work on a copy; v accumulates rotations.
+	w := a.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += w.At(p, q) * w.At(p, q)
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			return sortedEigen(w, v, n), nil
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, p, q, c, s, n)
+			}
+		}
+	}
+	return nil, fmt.Errorf("stats: Jacobi failed to converge in %d sweeps", maxSweeps)
+}
+
+// rotate applies the Jacobi rotation J(p,q,c,s) to w (two-sided) and
+// accumulates it into v (one-sided).
+func rotate(w, v *Matrix, p, q int, c, s float64, n int) {
+	for i := 0; i < n; i++ {
+		wip := w.At(i, p)
+		wiq := w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for j := 0; j < n; j++ {
+		wpj := w.At(p, j)
+		wqj := w.At(q, j)
+		w.Set(p, j, c*wpj-s*wqj)
+		w.Set(q, j, s*wpj+c*wqj)
+	}
+	for i := 0; i < n; i++ {
+		vip := v.At(i, p)
+		viq := v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func sortedEigen(w, v *Matrix, n int) *Eigen {
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].val > pairs[b].val })
+	e := &Eigen{Values: make([]float64, n), Vectors: NewMatrix(n, n)}
+	for k, p := range pairs {
+		e.Values[k] = p.val
+		// Fix a deterministic sign: largest-magnitude component positive.
+		col := v.Col(p.idx)
+		maxAbs, sign := 0.0, 1.0
+		for _, x := range col {
+			if math.Abs(x) > maxAbs {
+				maxAbs = math.Abs(x)
+				if x < 0 {
+					sign = -1
+				} else {
+					sign = 1
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			e.Vectors.Set(i, k, sign*col[i])
+		}
+	}
+	return e
+}

@@ -1,0 +1,231 @@
+// Package stats provides the multivariate statistics used by the paper's
+// redundancy analysis (Section V): dense matrices, a Jacobi symmetric
+// eigensolver, principal component analysis over standardized variables,
+// factor loadings, and descriptive statistics. Everything is stdlib-only
+// and deterministic.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero rows×cols matrix. It panics on non-positive
+// dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("stats: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("stats: FromRows with empty input")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("stats: ragged row %d: %d values, want %d", i, len(r), m.cols))
+		}
+		copy(m.data[i*m.cols:], r)
+	}
+	return m
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("stats: index (%d,%d) out of %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns m × b. It panics on a dimension mismatch.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("stats: Mul dimension mismatch %dx%d × %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols:]
+			orow := out.data[i*out.cols:]
+			for j := 0; j < b.cols; j++ {
+				orow[j] += a * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Mean returns the column means.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func StdDev(vals []float64) float64 {
+	n := len(vals)
+	if n < 2 {
+		return 0
+	}
+	mean := Mean(vals)
+	ss := 0.0
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Variance returns the sample variance (n-1 denominator).
+func Variance(vals []float64) float64 {
+	s := StdDev(vals)
+	return s * s
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y, or 0
+// when either has zero variance. It panics on mismatched lengths.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Pearson length mismatch")
+	}
+	if len(x) < 2 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Standardize returns a column-wise z-scored copy of m (zero mean, unit
+// sample variance). Constant columns become all-zero.
+func Standardize(m *Matrix) *Matrix {
+	out := m.Clone()
+	for j := 0; j < m.cols; j++ {
+		col := m.Col(j)
+		mean := Mean(col)
+		sd := StdDev(col)
+		for i := 0; i < m.rows; i++ {
+			v := 0.0
+			if sd > 0 {
+				v = (m.At(i, j) - mean) / sd
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+// Covariance returns the sample covariance matrix of m's columns.
+func Covariance(m *Matrix) *Matrix {
+	n := m.rows
+	cov := NewMatrix(m.cols, m.cols)
+	if n < 2 {
+		return cov
+	}
+	means := make([]float64, m.cols)
+	for j := 0; j < m.cols; j++ {
+		means[j] = Mean(m.Col(j))
+	}
+	for i := 0; i < n; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for a := 0; a < m.cols; a++ {
+			da := row[a] - means[a]
+			if da == 0 {
+				continue
+			}
+			crow := cov.data[a*m.cols:]
+			for b := a; b < m.cols; b++ {
+				crow[b] += da * (row[b] - means[b])
+			}
+		}
+	}
+	inv := 1 / float64(n-1)
+	for a := 0; a < m.cols; a++ {
+		for b := a; b < m.cols; b++ {
+			v := cov.data[a*m.cols+b] * inv
+			cov.data[a*m.cols+b] = v
+			cov.data[b*m.cols+a] = v
+		}
+	}
+	return cov
+}

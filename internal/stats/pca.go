@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// PCA is the result of a principal component analysis over standardized
+// variables (correlation-matrix PCA, as the paper's MATLAB flow uses).
+type PCA struct {
+	// Eigenvalues are the component variances, descending.
+	Eigenvalues []float64
+	// Components column k is the k-th principal direction (unit length)
+	// in standardized-variable space. Dimensions: p×p.
+	Components *Matrix
+	// Scores row i holds observation i's coordinates in PC space
+	// (n×p): Z = Xstd × Components.
+	Scores *Matrix
+	// TotalVariance is the sum of all eigenvalues (= p for a
+	// correlation-matrix PCA with no constant columns).
+	TotalVariance float64
+}
+
+// ComputePCA standardizes the observation matrix (rows = observations,
+// columns = variables) and decomposes its correlation matrix.
+func ComputePCA(observations *Matrix) (*PCA, error) {
+	if observations.Rows() < 2 {
+		return nil, fmt.Errorf("stats: PCA needs at least 2 observations, got %d", observations.Rows())
+	}
+	std := Standardize(observations)
+	corr := Covariance(std) // covariance of z-scores = correlation matrix
+	eig, err := SymEigen(corr)
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for i, v := range eig.Values {
+		if v < 0 && v > -1e-9 {
+			eig.Values[i] = 0 // numerical noise on rank-deficient input
+			v = 0
+		}
+		total += v
+	}
+	return &PCA{
+		Eigenvalues:   eig.Values,
+		Components:    eig.Vectors,
+		Scores:        std.Mul(eig.Vectors),
+		TotalVariance: total,
+	}, nil
+}
+
+// VarianceExplained returns the fraction of total variance captured by
+// the first k components.
+func (p *PCA) VarianceExplained(k int) float64 {
+	if p.TotalVariance == 0 {
+		return 0
+	}
+	if k > len(p.Eigenvalues) {
+		k = len(p.Eigenvalues)
+	}
+	s := 0.0
+	for i := 0; i < k; i++ {
+		s += p.Eigenvalues[i]
+	}
+	return s / p.TotalVariance
+}
+
+// ComponentsFor returns the smallest k whose cumulative variance
+// explained reaches frac (e.g. 0.75).
+func (p *PCA) ComponentsFor(frac float64) int {
+	for k := 1; k <= len(p.Eigenvalues); k++ {
+		if p.VarianceExplained(k) >= frac {
+			return k
+		}
+	}
+	return len(p.Eigenvalues)
+}
+
+// ScoresK returns the n×k score matrix of the first k components.
+func (p *PCA) ScoresK(k int) *Matrix {
+	if k > p.Scores.Cols() {
+		k = p.Scores.Cols()
+	}
+	out := NewMatrix(p.Scores.Rows(), k)
+	for i := 0; i < p.Scores.Rows(); i++ {
+		for j := 0; j < k; j++ {
+			out.Set(i, j, p.Scores.At(i, j))
+		}
+	}
+	return out
+}
+
+// Loadings returns the p×k factor-loading matrix: loading[v][c] is the
+// correlation between variable v and component c
+// (eigvec[v][c] × sqrt(eigval[c])), the quantity the paper plots in
+// Fig. 8 to interpret the PCs.
+func (p *PCA) Loadings(k int) *Matrix {
+	if k > len(p.Eigenvalues) {
+		k = len(p.Eigenvalues)
+	}
+	n := p.Components.Rows()
+	out := NewMatrix(n, k)
+	for c := 0; c < k; c++ {
+		scale := 0.0
+		if p.Eigenvalues[c] > 0 {
+			scale = math.Sqrt(p.Eigenvalues[c])
+		}
+		for v := 0; v < n; v++ {
+			out.Set(v, c, p.Components.At(v, c)*scale)
+		}
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Fatal("Set/At broken")
+	}
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatal("dimensions broken")
+	}
+	row := m.Row(1)
+	if row[2] != 5 {
+		t.Fatal("Row broken")
+	}
+	col := m.Col(2)
+	if col[1] != 5 || col[0] != 0 {
+		t.Fatal("Col broken")
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMatrix(0, 3) },
+		func() { FromRows(nil) },
+		func() { FromRows([][]float64{{1, 2}, {1}}) },
+		func() { NewMatrix(2, 2).At(2, 0) },
+		func() { NewMatrix(2, 2).Mul(NewMatrix(3, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatal("transpose broken")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestDescriptives(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(vals); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(vals); !almostEq(got, 2.13809, 1e-4) {
+		t.Errorf("StdDev = %v, want ~2.138", got)
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate inputs not zero")
+	}
+	if got := Variance(vals); !almostEq(got, 4.5714, 1e-3) {
+		t.Errorf("Variance = %v", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); !almostEq(got, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, yneg); !almostEq(got, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if got := Pearson(x, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Errorf("constant column correlation = %v, want 0", got)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	m := FromRows([][]float64{{1, 10, 7}, {2, 20, 7}, {3, 30, 7}})
+	z := Standardize(m)
+	for j := 0; j < 2; j++ {
+		col := z.Col(j)
+		if !almostEq(Mean(col), 0, 1e-12) {
+			t.Errorf("column %d mean %v", j, Mean(col))
+		}
+		if !almostEq(StdDev(col), 1, 1e-12) {
+			t.Errorf("column %d sd %v", j, StdDev(col))
+		}
+	}
+	// Constant column becomes zeros, not NaN.
+	for i := 0; i < 3; i++ {
+		if z.At(i, 2) != 0 {
+			t.Errorf("constant column not zeroed: %v", z.At(i, 2))
+		}
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	c := Covariance(m)
+	if !almostEq(c.At(0, 0), 1, 1e-12) || !almostEq(c.At(1, 1), 4, 1e-12) || !almostEq(c.At(0, 1), 2, 1e-12) {
+		t.Errorf("covariance = %v %v %v", c.At(0, 0), c.At(1, 1), c.At(0, 1))
+	}
+	if c.At(0, 1) != c.At(1, 0) {
+		t.Error("covariance not symmetric")
+	}
+}
+
+func TestSymEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := FromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := SymEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(e.Values[0], 3, 1e-10) || !almostEq(e.Values[1], 1, 1e-10) {
+		t.Errorf("eigenvalues = %v", e.Values)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt(2).
+	v := e.Vectors.Col(0)
+	if !almostEq(math.Abs(v[0]), math.Sqrt2/2, 1e-10) || !almostEq(v[0], v[1], 1e-10) {
+		t.Errorf("eigenvector = %v", v)
+	}
+}
+
+func TestSymEigenRejectsNonSquare(t *testing.T) {
+	if _, err := SymEigen(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+// TestSymEigenProperty: for random symmetric matrices, A·v = λ·v and the
+// eigenvalue sum equals the trace.
+func TestSymEigenProperty(t *testing.T) {
+	rng := xrand.NewPCG32(5)
+	f := func(dim uint8) bool {
+		n := int(dim%6) + 2
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		e, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		trace := 0.0
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		sum := 0.0
+		for _, v := range e.Values {
+			sum += v
+		}
+		if !almostEq(trace, sum, 1e-8) {
+			return false
+		}
+		// Check A·v = λ·v for each pair.
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				av := 0.0
+				for j := 0; j < n; j++ {
+					av += a.At(i, j) * e.Vectors.At(j, k)
+				}
+				if !almostEq(av, e.Values[k]*e.Vectors.At(i, k), 1e-7) {
+					return false
+				}
+			}
+		}
+		// Descending order.
+		for k := 1; k < n; k++ {
+			if e.Values[k] > e.Values[k-1]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomObservations(rng *xrand.PCG32, n, p int) *Matrix {
+	m := NewMatrix(n, p)
+	for i := 0; i < n; i++ {
+		base := rng.NormFloat64()
+		for j := 0; j < p; j++ {
+			// Correlated columns so PCA has structure.
+			m.Set(i, j, base*float64(j+1)+rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// TestPCAVariancePreservation: the paper's property (i) — total variance
+// is preserved by the transformation.
+func TestPCAVariancePreservation(t *testing.T) {
+	rng := xrand.NewPCG32(11)
+	m := randomObservations(rng, 100, 6)
+	p, err := ComputePCA(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correlation-matrix PCA: total variance = number of variables.
+	if !almostEq(p.TotalVariance, 6, 1e-8) {
+		t.Errorf("total variance = %v, want 6", p.TotalVariance)
+	}
+	// Score variances equal the eigenvalues.
+	for k := 0; k < 6; k++ {
+		v := Variance(p.Scores.Col(k))
+		if !almostEq(v, p.Eigenvalues[k], 1e-8) {
+			t.Errorf("score %d variance %v != eigenvalue %v", k, v, p.Eigenvalues[k])
+		}
+	}
+}
+
+// TestPCAUncorrelatedScores: the paper's property (ii) — PCs are
+// mutually uncorrelated.
+func TestPCAUncorrelatedScores(t *testing.T) {
+	rng := xrand.NewPCG32(13)
+	m := randomObservations(rng, 80, 5)
+	p, err := ComputePCA(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			if r := Pearson(p.Scores.Col(a), p.Scores.Col(b)); !almostEq(r, 0, 1e-7) {
+				t.Errorf("PC%d and PC%d correlate: %v", a+1, b+1, r)
+			}
+		}
+	}
+}
+
+// TestPCAOrderedVariance: the paper's property (iii).
+func TestPCAOrderedVariance(t *testing.T) {
+	rng := xrand.NewPCG32(17)
+	m := randomObservations(rng, 120, 7)
+	p, err := ComputePCA(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(p.Eigenvalues); k++ {
+		if p.Eigenvalues[k] > p.Eigenvalues[k-1]+1e-12 {
+			t.Errorf("eigenvalues not descending at %d: %v", k, p.Eigenvalues)
+		}
+	}
+	if p.VarianceExplained(7) < 0.999999 {
+		t.Errorf("full variance explained = %v", p.VarianceExplained(7))
+	}
+	if p.VarianceExplained(1) <= 0 || p.VarianceExplained(1) >= 1 {
+		t.Errorf("first-component share = %v", p.VarianceExplained(1))
+	}
+}
+
+func TestComponentsFor(t *testing.T) {
+	rng := xrand.NewPCG32(19)
+	m := randomObservations(rng, 90, 5)
+	p, _ := ComputePCA(m)
+	k := p.ComponentsFor(0.75)
+	if k < 1 || k > 5 {
+		t.Fatalf("ComponentsFor = %d", k)
+	}
+	if p.VarianceExplained(k) < 0.75 {
+		t.Errorf("k=%d explains only %v", k, p.VarianceExplained(k))
+	}
+	if k > 1 && p.VarianceExplained(k-1) >= 0.75 {
+		t.Errorf("k not minimal")
+	}
+}
+
+func TestScoresK(t *testing.T) {
+	rng := xrand.NewPCG32(23)
+	m := randomObservations(rng, 40, 5)
+	p, _ := ComputePCA(m)
+	s := p.ScoresK(2)
+	if s.Rows() != 40 || s.Cols() != 2 {
+		t.Fatalf("ScoresK dims %dx%d", s.Rows(), s.Cols())
+	}
+	if s.At(3, 1) != p.Scores.At(3, 1) {
+		t.Error("ScoresK values differ from Scores")
+	}
+	if got := p.ScoresK(99); got.Cols() != 5 {
+		t.Error("ScoresK over-request not clamped")
+	}
+}
+
+// TestLoadings: loadings are variable-component correlations.
+func TestLoadings(t *testing.T) {
+	rng := xrand.NewPCG32(29)
+	m := randomObservations(rng, 150, 4)
+	p, _ := ComputePCA(m)
+	l := p.Loadings(4)
+	std := Standardize(m)
+	for v := 0; v < 4; v++ {
+		for c := 0; c < 4; c++ {
+			want := Pearson(std.Col(v), p.Scores.Col(c))
+			if !almostEq(l.At(v, c), want, 1e-6) {
+				t.Errorf("loading[%d][%d] = %v, want correlation %v", v, c, l.At(v, c), want)
+			}
+		}
+	}
+}
+
+func TestPCATooFewObservations(t *testing.T) {
+	if _, err := ComputePCA(NewMatrix(1, 3)); err == nil {
+		t.Error("single observation accepted")
+	}
+}
+
+func TestPCAWithConstantColumn(t *testing.T) {
+	m := FromRows([][]float64{{1, 5, 2}, {2, 5, 4}, {3, 5, 6}, {4, 5, 8}})
+	p, err := ComputePCA(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p.Eigenvalues {
+		if math.IsNaN(v) {
+			t.Fatal("NaN eigenvalue with constant column")
+		}
+	}
+	// Two perfectly correlated variables + one constant: one PC carries
+	// everything.
+	if !almostEq(p.Eigenvalues[0], 2, 1e-9) {
+		t.Errorf("dominant eigenvalue = %v, want 2", p.Eigenvalues[0])
+	}
+}
+
+func BenchmarkPCA194x20(b *testing.B) {
+	rng := xrand.NewPCG32(31)
+	m := randomObservations(rng, 194, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputePCA(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymEigen20(b *testing.B) {
+	rng := xrand.NewPCG32(37)
+	m := randomObservations(rng, 194, 20)
+	cov := Covariance(Standardize(m))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SymEigen(cov); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package subset implements the paper's Section V methodology for
+// selecting a diverse, representative subset of a benchmark suite: PCA
+// over the 20 microarchitecture-independent characteristics, retention of
+// the leading components, agglomerative hierarchical clustering of the PC
+// scores, per-cluster representative selection by minimum execution time,
+// and Pareto-knee selection of the cluster count against total subset
+// execution time.
+package subset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Options configure the subsetting methodology.
+type Options struct {
+	// Components fixes the number of retained PCs; 0 derives it from
+	// VarianceTarget.
+	Components int
+	// VarianceTarget is the cumulative variance the retained PCs must
+	// explain when Components is 0 (default 0.76, the paper's four-PC
+	// coverage).
+	VarianceTarget float64
+	// Linkage selects the clustering linkage (the zero value is Ward).
+	Linkage cluster.Linkage
+	// MaxClusters bounds the Pareto search (default: number of pairs).
+	MaxClusters int
+	// SSEWeight scales the SSE axis in the Pareto-knee selection
+	// (default 5: favour representativeness over raw time saving, which
+	// matches the subset sizes the paper lands on).
+	SSEWeight float64
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.VarianceTarget == 0 {
+		o.VarianceTarget = 0.76
+	}
+	if o.MaxClusters <= 0 || o.MaxClusters > n {
+		o.MaxClusters = n
+	}
+	if o.SSEWeight == 0 {
+		o.SSEWeight = 5
+	}
+	return o
+}
+
+// Representative is one selected application-input pair.
+type Representative struct {
+	// Name is the pair name.
+	Name string
+	// Cluster is its cluster index.
+	Cluster int
+	// ExecSeconds is the pair's modeled execution time.
+	ExecSeconds float64
+	// ClusterSize is how many pairs the representative stands for.
+	ClusterSize int
+}
+
+// Result is the outcome of the subsetting methodology on one pair set.
+type Result struct {
+	// PCA is the analysis over the Table VIII characteristics matrix.
+	PCA *stats.PCA
+	// Components is the number of retained PCs.
+	Components int
+	// VarianceExplained is their cumulative variance share.
+	VarianceExplained float64
+	// Dendrogram is the full merge history in PC space.
+	Dendrogram *cluster.Dendrogram
+	// Tradeoffs holds SSE and subset execution time for every candidate
+	// cluster count (Fig. 10's two curves).
+	Tradeoffs []cluster.Tradeoff
+	// ChosenK is the Pareto-knee cluster count.
+	ChosenK int
+	// Representatives are the selected pairs at ChosenK, sorted by name.
+	Representatives []Representative
+	// TotalSeconds is the execution time of the full pair set.
+	TotalSeconds float64
+	// SubsetSeconds is the execution time of the representatives.
+	SubsetSeconds float64
+	// PairNames holds all pair names in matrix row order.
+	PairNames []string
+	// Scores is the retained-PC score matrix (pairs x Components).
+	Scores *stats.Matrix
+}
+
+// Saving returns the fractional execution-time saving of the subset
+// versus the full set (Table X's "% Saving").
+func (r *Result) Saving() float64 {
+	if r.TotalSeconds == 0 {
+		return 0
+	}
+	return 1 - r.SubsetSeconds/r.TotalSeconds
+}
+
+// Compute runs the full methodology over a characterization run.
+func Compute(chars []core.Characteristics, opt Options) (*Result, error) {
+	if len(chars) < 2 {
+		return nil, fmt.Errorf("subset: need at least 2 pairs, got %d", len(chars))
+	}
+	opt = opt.withDefaults(len(chars))
+	matrix, names := core.PCAMatrix(chars)
+	pca, err := stats.ComputePCA(matrix)
+	if err != nil {
+		return nil, err
+	}
+	k := opt.Components
+	if k <= 0 {
+		k = pca.ComponentsFor(opt.VarianceTarget)
+	}
+	if k > matrix.Cols() {
+		k = matrix.Cols()
+	}
+	scores := pca.ScoresK(k)
+	points := make([][]float64, scores.Rows())
+	for i := range points {
+		points[i] = scores.Row(i)
+	}
+	dend := cluster.Agglomerate(points, opt.Linkage)
+
+	total := 0.0
+	for i := range chars {
+		total += chars[i].ExecSeconds
+	}
+	res := &Result{
+		PCA:               pca,
+		Components:        k,
+		VarianceExplained: pca.VarianceExplained(k),
+		Dendrogram:        dend,
+		TotalSeconds:      total,
+		PairNames:         names,
+		Scores:            scores,
+	}
+	for kk := 1; kk <= opt.MaxClusters; kk++ {
+		assign := dend.Cut(kk)
+		reps := pickRepresentatives(chars, assign, kk)
+		cost := 0.0
+		for _, r := range reps {
+			cost += r.ExecSeconds
+		}
+		res.Tradeoffs = append(res.Tradeoffs, cluster.Tradeoff{
+			K: kk, SSE: cluster.SSE(points, assign), Cost: cost,
+		})
+	}
+	knee := cluster.KneeWeighted(res.Tradeoffs, opt.SSEWeight)
+	res.ChosenK = knee.K
+	res.SubsetSeconds = knee.Cost
+	assign := dend.Cut(res.ChosenK)
+	res.Representatives = pickRepresentatives(chars, assign, res.ChosenK)
+	return res, nil
+}
+
+// pickRepresentatives selects, per cluster, the pair with the shortest
+// execution time (Section V-C), returning them sorted by name.
+func pickRepresentatives(chars []core.Characteristics, assign []int, k int) []Representative {
+	best := make([]int, k)
+	sizes := make([]int, k)
+	for i := range best {
+		best[i] = -1
+	}
+	for i := range chars {
+		c := assign[i]
+		sizes[c]++
+		if best[c] < 0 || chars[i].ExecSeconds < chars[best[c]].ExecSeconds {
+			best[c] = i
+		}
+	}
+	var reps []Representative
+	for c, idx := range best {
+		if idx < 0 {
+			continue
+		}
+		reps = append(reps, Representative{
+			Name:        chars[idx].Pair.Name(),
+			Cluster:     c,
+			ExecSeconds: chars[idx].ExecSeconds,
+			ClusterSize: sizes[c],
+		})
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].Name < reps[j].Name })
+	return reps
+}

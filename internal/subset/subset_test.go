@@ -1,0 +1,199 @@
+package subset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+var rateCache []core.Characteristics
+
+// rateChars characterizes the full rate suite (int + fp, ref inputs).
+func rateChars(t *testing.T) []core.Characteristics {
+	t.Helper()
+	if rateCache != nil {
+		return rateCache
+	}
+	var apps []*profile.Profile
+	for _, p := range profile.CPU2017() {
+		if p.Suite == profile.RateInt || p.Suite == profile.RateFP {
+			apps = append(apps, p)
+		}
+	}
+	chars, err := core.CharacterizeSuites(apps, profile.Ref, core.Options{Instructions: 60000})
+	if err != nil {
+		t.Fatalf("characterize: %v", err)
+	}
+	rateCache = chars
+	return chars
+}
+
+func TestComputeBasics(t *testing.T) {
+	chars := rateChars(t)
+	res, err := Compute(chars, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components < 2 || res.Components > 10 {
+		t.Errorf("retained components = %d, expected a handful", res.Components)
+	}
+	if res.VarianceExplained < 0.76 || res.VarianceExplained > 1 {
+		t.Errorf("variance explained = %v", res.VarianceExplained)
+	}
+	if res.ChosenK < 2 || res.ChosenK >= len(chars) {
+		t.Errorf("chosen k = %d out of useful range", res.ChosenK)
+	}
+	if len(res.Representatives) != res.ChosenK {
+		t.Errorf("%d representatives for k=%d", len(res.Representatives), res.ChosenK)
+	}
+	if res.SubsetSeconds >= res.TotalSeconds {
+		t.Errorf("subset %.0fs not cheaper than full %.0fs", res.SubsetSeconds, res.TotalSeconds)
+	}
+}
+
+// TestSavingInPaperBallpark: the paper reports ~57% execution-time saving
+// for the rate suite subset; shape-wise we expect a substantial saving.
+func TestSavingInPaperBallpark(t *testing.T) {
+	res, err := Compute(rateChars(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Saving(); s < 0.30 || s > 0.95 {
+		t.Errorf("saving = %.1f%%, want a substantial cut (paper: 57.1%%)", s*100)
+	}
+}
+
+// TestRepresentativesAreClusterMinima: each representative has the
+// shortest execution time within its cluster.
+func TestRepresentativesAreClusterMinima(t *testing.T) {
+	chars := rateChars(t)
+	res, err := Compute(chars, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := res.Dendrogram.Cut(res.ChosenK)
+	minTime := map[int]float64{}
+	for i := range chars {
+		c := assign[i]
+		if v, ok := minTime[c]; !ok || chars[i].ExecSeconds < v {
+			minTime[c] = chars[i].ExecSeconds
+		}
+	}
+	for _, rep := range res.Representatives {
+		if math.Abs(rep.ExecSeconds-minTime[rep.Cluster]) > 1e-9 {
+			t.Errorf("representative %s (%.1fs) is not its cluster's minimum (%.1fs)",
+				rep.Name, rep.ExecSeconds, minTime[rep.Cluster])
+		}
+	}
+}
+
+// TestClusterCoverage: every cluster has exactly one representative and
+// cluster sizes sum to the pair count.
+func TestClusterCoverage(t *testing.T) {
+	chars := rateChars(t)
+	res, err := Compute(chars, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	total := 0
+	for _, rep := range res.Representatives {
+		if seen[rep.Cluster] {
+			t.Errorf("cluster %d has two representatives", rep.Cluster)
+		}
+		seen[rep.Cluster] = true
+		total += rep.ClusterSize
+	}
+	if total != len(chars) {
+		t.Errorf("cluster sizes sum to %d, want %d", total, len(chars))
+	}
+}
+
+// TestTradeoffCurves: SSE falls and subset cost rises (weakly) with k.
+func TestTradeoffCurves(t *testing.T) {
+	res, err := Compute(rateChars(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tradeoffs) != len(rateChars(t)) {
+		t.Fatalf("tradeoff points = %d", len(res.Tradeoffs))
+	}
+	for i := 1; i < len(res.Tradeoffs); i++ {
+		if res.Tradeoffs[i].SSE > res.Tradeoffs[i-1].SSE+1e-9 {
+			t.Errorf("SSE rose at k=%d", res.Tradeoffs[i].K)
+		}
+	}
+	first, last := res.Tradeoffs[0], res.Tradeoffs[len(res.Tradeoffs)-1]
+	if last.Cost <= first.Cost {
+		t.Errorf("full-suite cost %.0f not above single-cluster cost %.0f", last.Cost, first.Cost)
+	}
+}
+
+func TestFixedComponents(t *testing.T) {
+	res, err := Compute(rateChars(t), Options{Components: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 4 {
+		t.Errorf("components = %d, want 4", res.Components)
+	}
+	if res.Scores.Cols() != 4 {
+		t.Errorf("score columns = %d", res.Scores.Cols())
+	}
+}
+
+func TestLinkageAblationStable(t *testing.T) {
+	chars := rateChars(t)
+	base, err := Compute(chars, Options{Components: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range cluster.Linkages() {
+		res, err := Compute(chars, Options{Components: 4, Linkage: l})
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		if res.ChosenK < 2 {
+			t.Errorf("%v: chose k=%d", l, res.ChosenK)
+		}
+		_ = base
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(nil, Options{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Compute(rateChars(t)[:1], Options{}); err == nil {
+		t.Error("single pair accepted")
+	}
+}
+
+// TestSimilarInputsCluster: multi-input pairs of the same application with
+// low spread should sit in the same cluster at the chosen k (the paper's
+// bwaves_s-in1/in2 validation, Table IX).
+func TestSimilarInputsCluster(t *testing.T) {
+	chars := rateChars(t)
+	res, err := Compute(chars, Options{Components: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := res.Dendrogram.Cut(res.ChosenK)
+	idx := map[string]int{}
+	for i := range chars {
+		idx[chars[i].Pair.Name()] = i
+	}
+	// bwaves_r has four near-identical inputs (spread 0.5): expect at
+	// least in1 and in2 to co-cluster.
+	a, okA := idx["503.bwaves_r-in1"]
+	b, okB := idx["503.bwaves_r-in2"]
+	if !okA || !okB {
+		t.Fatal("bwaves pairs missing")
+	}
+	if assign[a] != assign[b] {
+		t.Errorf("near-identical bwaves inputs split across clusters %d/%d", assign[a], assign[b])
+	}
+}

@@ -1,0 +1,606 @@
+// Package synth generates synthetic dynamic instruction streams that
+// realize a profile.Model: the statistical stand-in for executing a SPEC
+// binary (see DESIGN.md, "Substitutions").
+//
+// The generator controls four coupled populations:
+//
+//   - Instruction mix: micro-op kinds are drawn from an alias table built
+//     from the model's load/store/branch percentages.
+//   - Data reuse: memory addresses come from an exact LRU stack (an
+//     order-statistic treap); reuse distances are sampled from bands
+//     positioned between the simulated cache capacities so the model's
+//     per-level miss rates emerge from the real cache simulation.
+//   - Branch behaviour: a Zipf-weighted static site population emits
+//     biased outcomes with a calibrated noise rate, plus direct jumps,
+//     call/return pairs and (sometimes polymorphic) indirect jumps.
+//   - Code footprint: a function walker moves the PC through CodeKiB of
+//     code, driving L1I behaviour.
+package synth
+
+import (
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Geometry tells the generator where the simulated cache capacity
+// boundaries lie, in 64-byte lines. Reuse-distance bands are placed
+// between these capacities.
+type Geometry struct {
+	L1Lines, L2Lines, L3Lines int
+}
+
+// Validate reports geometry errors.
+func (g Geometry) Validate() error {
+	if g.L1Lines <= 0 || g.L2Lines <= g.L1Lines || g.L3Lines <= g.L2Lines {
+		return errGeometry
+	}
+	return nil
+}
+
+var errGeometry = geometryError{}
+
+type geometryError struct{}
+
+func (geometryError) Error() string { return "synth: geometry must satisfy 0 < L1 < L2 < L3" }
+
+const (
+	lineBytes = 64
+	// heapBase is where synthetic data addresses start.
+	heapBase = uint64(0x10000000)
+	// codeBase is where synthetic code addresses start.
+	codeBase = uint64(0x400000)
+	// fnBytes is the synthetic function size for the PC walker.
+	fnBytes = 512
+	// maxCallDepth bounds the generator's shadow call stack.
+	maxCallDepth = 1024
+)
+
+// uop kind indices for the mix alias table.
+const (
+	mixALU = iota
+	mixFP
+	mixLoad
+	mixStore
+	mixBranch
+)
+
+// branch class indices for the class alias table.
+const (
+	clsCond = iota
+	clsJump
+	clsCall
+	clsReturn
+	clsIndirect
+)
+
+type condSite struct {
+	pc       uint64
+	taken    bool    // bias direction
+	flipProb float64 // probability of deviating from the bias
+}
+
+type indirectSite struct {
+	pc      uint64
+	targets []uint64
+	next    int
+}
+
+// Generator produces the uop stream for one application-input pair.
+// It implements trace.Source. Create one per simulation; it is not safe
+// for concurrent use.
+type Generator struct {
+	model profile.Model
+	geo   Geometry
+	rng   *xrand.PCG32
+
+	mix   *xrand.Categorical
+	class *xrand.Categorical
+
+	// Data reuse state: one pool of lines per target level. Pool sizes
+	// and re-reference rates are chosen so that pool-k lines are resident
+	// in exactly cache level k at steady state (see buildMemory).
+	bandProb *xrand.Categorical
+	pool1    poolRegion // hits L1
+	pool2    poolRegion // misses L1, hits L2
+	pool3    poolRegion // misses L2, hits L3
+	pool4    poolRegion // misses L3 (streaming)
+	touched  uint64     // high-water mark of distinct lines referenced
+	heap     uint64     // base of this stream's data segment
+	// Prologue filler geometry (see prologueAddr).
+	fillerBase    uint64
+	fill1, fill2  int
+	prologueTotal uint64
+
+	// Branch state.
+	condSites     []condSite
+	condZipf      *xrand.Zipf
+	jumpPCs       []uint64
+	callPCs       []uint64
+	otherZipf     *xrand.Zipf
+	indirectSites []indirectSite
+	callStack     []uint64
+	// Conditional sites execute in bursts (loop iterations) so the
+	// global-history predictors see realistic correlation.
+	curSite   int
+	burstLeft int
+
+	// Prologue state: the first Prologue() uops scan the pre-populated
+	// working set bottom-to-top so the cache recency order matches the
+	// LRU stack before measurement begins.
+	prologueLeft uint64
+	prologuePos  uint64
+
+	// Code walker state.
+	numFuncs int
+	curFn    int
+	off      uint64
+	fnZipf   *xrand.Zipf
+}
+
+// New builds a generator for the model over the given cache geometry.
+// The stream is fully determined by model.Seed.
+func New(model profile.Model, geo Geometry) (*Generator, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		model: model,
+		geo:   geo,
+		rng:   xrand.NewPCG32(model.Seed),
+		// Distinct streams occupy distinct address spaces so co-running
+		// generators contend in shared caches instead of aliasing.
+		heap: heapBase + (model.Seed%1024)<<33,
+	}
+	g.buildMix()
+	g.buildMemory()
+	g.buildBranches()
+	g.buildCode()
+	return g, nil
+}
+
+func (g *Generator) buildMix() {
+	m := g.model
+	rest := 100 - m.LoadPct - m.StorePct - m.BranchPct
+	if rest < 0 {
+		rest = 0
+	}
+	// FP share of the non-memory non-branch work: high for FP codes.
+	fpShare := 0.05
+	if m.Mix.Cond > 0.8 { // FP-style branch mix marks FP applications
+		fpShare = 0.55
+	}
+	g.mix = xrand.NewCategorical([]float64{
+		rest * (1 - fpShare), // alu
+		rest * fpShare,       // fp
+		m.LoadPct,
+		m.StorePct,
+		m.BranchPct,
+	})
+	g.class = xrand.NewCategorical([]float64{
+		m.Mix.Cond, m.Mix.Jump, m.Mix.Call, m.Mix.Return, m.Mix.IndirectJump,
+	})
+}
+
+// poolRegion is a contiguous range of cache lines re-referenced either
+// randomly (hot pool) or round-robin (guaranteed-gap pools).
+type poolRegion struct {
+	baseLine uint64
+	size     int
+	pos      int
+	random   bool
+}
+
+func (p *poolRegion) addr(heap uint64, rng *xrand.PCG32) uint64 {
+	if p.size <= 0 {
+		return heap
+	}
+	var i int
+	if p.random {
+		i = rng.Intn(p.size)
+	} else {
+		i = p.pos
+		p.pos++
+		if p.pos >= p.size {
+			p.pos = 0
+		}
+	}
+	return heap + (p.baseLine+uint64(i))*lineBytes
+}
+
+func (g *Generator) buildMemory() {
+	m := g.model
+	m1 := m.L1MissPct / 100
+	m2 := m.L2MissPct / 100
+	m3 := m.L3MissPct / 100
+	// Per-memory-reference probabilities of targeting each level.
+	r1 := (1 - m1) + 1e-12
+	r2 := m1 * (1 - m2)
+	r3 := m1 * m2 * (1 - m3)
+	r4 := m1 * m2 * m3
+	g.bandProb = xrand.NewCategorical([]float64{r1, r2, r3, r4})
+
+	c1 := float64(g.geo.L1Lines)
+	c2 := float64(g.geo.L2Lines)
+	c3 := float64(g.geo.L3Lines)
+
+	// Pool sizing works in "deep-insertion age": the number of L1-missing
+	// data references between consecutive touches of a pool line. All
+	// residency conditions are expressed in that clock, which makes the
+	// sizes closed-form:
+	//
+	//   pool2: age A2 must evict from L1 (A2 > 2*C1) yet stay in L2
+	//          (A2 < 0.6*C2); the geometric mean splits the margin.
+	//   pool3: A3 must evict from L2 (A3 > 2*C2) and stay in L3
+	//          (A3*m2 < 0.6*C3) - L3 only ingests the m2 fraction.
+	//   pool4: a full wrap of the stream must overflow L3.
+	//
+	// A round-robin pool touched with probability rho per memory
+	// reference has age A = size/rho * m1 insertions, so size = (rho/m1)*A.
+	a2 := sqrt(2 * c1 * 0.6 * c2)
+	s2 := int((1 - m2) * a2)
+
+	a3 := sqrt(2 * c2 * 0.6 * c3 / maxf(m2, 1e-3))
+	s3 := int((1 - m3) * m2 * a3)
+
+	maxLines := int(m.RSSMiB * 1024 * 1024 / lineBytes)
+	s4 := int(2 * c3 * maxf(m3, 0.05) * 1.5)
+	if lo := int(2 * c3); s4 < lo {
+		s4 = lo
+	}
+
+	// Pool 1: hot set, comfortably inside L1.
+	s1 := int(c1 / 2)
+
+	// Degenerate miss profiles collapse unused pools.
+	if r2 < 1e-7 {
+		s2 = 0
+	}
+	if r3 < 1e-7 {
+		s3 = 0
+	}
+	if r4 < 1e-7 {
+		s4 = 0
+	}
+	if rest := maxLines - s1 - s2 - s3; s4 > rest {
+		s4 = maxi(rest, 0)
+	}
+
+	base := uint64(0)
+	place := func(size int, random bool) poolRegion {
+		r := poolRegion{baseLine: base, size: size, random: random}
+		base += uint64(maxi(size, 0))
+		return r
+	}
+	g.pool1 = place(s1, true)
+	g.pool2 = place(s2, false)
+	g.pool3 = place(s3, false)
+	g.pool4 = place(s4, false)
+	// Filler region used by the prologue to age pools 2 and 3 to their
+	// steady-state cache levels before measurement starts.
+	g.fillerBase = base
+	g.fill1 = int(1.2 * c2)
+	g.fill2 = int(2 * c1)
+	g.touched = uint64(s1 + s2 + s3)
+	g.prologueLeft = uint64(s3 + g.fill1 + s2 + g.fill2 + s1)
+	g.prologueTotal = g.prologueLeft
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Prologue returns the total number of leading warmup uops the generator
+// emits before steady-state behaviour begins. Simulations must discard at
+// least this many instructions (machine.Options.WarmupInstructions). The
+// value is stable; it does not shrink as the stream is consumed.
+func (g *Generator) Prologue() uint64 { return g.prologueTotal }
+
+// prologueAddr returns the i-th warmup address. The sweep order is:
+// pool 3, filler (ages pool 3 out of L1 and L2), pool 2, filler (ages
+// pool 2 out of L1 only), pool 1 - leaving every pool resident at exactly
+// its steady-state level when measurement begins.
+func (g *Generator) prologueAddr(i uint64) uint64 {
+	line := func(base uint64, off uint64) uint64 {
+		return g.heap + (base+off)*lineBytes
+	}
+	if n := uint64(g.pool3.size); i < n {
+		return line(g.pool3.baseLine, i)
+	} else {
+		i -= n
+	}
+	if n := uint64(g.fill1); i < n {
+		return line(g.fillerBase, i)
+	} else {
+		i -= n
+	}
+	if n := uint64(g.pool2.size); i < n {
+		return line(g.pool2.baseLine, i)
+	} else {
+		i -= n
+	}
+	if n := uint64(g.fill2); i < n {
+		return line(g.fillerBase+uint64(g.fill1), i)
+	} else {
+		i -= n
+	}
+	return line(g.pool1.baseLine, i%uint64(maxi(g.pool1.size, 1)))
+}
+
+// memRef samples the next data address from the per-level pools.
+func (g *Generator) memRef() uint64 {
+	switch g.bandProb.Sample(g.rng) {
+	case 0:
+		return g.pool1.addr(g.heap, g.rng)
+	case 1:
+		if g.pool2.size > 0 {
+			return g.pool2.addr(g.heap, g.rng)
+		}
+		return g.pool1.addr(g.heap, g.rng)
+	case 2:
+		if g.pool3.size > 0 {
+			return g.pool3.addr(g.heap, g.rng)
+		}
+		return g.pool1.addr(g.heap, g.rng)
+	default:
+		if g.pool4.size > 0 {
+			a := g.pool4.addr(g.heap, g.rng)
+			if t := (a-g.heap)/lineBytes + 1; t > g.touched {
+				g.touched = t
+			}
+			return a
+		}
+		if g.pool3.size > 0 {
+			return g.pool3.addr(g.heap, g.rng)
+		}
+		return g.pool1.addr(g.heap, g.rng)
+	}
+}
+
+func (g *Generator) buildBranches() {
+	m := g.model
+	condFrac := m.Mix.Cond
+	if condFrac <= 0 {
+		condFrac = 1
+	}
+	// The target mispredict rate is carried almost entirely by the
+	// conditional sites' outcome noise. The affine correction inverts the
+	// measured transfer curve of the default (tournament) predictor:
+	// residual mispredicts from history pollution, burst transitions and
+	// polymorphic indirect targets contribute ~0.6 % plus a 1.26x gain on
+	// the injected noise (see machine's TestMispredictRateEmerges).
+	effective := (m.MispredictPct - 0.6) / 1.26
+	if effective < 0.03 {
+		effective = 0.03
+	}
+	flip := effective / 100 / condFrac * 0.9
+	if flip > 0.5 {
+		flip = 0.5
+	}
+	n := m.BranchSites
+	// Applications with few dynamic branches exercise proportionally
+	// fewer static sites; keeping the full static population would leave
+	// the Zipf tail permanently cold (untrained) and inflate the
+	// mispredict rate beyond the model's target.
+	if m.BranchPct < 16 {
+		n = int(float64(n) * m.BranchPct / 16)
+	}
+	if n < 16 {
+		n = 16
+	}
+	codeBytes := uint64(m.CodeKiB * 1024)
+	g.condSites = make([]condSite, n)
+	for i := range g.condSites {
+		g.condSites[i] = condSite{
+			pc:       codeBase + (uint64(i)*412)%codeBytes,
+			taken:    g.rng.Bool(0.6),
+			flipProb: flip,
+		}
+	}
+	g.condZipf = xrand.NewZipf(n, 1.3)
+	nOther := max(8, n/8)
+	g.jumpPCs = make([]uint64, nOther)
+	g.callPCs = make([]uint64, nOther)
+	for i := 0; i < nOther; i++ {
+		g.jumpPCs[i] = codeBase + (uint64(i)*1736+64)%codeBytes
+		g.callPCs[i] = codeBase + (uint64(i)*2412+128)%codeBytes
+	}
+	g.otherZipf = xrand.NewZipf(nOther, 1.3)
+	nInd := max(4, n/32)
+	g.indirectSites = make([]indirectSite, nInd)
+	for i := range g.indirectSites {
+		site := indirectSite{pc: codeBase + (uint64(i)*3168+192)%codeBytes}
+		nt := 1
+		// Polymorphic sites are budgeted against the mispredict target so
+		// indirect jumps contribute proportionally, not a fixed floor.
+		polyFrac := m.MispredictPct / 100 * 3
+		if polyFrac > 0.4 {
+			polyFrac = 0.4
+		}
+		if g.rng.Bool(polyFrac) {
+			nt = 2 + g.rng.Intn(3)
+		}
+		for t := 0; t < nt; t++ {
+			site.targets = append(site.targets, codeBase+(uint64(i*7+t)*fnBytes)%codeBytes)
+		}
+		g.indirectSites[i] = site
+	}
+}
+
+func (g *Generator) buildCode() {
+	g.numFuncs = max(1, int(g.model.CodeKiB*1024/fnBytes))
+	g.fnZipf = xrand.NewZipf(g.numFuncs, 1.2)
+	g.curFn = 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pc returns the walker's current instruction address.
+func (g *Generator) pc() uint64 {
+	return codeBase + uint64(g.curFn)*fnBytes + g.off
+}
+
+func (g *Generator) advancePC() {
+	g.off += 4
+	if g.off >= fnBytes {
+		g.off = 0
+	}
+}
+
+// Next implements trace.Source. The stream is unbounded; wrap the
+// generator in a trace.Limit to bound it.
+func (g *Generator) Next(u *trace.Uop) bool {
+	*u = trace.Uop{}
+	if g.prologueLeft > 0 {
+		g.prologueLeft--
+		u.PC = g.pc()
+		u.Kind = trace.KindLoad
+		u.Addr = g.prologueAddr(g.prologuePos)
+		g.prologuePos++
+		g.advancePC()
+		return true
+	}
+	switch g.mix.Sample(g.rng) {
+	case mixALU:
+		u.PC = g.pc()
+		u.Kind = trace.KindALU
+	case mixFP:
+		u.PC = g.pc()
+		u.Kind = trace.KindFP
+	case mixLoad:
+		u.PC = g.pc()
+		u.Kind = trace.KindLoad
+		u.Addr = g.memRef()
+	case mixStore:
+		u.PC = g.pc()
+		u.Kind = trace.KindStore
+		u.Addr = g.memRef()
+	case mixBranch:
+		g.fillBranch(u)
+	}
+	g.advancePC()
+	return true
+}
+
+func (g *Generator) fillBranch(u *trace.Uop) {
+	u.Kind = trace.KindBranch
+	switch g.class.Sample(g.rng) {
+	case clsCond:
+		if g.burstLeft <= 0 {
+			g.curSite = g.condZipf.Sample(g.rng)
+			g.burstLeft = 6 + g.rng.Geometric(1.0/18)
+		}
+		g.burstLeft--
+		site := &g.condSites[g.curSite]
+		taken := site.taken
+		if g.rng.Bool(site.flipProb) {
+			taken = !taken
+		}
+		u.PC = site.pc
+		u.Branch = trace.BranchConditional
+		u.Taken = taken
+		if taken {
+			u.Target = site.pc - 64 // short backward loop branch
+		}
+	case clsJump:
+		pc := g.jumpPCs[g.otherZipf.Sample(g.rng)]
+		u.PC = pc
+		u.Branch = trace.BranchDirectJump
+		u.Taken = true
+		u.Target = pc + 128
+	case clsCall:
+		if len(g.callStack) >= 12 {
+			// Keep the shadow stack shallower than the 16-entry RAS:
+			// real call graphs are depth-bounded too.
+			g.doReturn(u)
+			return
+		}
+		g.doCall(u)
+	case clsReturn:
+		if len(g.callStack) == 0 {
+			g.doCall(u) // nothing to return to; emit a call instead
+			return
+		}
+		g.doReturn(u)
+		return
+	case clsIndirect:
+		g.doIndirect(u)
+	}
+}
+
+func (g *Generator) doReturn(u *trace.Uop) {
+	u.Kind = trace.KindBranch
+	ret := g.callStack[len(g.callStack)-1]
+	g.callStack = g.callStack[:len(g.callStack)-1]
+	u.PC = ret + 60 // a PC inside the called function
+	u.Branch = trace.BranchReturn
+	u.Taken = true
+	u.Target = ret
+	// Walk back to the caller's function.
+	g.curFn = int((ret - codeBase) / fnBytes % uint64(g.numFuncs))
+}
+
+func (g *Generator) doIndirect(u *trace.Uop) {
+	u.Kind = trace.KindBranch
+	site := &g.indirectSites[g.rng.Intn(len(g.indirectSites))]
+	u.PC = site.pc
+	u.Branch = trace.BranchIndirectJump
+	u.Taken = true
+	if len(site.targets) == 1 {
+		u.Target = site.targets[0]
+	} else {
+		u.Target = site.targets[site.next]
+		// Polymorphic sites switch targets unpredictably.
+		if g.rng.Bool(0.3) {
+			site.next = (site.next + 1) % len(site.targets)
+		}
+	}
+}
+
+func (g *Generator) doCall(u *trace.Uop) {
+	pc := g.callPCs[g.otherZipf.Sample(g.rng)]
+	u.PC = pc
+	u.Branch = trace.BranchDirectCall
+	u.Taken = true
+	// The callee is a Zipf-hot function: hot code stays in L1I.
+	callee := g.fnZipf.Sample(g.rng)
+	u.Target = codeBase + uint64(callee)*fnBytes
+	if len(g.callStack) >= maxCallDepth {
+		// Deep recursion: drop the oldest half, like a real stack the
+		// RAS long lost track of.
+		g.callStack = append(g.callStack[:0], g.callStack[maxCallDepth/2:]...)
+	}
+	g.callStack = append(g.callStack, pc+4)
+	g.curFn = callee
+	g.off = 0
+}
+
+// Footprint returns the number of distinct lines the generator has
+// touched so far (the simulated, pre-extrapolation working set).
+func (g *Generator) Footprint() uint64 { return g.touched }

@@ -1,0 +1,314 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+func testGeometry() Geometry {
+	return Geometry{L1Lines: 512, L2Lines: 4096, L3Lines: 32768}
+}
+
+func testModel() profile.Model {
+	return profile.Model{
+		InstrBillions: 1000, TargetIPC: 1.5,
+		LoadPct: 25, StorePct: 9, BranchPct: 16,
+		Mix:           profile.DefaultIntBranchMix(),
+		MispredictPct: 3, L1MissPct: 5, L2MissPct: 40, L3MissPct: 15,
+		RSSMiB: 512, VSZMiB: 600, MLP: 2, CodeKiB: 400, BranchSites: 3000,
+		Threads: 1, Seed: 7,
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := testGeometry().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Geometry{
+		{},
+		{L1Lines: 512, L2Lines: 512, L3Lines: 1024},
+		{L1Lines: 512, L2Lines: 4096, L3Lines: 4096},
+	}
+	for _, g := range bad {
+		if g.Validate() == nil {
+			t.Errorf("geometry %+v accepted", g)
+		}
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	if _, err := New(testModel(), Geometry{}); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a, _ := New(testModel(), testGeometry())
+	b, _ := New(testModel(), testGeometry())
+	var ua, ub trace.Uop
+	for i := 0; i < 50000; i++ {
+		if !a.Next(&ua) || !b.Next(&ub) {
+			t.Fatal("stream ended unexpectedly")
+		}
+		if ua != ub {
+			t.Fatalf("streams diverged at uop %d: %+v vs %+v", i, ua, ub)
+		}
+	}
+}
+
+func TestPrologueIsAllLoads(t *testing.T) {
+	g, _ := New(testModel(), testGeometry())
+	n := g.Prologue()
+	if n == 0 {
+		t.Fatal("no prologue for a model with deep reuse bands")
+	}
+	var u trace.Uop
+	for i := uint64(0); i < n; i++ {
+		if !g.Next(&u) {
+			t.Fatal("stream ended in prologue")
+		}
+		if u.Kind != trace.KindLoad {
+			t.Fatalf("prologue uop %d is %v, want load", i, u.Kind)
+		}
+	}
+}
+
+// drain runs n steady-state uops (after the prologue) and returns counts.
+func drain(t *testing.T, g *Generator, n int) (counts [trace.NumKinds]int, branches map[trace.BranchClass]int) {
+	t.Helper()
+	branches = map[trace.BranchClass]int{}
+	var u trace.Uop
+	for i, n := uint64(0), g.Prologue(); i < n; i++ {
+		g.Next(&u)
+	}
+	for i := 0; i < n; i++ {
+		if !g.Next(&u) {
+			t.Fatal("stream ended")
+		}
+		counts[u.Kind]++
+		if u.Kind == trace.KindBranch {
+			branches[u.Branch]++
+		}
+	}
+	return counts, branches
+}
+
+func TestMixProportions(t *testing.T) {
+	m := testModel()
+	g, _ := New(m, testGeometry())
+	const n = 200000
+	counts, _ := drain(t, g, n)
+	check := func(name string, got int, wantPct float64) {
+		gotPct := 100 * float64(got) / n
+		if math.Abs(gotPct-wantPct) > 0.7 {
+			t.Errorf("%s = %.2f%%, want %.2f%%", name, gotPct, wantPct)
+		}
+	}
+	check("loads", counts[trace.KindLoad], m.LoadPct)
+	check("stores", counts[trace.KindStore], m.StorePct)
+	check("branches", counts[trace.KindBranch], m.BranchPct)
+}
+
+func TestBranchClassProportions(t *testing.T) {
+	m := testModel()
+	g, _ := New(m, testGeometry())
+	_, branches := drain(t, g, 300000)
+	total := 0
+	for _, c := range branches {
+		total += c
+	}
+	if got := float64(branches[trace.BranchConditional]) / float64(total); math.Abs(got-m.Mix.Cond) > 0.03 {
+		t.Errorf("conditional share = %.3f, want %.3f", got, m.Mix.Cond)
+	}
+	// Calls and returns must stay balanced for the RAS.
+	c, r := branches[trace.BranchDirectCall], branches[trace.BranchReturn]
+	if c == 0 || r == 0 {
+		t.Fatal("no calls or returns")
+	}
+	if ratio := float64(c) / float64(r); ratio < 0.85 || ratio > 1.2 {
+		t.Errorf("call/return ratio = %.2f", ratio)
+	}
+}
+
+func TestFPShareForFPMix(t *testing.T) {
+	m := testModel()
+	m.Mix = profile.DefaultFPBranchMix()
+	g, _ := New(m, testGeometry())
+	counts, _ := drain(t, g, 100000)
+	fp := counts[trace.KindFP]
+	alu := counts[trace.KindALU]
+	if fp < alu {
+		t.Errorf("fp=%d alu=%d; FP workloads should be FP-heavy", fp, alu)
+	}
+}
+
+func TestUopInvariants(t *testing.T) {
+	g, _ := New(testModel(), testGeometry())
+	var u trace.Uop
+	for i := 0; i < 100000; i++ {
+		if !g.Next(&u) {
+			t.Fatal("stream ended")
+		}
+		if u.PC == 0 {
+			t.Fatal("uop with zero PC")
+		}
+		switch u.Kind {
+		case trace.KindLoad, trace.KindStore:
+			if u.Addr == 0 {
+				t.Fatal("memory uop with zero address")
+			}
+			if u.Branch != trace.BranchNone {
+				t.Fatal("memory uop with branch class")
+			}
+		case trace.KindBranch:
+			if u.Branch == trace.BranchNone {
+				t.Fatal("branch uop without class")
+			}
+			if u.Branch != trace.BranchConditional && !u.Taken {
+				t.Fatal("unconditional branch not taken")
+			}
+			if u.Taken && u.Target == 0 {
+				t.Fatal("taken branch without target")
+			}
+		default:
+			if u.Addr != 0 || u.Branch != trace.BranchNone {
+				t.Fatal("ALU/FP uop with memory or branch payload")
+			}
+		}
+	}
+}
+
+// TestPoolSeparation: the four pools occupy disjoint line ranges.
+func TestPoolSeparation(t *testing.T) {
+	g, _ := New(testModel(), testGeometry())
+	pools := []poolRegion{g.pool1, g.pool2, g.pool3, g.pool4}
+	for i := 0; i < len(pools); i++ {
+		for j := i + 1; j < len(pools); j++ {
+			a, b := pools[i], pools[j]
+			if a.size == 0 || b.size == 0 {
+				continue
+			}
+			aEnd := a.baseLine + uint64(a.size)
+			bEnd := b.baseLine + uint64(b.size)
+			if a.baseLine < bEnd && b.baseLine < aEnd {
+				t.Errorf("pools %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+// TestPoolSizesRespectCapacities: pool 2 fits L2, pool 3 fits L3.
+func TestPoolSizesRespectCapacities(t *testing.T) {
+	geo := testGeometry()
+	for _, m2 := range []float64{5, 20, 40, 70, 95} {
+		m := testModel()
+		m.L2MissPct = m2
+		g, _ := New(m, geo)
+		if g.pool2.size >= geo.L2Lines {
+			t.Errorf("m2=%v: pool2 size %d >= L2 capacity", m2, g.pool2.size)
+		}
+		if g.pool3.size >= geo.L3Lines*6/10 {
+			t.Errorf("m2=%v: pool3 size %d too large for L3", m2, g.pool3.size)
+		}
+	}
+}
+
+func TestDegenerateMissProfiles(t *testing.T) {
+	// Zero miss rates collapse the deep pools; stream still works.
+	m := testModel()
+	m.L1MissPct, m.L2MissPct, m.L3MissPct = 0, 0, 0
+	g, err := New(m, testGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.pool2.size != 0 || g.pool3.size != 0 || g.pool4.size != 0 {
+		t.Errorf("deep pools not collapsed: %d/%d/%d", g.pool2.size, g.pool3.size, g.pool4.size)
+	}
+	var u trace.Uop
+	for i := 0; i < 10000; i++ {
+		if !g.Next(&u) {
+			t.Fatal("stream ended")
+		}
+	}
+	// Perfect-hit profiles: all addresses fall in pool 1.
+	if g.Footprint() > uint64(g.pool1.size) {
+		t.Errorf("footprint %d exceeds hot pool %d", g.Footprint(), g.pool1.size)
+	}
+}
+
+func TestFullMissProfile(t *testing.T) {
+	// 100% miss rates: everything streams.
+	m := testModel()
+	m.L1MissPct, m.L2MissPct, m.L3MissPct = 100, 100, 100
+	g, err := New(m, testGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u trace.Uop
+	seen := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		g.Next(&u)
+		if u.Kind == trace.KindLoad || u.Kind == trace.KindStore {
+			seen[u.Addr/64] = true
+		}
+	}
+	if len(seen) < 1000 {
+		t.Errorf("streaming profile touched only %d distinct lines", len(seen))
+	}
+}
+
+func TestSmallFootprintCapsPools(t *testing.T) {
+	m := testModel()
+	m.RSSMiB = 1.2 // ~20k lines
+	g, err := New(m, testGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := g.pool1.size + g.pool2.size + g.pool3.size + g.pool4.size
+	if total > int(m.RSSMiB*1024*1024/64)+g.pool1.size+g.pool2.size+g.pool3.size {
+		t.Errorf("pools exceed footprint budget: %d lines", total)
+	}
+}
+
+func TestDistinctSeedsDistinctHeaps(t *testing.T) {
+	m1 := testModel()
+	m2 := testModel()
+	m2.Seed = 8
+	a, _ := New(m1, testGeometry())
+	b, _ := New(m2, testGeometry())
+	if a.heap == b.heap {
+		t.Error("different seeds share a heap base")
+	}
+}
+
+func TestAllCPU2017ModelsGenerate(t *testing.T) {
+	geo := testGeometry()
+	for _, p := range profile.CPU2017() {
+		for _, pair := range p.Expand(profile.Ref) {
+			g, err := New(pair.Model, geo)
+			if err != nil {
+				t.Errorf("%s: %v", pair.Name(), err)
+				continue
+			}
+			var u trace.Uop
+			for i := 0; i < 2000; i++ {
+				if !g.Next(&u) {
+					t.Errorf("%s: stream ended", pair.Name())
+					break
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g, _ := New(testModel(), testGeometry())
+	var u trace.Uop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&u)
+	}
+}

@@ -1,0 +1,85 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestColdWalkThenHit(t *testing.T) {
+	tb := NewHaswell()
+	if got := tb.Translate(0x1000); got != Walk {
+		t.Fatalf("cold translate = %v, want Walk", got)
+	}
+	if got := tb.Translate(0x1FFF); got != HitL1 {
+		t.Fatalf("same-page translate = %v, want HitL1", got)
+	}
+	if got := tb.Translate(0x2000); got != Walk {
+		t.Fatalf("next-page translate = %v, want Walk", got)
+	}
+}
+
+func TestSmallWorkingSetStaysInL1(t *testing.T) {
+	tb := NewHaswell()
+	// 32 pages fit in the 64-entry DTLB.
+	for pass := 0; pass < 4; pass++ {
+		for p := 0; p < 32; p++ {
+			tb.Translate(uint64(p) << PageBits)
+		}
+	}
+	st := tb.L1Stats()
+	if st.Misses != 32 {
+		t.Errorf("L1 misses = %d, want 32 (cold only)", st.Misses)
+	}
+}
+
+func TestMediumWorkingSetHitsL2(t *testing.T) {
+	tb := NewHaswell()
+	// 512 pages overflow the 64-entry L1 but fit the 1024-entry STLB.
+	for pass := 0; pass < 4; pass++ {
+		for p := 0; p < 512; p++ {
+			tb.Translate(uint64(p) << PageBits)
+		}
+	}
+	if walks := tb.Walks(); walks != 512 {
+		t.Errorf("walks = %d, want 512 (cold only)", walks)
+	}
+	if tb.L1Stats().Hits != 0 {
+		// Sequential scan of 512 pages through a 16-set L1 thrashes it.
+		t.Logf("L1 hits = %d (sequential thrash)", tb.L1Stats().Hits)
+	}
+}
+
+func TestHugeWorkingSetWalks(t *testing.T) {
+	tb := NewHaswell()
+	rng := xrand.NewPCG32(9)
+	walksBefore := tb.Walks()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tb.Translate(uint64(rng.Intn(1<<20)) << PageBits)
+	}
+	rate := float64(tb.Walks()-walksBefore) / n
+	if rate < 0.9 {
+		t.Errorf("walk rate %v on 4 GB random working set, want ~1", rate)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid TLB config did not panic")
+		}
+	}()
+	New(Config{Entries: 10, Ways: 3}, Config{Entries: 64, Ways: 4})
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty stats miss rate != 0")
+	}
+	s.Hits, s.Misses = 3, 1
+	if got := s.MissRate(); got != 0.25 {
+		t.Errorf("miss rate = %v, want 0.25", got)
+	}
+}

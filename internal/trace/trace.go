@@ -1,0 +1,162 @@
+// Package trace defines the dynamic instruction stream representation
+// exchanged between the synthetic workload generators and the
+// microarchitecture simulator.
+//
+// A trace is a sequence of micro-operation records. The simulator consumes
+// records one at a time through the Source interface, so traces are never
+// materialized in memory; generators produce them lazily.
+package trace
+
+import "fmt"
+
+// Kind classifies a micro-operation.
+type Kind uint8
+
+const (
+	// KindALU is an integer arithmetic/logic operation.
+	KindALU Kind = iota
+	// KindFP is a floating-point operation.
+	KindFP
+	// KindLoad is a memory load micro-operation.
+	KindLoad
+	// KindStore is a memory store micro-operation.
+	KindStore
+	// KindBranch is a control-transfer instruction; see BranchClass.
+	KindBranch
+	numKinds
+)
+
+// String returns the lowercase mnemonic name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindALU:
+		return "alu"
+	case KindFP:
+		return "fp"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// NumKinds is the number of distinct micro-operation kinds.
+const NumKinds = int(numKinds)
+
+// BranchClass classifies branch instructions the same way the paper's
+// Haswell counters do (br_inst_exec.all_conditional, .all_direct_jmp,
+// .all_direct_near_call, .all_indirect_jump_non_call_ret,
+// .all_indirect_near_return).
+type BranchClass uint8
+
+const (
+	// BranchNone marks a non-branch record.
+	BranchNone BranchClass = iota
+	// BranchConditional is a direction-predicted conditional branch.
+	BranchConditional
+	// BranchDirectJump is an unconditional direct jump.
+	BranchDirectJump
+	// BranchDirectCall is a direct near call (pushes a return address).
+	BranchDirectCall
+	// BranchIndirectJump is an indirect jump that is neither call nor
+	// return (e.g. a switch table).
+	BranchIndirectJump
+	// BranchReturn is an indirect near return (pops the return address).
+	BranchReturn
+	numBranchClasses
+)
+
+// NumBranchClasses counts the real branch classes (excluding BranchNone).
+const NumBranchClasses = int(numBranchClasses) - 1
+
+// String returns the counter-style name of the class.
+func (c BranchClass) String() string {
+	switch c {
+	case BranchNone:
+		return "none"
+	case BranchConditional:
+		return "conditional"
+	case BranchDirectJump:
+		return "direct_jmp"
+	case BranchDirectCall:
+		return "direct_near_call"
+	case BranchIndirectJump:
+		return "indirect_jump_non_call_ret"
+	case BranchReturn:
+		return "indirect_near_return"
+	default:
+		return fmt.Sprintf("BranchClass(%d)", uint8(c))
+	}
+}
+
+// Uop is one dynamic micro-operation record.
+type Uop struct {
+	// PC is the virtual address of the instruction.
+	PC uint64
+	// Kind classifies the micro-operation.
+	Kind Kind
+	// Addr is the virtual data address for loads and stores.
+	Addr uint64
+	// Branch is the branch class for KindBranch records, BranchNone
+	// otherwise.
+	Branch BranchClass
+	// Taken reports the resolved direction of a conditional branch; it is
+	// true for all unconditional control transfers.
+	Taken bool
+	// Target is the resolved target address of a taken branch.
+	Target uint64
+}
+
+// IsMem reports whether the uop references data memory.
+func (u *Uop) IsMem() bool { return u.Kind == KindLoad || u.Kind == KindStore }
+
+// Source produces a dynamic uop stream. Next fills the provided record and
+// reports whether a record was produced; it returns false when the stream
+// is exhausted. Implementations are not safe for concurrent use.
+type Source interface {
+	Next(u *Uop) bool
+}
+
+// SliceSource adapts a materialized uop slice to the Source interface.
+// It is primarily useful in tests.
+type SliceSource struct {
+	Uops []Uop
+	pos  int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(u *Uop) bool {
+	if s.pos >= len(s.Uops) {
+		return false
+	}
+	*u = s.Uops[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset rewinds the source to the beginning of the slice.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Limit wraps a Source and stops after n records.
+type Limit struct {
+	Src Source
+	N   uint64
+
+	seen uint64
+}
+
+// Next implements Source.
+func (l *Limit) Next(u *Uop) bool {
+	if l.seen >= l.N {
+		return false
+	}
+	if !l.Src.Next(u) {
+		return false
+	}
+	l.seen++
+	return true
+}

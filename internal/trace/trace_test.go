@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindALU: "alu", KindFP: "fp", KindLoad: "load",
+		KindStore: "store", KindBranch: "branch",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "Kind(") {
+		t.Error("unknown kind string")
+	}
+	if NumKinds != 5 {
+		t.Errorf("NumKinds = %d", NumKinds)
+	}
+}
+
+func TestBranchClassString(t *testing.T) {
+	want := map[BranchClass]string{
+		BranchNone:         "none",
+		BranchConditional:  "conditional",
+		BranchDirectJump:   "direct_jmp",
+		BranchDirectCall:   "direct_near_call",
+		BranchIndirectJump: "indirect_jump_non_call_ret",
+		BranchReturn:       "indirect_near_return",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("BranchClass(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if NumBranchClasses != 5 {
+		t.Errorf("NumBranchClasses = %d", NumBranchClasses)
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	cases := map[Kind]bool{
+		KindLoad: true, KindStore: true,
+		KindALU: false, KindFP: false, KindBranch: false,
+	}
+	for k, want := range cases {
+		u := Uop{Kind: k}
+		if u.IsMem() != want {
+			t.Errorf("IsMem(%v) = %v", k, u.IsMem())
+		}
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	uops := []Uop{
+		{PC: 1, Kind: KindALU},
+		{PC: 2, Kind: KindLoad, Addr: 0x100},
+	}
+	s := &SliceSource{Uops: uops}
+	var u Uop
+	for i := range uops {
+		if !s.Next(&u) {
+			t.Fatalf("stream ended at %d", i)
+		}
+		if u != uops[i] {
+			t.Errorf("uop %d = %+v", i, u)
+		}
+	}
+	if s.Next(&u) {
+		t.Error("stream did not end")
+	}
+	s.Reset()
+	if !s.Next(&u) || u.PC != 1 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	inner := &SliceSource{Uops: make([]Uop, 10)}
+	l := &Limit{Src: inner, N: 3}
+	var u Uop
+	n := 0
+	for l.Next(&u) {
+		n++
+	}
+	if n != 3 {
+		t.Errorf("limit passed %d uops, want 3", n)
+	}
+	// Limit also stops when the inner source ends first.
+	short := &Limit{Src: &SliceSource{Uops: make([]Uop, 2)}, N: 5}
+	n = 0
+	for short.Next(&u) {
+		n++
+	}
+	if n != 2 {
+		t.Errorf("limit over short source passed %d, want 2", n)
+	}
+}

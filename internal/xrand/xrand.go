@@ -1,0 +1,251 @@
+// Package xrand provides deterministic, seedable pseudo-random number
+// generators and sampling distributions used by the synthetic workload
+// generators.
+//
+// Everything in this package is reproducible: the same seed always yields
+// the same stream, independent of Go version or platform. No global state
+// is used, so concurrent simulations of different application-input pairs
+// never interfere with each other.
+package xrand
+
+import "math"
+
+// SplitMix64 is the splitmix64 generator of Steele, Lea and Flood. It is
+// used both as a standalone generator and to seed PCG32 state from a single
+// 64-bit seed. The zero value is a valid generator (seeded with 0).
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PCG32 is the PCG-XSH-RR 64/32 generator of O'Neill. It has a 2^64 period,
+// excellent statistical quality for simulation workloads, and is cheap
+// enough to sit on the hot path of trace generation.
+type PCG32 struct {
+	state uint64
+	inc   uint64
+}
+
+// NewPCG32 returns a PCG32 seeded from a single 64-bit seed. The stream
+// increment is derived from the seed via SplitMix64 so that different seeds
+// produce uncorrelated streams.
+func NewPCG32(seed uint64) *PCG32 {
+	sm := NewSplitMix64(seed)
+	p := &PCG32{}
+	p.state = sm.Uint64()
+	p.inc = sm.Uint64() | 1 // must be odd
+	p.Uint32()
+	return p
+}
+
+// Uint32 returns the next 32-bit value in the stream.
+func (p *PCG32) Uint32() uint32 {
+	old := p.state
+	p.state = old*6364136223846793005 + p.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns the next 64-bit value, composed of two 32-bit outputs.
+func (p *PCG32) Uint64() uint64 {
+	hi := uint64(p.Uint32())
+	lo := uint64(p.Uint32())
+	return hi<<32 | lo
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0. Lemire's nearly-divisionless method is used to avoid modulo bias.
+func (p *PCG32) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(p.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed value in [0, n). It panics if
+// n == 0.
+func (p *PCG32) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	// Rejection sampling on the top of the range removes modulo bias.
+	max := ^uint64(0) - (^uint64(0) % n)
+	for {
+		v := p.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (p *PCG32) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability prob.
+func (p *PCG32) Bool(prob float64) bool {
+	return p.Float64() < prob
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// (Marsaglia) method.
+func (p *PCG32) NormFloat64() float64 {
+	for {
+		u := 2*p.Float64() - 1
+		v := 2*p.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Geometric returns a geometric variate with success probability prob,
+// i.e. the number of failures before the first success (support {0,1,...}).
+// It panics if prob is not in (0, 1].
+func (p *PCG32) Geometric(prob float64) int {
+	if prob <= 0 || prob > 1 {
+		panic("xrand: Geometric probability out of (0,1]")
+	}
+	if prob == 1 {
+		return 0
+	}
+	u := p.Float64()
+	// Inverse transform: floor(log(1-u) / log(1-prob)).
+	return int(math.Log(1-u) / math.Log(1-prob))
+}
+
+// Categorical samples from a discrete distribution in O(1) using Walker's
+// alias method. Build once with NewCategorical, then call Sample per draw.
+type Categorical struct {
+	prob  []float64
+	alias []int
+}
+
+// NewCategorical builds an alias table for the given non-negative weights.
+// Weights need not sum to one. It panics if weights is empty, any weight is
+// negative or NaN, or all weights are zero.
+func NewCategorical(weights []float64) *Categorical {
+	n := len(weights)
+	if n == 0 {
+		panic("xrand: NewCategorical with no weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("xrand: NewCategorical with negative or NaN weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("xrand: NewCategorical with all-zero weights")
+	}
+	c := &Categorical{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		c.prob[s] = scaled[s]
+		c.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		c.prob[i] = 1
+		c.alias[i] = i
+	}
+	for _, i := range small {
+		c.prob[i] = 1
+		c.alias[i] = i
+	}
+	return c
+}
+
+// N returns the number of categories.
+func (c *Categorical) N() int { return len(c.prob) }
+
+// Sample draws a category index using rng.
+func (c *Categorical) Sample(rng *PCG32) int {
+	i := rng.Intn(len(c.prob))
+	if rng.Float64() < c.prob[i] {
+		return i
+	}
+	return c.alias[i]
+}
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(i+1)^s. It precomputes the CDF and samples by binary search, which is
+// fast enough for the moderate n used in branch-site selection.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s. It panics if
+// n <= 0 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	if s < 0 {
+		panic("xrand: NewZipf with negative exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Sample draws an index using rng.
+func (z *Zipf) Sample(rng *PCG32) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

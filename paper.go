@@ -1,0 +1,357 @@
+package speckit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/profile"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// This file regenerates every table and figure of the paper's evaluation
+// from characterization results. Each TableN/FigN function corresponds to
+// the same-numbered exhibit; cmd/specreport writes them all to disk and
+// bench_test.go exercises each one.
+
+// Table is a renderable text/CSV table.
+type Table = report.Table
+
+// TableII builds the per-mini-suite average execution characteristics
+// across input sizes. chars must contain pairs from all three sizes
+// (CharacterizeAllSizes).
+func TableII(chars []Characteristics) *Table {
+	t := report.NewTable("Table II: CPU17 benchmarks' average performance characteristics",
+		"Suite", "Input Size", "Instr Count (B)", "IPC", "Exec Time (s)")
+	for _, suite := range []MiniSuite{RateInt, RateFP, SpeedInt, SpeedFP} {
+		for _, size := range []InputSize{Test, Train, Ref} {
+			s := core.SummarizeSuite(chars, suite, size)
+			if s.Apps == 0 {
+				continue
+			}
+			t.AddRowf(suite.String(), size.String(), s.InstrBillions, s.IPC, s.ExecSeconds)
+		}
+	}
+	return t
+}
+
+func comparisonTable(title string, cpu17, cpu06 []Characteristics,
+	metrics []struct {
+		name string
+		pick func(*Characteristics) float64
+	}) *Table {
+	headers := []string{"Suite"}
+	for _, m := range metrics {
+		headers = append(headers, m.name+" Avg", m.name+" Std")
+	}
+	t := report.NewTable(title, headers...)
+	rowsPerMetric := make([][]core.ComparisonRow, len(metrics))
+	for i, m := range metrics {
+		rowsPerMetric[i] = core.CompareMetric(cpu17, cpu06, m.pick)
+	}
+	for r := 0; r < 6; r++ {
+		cells := []interface{}{rowsPerMetric[0][r].Label}
+		for i := range metrics {
+			s := rowsPerMetric[i][r].Summary
+			cells = append(cells, s.Mean, s.Std)
+		}
+		t.AddRowf(cells...)
+	}
+	return t
+}
+
+// TableIII compares IPC between CPU17 and CPU06 (ref inputs).
+func TableIII(cpu17, cpu06 []Characteristics) *Table {
+	return comparisonTable("Table III: IPC comparison of CPU17 and CPU06 suites",
+		cpu17, cpu06, []struct {
+			name string
+			pick func(*Characteristics) float64
+		}{{"IPC", func(c *Characteristics) float64 { return c.IPC }}})
+}
+
+// TableIV compares the instruction mix between the suites.
+func TableIV(cpu17, cpu06 []Characteristics) *Table {
+	return comparisonTable("Table IV: Instruction mix comparison of CPU17 and CPU06 suites",
+		cpu17, cpu06, []struct {
+			name string
+			pick func(*Characteristics) float64
+		}{
+			{"% Loads", func(c *Characteristics) float64 { return c.LoadPct }},
+			{"% Stores", func(c *Characteristics) float64 { return c.StorePct }},
+			{"% Branches", func(c *Characteristics) float64 { return c.BranchPct }},
+		})
+}
+
+// TableV compares memory footprints (GiB) between the suites.
+func TableV(cpu17, cpu06 []Characteristics) *Table {
+	gib := func(mib float64) float64 { return mib / 1024 }
+	return comparisonTable("Table V: RSS and VSZ comparison of CPU17 and CPU06 suites",
+		cpu17, cpu06, []struct {
+			name string
+			pick func(*Characteristics) float64
+		}{
+			{"RSS (GiB)", func(c *Characteristics) float64 { return gib(c.RSSMiB) }},
+			{"VSZ (GiB)", func(c *Characteristics) float64 { return gib(c.VSZMiB) }},
+		})
+}
+
+// TableVI compares cache miss rates between the suites.
+func TableVI(cpu17, cpu06 []Characteristics) *Table {
+	return comparisonTable("Table VI: Comparison of cache miss rates for CPU17 and CPU06 suites",
+		cpu17, cpu06, []struct {
+			name string
+			pick func(*Characteristics) float64
+		}{
+			{"L1 Miss (%)", func(c *Characteristics) float64 { return c.L1MissPct }},
+			{"L2 Miss (%)", func(c *Characteristics) float64 { return c.L2MissPct }},
+			{"L3 Miss (%)", func(c *Characteristics) float64 { return c.L3MissPct }},
+		})
+}
+
+// TableVII compares branch mispredict rates between the suites.
+func TableVII(cpu17, cpu06 []Characteristics) *Table {
+	return comparisonTable("Table VII: Branch predictor accuracy comparison for CPU17 and CPU06 suites",
+		cpu17, cpu06, []struct {
+			name string
+			pick func(*Characteristics) float64
+		}{{"Mispredict (%)", func(c *Characteristics) float64 { return c.MispredictPct }}})
+}
+
+// TableIX validates PC clustering with the paper's three sample pairs:
+// 603.bwaves_s-in1/-in2 (similar) vs 607.cactuBSSN_s (different).
+func TableIX(chars []Characteristics) *Table {
+	t := report.NewTable("Table IX: Validating PC clustering",
+		"Characteristic", "603.bwaves_s-in1", "603.bwaves_s-in2", "607.cactuBSSN_s")
+	pick := map[string]*Characteristics{}
+	for i := range chars {
+		switch chars[i].Pair.Name() {
+		case "603.bwaves_s-in1", "603.bwaves_s-in2", "607.cactuBSSN_s":
+			pick[chars[i].Pair.Name()] = &chars[i]
+		}
+	}
+	a, b, c := pick["603.bwaves_s-in1"], pick["603.bwaves_s-in2"], pick["607.cactuBSSN_s"]
+	if a == nil || b == nil || c == nil {
+		return t
+	}
+	row := func(name string, f func(*Characteristics) float64) {
+		t.AddRowf(name, f(a), f(b), f(c))
+	}
+	row("Instruction Count (B)", func(x *Characteristics) float64 { return x.InstrBillions })
+	row("% Loads", func(x *Characteristics) float64 { return x.LoadPct })
+	row("% Stores", func(x *Characteristics) float64 { return x.StorePct })
+	row("% Branches", func(x *Characteristics) float64 { return x.BranchPct })
+	row("RSS (GiB)", func(x *Characteristics) float64 { return x.RSSMiB / 1024 })
+	row("VSZ (GiB)", func(x *Characteristics) float64 { return x.VSZMiB / 1024 })
+	return t
+}
+
+// TableX lists the suggested representative subsets with their
+// execution-time savings.
+func TableX(rate, speed *SubsetResult) *Table {
+	t := report.NewTable("Table X: Suggested subset of CPU17 benchmarks",
+		"Suite", "Benchmarks", "Time (s)", "% Saving")
+	rowFor := func(label string, r *SubsetResult) {
+		names := make([]string, len(r.Representatives))
+		for i, rep := range r.Representatives {
+			names[i] = rep.Name
+		}
+		sort.Strings(names)
+		t.AddRowf(label, join(names), r.SubsetSeconds, 100*r.Saving())
+	}
+	rowFor("rate", rate)
+	rowFor("speed", speed)
+	return t
+}
+
+func join(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// FigureSeries is the data behind one per-application figure panel.
+type FigureSeries struct {
+	// Title names the panel (e.g. "Fig 1a: IPC (rate)").
+	Title string
+	// Items are the pair names along the x axis.
+	Items []string
+	// Series names each stacked component.
+	Series []string
+	// Values[s][i] is series s for item i.
+	Values [][]float64
+}
+
+// SVG renders the series as a stacked bar chart.
+func (f *FigureSeries) SVG() string {
+	return report.Bars(f.Title, f.Series[0], f.Items, f.Series, f.Values)
+}
+
+// perAppFigure assembles a figure panel over the given pairs.
+func perAppFigure(title string, chars []Characteristics, series []string,
+	pick func(*Characteristics) []float64) *FigureSeries {
+	f := &FigureSeries{Title: title, Series: series}
+	f.Values = make([][]float64, len(series))
+	sorted := append([]Characteristics(nil), chars...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Pair.Name() < sorted[j].Pair.Name() })
+	for i := range sorted {
+		f.Items = append(f.Items, sorted[i].Pair.Name())
+		vals := pick(&sorted[i])
+		for s := range series {
+			f.Values[s] = append(f.Values[s], vals[s])
+		}
+	}
+	return f
+}
+
+// rateSpeedPanels builds the (a) rate and (b) speed panels of one figure.
+func rateSpeedPanels(fig, what string, chars []Characteristics, series []string,
+	pick func(*Characteristics) []float64) []*FigureSeries {
+	rate := core.Filter(chars, func(c *Characteristics) bool {
+		return c.Pair.App.Suite == RateInt || c.Pair.App.Suite == RateFP
+	})
+	speed := core.Filter(chars, func(c *Characteristics) bool {
+		return c.Pair.App.Suite == SpeedInt || c.Pair.App.Suite == SpeedFP
+	})
+	return []*FigureSeries{
+		perAppFigure(fmt.Sprintf("Fig %sa: %s (rate)", fig, what), rate, series, pick),
+		perAppFigure(fmt.Sprintf("Fig %sb: %s (speed)", fig, what), speed, series, pick),
+	}
+}
+
+// Fig1 is the per-application IPC (rate and speed panels).
+func Fig1(chars []Characteristics) []*FigureSeries {
+	return rateSpeedPanels("1", "Instructions per cycle", chars, []string{"IPC"},
+		func(c *Characteristics) []float64 { return []float64{c.IPC} })
+}
+
+// Fig2 is the load/store micro-operation breakdown.
+func Fig2(chars []Characteristics) []*FigureSeries {
+	return rateSpeedPanels("2", "Memory micro-operations", chars, []string{"% loads", "% stores"},
+		func(c *Characteristics) []float64 { return []float64{c.LoadPct, c.StorePct} })
+}
+
+// Fig3 is the branch-instruction percentage split into conditional and
+// other branches.
+func Fig3(chars []Characteristics) []*FigureSeries {
+	return rateSpeedPanels("3", "Branch instructions", chars,
+		[]string{"% conditional", "% other branches"},
+		func(c *Characteristics) []float64 {
+			cond := c.BranchPct * c.CondPct / 100
+			return []float64{cond, c.BranchPct - cond}
+		})
+}
+
+// Fig4 is the memory footprint (RSS and VSZ, GiB).
+func Fig4(chars []Characteristics) []*FigureSeries {
+	return rateSpeedPanels("4", "Memory footprint (GiB)", chars, []string{"RSS", "VSZ"},
+		func(c *Characteristics) []float64 { return []float64{c.RSSMiB / 1024, c.VSZMiB / 1024} })
+}
+
+// Fig5 is the per-level cache miss rates.
+func Fig5(chars []Characteristics) []*FigureSeries {
+	return rateSpeedPanels("5", "Cache miss rates", chars, []string{"L1 %", "L2 %", "L3 %"},
+		func(c *Characteristics) []float64 { return []float64{c.L1MissPct, c.L2MissPct, c.L3MissPct} })
+}
+
+// Fig6 is the branch mispredict rates.
+func Fig6(chars []Characteristics) []*FigureSeries {
+	return rateSpeedPanels("6", "Branch mispredict rate", chars, []string{"mispredict %"},
+		func(c *Characteristics) []float64 { return []float64{c.MispredictPct} })
+}
+
+// Fig7 renders the PC1-PC2 and PC3-PC4 scatter plots of a subset result.
+func Fig7(res *SubsetResult) (pc12, pc34 string) {
+	labels := res.PairNames
+	k := res.Scores.Cols()
+	col := func(j int) []float64 {
+		if j < k {
+			return res.Scores.Col(j)
+		}
+		return make([]float64, res.Scores.Rows())
+	}
+	pc12 = report.Scatter("Fig 7a: PC1 vs PC2", "PC1", "PC2", col(0), col(1), labels, nil)
+	pc34 = report.Scatter("Fig 7b: PC3 vs PC4", "PC3", "PC4", col(2), col(3), labels, nil)
+	return pc12, pc34
+}
+
+// Fig8 renders the factor loadings of the retained components.
+func Fig8(res *SubsetResult) string {
+	l := res.PCA.Loadings(res.Components)
+	rows := make([][]float64, l.Rows())
+	for i := range rows {
+		rows[i] = l.Row(i)
+	}
+	return report.Loadings("Fig 8: Factor loadings", core.PCACharacteristicNames, rows)
+}
+
+// Fig9 renders the dendrogram of a subset result.
+func Fig9(title string, res *SubsetResult) string {
+	return report.DendrogramSVG(title, res.Dendrogram, res.PairNames)
+}
+
+// Fig10 renders the SSE / execution-time Pareto curves.
+func Fig10(title string, res *SubsetResult) string {
+	return report.ParetoSVG(title, res.Tradeoffs, res.ChosenK)
+}
+
+// CorrelationWithIPC reports the Pearson correlation of a metric with IPC
+// across pairs, reproducing the paper's inline correlation claims
+// (Sections IV-C and IV-D).
+func CorrelationWithIPC(chars []Characteristics, pick func(*Characteristics) float64) float64 {
+	xs := make([]float64, len(chars))
+	ys := make([]float64, len(chars))
+	for i := range chars {
+		xs[i] = pick(&chars[i])
+		ys[i] = chars[i].IPC
+	}
+	return stats.Pearson(xs, ys)
+}
+
+// ConditionalShare returns the fraction of all branches that are
+// conditional, aggregated over pairs (the paper reports 78.662%).
+func ConditionalShare(chars []Characteristics) float64 {
+	var cond, all float64
+	for i := range chars {
+		c := &chars[i]
+		cond += float64(c.Counters.MustValue(perf.CondBranches))
+		all += float64(c.Counters.MustValue(perf.AllBranches))
+	}
+	if all == 0 {
+		return 0
+	}
+	return cond / all
+}
+
+// Pairs expands a suite into its application-input pairs at one size
+// (without simulating), exposing the pair inventory (Section II's
+// 69/61/64 counts).
+func Pairs(s Suite, size InputSize) []profile.Pair {
+	return profile.ExpandSuite([]*profile.Profile(s), size)
+}
+
+// FigCPIStack is an extension figure: the per-application CPI stack
+// (base/mispredict/L2/L3/memory/fetch/TLB cycles per instruction) from
+// the interval model — the mechanistic explanation behind the IPC
+// ordering of Fig. 1.
+func FigCPIStack(chars []Characteristics) []*FigureSeries {
+	series := []string{"base", "mispredict", "l2", "l3", "memory", "fetch", "tlb"}
+	return rateSpeedPanels("C", "CPI stack (cycles/instr)", chars, series,
+		func(c *Characteristics) []float64 {
+			n := float64(c.Counters.MustValue(perf.InstRetired))
+			if n == 0 {
+				return make([]float64, len(series))
+			}
+			b := c.Breakdown
+			return []float64{
+				b.Base / n, b.Mispredict / n, b.L2 / n, b.L3 / n,
+				b.Memory / n, b.Fetch / n, b.TLB / n,
+			}
+		})
+}

@@ -1,0 +1,64 @@
+package speckit
+
+import (
+	"repro/internal/machine"
+	"repro/internal/phase"
+	"repro/internal/profile"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Phase analysis: the paper's Section VI future work ("explore their
+// phase behavior in order to identify the applications' simulation
+// phases"), implemented SimPoint-style over the synthetic streams. See
+// internal/phase for the method.
+
+// PhaseSegment is one leg of a phased workload schedule.
+type PhaseSegment = phase.Segment
+
+// PhaseInterval is one sliced interval with its behaviour signature.
+type PhaseInterval = phase.Interval
+
+// PhaseResult is the outcome of phase detection.
+type PhaseResult = phase.Result
+
+// PhaseOptions configure phase detection.
+type PhaseOptions = phase.Options
+
+// NewPhasedWorkload builds a repeating multi-phase uop stream from the
+// given schedule on the default characterization machine's geometry.
+func NewPhasedWorkload(segments []PhaseSegment) (trace.Source, error) {
+	return phase.NewPhasedSource(segments, machine.HaswellScaled().Geometry())
+}
+
+// SliceIntervals consumes n intervals of intervalLen uops from the source
+// and returns their signatures.
+func SliceIntervals(src trace.Source, intervalLen uint64, n int) ([]PhaseInterval, error) {
+	return phase.Slice(src, intervalLen, n)
+}
+
+// DetectPhases clusters interval signatures into execution phases and
+// picks one simulation point per phase.
+func DetectPhases(intervals []PhaseInterval, opt PhaseOptions) (*PhaseResult, error) {
+	return phase.Detect(intervals, opt)
+}
+
+// AnalyzePhases slices and phase-detects an application's stream in one
+// call: the workload's model at the given input size, sliced into n
+// intervals of intervalLen instructions (prologue excluded).
+func AnalyzePhases(w *Workload, size InputSize, intervalLen uint64, n int) (*PhaseResult, error) {
+	pair := (*profile.Profile)(w).Expand(size)[0]
+	gen, err := synth.New(pair.Model, machine.HaswellScaled().Geometry())
+	if err != nil {
+		return nil, err
+	}
+	var u trace.Uop
+	for i, p := uint64(0), gen.Prologue(); i < p; i++ {
+		gen.Next(&u)
+	}
+	intervals, err := phase.Slice(gen, intervalLen, n)
+	if err != nil {
+		return nil, err
+	}
+	return phase.Detect(intervals, PhaseOptions{})
+}

@@ -1,0 +1,83 @@
+package speckit
+
+import (
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/rdist"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// ReuseHistogram is an exact reuse-distance profile: the
+// microarchitecture-independent description of a workload's temporal
+// locality (a fully-associative LRU cache of C lines hits exactly the
+// references with distance < C).
+type ReuseHistogram = rdist.Histogram
+
+// AnalyzeReuse generates the workload's data stream and profiles the
+// reuse distances of its first refs memory references (prologue
+// included, so pool steady-state reuse registers as warm).
+func AnalyzeReuse(w *Workload, size InputSize, refs int) (*ReuseHistogram, error) {
+	pair := (*profile.Profile)(w).Expand(size)[0]
+	gen, err := synth.New(pair.Model, machine.HaswellScaled().Geometry())
+	if err != nil {
+		return nil, err
+	}
+	prof := rdist.NewProfiler(64)
+	var u trace.Uop
+	for n := 0; n < refs; {
+		if !gen.Next(&u) {
+			break
+		}
+		if u.IsMem() {
+			prof.Touch(u.Addr)
+			n++
+		}
+	}
+	return prof.Histogram(), nil
+}
+
+// CompareReuse returns the total-variation distance between two reuse
+// profiles (0 identical, 1 disjoint).
+func CompareReuse(a, b *ReuseHistogram) float64 { return rdist.Compare(a, b) }
+
+// ReuseHistogramSVG renders a reuse-distance histogram figure.
+func ReuseHistogramSVG(title string, h *ReuseHistogram) string {
+	bounds, counts := h.Buckets()
+	return report.HistogramSVG(title, "reuse distance (cache lines)", bounds, counts)
+}
+
+// SimilarityMatrix computes the pairwise Euclidean distances between
+// pairs in retained-PC space from a subset result — the quantitative
+// backing for the paper's "close PC values mean similar behaviour"
+// argument (Fig. 7 / Table IX).
+func SimilarityMatrix(res *SubsetResult) ([][]float64, []string) {
+	n := res.Scores.Rows()
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			out[i][j] = euclidRows(res.Scores, i, j)
+		}
+	}
+	return out, res.PairNames
+}
+
+func euclidRows(m *stats.Matrix, i, j int) float64 {
+	s := 0.0
+	for c := 0; c < m.Cols(); c++ {
+		d := m.At(i, c) - m.At(j, c)
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SimilarityHeatmapSVG renders the pairwise-distance heatmap.
+func SimilarityHeatmapSVG(title string, res *SubsetResult) string {
+	vals, names := SimilarityMatrix(res)
+	return report.Heatmap(title, names, names, vals)
+}

@@ -1,0 +1,150 @@
+// Package speckit reproduces "A Workload Characterization of the SPEC
+// CPU2017 Benchmark Suite" (Limaye & Adegbija, ISPASS 2018) as a
+// self-contained Go library.
+//
+// Because the SPEC binaries and the paper's Haswell testbed are not
+// redistributable, every layer of the measurement stack is simulated (see
+// DESIGN.md): statistical workload models stand in for the benchmarks, a
+// calibrated microarchitecture simulator stands in for the hardware
+// performance counters, and the analysis pipeline (PCA, hierarchical
+// clustering, Pareto subsetting) is implemented from scratch.
+//
+// The typical flow mirrors the paper:
+//
+//	chars, err := speckit.Characterize(speckit.CPU2017(), speckit.Ref, speckit.Options{})
+//	res, err := speckit.Subset(chars, speckit.SubsetOptions{})
+//	fmt.Println(speckit.TableX(res))
+package speckit
+
+import (
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/subset"
+)
+
+// InputSize selects the SPEC input data size.
+type InputSize = profile.InputSize
+
+// Input sizes, smallest to largest.
+const (
+	Test  = profile.Test
+	Train = profile.Train
+	Ref   = profile.Ref
+)
+
+// MiniSuite identifies one of the SPEC mini-suites.
+type MiniSuite = profile.Suite
+
+// Mini-suite identifiers.
+const (
+	RateInt  = profile.RateInt
+	RateFP   = profile.RateFP
+	SpeedInt = profile.SpeedInt
+	SpeedFP  = profile.SpeedFP
+	CPU06Int = profile.CPU06Int
+	CPU06FP  = profile.CPU06FP
+)
+
+// Workload is the statistical model of one application; custom workloads
+// can be characterized alongside the SPEC models (see
+// examples/customworkload).
+type Workload = profile.Profile
+
+// Suite is an ordered collection of application workload models.
+type Suite []*Workload
+
+// CPU2017 returns models of all 43 SPEC CPU2017 applications.
+func CPU2017() Suite { return Suite(profile.CPU2017()) }
+
+// CPU2006 returns models of all 29 SPEC CPU2006 applications (the paper's
+// comparison baseline).
+func CPU2006() Suite { return Suite(profile.CPU2006()) }
+
+// Mini returns the subset of the suite belonging to the given mini-suite.
+func (s Suite) Mini(m MiniSuite) Suite {
+	var out Suite
+	for _, app := range s {
+		if app.Suite == m {
+			out = append(out, app)
+		}
+	}
+	return out
+}
+
+// Names returns the application names in order.
+func (s Suite) Names() []string {
+	names := make([]string, len(s))
+	for i, app := range s {
+		names[i] = app.Name
+	}
+	return names
+}
+
+// Options configure a characterization campaign.
+type Options = core.Options
+
+// Characteristics is one application-input pair's characterization.
+type Characteristics = core.Characteristics
+
+// Summary is a mean / standard deviation aggregate.
+type Summary = core.Summary
+
+// MachineConfig describes the simulated hardware.
+type MachineConfig = machine.Config
+
+// Haswell returns the paper's full-size Xeon E5-2650L v3 machine model.
+func Haswell() MachineConfig { return machine.Haswell() }
+
+// HaswellScaled returns the characterization scale model (2 MB L3); it is
+// the default machine when Options.Machine is zero.
+func HaswellScaled() MachineConfig { return machine.HaswellScaled() }
+
+// Characterize expands the suite into application-input pairs at the
+// given input size and simulates each, returning per-pair
+// characteristics.
+func Characterize(s Suite, size InputSize, opt Options) ([]Characteristics, error) {
+	return core.CharacterizeSuites([]*profile.Profile(s), size, opt)
+}
+
+// CharacterizeAllSizes characterizes the suite at test, train and ref
+// sizes, returning the concatenated results (the paper's full 194-pair
+// campaign when used with CPU2017()).
+func CharacterizeAllSizes(s Suite, opt Options) ([]Characteristics, error) {
+	var all []Characteristics
+	for _, size := range []InputSize{Test, Train, Ref} {
+		chars, err := Characterize(s, size, opt)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, chars...)
+	}
+	return all, nil
+}
+
+// BySuite filters characteristics to one mini-suite.
+func BySuite(chars []Characteristics, m MiniSuite) []Characteristics {
+	return core.BySuite(chars, m)
+}
+
+// Aggregate summarizes a metric across applications (per-application
+// means first, the paper's convention).
+func Aggregate(chars []Characteristics, pick func(*Characteristics) float64) Summary {
+	return core.Aggregate(chars, pick)
+}
+
+// SubsetOptions configure the representative-subset methodology.
+type SubsetOptions = subset.Options
+
+// SubsetResult is the outcome of the subsetting methodology.
+type SubsetResult = subset.Result
+
+// Representative is one selected application-input pair.
+type Representative = subset.Representative
+
+// Subset runs the paper's Section V methodology (PCA, hierarchical
+// clustering, minimum-time representatives, Pareto-knee cluster count)
+// over a characterization run.
+func Subset(chars []Characteristics, opt SubsetOptions) (*SubsetResult, error) {
+	return subset.Compute(chars, opt)
+}

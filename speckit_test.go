@@ -1,0 +1,557 @@
+package speckit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Shared fixtures: characterize once per test binary with a small window.
+var (
+	fixtureOpt  = Options{Instructions: 50000}
+	cpu17Ref    []Characteristics
+	cpu06Ref    []Characteristics
+	rateSubset  *SubsetResult
+	speedSubset *SubsetResult
+)
+
+func cpu17RefChars(t *testing.T) []Characteristics {
+	t.Helper()
+	if cpu17Ref == nil {
+		var err error
+		cpu17Ref, err = Characterize(CPU2017(), Ref, fixtureOpt)
+		if err != nil {
+			t.Fatalf("characterize cpu17: %v", err)
+		}
+	}
+	return cpu17Ref
+}
+
+func cpu06RefChars(t *testing.T) []Characteristics {
+	t.Helper()
+	if cpu06Ref == nil {
+		var err error
+		cpu06Ref, err = Characterize(CPU2006(), Ref, fixtureOpt)
+		if err != nil {
+			t.Fatalf("characterize cpu06: %v", err)
+		}
+	}
+	return cpu06Ref
+}
+
+func subsets(t *testing.T) (*SubsetResult, *SubsetResult) {
+	t.Helper()
+	if rateSubset == nil {
+		chars := cpu17RefChars(t)
+		var rate, speed []Characteristics
+		for _, s := range []MiniSuite{RateInt, RateFP} {
+			rate = append(rate, BySuite(chars, s)...)
+		}
+		for _, s := range []MiniSuite{SpeedInt, SpeedFP} {
+			speed = append(speed, BySuite(chars, s)...)
+		}
+		var err error
+		rateSubset, err = Subset(rate, SubsetOptions{Components: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedSubset, err = Subset(speed, SubsetOptions{Components: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rateSubset, speedSubset
+}
+
+func TestSuiteInventory(t *testing.T) {
+	s17 := CPU2017()
+	if len(s17) != 43 {
+		t.Errorf("CPU2017 apps = %d, want 43", len(s17))
+	}
+	if len(CPU2006()) != 29 {
+		t.Errorf("CPU2006 apps = %d, want 29", len(CPU2006()))
+	}
+	if got := len(s17.Mini(RateFP)); got != 13 {
+		t.Errorf("rate fp apps = %d, want 13", got)
+	}
+	names := s17.Names()
+	if names[0] != "500.perlbench_r" {
+		t.Errorf("first app = %s", names[0])
+	}
+}
+
+func TestPairInventory(t *testing.T) {
+	s := CPU2017()
+	want := map[InputSize]int{Test: 69, Train: 61, Ref: 64}
+	total := 0
+	for size, w := range want {
+		got := len(Pairs(s, size))
+		if got != w {
+			t.Errorf("%v pairs = %d, want %d", size, got, w)
+		}
+		total += got
+	}
+	if total != 194 {
+		t.Errorf("total pairs = %d, want 194 (paper, Section II)", total)
+	}
+}
+
+func TestCharacterizeCPU17Ref(t *testing.T) {
+	chars := cpu17RefChars(t)
+	if len(chars) != 64 {
+		t.Fatalf("ref characterizations = %d, want 64", len(chars))
+	}
+	ipc := Aggregate(chars, func(c *Characteristics) float64 { return c.IPC })
+	if ipc.N != 43 {
+		t.Errorf("IPC aggregate over %d apps, want 43", ipc.N)
+	}
+	// Paper Table III: CPU17 all = 1.457 (ref).
+	if math.Abs(ipc.Mean-1.457) > 0.25 {
+		t.Errorf("CPU17 mean IPC = %.3f, paper 1.457", ipc.Mean)
+	}
+}
+
+// TestTableIIIShape: CPU17 IPC below CPU06 IPC, as the paper reports.
+func TestTableIIIShape(t *testing.T) {
+	ipc17 := Aggregate(cpu17RefChars(t), func(c *Characteristics) float64 { return c.IPC })
+	ipc06 := Aggregate(cpu06RefChars(t), func(c *Characteristics) float64 { return c.IPC })
+	if ipc17.Mean >= ipc06.Mean {
+		t.Errorf("CPU17 IPC %.3f not below CPU06 %.3f (paper: 1.457 vs 1.784)",
+			ipc17.Mean, ipc06.Mean)
+	}
+}
+
+func TestComparisonTablesRender(t *testing.T) {
+	c17, c06 := cpu17RefChars(t), cpu06RefChars(t)
+	for _, tb := range []*Table{
+		TableIII(c17, c06), TableIV(c17, c06), TableV(c17, c06),
+		TableVI(c17, c06), TableVII(c17, c06),
+	} {
+		if tb.Rows() != 6 {
+			t.Errorf("%s: %d rows, want 6", tb.Title, tb.Rows())
+		}
+		txt := tb.Text()
+		for _, label := range []string{"CPU06 int", "CPU17 int", "CPU06 fp", "CPU17 fp", "CPU06 all", "CPU17 all"} {
+			if !strings.Contains(txt, label) {
+				t.Errorf("%s missing row %q", tb.Title, label)
+			}
+		}
+	}
+}
+
+func TestTableIX(t *testing.T) {
+	tb := TableIX(cpu17RefChars(t))
+	txt := tb.Text()
+	if tb.Rows() != 6 {
+		t.Fatalf("Table IX rows = %d, want 6", tb.Rows())
+	}
+	if !strings.Contains(txt, "603.bwaves_s-in1") || !strings.Contains(txt, "607.cactuBSSN_s") {
+		t.Error("Table IX columns missing")
+	}
+}
+
+// TestTableIXSimilarity: bwaves_s inputs resemble each other and differ
+// from cactuBSSN_s — the clustering validation the paper makes.
+func TestTableIXSimilarity(t *testing.T) {
+	chars := cpu17RefChars(t)
+	byName := map[string]*Characteristics{}
+	for i := range chars {
+		byName[chars[i].Pair.Name()] = &chars[i]
+	}
+	a := byName["603.bwaves_s-in1"]
+	b := byName["603.bwaves_s-in2"]
+	c := byName["607.cactuBSSN_s"]
+	if a == nil || b == nil || c == nil {
+		t.Fatal("validation pairs missing")
+	}
+	if math.Abs(a.LoadPct-b.LoadPct) > 2 {
+		t.Errorf("bwaves inputs load%% differ: %.2f vs %.2f", a.LoadPct, b.LoadPct)
+	}
+	if math.Abs(a.LoadPct-c.LoadPct) < 3 {
+		t.Errorf("bwaves vs cactuBSSN load%% too similar: %.2f vs %.2f", a.LoadPct, c.LoadPct)
+	}
+	if math.Abs(a.BranchPct-c.BranchPct) < 5 {
+		t.Errorf("bwaves vs cactuBSSN branch%% too similar: %.2f vs %.2f", a.BranchPct, c.BranchPct)
+	}
+}
+
+func TestSubsetResults(t *testing.T) {
+	rate, speed := subsets(t)
+	// Paper: optimal subset sizes 12 (rate) and 10 (speed); shape-wise we
+	// require the same order of magnitude.
+	if rate.ChosenK < 5 || rate.ChosenK > 22 {
+		t.Errorf("rate subset size = %d, paper suggests 12", rate.ChosenK)
+	}
+	if speed.ChosenK < 4 || speed.ChosenK > 18 {
+		t.Errorf("speed subset size = %d, paper suggests 10", speed.ChosenK)
+	}
+	if rate.Saving() < 0.3 {
+		t.Errorf("rate saving = %.1f%%, paper 57.1%%", rate.Saving()*100)
+	}
+	if speed.Saving() < 0.3 {
+		t.Errorf("speed saving = %.1f%%, paper 62.1%%", speed.Saving()*100)
+	}
+}
+
+func TestTableX(t *testing.T) {
+	rate, speed := subsets(t)
+	tb := TableX(rate, speed)
+	txt := tb.Text()
+	if !strings.Contains(txt, "rate") || !strings.Contains(txt, "speed") {
+		t.Error("Table X rows missing")
+	}
+	if !strings.Contains(txt, "_r") || !strings.Contains(txt, "_s") {
+		t.Error("Table X benchmark names missing")
+	}
+}
+
+// TestFourPCsVariance: the paper retains 4 PCs covering 76.3% of
+// variance; our 4-PC coverage should be in the same band.
+func TestFourPCsVariance(t *testing.T) {
+	rate, _ := subsets(t)
+	v := rate.PCA.VarianceExplained(4)
+	if v < 0.55 || v > 0.97 {
+		t.Errorf("4-PC variance = %.1f%%, paper 76.3%%", v*100)
+	}
+}
+
+func TestFigures1Through6(t *testing.T) {
+	chars := cpu17RefChars(t)
+	figs := [][]*FigureSeries{
+		Fig1(chars), Fig2(chars), Fig3(chars), Fig4(chars), Fig5(chars), Fig6(chars),
+	}
+	for n, panels := range figs {
+		if len(panels) != 2 {
+			t.Fatalf("Fig %d: %d panels, want 2 (rate, speed)", n+1, len(panels))
+		}
+		rate, speed := panels[0], panels[1]
+		if len(rate.Items) != 36 {
+			t.Errorf("Fig %da items = %d, want 36 rate pairs", n+1, len(rate.Items))
+		}
+		if len(speed.Items) != 28 {
+			t.Errorf("Fig %db items = %d, want 28 speed pairs", n+1, len(speed.Items))
+		}
+		for _, p := range panels {
+			svg := p.SVG()
+			if !strings.HasPrefix(svg, "<svg") {
+				t.Errorf("%s: invalid SVG", p.Title)
+			}
+		}
+	}
+}
+
+// TestFig1Extremes: the named IPC extremes from Section IV-A hold in the
+// reproduced data.
+func TestFig1Extremes(t *testing.T) {
+	chars := cpu17RefChars(t)
+	byApp := map[string]float64{}
+	counts := map[string]int{}
+	for i := range chars {
+		byApp[chars[i].Pair.App.Name] += chars[i].IPC
+		counts[chars[i].Pair.App.Name]++
+	}
+	for k := range byApp {
+		byApp[k] /= float64(counts[k])
+	}
+	assertMax := func(suite MiniSuite, want string) {
+		best, bestV := "", -1.0
+		for _, app := range CPU2017().Mini(suite) {
+			if v := byApp[app.Name]; v > bestV {
+				best, bestV = app.Name, v
+			}
+		}
+		if best != want {
+			t.Errorf("%v max IPC = %s, paper says %s", suite, best, want)
+		}
+	}
+	assertMin := func(suite MiniSuite, want string) {
+		best, bestV := "", math.Inf(1)
+		for _, app := range CPU2017().Mini(suite) {
+			if v := byApp[app.Name]; v < bestV {
+				best, bestV = app.Name, v
+			}
+		}
+		if best != want {
+			t.Errorf("%v min IPC = %s, paper says %s", suite, best, want)
+		}
+	}
+	assertMax(RateInt, "525.x264_r")
+	assertMin(RateInt, "505.mcf_r")
+	assertMax(RateFP, "508.namd_r")
+	assertMin(RateFP, "549.fotonik3d_r")
+	assertMax(SpeedFP, "628.pop2_s")
+	assertMin(SpeedFP, "619.lbm_s")
+}
+
+func TestFigures7Through10(t *testing.T) {
+	rate, speed := subsets(t)
+	pc12, pc34 := Fig7(rate)
+	for _, svg := range []string{pc12, pc34, Fig8(rate),
+		Fig9("Fig 9a: rate dendrogram", rate), Fig9("Fig 9b: speed dendrogram", speed),
+		Fig10("Fig 10a: rate", rate), Fig10("Fig 10b: speed", speed)} {
+		if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>\n") {
+			t.Error("invalid SVG document")
+		}
+	}
+}
+
+// TestConditionalShare: the paper reports 78.662% of branches are
+// conditional across CPU17.
+func TestConditionalShare(t *testing.T) {
+	got := ConditionalShare(cpu17RefChars(t))
+	if math.Abs(got-0.787) > 0.06 {
+		t.Errorf("conditional share = %.3f, paper 0.787", got)
+	}
+}
+
+// TestFootprintIPCCorrelation: the paper reports RSS and VSZ correlate
+// negatively with IPC (-0.465 and -0.510).
+func TestFootprintIPCCorrelation(t *testing.T) {
+	chars := cpu17RefChars(t)
+	rss := CorrelationWithIPC(chars, func(c *Characteristics) float64 { return c.RSSMiB })
+	vsz := CorrelationWithIPC(chars, func(c *Characteristics) float64 { return c.VSZMiB })
+	if rss >= 0 {
+		t.Errorf("RSS-IPC correlation = %.3f, paper -0.465", rss)
+	}
+	if vsz >= 0 {
+		t.Errorf("VSZ-IPC correlation = %.3f, paper -0.510", vsz)
+	}
+}
+
+// TestCacheMissIPCCorrelation: per the paper, L1/L2/L3 load miss rates
+// correlate negatively with IPC (-0.282, -0.479, -0.137).
+func TestCacheMissIPCCorrelation(t *testing.T) {
+	chars := cpu17RefChars(t)
+	for _, c := range []struct {
+		name string
+		pick func(*Characteristics) float64
+	}{
+		{"L1", func(x *Characteristics) float64 { return x.L1MissPct }},
+		{"L2", func(x *Characteristics) float64 { return x.L2MissPct }},
+	} {
+		r := CorrelationWithIPC(chars, c.pick)
+		if r >= 0 {
+			t.Errorf("%s miss-IPC correlation = %.3f, paper reports negative", c.name, r)
+		}
+	}
+}
+
+func TestTableIIAcrossSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full three-size characterization in -short mode")
+	}
+	chars, err := CharacterizeAllSizes(CPU2017(), Options{Instructions: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chars) != 194 {
+		t.Fatalf("all-size pairs = %d, want 194", len(chars))
+	}
+	tb := TableII(chars)
+	if tb.Rows() != 12 {
+		t.Errorf("Table II rows = %d, want 12", tb.Rows())
+	}
+	txt := tb.Text()
+	for _, label := range []string{"rate int", "rate fp", "speed int", "speed fp", "test", "train", "ref"} {
+		if !strings.Contains(txt, label) {
+			t.Errorf("Table II missing %q", label)
+		}
+	}
+}
+
+// TestSpeedFPIPCCollapse: the paper's headline observation that speed-fp
+// IPC is drastically lower than rate-fp.
+func TestSpeedFPIPCCollapse(t *testing.T) {
+	chars := cpu17RefChars(t)
+	rateFP := Aggregate(BySuite(chars, RateFP), func(c *Characteristics) float64 { return c.IPC })
+	speedFP := Aggregate(BySuite(chars, SpeedFP), func(c *Characteristics) float64 { return c.IPC })
+	if speedFP.Mean >= rateFP.Mean*0.7 {
+		t.Errorf("speed fp IPC %.3f not well below rate fp %.3f (paper: 0.706 vs 1.635)",
+			speedFP.Mean, rateFP.Mean)
+	}
+}
+
+// TestSpeedVsRateFootprintRatio: the paper reports ~8.3x RSS growth from
+// rate to speed.
+func TestSpeedVsRateFootprintRatio(t *testing.T) {
+	chars := cpu17RefChars(t)
+	var rate, speed []Characteristics
+	rate = append(rate, BySuite(chars, RateInt)...)
+	rate = append(rate, BySuite(chars, RateFP)...)
+	speed = append(speed, BySuite(chars, SpeedInt)...)
+	speed = append(speed, BySuite(chars, SpeedFP)...)
+	r := Aggregate(rate, func(c *Characteristics) float64 { return c.RSSMiB })
+	s := Aggregate(speed, func(c *Characteristics) float64 { return c.RSSMiB })
+	ratio := s.Mean / r.Mean
+	if ratio < 4 || ratio > 14 {
+		t.Errorf("speed/rate RSS ratio = %.2f, paper 8.276", ratio)
+	}
+}
+
+// TestMultiplexingRobustness: the paper measures 15 events through a
+// 4-slot PMU (perf multiplexing). The subsetting methodology must be
+// robust to that measurement noise: the chosen subset size stays in the
+// same band and most representatives are unchanged.
+func TestMultiplexingRobustness(t *testing.T) {
+	var rate []Characteristics
+	for _, s := range []MiniSuite{RateInt, RateFP} {
+		rate = append(rate, BySuite(cpu17RefChars(t), s)...)
+	}
+	exact, err := Subset(rate, SubsetOptions{Components: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisyOpt := fixtureOpt
+	noisyOpt.MultiplexSlots = 4
+	var noisyRate []Characteristics
+	for _, s := range []MiniSuite{RateInt, RateFP} {
+		suite := CPU2017().Mini(s)
+		chars, err := Characterize(suite, Ref, noisyOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noisyRate = append(noisyRate, chars...)
+	}
+	noisy, err := Subset(noisyRate, SubsetOptions{Components: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := noisy.ChosenK - exact.ChosenK; diff < -4 || diff > 4 {
+		t.Errorf("multiplexing moved subset size from %d to %d", exact.ChosenK, noisy.ChosenK)
+	}
+	// Representative overlap at the application level.
+	appOf := func(name string) string {
+		if i := strings.Index(name, "-"); i >= 0 {
+			return name[:i]
+		}
+		return name
+	}
+	exactApps := map[string]bool{}
+	for _, r := range exact.Representatives {
+		exactApps[appOf(r.Name)] = true
+	}
+	overlap := 0
+	for _, r := range noisy.Representatives {
+		if exactApps[appOf(r.Name)] {
+			overlap++
+		}
+	}
+	minLen := len(exact.Representatives)
+	if len(noisy.Representatives) < minLen {
+		minLen = len(noisy.Representatives)
+	}
+	if overlap*2 < minLen {
+		t.Errorf("only %d of %d representatives survive multiplexing noise", overlap, minLen)
+	}
+}
+
+func TestAnalyzeReuse(t *testing.T) {
+	var mcf, x264 *Workload
+	for _, p := range CPU2017() {
+		switch p.Name {
+		case "505.mcf_r":
+			mcf = p
+		case "525.x264_r":
+			x264 = p
+		}
+	}
+	hMcf, err := AnalyzeReuse(mcf, Ref, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hX264, err := AnalyzeReuse(x264, Ref, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mcf's poorer locality means less warm mass within the L1 capacity.
+	if hMcf.MassBelow(512) >= hX264.MassBelow(512) {
+		t.Errorf("mcf L1-range mass %.3f not below x264 %.3f",
+			hMcf.MassBelow(512), hX264.MassBelow(512))
+	}
+	// A workload is identical to itself, different from another.
+	if d := CompareReuse(hMcf, hMcf); d != 0 {
+		t.Errorf("self-distance = %v", d)
+	}
+	if d := CompareReuse(hMcf, hX264); d <= 0 {
+		t.Errorf("cross-distance = %v", d)
+	}
+	svg := ReuseHistogramSVG("505.mcf_r reuse", hMcf)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Error("invalid histogram SVG")
+	}
+}
+
+func TestSimilarityMatrix(t *testing.T) {
+	rate, _ := subsets(t)
+	vals, names := SimilarityMatrix(rate)
+	if len(vals) != len(names) || len(vals) == 0 {
+		t.Fatal("shape mismatch")
+	}
+	for i := range vals {
+		if vals[i][i] != 0 {
+			t.Errorf("self-distance [%d] = %v", i, vals[i][i])
+		}
+		for j := range vals {
+			if vals[i][j] != vals[j][i] {
+				t.Errorf("asymmetry at %d,%d", i, j)
+			}
+		}
+	}
+	svg := SimilarityHeatmapSVG("rate similarity", rate)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Error("invalid heatmap SVG")
+	}
+}
+
+// TestFigCPIStack: CPI stacks are positive, and the memory component
+// dominates for the most memory-bound application (619.lbm_s) while the
+// base component dominates for the highest-IPC one (625.x264_s).
+func TestFigCPIStack(t *testing.T) {
+	chars := cpu17RefChars(t)
+	panels := FigCPIStack(chars)
+	if len(panels) != 2 {
+		t.Fatal("panel count")
+	}
+	speed := panels[1]
+	find := func(name string) int {
+		for i, item := range speed.Items {
+			if item == name {
+				return i
+			}
+		}
+		t.Fatalf("item %s missing", name)
+		return -1
+	}
+	lbm := find("619.lbm_s")
+	// For lbm_s, base dominates only because its calibrated ILP is tiny;
+	// total CPI must be huge (IPC 0.062 -> CPI ~16).
+	totalCPI := 0.0
+	for s := range speed.Series {
+		totalCPI += speed.Values[s][lbm]
+	}
+	if totalCPI < 8 {
+		t.Errorf("619.lbm_s CPI = %.2f, want > 8", totalCPI)
+	}
+	x264 := find("625.x264_s-in2")
+	x264CPI := 0.0
+	for s := range speed.Series {
+		x264CPI += speed.Values[s][x264]
+	}
+	if x264CPI > 0.5 {
+		t.Errorf("625.x264_s CPI = %.2f, want < 0.5", x264CPI)
+	}
+	if svg := speed.SVG(); !strings.HasPrefix(svg, "<svg") {
+		t.Error("invalid SVG")
+	}
+}
+
+// TestInstructionGrowthClaim: Section II reports CPU17's instruction
+// count grew ~3.8x over CPU06.
+func TestInstructionGrowthClaim(t *testing.T) {
+	i17 := Aggregate(cpu17RefChars(t), func(c *Characteristics) float64 { return c.InstrBillions })
+	i06 := Aggregate(cpu06RefChars(t), func(c *Characteristics) float64 { return c.InstrBillions })
+	ratio := i17.Mean / i06.Mean
+	if ratio < 2.5 || ratio > 6.5 {
+		t.Errorf("CPU17/CPU06 instruction ratio = %.2f, paper 3.83", ratio)
+	}
+}
