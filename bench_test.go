@@ -16,6 +16,7 @@ package speckit
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/branch"
 	"repro/internal/cache"
@@ -477,6 +478,40 @@ func BenchmarkAblationPrefetch(b *testing.B) {
 			}
 			b.ReportMetric(miss, "l2miss%")
 		})
+	}
+}
+
+// BenchmarkCampaignCache measures the memoizing result cache on a repeat
+// campaign: one cold pass fills the cache, then every timed pass is
+// served entirely from it. Reports the warm hit rate and the cold/warm
+// speedup (the acceptance floor is 5x).
+func BenchmarkCampaignCache(b *testing.B) {
+	suite := CPU2017().Mini(RateInt)
+	cache := NewCache()
+	opt := benchOpt
+	opt.Cache = cache
+	coldStart := time.Now()
+	cold, err := Characterize(suite, Ref, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldDur := time.Since(coldStart)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm, err := Characterize(suite, Ref, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(warm) != len(cold) {
+			b.Fatalf("warm pass returned %d pairs, want %d", len(warm), len(cold))
+		}
+	}
+	b.StopTimer()
+	warmDur := b.Elapsed() / time.Duration(b.N)
+	stats := cache.Stats()
+	b.ReportMetric(100*stats.HitRate(), "hit%")
+	if warmDur > 0 {
+		b.ReportMetric(float64(coldDur)/float64(warmDur), "speedup")
 	}
 }
 

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	specchar [-suite cpu2017|cpu2006] [-mini all|rate-int|rate-fp|speed-int|speed-fp]
-//	         [-size test|train|ref] [-n instructions] [-csv]
+//	         [-size test|train|ref] [-n instructions] [-csv] [-progress]
 package main
 
 import (
@@ -24,15 +24,16 @@ func main() {
 	sizeFlag := flag.String("size", "ref", "input size: test, train or ref")
 	nFlag := flag.Uint64("n", 300000, "simulated instructions per pair")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	progressFlag := flag.Bool("progress", false, "print a live progress meter to stderr")
 	flag.Parse()
 
-	if err := run(*suiteFlag, *miniFlag, *sizeFlag, *nFlag, *csvFlag); err != nil {
+	if err := run(*suiteFlag, *miniFlag, *sizeFlag, *nFlag, *csvFlag, *progressFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "specchar:", err)
 		os.Exit(1)
 	}
 }
 
-func run(suiteName, mini, sizeName string, n uint64, csv bool) error {
+func run(suiteName, mini, sizeName string, n uint64, csv, progress bool) error {
 	suite, err := pickSuite(suiteName)
 	if err != nil {
 		return err
@@ -44,7 +45,11 @@ func run(suiteName, mini, sizeName string, n uint64, csv bool) error {
 	if err != nil {
 		return err
 	}
-	chars, err := speckit.Characterize(suite, size, speckit.Options{Instructions: n})
+	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache()}
+	if progress {
+		opt.Progress = speckit.ProgressPrinter(os.Stderr)
+	}
+	chars, err := speckit.Characterize(suite, size, opt)
 	if err != nil {
 		return err
 	}
@@ -53,9 +58,22 @@ func run(suiteName, mini, sizeName string, n uint64, csv bool) error {
 		fmt.Sprintf("Characterization of %s (%s inputs, %d pairs)", suiteName, sizeName, len(chars)),
 		"Pair", "Instr (B)", "IPC", "Time (s)", "%Loads", "%Stores", "%Branches",
 		"Misp%", "L1%", "L2%", "L3%", "RSS (MiB)", "VSZ (MiB)")
+	uncalibrated := 0
 	for i := range chars {
 		c := &chars[i]
-		t.AddRowf(c.Pair.Name(), c.InstrBillions, c.IPC, c.ExecSeconds,
+		name := c.Pair.Name()
+		execTime := interface{}(c.ExecSeconds)
+		if !c.Calibrated {
+			// Mark rows whose IPC target was unreachable; a degenerate
+			// rate also zeroes ExecSeconds, so render it as unavailable
+			// rather than as a misleading 0.000.
+			name += " *"
+			uncalibrated++
+			if c.ExecSeconds == 0 {
+				execTime = "n/a"
+			}
+		}
+		t.AddRowf(name, c.InstrBillions, c.IPC, execTime,
 			c.LoadPct, c.StorePct, c.BranchPct, c.MispredictPct,
 			c.L1MissPct, c.L2MissPct, c.L3MissPct, c.RSSMiB, c.VSZMiB)
 	}
@@ -67,6 +85,9 @@ func run(suiteName, mini, sizeName string, n uint64, csv bool) error {
 		if err := t.WriteText(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if uncalibrated > 0 {
+		fmt.Printf("* %d pair(s) did not reach the model's IPC target (uncalibrated)\n", uncalibrated)
 	}
 
 	fmt.Println()

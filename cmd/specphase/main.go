@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	specphase [-a 525.x264_r] [-b 505.mcf_r] [-interval 5000] [-intervals 24]
+//	specphase [-a 525.x264_r] [-b 505.mcf_r] [-interval 5000] [-intervals 24] [-progress]
 package main
 
 import (
@@ -25,14 +25,22 @@ func main() {
 	bFlag := flag.String("b", "505.mcf_r", "second phase application")
 	ilen := flag.Uint64("interval", 5000, "instructions per interval")
 	n := flag.Int("intervals", 24, "intervals to analyze")
+	progressFlag := flag.Bool("progress", false, "print stage progress to stderr")
 	flag.Parse()
-	if err := run(*aFlag, *bFlag, *ilen, *n); err != nil {
+	if err := run(*aFlag, *bFlag, *ilen, *n, *progressFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "specphase:", err)
 		os.Exit(1)
 	}
 }
 
-func run(aName, bName string, intervalLen uint64, n int) error {
+func run(aName, bName string, intervalLen uint64, n int, progress bool) error {
+	// specphase has no pair campaign to meter, so -progress reports the
+	// coarse pipeline stages instead.
+	stage := func(format string, args ...interface{}) {
+		if progress {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
 	a, err := findApp(aName)
 	if err != nil {
 		return err
@@ -42,6 +50,7 @@ func run(aName, bName string, intervalLen uint64, n int) error {
 		return err
 	}
 	segLen := intervalLen * 3 // three intervals per phase leg
+	stage("building phased workload %s <-> %s", aName, bName)
 	src, err := speckit.NewPhasedWorkload([]speckit.PhaseSegment{
 		{Model: a.Expand(profile.Ref)[0].Model, Instr: segLen},
 		{Model: b.Expand(profile.Ref)[0].Model, Instr: segLen},
@@ -51,10 +60,12 @@ func run(aName, bName string, intervalLen uint64, n int) error {
 	}
 	fmt.Printf("phased workload: %s <-> %s, %d instructions per leg\n\n", aName, bName, segLen)
 
+	stage("slicing %d intervals of %d instructions", n, intervalLen)
 	intervals, err := speckit.SliceIntervals(src, intervalLen, n)
 	if err != nil {
 		return err
 	}
+	stage("detecting phases")
 	res, err := speckit.DetectPhases(intervals, speckit.PhaseOptions{})
 	if err != nil {
 		return err

@@ -13,10 +13,10 @@ func TestFindApp(t *testing.T) {
 
 // TestRunSmoke drives the phase tool end to end.
 func TestRunSmoke(t *testing.T) {
-	if err := run("525.x264_r", "505.mcf_r", 3000, 12); err != nil {
+	if err := run("525.x264_r", "505.mcf_r", 3000, 12, true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("nope", "505.mcf_r", 3000, 12); err == nil {
+	if err := run("nope", "505.mcf_r", 3000, 12, false); err == nil {
 		t.Error("unknown app accepted")
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	specreport [-out report] [-n instructions]
+//	specreport [-out report] [-n instructions] [-progress]
 package main
 
 import (
@@ -22,18 +22,24 @@ import (
 func main() {
 	outFlag := flag.String("out", "report", "output directory")
 	nFlag := flag.Uint64("n", 300000, "simulated instructions per pair")
+	progressFlag := flag.Bool("progress", false, "print a live progress meter to stderr")
 	flag.Parse()
-	if err := run(*outFlag, *nFlag); err != nil {
+	if err := run(*outFlag, *nFlag, *progressFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "specreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, n uint64) error {
+func run(outDir string, n uint64, progress bool) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	opt := speckit.Options{Instructions: n}
+	// One cache spans every campaign below, so any pair shared between
+	// them (or a re-run of this tool within one process) simulates once.
+	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache()}
+	if progress {
+		opt.Progress = speckit.ProgressPrinter(os.Stderr)
+	}
 
 	fmt.Println("characterizing CPU2017 at test/train/ref (194 pairs)...")
 	all17, err := speckit.CharacterizeAllSizes(speckit.CPU2017(), opt)

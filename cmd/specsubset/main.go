@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	specsubset [-n instructions] [-pcs 4] [-linkage ward|single|complete|average] [-v]
+//	specsubset [-n instructions] [-pcs 4] [-linkage ward|single|complete|average] [-v] [-progress]
 package main
 
 import (
@@ -25,20 +25,27 @@ func main() {
 	pcsFlag := flag.Int("pcs", 0, "retained principal components (0 = cover 76% variance)")
 	linkFlag := flag.String("linkage", "ward", "clustering linkage: ward, single, complete, average")
 	verbose := flag.Bool("v", false, "print per-cluster membership and the Pareto sweep")
+	progressFlag := flag.Bool("progress", false, "print a live progress meter to stderr")
 	flag.Parse()
 
-	if err := run(*nFlag, *pcsFlag, *linkFlag, *verbose); err != nil {
+	if err := run(*nFlag, *pcsFlag, *linkFlag, *verbose, *progressFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "specsubset:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n uint64, pcs int, linkName string, verbose bool) error {
+func run(n uint64, pcs int, linkName string, verbose, progress bool) error {
 	linkage, err := pickLinkage(linkName)
 	if err != nil {
 		return err
 	}
-	opt := speckit.Options{Instructions: n}
+	// The rate and speed campaigns share a result cache, so pairs common
+	// to both (none today, but cheap insurance) and tool re-runs within a
+	// process simulate once.
+	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache()}
+	if progress {
+		opt.Progress = speckit.ProgressPrinter(os.Stderr)
+	}
 	sopt := speckit.SubsetOptions{Components: pcs, Linkage: linkage}
 
 	results := map[string]*speckit.SubsetResult{}

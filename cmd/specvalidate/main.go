@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	specvalidate [-suite cpu2017|cpu2006] [-size ref] [-n instructions] [-worst 15]
+//	specvalidate [-suite cpu2017|cpu2006] [-size ref] [-n instructions] [-worst 15] [-progress]
 package main
 
 import (
@@ -25,8 +25,9 @@ func main() {
 	sizeFlag := flag.String("size", "ref", "input size")
 	nFlag := flag.Uint64("n", 200000, "simulated instructions per pair")
 	worstFlag := flag.Int("worst", 15, "how many worst deviations to list")
+	progressFlag := flag.Bool("progress", false, "print a live progress meter to stderr")
 	flag.Parse()
-	if err := run(*suiteFlag, *sizeFlag, *nFlag, *worstFlag); err != nil {
+	if err := run(*suiteFlag, *sizeFlag, *nFlag, *worstFlag, *progressFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "specvalidate:", err)
 		os.Exit(1)
 	}
@@ -39,7 +40,7 @@ type deviation struct {
 	score            float64 // normalized severity
 }
 
-func run(suiteName, sizeName string, n uint64, worst int) error {
+func run(suiteName, sizeName string, n uint64, worst int, progress bool) error {
 	var suite speckit.Suite
 	switch strings.ToLower(suiteName) {
 	case "cpu2017", "cpu17":
@@ -61,7 +62,11 @@ func run(suiteName, sizeName string, n uint64, worst int) error {
 		return fmt.Errorf("unknown size %q", sizeName)
 	}
 
-	chars, err := speckit.Characterize(suite, size, speckit.Options{Instructions: n})
+	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache()}
+	if progress {
+		opt.Progress = speckit.ProgressPrinter(os.Stderr)
+	}
+	chars, err := speckit.Characterize(suite, size, opt)
 	if err != nil {
 		return err
 	}

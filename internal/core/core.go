@@ -6,16 +6,16 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/machine"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
 	"repro/internal/profile"
+	"repro/internal/sched"
 	"repro/internal/synth"
 )
 
@@ -33,6 +33,20 @@ type Options struct {
 	// events on a 4-slot Haswell PMU): all derived metrics then carry the
 	// corresponding scaling noise. Zero reads exact counters.
 	MultiplexSlots int
+	// Context, when non-nil, cancels the campaign: queued pairs are
+	// skipped and in-flight simulations abort at the next cancellation
+	// check. Nil means context.Background().
+	Context context.Context
+	// Cache, when non-nil, memoizes pair results across campaigns keyed
+	// by a content hash of (pair identity and model, machine config, run
+	// options). A hit skips the simulation and returns the stored
+	// Characteristics bit-identical; share one cache across repeated or
+	// overlapping campaigns to avoid paying for the same pair twice.
+	Cache *sched.Cache
+	// Progress, when non-nil, receives a snapshot after each completed
+	// pair (pairs done/total, cache hits, elapsed time). Callbacks are
+	// invoked serially.
+	Progress func(sched.Progress)
 }
 
 func (o Options) withDefaults() Options {
@@ -85,39 +99,51 @@ type Characteristics struct {
 func (c *Characteristics) MemPct() float64 { return c.LoadPct + c.StorePct }
 
 // Characterize simulates every pair and returns their characteristics in
-// pair order. Pairs run in parallel; any simulation error aborts the
-// campaign.
+// pair order. Pairs run on a bounded worker pool (Options.Parallelism
+// workers, not one goroutine per pair); the first simulation error
+// cancels queued and in-flight pairs and aborts the campaign, and a
+// cancelled Options.Context does the same. With Options.Cache set,
+// previously simulated (pair, machine, options) combinations are served
+// from the cache bit-identically instead of being re-simulated.
 func Characterize(pairs []profile.Pair, opt Options) ([]Characteristics, error) {
 	opt = opt.withDefaults()
-	out := make([]Characteristics, len(pairs))
-	errs := make([]error, len(pairs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Parallelism)
+	prefix := ""
+	if opt.Cache != nil {
+		prefix = campaignKeyPrefix(&opt)
+	}
+	tasks := make([]sched.Task[Characteristics], len(pairs))
 	for i := range pairs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c, err := CharacterizePair(pairs[i], opt)
-			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", pairs[i].Name(), err)
-				return
-			}
-			out[i] = *c
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		pair := pairs[i]
+		t := sched.Task[Characteristics]{Name: pair.Name()}
+		if opt.Cache != nil {
+			t.Key = pairKey(prefix, &pair)
 		}
+		t.Run = func(ctx context.Context) (Characteristics, error) {
+			c, err := runPair(ctx, pair, opt)
+			if err != nil {
+				return Characteristics{}, err
+			}
+			return *c, nil
+		}
+		tasks[i] = t
 	}
-	return out, nil
+	return sched.Run(opt.Context, tasks, sched.Options{
+		Workers:  opt.Parallelism,
+		Cache:    opt.Cache,
+		Progress: opt.Progress,
+	})
 }
+
+// runPair is the campaign's per-pair entry point; tests swap it to
+// observe scheduling behaviour without paying for real simulations.
+var runPair = characterizePairCtx
 
 // CharacterizePair simulates a single application-input pair.
 func CharacterizePair(pair profile.Pair, opt Options) (*Characteristics, error) {
+	return characterizePairCtx(context.Background(), pair, opt)
+}
+
+func characterizePairCtx(ctx context.Context, pair profile.Pair, opt Options) (*Characteristics, error) {
 	opt = opt.withDefaults()
 	m := pair.Model
 	gen, err := synth.New(m, opt.Machine.Geometry())
@@ -129,6 +155,7 @@ func CharacterizePair(pair profile.Pair, opt Options) (*Characteristics, error) 
 		WarmupInstructions: gen.Prologue(),
 		Workload:           pipeline.Workload{ILP: 2, MLP: m.MLP},
 		CalibrateIPC:       m.TargetIPC,
+		Context:            ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -165,9 +192,19 @@ func CharacterizePair(pair profile.Pair, opt Options) (*Characteristics, error) 
 		c.IndirectPct = pct(perf.IndirectJumps)
 		c.ReturnPct = pct(perf.Returns)
 	}
-	threads := float64(m.Threads)
-	c.ExecSeconds = m.InstrBillions * 1e9 / (c.IPC * opt.Machine.ClockHz * threads)
+	c.ExecSeconds = execSeconds(m.InstrBillions, c.IPC, opt.Machine.ClockHz, m.Threads)
 	return c, nil
+}
+
+// execSeconds models the full-run execution time. A degenerate rate
+// (IPC 0, as multiplex noise can produce on uncalibrated runs) yields 0
+// rather than +Inf/NaN so downstream tables and subset costs stay finite.
+func execSeconds(instrBillions, ipc, clockHz float64, threads int) float64 {
+	denom := ipc * clockHz * float64(threads)
+	if denom <= 0 || math.IsNaN(denom) || math.IsInf(denom, 0) {
+		return 0
+	}
+	return instrBillions * 1e9 / denom
 }
 
 // CharacterizeSuites expands and characterizes a full application list at

@@ -1,12 +1,20 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
+	"reflect"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/profile"
+	"repro/internal/sched"
 )
 
 // testOpt keeps single-CPU test runs fast while staying in the regime
@@ -272,5 +280,246 @@ func TestFullSizeMachine(t *testing.T) {
 	}
 	if full.IPC <= 0 || scaled.IPC <= 0 {
 		t.Error("non-positive IPC")
+	}
+}
+
+// --- Campaign scheduler behaviour ------------------------------------
+
+// stubRunPair swaps the per-pair runner for the duration of the test.
+func stubRunPair(t *testing.T, fn func(context.Context, profile.Pair, Options) (*Characteristics, error)) {
+	t.Helper()
+	old := runPair
+	runPair = fn
+	t.Cleanup(func() { runPair = old })
+}
+
+// fakePairs replicates one real pair into n distinct-named pairs, for
+// scheduling tests that never simulate.
+func fakePairs(n int) []profile.Pair {
+	base := profile.CPU2017()[2].Expand(profile.Ref)[0]
+	pairs := make([]profile.Pair, n)
+	for i := range pairs {
+		p := base
+		p.Input = fmt.Sprintf("in%03d", i)
+		pairs[i] = p
+	}
+	return pairs
+}
+
+// TestCharacterizeBoundedGoroutines: a 500-pair campaign keeps the
+// goroutine count O(Parallelism) — the regression the scheduler fixes
+// over the seed's goroutine-per-pair fan-out.
+func TestCharacterizeBoundedGoroutines(t *testing.T) {
+	const parallelism = 8
+	baseline := runtime.NumGoroutine()
+	var peak atomic.Int64
+	stubRunPair(t, func(ctx context.Context, pair profile.Pair, opt Options) (*Characteristics, error) {
+		g := int64(runtime.NumGoroutine())
+		for {
+			old := peak.Load()
+			if g <= old || peak.CompareAndSwap(old, g) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		return &Characteristics{Pair: pair}, nil
+	})
+	opt := testOpt()
+	opt.Parallelism = parallelism
+	out, err := Characterize(fakePairs(500), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 500 {
+		t.Fatalf("results = %d", len(out))
+	}
+	// Workers + feeder + test harness slack; the seed implementation
+	// peaked at ~500 here.
+	limit := int64(baseline + parallelism + 10)
+	if got := peak.Load(); got > limit {
+		t.Errorf("peak goroutines %d exceeds O(Parallelism) bound %d", got, limit)
+	}
+}
+
+// TestCharacterizeFailingPairStopsEarly: one failing pair aborts the
+// campaign with an error naming the pair, and the number of pairs
+// simulated after the failure is bounded by Parallelism, not by the
+// remaining queue length.
+func TestCharacterizeFailingPairStopsEarly(t *testing.T) {
+	const parallelism = 4
+	boom := errors.New("synthetic model failure")
+	var failed atomic.Bool
+	var afterFail atomic.Int64
+	stubRunPair(t, func(ctx context.Context, pair profile.Pair, opt Options) (*Characteristics, error) {
+		if pair.Input == "in000" {
+			failed.Store(true)
+			return nil, boom
+		}
+		if failed.Load() {
+			afterFail.Add(1)
+		}
+		time.Sleep(time.Millisecond)
+		return &Characteristics{Pair: pair}, nil
+	})
+	opt := testOpt()
+	opt.Parallelism = parallelism
+	out, err := Characterize(fakePairs(500), opt)
+	if out != nil {
+		t.Error("failed campaign returned results")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped model failure", err)
+	}
+	if !strings.Contains(err.Error(), "505.mcf_r-in000") {
+		t.Errorf("error %q does not name the failing pair", err)
+	}
+	if n := afterFail.Load(); n > parallelism {
+		t.Errorf("%d pairs simulated after the failure, want <= Parallelism (%d)",
+			n, parallelism)
+	}
+}
+
+// TestCharacterizeCancelledContext: a cancelled Options.Context returns
+// context.Canceled promptly without simulating the queue.
+func TestCharacterizeCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	stubRunPair(t, func(ctx context.Context, pair profile.Pair, opt Options) (*Characteristics, error) {
+		ran.Add(1)
+		return &Characteristics{Pair: pair}, nil
+	})
+	opt := testOpt()
+	opt.Context = ctx
+	opt.Parallelism = 4
+	start := time.Now()
+	_, err := Characterize(fakePairs(200), opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancelled campaign did not return promptly")
+	}
+	if n := ran.Load(); n > 4 {
+		t.Errorf("%d pairs simulated under a cancelled context", n)
+	}
+}
+
+// TestCancelAbortsInFlightSimulation: cancellation reaches a real
+// simulation mid-run through machine.Options.Context.
+func TestCancelAbortsInFlightSimulation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pair := profile.CPU2017()[2].Expand(profile.Ref)[0]
+	opt := testOpt()
+	opt.Instructions = 50_000_000 // would take seconds if not aborted
+	start := time.Now()
+	_, err := characterizePairCtx(ctx, pair, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("in-flight abort took %v", elapsed)
+	}
+}
+
+// TestCharacterizeCacheBitIdentical: results with the cache are
+// bit-identical to uncached results, a fully warm re-run does zero
+// simulations, and the hit counters track it.
+func TestCharacterizeCacheBitIdentical(t *testing.T) {
+	var rateInt []*profile.Profile
+	for _, p := range profile.CPU2017() {
+		if p.Suite == profile.RateInt {
+			rateInt = append(rateInt, p)
+		}
+	}
+	pairs := profile.ExpandSuite(rateInt, profile.Ref)
+	opt := Options{Instructions: 20000}
+
+	uncached, err := Characterize(pairs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Cache = sched.NewCache()
+	cold, err := Characterize(pairs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Characterize(pairs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(uncached, cold) {
+		t.Error("cache-on cold results differ from uncached results")
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Error("cached re-run results are not bit-identical")
+	}
+	s := opt.Cache.Stats()
+	n := uint64(len(pairs))
+	if s.Misses != n || s.Hits != n {
+		t.Errorf("cache stats = %+v, want %d misses then %d hits", s, n, n)
+	}
+}
+
+// TestPairKeySensitivity: the memoization key moves with anything that
+// changes the simulation, and only with those things.
+func TestPairKeySensitivity(t *testing.T) {
+	pair := profile.CPU2017()[2].Expand(profile.Ref)[0]
+	opt := testOpt().withDefaults()
+	base := pairKey(campaignKeyPrefix(&opt), &pair)
+
+	if again := pairKey(campaignKeyPrefix(&opt), &pair); again != base {
+		t.Error("key not deterministic")
+	}
+	o2 := opt
+	o2.Instructions++
+	if pairKey(campaignKeyPrefix(&o2), &pair) == base {
+		t.Error("key ignores Instructions")
+	}
+	o3 := opt
+	o3.MultiplexSlots = 4
+	if pairKey(campaignKeyPrefix(&o3), &pair) == base {
+		t.Error("key ignores MultiplexSlots")
+	}
+	o4 := opt
+	o4.Machine = machine.Haswell()
+	if pairKey(campaignKeyPrefix(&o4), &pair) == base {
+		t.Error("key ignores the machine config")
+	}
+	p2 := pair
+	p2.Model.L3MissPct += 0.001
+	if pairKey(campaignKeyPrefix(&opt), &p2) == base {
+		t.Error("key ignores model parameters")
+	}
+	p3 := pair
+	p3.Input = "other"
+	if pairKey(campaignKeyPrefix(&opt), &p3) == base {
+		t.Error("key ignores pair identity")
+	}
+	// Parallelism and callbacks must NOT change the key: they do not
+	// affect results.
+	o5 := opt
+	o5.Parallelism = 1
+	if pairKey(campaignKeyPrefix(&o5), &pair) != base {
+		t.Error("key depends on Parallelism")
+	}
+}
+
+// TestExecSecondsGuard: degenerate rates produce 0, not +Inf/NaN.
+func TestExecSecondsGuard(t *testing.T) {
+	if got := execSeconds(100, 0, 1.8e9, 1); got != 0 {
+		t.Errorf("zero IPC: exec seconds = %v, want 0", got)
+	}
+	if got := execSeconds(100, math.NaN(), 1.8e9, 1); got != 0 {
+		t.Errorf("NaN IPC: exec seconds = %v, want 0", got)
+	}
+	got := execSeconds(1, 2, 1.8e9, 1)
+	want := 1e9 / (2 * 1.8e9)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("exec seconds = %v, want %v", got, want)
+	}
+	if half := execSeconds(1, 2, 1.8e9, 2); math.Abs(half-want/2) > 1e-12 {
+		t.Errorf("threads ignored: %v vs %v", half, want/2)
 	}
 }

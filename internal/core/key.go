@@ -1,0 +1,41 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"repro/internal/profile"
+)
+
+// This file derives the memoization keys for the campaign result cache
+// (Options.Cache). A key is a content hash of everything that determines
+// a pair's Characteristics: the pair identity, its fully resolved model,
+// the machine configuration, and the run options. Equal keys therefore
+// guarantee bit-identical results, which is what lets cache hits stand in
+// for simulations without perturbing any downstream analysis.
+
+// campaignKeyPrefix captures the per-campaign (pair-independent) part of
+// the key: machine fingerprint and run options. Computed once per
+// campaign, not once per pair, because Config.Fingerprint constructs a
+// throwaway predictor.
+func campaignKeyPrefix(opt *Options) string {
+	return fmt.Sprintf("%s|n=%d|mux=%d", opt.Machine.Fingerprint(),
+		opt.Instructions, opt.MultiplexSlots)
+}
+
+// pairKey hashes the campaign prefix together with the pair identity and
+// every model parameter the simulation consumes.
+func pairKey(prefix string, pair *profile.Pair) string {
+	h := sha256.New()
+	io.WriteString(h, prefix)
+	m := &pair.Model
+	fmt.Fprintf(h, "|%s|%d|%s|", pair.App.Name, pair.Size, pair.Input)
+	fmt.Fprintf(h, "%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%d|%d|%d",
+		m.InstrBillions, m.TargetIPC, m.LoadPct, m.StorePct, m.BranchPct,
+		m.Mix, m.MispredictPct, m.L1MissPct, m.L2MissPct, m.L3MissPct,
+		m.RSSMiB, m.VSZMiB, m.MLP, m.CodeKiB, m.BranchSites, m.Threads,
+		m.Seed)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -14,7 +14,9 @@
 package machine
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/branch"
 	"repro/internal/cache"
@@ -63,6 +65,45 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine %q: non-positive clock", c.Name)
 	}
 	return nil
+}
+
+// Fingerprint returns a deterministic content key for the configuration,
+// used by the campaign scheduler's memoizing result cache. Component
+// factories (predictor, replacement policy, prefetcher) are identified by
+// name and static parameters; two configs whose factories share a name
+// but differ in parameters the name does not carry would alias, so custom
+// factories should use distinct names.
+func (c Config) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine|%s|", c.Name)
+	for _, l := range []cache.Config{c.Hierarchy.L1I, c.Hierarchy.L1D, c.Hierarchy.L2, c.Hierarchy.L3} {
+		policy := "lru"
+		if l.Policy != nil {
+			policy = l.Policy.Name()
+		}
+		fmt.Fprintf(&b, "%s:%d:%d:%d:%s|", l.Name, l.SizeBytes, l.Ways, l.LineBytes, policy)
+	}
+	switch pf := c.Hierarchy.Prefetcher.(type) {
+	case nil:
+		b.WriteString("pf=none|")
+	case *cache.NextLinePrefetcher:
+		fmt.Fprintf(&b, "pf=nextline:%d:%d|", pf.LineBytes, pf.Degree)
+	case *cache.StridePrefetcher:
+		fmt.Fprintf(&b, "pf=stride:%d:%d|", pf.LineBytes, pf.Degree)
+	default:
+		fmt.Fprintf(&b, "pf=%T|", pf)
+	}
+	predictor := "tournament"
+	if c.NewPredictor != nil {
+		predictor = c.NewPredictor().Name()
+	}
+	fmt.Fprintf(&b, "bp=%s:%d:%d|", predictor, c.BTBBits, c.RASDepth)
+	p := c.Pipeline
+	fmt.Fprintf(&b, "pipe=%v:%v:%v:%v:%v:%v:%v:%v|clock=%v|unified=%v",
+		p.Width, p.MispredictPenalty, p.L2HitLatency, p.L3HitLatency,
+		p.MemLatency, p.FetchMissPenalty, p.WalkPenalty, p.ShortMLP,
+		c.ClockHz, c.UnifiedCodePath)
+	return b.String()
 }
 
 // Geometry returns the cache capacities in lines, for the trace generator.
@@ -126,7 +167,15 @@ type Options struct {
 	// value). See DESIGN.md: miss rates and mix are measured from the
 	// simulation; IPC is anchored to the paper's measurement.
 	CalibrateIPC float64
+	// Context, when non-nil, aborts an in-flight simulation: the run
+	// loop polls it every cancelCheckStride instructions and returns the
+	// context's error. Nil disables cancellation checks.
+	Context context.Context
 }
+
+// cancelCheckStride is how often (in instructions) the run loop polls
+// Options.Context; a power of two so the check is a mask, not a divide.
+const cancelCheckStride = 8192
 
 // Result is the outcome of one run.
 type Result struct {
@@ -236,10 +285,16 @@ func (c *core) resetStats() {
 
 func run(cfg Config, hier *cache.Hierarchy, src trace.Source, opt Options) (*Result, error) {
 	c := newCore(cfg, hier)
+	checkCancel := opt.Context != nil
 	warm := warmupLength(opt)
 	if warm > 0 {
 		var u trace.Uop
 		for i := uint64(0); i < warm; i++ {
+			if checkCancel && i&(cancelCheckStride-1) == 0 {
+				if err := opt.Context.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if !c.step(src, &u) {
 				return nil, fmt.Errorf("machine: source exhausted during warmup")
 			}
@@ -248,6 +303,11 @@ func run(cfg Config, hier *cache.Hierarchy, src trace.Source, opt Options) (*Res
 	}
 	var u trace.Uop
 	for i := uint64(0); i < opt.Instructions; i++ {
+		if checkCancel && i&(cancelCheckStride-1) == 0 {
+			if err := opt.Context.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if !c.step(src, &u) {
 			return nil, fmt.Errorf("machine: source exhausted after %d instructions", i)
 		}

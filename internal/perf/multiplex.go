@@ -2,7 +2,6 @@ package perf
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/xrand"
 )
@@ -11,8 +10,17 @@ import (
 // programs 15 events onto a PMU with far fewer hardware slots, so perf
 // time-slices the events and scales each count by observed/enabled time.
 // Scaling is unbiased but noisy; this function applies the corresponding
-// deterministic relative error to every event so analyses can be tested
-// for robustness to the paper's measurement methodology.
+// deterministic relative error so analyses can be tested for robustness
+// to the paper's measurement methodology.
+//
+// Events are scheduled into PMU groups of `slots` events (in sorted name
+// order, the way perf fills its counter rotation), and every event in a
+// group shares one scaling factor — grouped events are enabled and
+// disabled together, so their observed/enabled ratios are identical.
+// Because related events can still land in different groups, the branch
+// subtype counts are renormalized afterwards against the scaled
+// all-branches total (see renormalizeBranches); without that, the class
+// shares derived in core.CharacterizePair could sum past 100%.
 //
 // slots is the number of simultaneously programmable counters (4 general
 // purpose counters on Haswell per thread with hyperthreading enabled);
@@ -22,29 +30,111 @@ func Multiplex(c *Counters, slots int, seed uint64) *Counters {
 	if slots <= 0 {
 		slots = 4
 	}
-	names := c.Names()
+	names := c.Names() // sorted
 	groups := (len(names) + slots - 1) / slots
 	if groups <= 1 {
 		// Everything fits; no multiplexing, no error.
 		return NewCounters(snapshotMap(c, names), c.RSSBytes, c.VSZBytes, c.Seconds)
 	}
-	// Each event is live for 1/groups of the run; the relative sampling
+	// Each group is live for 1/groups of the run; the relative sampling
 	// error of the scaled estimate shrinks with the live fraction.
 	// Empirically perf's multiplexing error on steady workloads is a few
 	// percent; model sigma = 2% x sqrt(groups-1).
 	sigma := 0.02 * math.Sqrt(float64(groups-1))
 	rng := xrand.NewPCG32(seed ^ 0x9e1f)
-	sort.Strings(names)
-	out := make(map[string]uint64, len(names))
-	for _, name := range names {
-		v, _ := c.Value(name)
+	scaled := make(map[string]float64, len(names))
+	for start := 0; start < len(names); start += slots {
 		scale := 1 + sigma*rng.NormFloat64()
 		if scale < 0 {
 			scale = 0
 		}
-		out[name] = uint64(float64(v) * scale)
+		end := start + slots
+		if end > len(names) {
+			end = len(names)
+		}
+		for _, name := range names[start:end] {
+			v, _ := c.Value(name)
+			scaled[name] = float64(v) * scale
+		}
 	}
+	renormalizeBranches(c, scaled)
+	out := make(map[string]uint64, len(scaled))
+	for name, v := range scaled {
+		// Round to nearest: flooring would turn a small count scaled by
+		// a factor just under 1 into 0, a 100% relative error.
+		out[name] = uint64(math.Round(v))
+	}
+	clampBranchInts(out)
 	return NewCounters(out, c.RSSBytes, c.VSZBytes, c.Seconds)
+}
+
+// branchSubtypes are the branch-class events whose shares of AllBranches
+// must remain consistent after scaling.
+var branchSubtypes = []string{
+	CondBranches, DirectJumps, DirectCalls, IndirectJumps, Returns,
+}
+
+// renormalizeBranches rescales the branch subtype counts so that they
+// keep their original coverage of AllBranches after multiplex scaling:
+// independent group factors could otherwise push
+// Cond+Jump+Call+Indirect+Return past 100% of the scaled total. The
+// subtype vector is scaled uniformly (preserving the measured class mix)
+// to match scaledAll * (origSubtypeSum / origAll). The mispredict count
+// is likewise clamped to the scaled total so mispredicts per branch stay
+// <= 100%.
+func renormalizeBranches(orig *Counters, scaled map[string]float64) {
+	allScaled, ok := scaled[AllBranches]
+	if !ok {
+		return
+	}
+	allOrig, _ := orig.Value(AllBranches)
+	var subOrig, subScaled float64
+	for _, name := range branchSubtypes {
+		if v, present := orig.Value(name); present {
+			subOrig += float64(v)
+		}
+		subScaled += scaled[name]
+	}
+	if allOrig > 0 && subOrig > 0 && subScaled > 0 {
+		factor := allScaled * (subOrig / float64(allOrig)) / subScaled
+		for _, name := range branchSubtypes {
+			if _, present := scaled[name]; present {
+				scaled[name] *= factor
+			}
+		}
+	}
+	if m, present := scaled[MispBranches]; present && m > allScaled {
+		scaled[MispBranches] = allScaled
+	}
+}
+
+// clampBranchInts restores the integer-domain invariants that rounding
+// can nudge by a count or two: the branch subtype sum never exceeds
+// AllBranches (excess comes off the largest subtype) and mispredicts
+// never exceed AllBranches.
+func clampBranchInts(out map[string]uint64) {
+	all, ok := out[AllBranches]
+	if !ok {
+		return
+	}
+	var sum uint64
+	largest := ""
+	for _, n := range branchSubtypes {
+		v, present := out[n]
+		if !present {
+			continue
+		}
+		sum += v
+		if largest == "" || v > out[largest] {
+			largest = n
+		}
+	}
+	if excess := sum - all; sum > all && largest != "" && out[largest] >= excess {
+		out[largest] -= excess
+	}
+	if m, present := out[MispBranches]; present && m > all {
+		out[MispBranches] = all
+	}
 }
 
 func snapshotMap(c *Counters, names []string) map[string]uint64 {

@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -188,5 +189,88 @@ func TestMultiplexPreservesRatiosApproximately(t *testing.T) {
 	m := Multiplex(c, 4, 3)
 	if got, want := m.IPC(), c.IPC(); math.Abs(got-want)/want > 0.2 {
 		t.Errorf("multiplexed IPC %v too far from %v", got, want)
+	}
+}
+
+// fullBranchSample mirrors a real run: all five branch subtype events
+// present and summing exactly to AllBranches, plus enough other events to
+// force several multiplex groups.
+func fullBranchSample() *Counters {
+	return NewCounters(map[string]uint64{
+		InstRetired:   1000000,
+		RefCycles:     500000,
+		UopsRetired:   1000000,
+		AllLoads:      250000,
+		AllStores:     90000,
+		AllBranches:   160000,
+		MispBranches:  8000,
+		CondBranches:  120000,
+		DirectJumps:   14000,
+		DirectCalls:   11000,
+		IndirectJumps: 4000,
+		Returns:       11000,
+		L1Hit:         237000,
+		L1Miss:        13000,
+		L2Hit:         8000,
+		L2Miss:        5000,
+		L3Hit:         4000,
+		L3Miss:        1000,
+		ICacheMisses:  900,
+		DTLBWalks:     120,
+	}, 4096*10, 4096*20, 1.5)
+}
+
+// TestMultiplexBranchSharesStayConsistent: under multiplexing, the five
+// branch-class shares never sum past 100% of AllBranches and stay close
+// to full coverage — the bug this renormalization fixes let independent
+// per-event noise push the sum above 100%.
+func TestMultiplexBranchSharesStayConsistent(t *testing.T) {
+	c := fullBranchSample()
+	for seed := uint64(0); seed < 200; seed++ {
+		m := Multiplex(c, 4, seed)
+		all := float64(m.MustValue(AllBranches))
+		if all == 0 {
+			continue
+		}
+		var sub float64
+		for _, name := range []string{CondBranches, DirectJumps, DirectCalls, IndirectJumps, Returns} {
+			sub += float64(m.MustValue(name))
+		}
+		if share := 100 * sub / all; share > 100.0001 || share < 99.9 {
+			t.Fatalf("seed %d: branch class shares sum to %.4f%%", seed, share)
+		}
+		if mp := m.MispredictPct(); mp > 100 {
+			t.Fatalf("seed %d: mispredict rate %.2f%% > 100%%", seed, mp)
+		}
+	}
+}
+
+// TestMultiplexGroupSharesScale: events scheduled into the same PMU
+// group carry the same scaling factor.
+func TestMultiplexGroupSharesScale(t *testing.T) {
+	// Ten like-named events; sorted order puts e00..e03 in group 0.
+	vals := map[string]uint64{}
+	for i := 0; i < 10; i++ {
+		vals[fmt.Sprintf("e%02d", i)] = 1000000
+	}
+	c := NewCounters(vals, 0, 0, 0)
+	m := Multiplex(c, 4, 5)
+	g0 := m.MustValue("e00")
+	for _, name := range []string{"e01", "e02", "e03"} {
+		if v := m.MustValue(name); v != g0 {
+			t.Errorf("same-group event %s scaled to %d, group leader %d", name, v, g0)
+		}
+	}
+	// Across seeds, some group boundary must show a different factor
+	// (otherwise grouping is vacuous).
+	differs := false
+	for seed := uint64(0); seed < 20 && !differs; seed++ {
+		m := Multiplex(c, 4, seed)
+		if m.MustValue("e00") != m.MustValue("e04") {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("groups never scaled independently across 20 seeds")
 	}
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -71,6 +72,18 @@ func TestAddRowfFormats(t *testing.T) {
 		if !strings.Contains(txt, want) {
 			t.Errorf("missing %q in %s", want, txt)
 		}
+	}
+}
+
+func TestAddRowfNonFinite(t *testing.T) {
+	tb := NewTable("", "a", "b", "c", "d")
+	tb.AddRowf("s", math.NaN(), math.Inf(1), math.Inf(-1))
+	txt := tb.Text()
+	if strings.Contains(txt, "NaN") || strings.Contains(txt, "Inf") {
+		t.Errorf("non-finite values leaked into table:\n%s", txt)
+	}
+	if strings.Count(txt, "n/a") != 3 {
+		t.Errorf("want 3 n/a cells, got:\n%s", txt)
 	}
 }
 

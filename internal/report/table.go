@@ -6,6 +6,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -35,7 +36,8 @@ func (t *Table) AddRow(cells ...string) {
 }
 
 // AddRowf appends a row of formatted values: strings pass through,
-// float64 render with 3 decimals, integers as integers.
+// float64 render with 3 decimals (NaN and ±Inf as "n/a" so degenerate
+// metrics never leak into tables or CSVs), integers as integers.
 func (t *Table) AddRowf(cells ...interface{}) {
 	row := make([]string, 0, len(cells))
 	for _, c := range cells {
@@ -43,6 +45,10 @@ func (t *Table) AddRowf(cells ...interface{}) {
 		case string:
 			row = append(row, v)
 		case float64:
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				row = append(row, "n/a")
+				break
+			}
 			row = append(row, fmt.Sprintf("%.3f", v))
 		case int:
 			row = append(row, fmt.Sprintf("%d", v))

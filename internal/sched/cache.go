@@ -1,0 +1,73 @@
+package sched
+
+import "sync"
+
+// Cache is a memoizing campaign result cache. It is safe for concurrent
+// use and is meant to be shared across campaigns (re-characterizations,
+// all-sizes sweeps, bench loops): a task whose content key is present is
+// not re-run, and the stored value is returned bit-identical.
+//
+// The cache grows without bound; campaigns are finite (194 pairs in the
+// paper's full sweep) and entries are a few hundred bytes, so eviction is
+// deliberately out of scope.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]any
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]any)}
+}
+
+// CacheStats are cumulative lookup counters.
+type CacheStats struct {
+	// Hits counts lookups that found an entry; Misses counts the rest.
+	Hits, Misses uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Get returns the entry stored under key and whether it was present,
+// updating the hit/miss counters.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+// Put stores v under key, overwriting any previous entry.
+func (c *Cache) Put(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = v
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the cumulative hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses}
+}

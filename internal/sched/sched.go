@@ -1,0 +1,184 @@
+// Package sched is the campaign engine behind core.Characterize: it runs
+// a batch of independent simulation tasks on a bounded worker pool with
+// context cancellation, first-error abort, an optional memoizing result
+// cache, and optional progress reporting.
+//
+// The engine replaces the seed's ad-hoc fan-out (one goroutine per pair
+// gated by a semaphore): workers are created up to Options.Workers, the
+// queue is fed lazily so a cancelled campaign stops handing out work, and
+// the first task error cancels everything still queued or in flight.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Task is one schedulable unit of campaign work.
+type Task[T any] struct {
+	// Name identifies the task in campaign errors ("505.mcf_r-in1").
+	Name string
+	// Key is the memoization key for Options.Cache; empty disables
+	// caching for this task. Keys must be content hashes: two tasks with
+	// equal keys must produce bit-identical results.
+	Key string
+	// Run performs the work. The context is cancelled when the campaign
+	// is aborted; long-running tasks should observe it.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Progress is a campaign snapshot delivered to the Options.Progress
+// callback after each completed task. Callbacks are invoked serially.
+type Progress struct {
+	// Done counts completed tasks (cache hits included); Total is the
+	// campaign size.
+	Done, Total int
+	// CacheHits counts tasks satisfied from the cache during this run.
+	CacheHits int
+	// Elapsed is the wall-clock time since the campaign started.
+	Elapsed time.Duration
+}
+
+// Options configure one campaign run.
+type Options struct {
+	// Workers bounds the worker pool (default GOMAXPROCS). The engine
+	// never creates more than min(Workers, len(tasks)) goroutines.
+	Workers int
+	// Cache, when non-nil, memoizes task results by Task.Key across
+	// campaigns. Hits skip Run entirely and return the stored value.
+	Cache *Cache
+	// Progress, when non-nil, receives a snapshot after each completed
+	// task.
+	Progress func(Progress)
+}
+
+// Run executes every task and returns the results in task order. The
+// first task error cancels the remaining campaign and is returned,
+// wrapped with the task's name. A cancelled ctx aborts queued and
+// in-flight work and returns the context's error. A nil ctx means
+// context.Background().
+func Run[T any](ctx context.Context, tasks []Task[T], opt Options) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]T, len(tasks))
+	start := time.Now()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		hits     int
+	)
+	report := func(cacheHit bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if cacheHit {
+			hits++
+		}
+		if opt.Progress != nil {
+			opt.Progress(Progress{
+				Done: done, Total: len(tasks),
+				CacheHits: hits, Elapsed: time.Since(start),
+			})
+		}
+	}
+	fail := func(name string, err error) {
+		mu.Lock()
+		if firstErr == nil {
+			if name != "" {
+				err = fmt.Errorf("%s: %w", name, err)
+			}
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	// Lazy feeder: stops handing out indices once the campaign is
+	// cancelled, so queued work is skipped rather than drained.
+	queue := make(chan int)
+	go func() {
+		defer close(queue)
+		for i := range tasks {
+			select {
+			case queue <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				if ctx.Err() != nil {
+					return
+				}
+				t := &tasks[i]
+				if opt.Cache != nil && t.Key != "" {
+					if v, ok := opt.Cache.Get(t.Key); ok {
+						if tv, ok := v.(T); ok {
+							out[i] = tv
+							report(true)
+							continue
+						}
+						// Type mismatch: recompute and overwrite below.
+					}
+				}
+				v, err := t.Run(ctx)
+				if err != nil {
+					fail(t.Name, err)
+					return
+				}
+				if opt.Cache != nil && t.Key != "" {
+					opt.Cache.Put(t.Key, v)
+				}
+				out[i] = v
+				report(false)
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ProgressPrinter returns a Progress callback that renders a one-line
+// in-place campaign status to w, finishing the line with a newline when
+// the campaign completes. The cmd tools wire it to -progress.
+func ProgressPrinter(w io.Writer) func(Progress) {
+	return func(p Progress) {
+		fmt.Fprintf(w, "\r%d/%d pairs done (%d cache hits, %.1fs)",
+			p.Done, p.Total, p.CacheHits, p.Elapsed.Seconds())
+		if p.Done >= p.Total {
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// intTasks builds n tasks returning their index, each sleeping d and
+// observing concurrency through the returned counters.
+func intTasks(n int, d time.Duration, running, peak *atomic.Int64) []Task[int] {
+	tasks := make([]Task[int], n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{
+			Name: fmt.Sprintf("task%03d", i),
+			Run: func(ctx context.Context) (int, error) {
+				cur := running.Add(1)
+				for {
+					old := peak.Load()
+					if cur <= old || peak.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+				if d > 0 {
+					time.Sleep(d)
+				}
+				running.Add(-1)
+				return i, nil
+			},
+		}
+	}
+	return tasks
+}
+
+func TestRunReturnsResultsInOrder(t *testing.T) {
+	var running, peak atomic.Int64
+	tasks := intTasks(100, 0, &running, &peak)
+	out, err := Run(context.Background(), tasks, Options{Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestBoundedWorkers: a 500-task campaign never runs more tasks
+// concurrently than Workers — the regression the scheduler fixes over
+// the seed's one-goroutine-per-pair fan-out.
+func TestBoundedWorkers(t *testing.T) {
+	const workers = 4
+	var running, peak atomic.Int64
+	tasks := intTasks(500, 200*time.Microsecond, &running, &peak)
+	if _, err := Run(context.Background(), tasks, Options{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+// TestFirstErrorCancels: one failing task aborts the campaign, the error
+// names the task, and the number of tasks started after the failure is
+// bounded by the worker count, not the remaining queue length.
+func TestFirstErrorCancels(t *testing.T) {
+	const workers = 4
+	boom := errors.New("boom")
+	var failed atomic.Bool
+	var startedAfterFail atomic.Int64
+	tasks := make([]Task[int], 500)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{
+			Name: fmt.Sprintf("pair%03d", i),
+			Run: func(ctx context.Context) (int, error) {
+				if i == 0 {
+					failed.Store(true)
+					return 0, boom
+				}
+				if failed.Load() {
+					startedAfterFail.Add(1)
+				}
+				time.Sleep(time.Millisecond)
+				return i, nil
+			},
+		}
+	}
+	out, err := Run(context.Background(), tasks, Options{Workers: workers})
+	if out != nil {
+		t.Error("failed campaign returned results")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "pair000") {
+		t.Errorf("error %q does not name the failing task", err)
+	}
+	if n := startedAfterFail.Load(); n > workers {
+		t.Errorf("%d tasks started after the failure, want <= %d workers", n, workers)
+	}
+}
+
+// TestCancelledContextReturnsPromptly: a pre-cancelled context runs
+// nothing; a mid-campaign cancel aborts within the task check latency.
+func TestCancelledContextReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	tasks := make([]Task[int], 50)
+	for i := range tasks {
+		tasks[i] = Task[int]{Run: func(ctx context.Context) (int, error) {
+			ran.Add(1)
+			return 0, nil
+		}}
+	}
+	if _, err := Run(ctx, tasks, Options{Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n > 4 {
+		t.Errorf("%d tasks ran under a pre-cancelled context", n)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	tasks2 := make([]Task[int], 200)
+	for i := range tasks2 {
+		tasks2[i] = Task[int]{Run: func(ctx context.Context) (int, error) {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+				return 0, nil
+			}
+		}}
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel2()
+	}()
+	start := time.Now()
+	_, err := Run(ctx2, tasks2, Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-campaign cancel: err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancel took %v, want prompt return", elapsed)
+	}
+}
+
+func TestNilContextMeansBackground(t *testing.T) {
+	tasks := []Task[string]{{Run: func(ctx context.Context) (string, error) {
+		if ctx == nil {
+			return "", errors.New("nil ctx delivered to task")
+		}
+		return "ok", nil
+	}}}
+	out, err := Run[string](nil, tasks, Options{})
+	if err != nil || out[0] != "ok" {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestCacheMemoizes(t *testing.T) {
+	cache := NewCache()
+	var runs atomic.Int64
+	mk := func() []Task[int] {
+		tasks := make([]Task[int], 20)
+		for i := range tasks {
+			i := i
+			tasks[i] = Task[int]{
+				Key: fmt.Sprintf("key%d", i),
+				Run: func(ctx context.Context) (int, error) {
+					runs.Add(1)
+					return i * i, nil
+				},
+			}
+		}
+		return tasks
+	}
+	first, err := Run(context.Background(), mk(), Options{Workers: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(context.Background(), mk(), Options{Workers: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 20 {
+		t.Errorf("tasks ran %d times, want 20 (second pass fully cached)", runs.Load())
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("cached result differs at %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+	s := cache.Stats()
+	if s.Hits != 20 || s.Misses != 20 {
+		t.Errorf("stats = %+v, want 20/20", s)
+	}
+	if r := s.HitRate(); r != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", r)
+	}
+	if cache.Len() != 20 {
+		t.Errorf("cache entries = %d", cache.Len())
+	}
+}
+
+func TestEmptyKeySkipsCache(t *testing.T) {
+	cache := NewCache()
+	var runs atomic.Int64
+	task := []Task[int]{{Run: func(ctx context.Context) (int, error) {
+		runs.Add(1)
+		return 1, nil
+	}}}
+	for i := 0; i < 3; i++ {
+		if _, err := Run(context.Background(), task, Options{Cache: cache}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs.Load() != 3 {
+		t.Errorf("keyless task ran %d times, want 3", runs.Load())
+	}
+	if s := cache.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("keyless tasks touched the cache: %+v", s)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var snaps []Progress
+	var running, peak atomic.Int64
+	tasks := intTasks(30, 0, &running, &peak)
+	_, err := Run(context.Background(), tasks, Options{
+		Workers:  3,
+		Progress: func(p Progress) { snaps = append(snaps, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 30 {
+		t.Fatalf("progress callbacks = %d, want 30", len(snaps))
+	}
+	for i, p := range snaps {
+		if p.Done != i+1 || p.Total != 30 {
+			t.Errorf("snapshot %d = %d/%d", i, p.Done, p.Total)
+		}
+		if p.Elapsed < 0 {
+			t.Errorf("negative elapsed at %d", i)
+		}
+	}
+}
+
+func TestProgressReportsCacheHits(t *testing.T) {
+	cache := NewCache()
+	cache.Put("k", 42)
+	tasks := []Task[int]{{Key: "k", Run: func(ctx context.Context) (int, error) {
+		return 0, errors.New("should have been served from cache")
+	}}}
+	var last Progress
+	out, err := Run(context.Background(), tasks, Options{
+		Cache:    cache,
+		Progress: func(p Progress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 42 {
+		t.Errorf("out = %d, want cached 42", out[0])
+	}
+	if last.CacheHits != 1 || last.Done != 1 {
+		t.Errorf("progress = %+v, want 1 hit", last)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	out, err := Run[int](context.Background(), nil, Options{})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty campaign: out=%v err=%v", out, err)
+	}
+}
+
+func TestProgressPrinter(t *testing.T) {
+	var b strings.Builder
+	p := ProgressPrinter(&b)
+	p(Progress{Done: 1, Total: 2, CacheHits: 0, Elapsed: time.Second})
+	p(Progress{Done: 2, Total: 2, CacheHits: 1, Elapsed: 2 * time.Second})
+	out := b.String()
+	if !strings.Contains(out, "1/2 pairs") || !strings.Contains(out, "2/2 pairs") {
+		t.Errorf("printer output %q missing counts", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("printer did not finish the line: %q", out)
+	}
+}

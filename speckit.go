@@ -17,9 +17,12 @@
 package speckit
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/profile"
+	"repro/internal/sched"
 	"repro/internal/subset"
 )
 
@@ -83,6 +86,28 @@ func (s Suite) Names() []string {
 
 // Options configure a characterization campaign.
 type Options = core.Options
+
+// Cache memoizes characterization results across campaigns. Keys are
+// content hashes of (pair identity and model, machine configuration, run
+// options), so a hit returns Characteristics bit-identical to what the
+// simulation would produce. Safe for concurrent use; share one Cache
+// across repeated or overlapping campaigns via Options.Cache.
+type Cache = sched.Cache
+
+// CacheStats is a snapshot of cache hit/miss counters.
+type CacheStats = sched.CacheStats
+
+// Progress is a campaign progress snapshot delivered to
+// Options.Progress after each completed pair.
+type Progress = sched.Progress
+
+// NewCache returns an empty result cache for Options.Cache.
+func NewCache() *Cache { return sched.NewCache() }
+
+// ProgressPrinter returns a Progress callback that renders a one-line
+// in-place progress meter to w (typically os.Stderr); the cmd tools wire
+// it to their -progress flag.
+func ProgressPrinter(w io.Writer) func(Progress) { return sched.ProgressPrinter(w) }
 
 // Characteristics is one application-input pair's characterization.
 type Characteristics = core.Characteristics

@@ -2,6 +2,7 @@ package speckit
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -542,6 +543,43 @@ func TestFigCPIStack(t *testing.T) {
 	}
 	if svg := speed.SVG(); !strings.HasPrefix(svg, "<svg") {
 		t.Error("invalid SVG")
+	}
+}
+
+// TestCacheReuseAcrossCampaigns: a shared Options.Cache serves repeated
+// campaigns bit-identically — the second pass is all hits and its
+// results match the first pass exactly, including across the overlapping
+// pairs of CharacterizeAllSizes re-runs.
+func TestCacheReuseAcrossCampaigns(t *testing.T) {
+	suite := CPU2017().Mini(RateInt)
+	cache := NewCache()
+	opt := Options{Instructions: 20000, Cache: cache}
+	cold, err := Characterize(suite, Ref, opt)
+	if err != nil {
+		t.Fatalf("cold pass: %v", err)
+	}
+	misses := cache.Stats().Misses
+	if misses != uint64(len(cold)) {
+		t.Fatalf("cold pass misses = %d, want %d", misses, len(cold))
+	}
+	warm, err := Characterize(suite, Ref, opt)
+	if err != nil {
+		t.Fatalf("warm pass: %v", err)
+	}
+	stats := cache.Stats()
+	if stats.Hits != uint64(len(cold)) || stats.Misses != misses {
+		t.Fatalf("warm pass stats = %+v, want %d hits and no new misses", stats, len(cold))
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cached results not bit-identical to simulated results")
+	}
+	// A different campaign parameter must not be served from the cache.
+	opt.Instructions = 25000
+	if _, err := Characterize(suite, Ref, opt); err != nil {
+		t.Fatalf("third pass: %v", err)
+	}
+	if got := cache.Stats().Misses; got != 2*misses {
+		t.Errorf("changed Instructions produced %d total misses, want %d", got, 2*misses)
 	}
 }
 
