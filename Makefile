@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench fuzz-seed bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -17,4 +17,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: build vet test race
+# Run every fuzz target over its seed corpus (no fuzzing engine time).
+fuzz-seed:
+	$(GO) test -run='^Fuzz' ./internal/cache ./internal/synth
+
+# One-iteration pass over the kernel benchmarks: catches benchmarks that
+# no longer build or crash without paying for stable timings.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=Kernel -benchtime=1x .
+
+ci: build vet test race fuzz-seed bench-smoke

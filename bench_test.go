@@ -611,6 +611,149 @@ func BenchmarkPhaseDetection(b *testing.B) {
 	b.ReportMetric(speedup, "speedup")
 }
 
+// --- Kernel microbenchmarks -------------------------------------------
+//
+// BenchmarkKernel* isolate the simulation hot path at three depths —
+// generator only, cache hierarchy only, full machine — and report
+// throughput as a uops/s custom metric. The peruop/batched sub-benchmark
+// pairs quantify the batched kernel's speedup over the per-uop reference
+// kernel (EXPERIMENTS.md records the measured ratios; the acceptance
+// floor for the full machine is 1.5x).
+
+// kernelChunk is the uop count each kernel benchmark iteration processes.
+const kernelChunk = 1 << 16
+
+// kernelPair returns the headline pair for the kernel microbenchmarks:
+// 508.namd_r is compute-dense with an L1-resident working set, so the
+// kernel's own overheads — not simulated-miss handling — dominate, which
+// is exactly what these benchmarks isolate.
+func kernelPair() profile.Pair {
+	for _, p := range profile.CPU2017() {
+		if p.Name == "508.namd_r" {
+			return p.Expand(profile.Ref)[0]
+		}
+	}
+	panic("missing 508.namd_r")
+}
+
+// reportUops converts the elapsed benchmark time into a uops/s metric.
+func reportUops(b *testing.B, perIter int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(perIter)*float64(b.N)/s, "uops/s")
+	}
+}
+
+func kernelGen(b *testing.B, pair profile.Pair) *synth.Generator {
+	b.Helper()
+	gen, err := synth.New(pair.Model, machine.HaswellScaled().Geometry())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gen
+}
+
+// BenchmarkKernelSynth measures trace generation alone: the per-uop Next
+// path against the batched NextBatch path.
+func BenchmarkKernelSynth(b *testing.B) {
+	pair := kernelPair()
+	b.Run("peruop", func(b *testing.B) {
+		gen := kernelGen(b, pair)
+		var u trace.Uop
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < kernelChunk; k++ {
+				if !gen.Next(&u) {
+					b.Fatal("stream ended")
+				}
+			}
+		}
+		reportUops(b, kernelChunk)
+	})
+	b.Run("batched", func(b *testing.B) {
+		gen := kernelGen(b, pair)
+		buf := make([]trace.Uop, machine.DefaultBatchSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for done := 0; done < kernelChunk; {
+				n := gen.NextBatch(buf)
+				if n == 0 {
+					b.Fatal("stream ended")
+				}
+				done += n
+			}
+		}
+		reportUops(b, kernelChunk)
+	})
+}
+
+// BenchmarkKernelCache measures the cache hierarchy alone on a
+// pre-materialized uop stream (generation excluded from the loop).
+func BenchmarkKernelCache(b *testing.B) {
+	pair := kernelPair()
+	gen := kernelGen(b, pair)
+	uops := make([]trace.Uop, kernelChunk)
+	if gen.NextBatch(uops) != len(uops) {
+		b.Fatal("short stream")
+	}
+	cfg := machine.HaswellScaled()
+	hier := cache.NewHierarchy(cfg.Hierarchy)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := range uops {
+			u := &uops[k]
+			hier.L1I().Access(u.PC, cache.AccessFetch)
+			if u.IsMem() {
+				kind := cache.AccessLoad
+				if u.Kind == trace.KindStore {
+					kind = cache.AccessStore
+				}
+				hier.Data(u.Addr, kind)
+			}
+		}
+	}
+	reportUops(b, kernelChunk)
+}
+
+// BenchmarkKernelMachine measures the full simulation: the per-uop
+// reference kernel (RunReference) against the batched production kernel
+// (Run) on the same workload. The batched/peruop uops/s ratio is the
+// tentpole acceptance metric (floor: 1.5x).
+func BenchmarkKernelMachine(b *testing.B) {
+	pair := kernelPair()
+	cfg := machine.HaswellScaled()
+	run := func(b *testing.B, batched bool) {
+		var total uint64
+		for i := 0; i < b.N; i++ {
+			// Generator construction is setup, not kernel work: each
+			// iteration needs a fresh generator (identical stream), so
+			// build it with the timer stopped.
+			b.StopTimer()
+			gen := kernelGen(b, pair)
+			opt := machine.Options{
+				Instructions:       kernelChunk,
+				WarmupInstructions: gen.Prologue(),
+				Workload:           pipeline.Workload{ILP: 2, MLP: pair.Model.MLP},
+			}
+			// Warmup instructions run through the same kernel, so count
+			// them in the throughput denominator.
+			total = opt.Instructions + opt.WarmupInstructions
+			b.StartTimer()
+			var err error
+			if batched {
+				_, err = machine.Run(cfg, gen, opt)
+			} else {
+				_, err = machine.RunReference(cfg, gen, opt)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportUops(b, int(total))
+	}
+	b.Run("peruop", func(b *testing.B) { run(b, false) })
+	b.Run("batched", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkReuseDistanceProfile measures the exact reuse-distance
 // profiler on a generator stream and reports the predicted
 // fully-associative hit rate at the L1 capacity.

@@ -25,15 +25,16 @@ func main() {
 	nFlag := flag.Uint64("n", 300000, "simulated instructions per pair")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	progressFlag := flag.Bool("progress", false, "print a live progress meter to stderr")
+	batchFlag := flag.Int("batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
 	flag.Parse()
 
-	if err := run(*suiteFlag, *miniFlag, *sizeFlag, *nFlag, *csvFlag, *progressFlag); err != nil {
+	if err := run(*suiteFlag, *miniFlag, *sizeFlag, *nFlag, *csvFlag, *progressFlag, *batchFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "specchar:", err)
 		os.Exit(1)
 	}
 }
 
-func run(suiteName, mini, sizeName string, n uint64, csv, progress bool) error {
+func run(suiteName, mini, sizeName string, n uint64, csv, progress bool, batch int) error {
 	suite, err := pickSuite(suiteName)
 	if err != nil {
 		return err
@@ -45,7 +46,7 @@ func run(suiteName, mini, sizeName string, n uint64, csv, progress bool) error {
 	if err != nil {
 		return err
 	}
-	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache()}
+	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache(), BatchSize: batch}
 	if progress {
 		opt.Progress = speckit.ProgressPrinter(os.Stderr)
 	}

@@ -45,13 +45,13 @@ func TestPickSize(t *testing.T) {
 
 // TestRunSmoke drives the tool end to end on a small mini-suite.
 func TestRunSmoke(t *testing.T) {
-	if err := run("cpu2017", "rate-int", "test", 15000, false, false); err != nil {
+	if err := run("cpu2017", "rate-int", "test", 15000, false, false, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("cpu2006", "all", "ref", 10000, true, true); err != nil {
+	if err := run("cpu2006", "all", "ref", 10000, true, true, 256); err != nil {
 		t.Fatalf("csv run: %v", err)
 	}
-	if err := run("bogus", "all", "ref", 1000, false, false); err == nil {
+	if err := run("bogus", "all", "ref", 1000, false, false, 0); err == nil {
 		t.Error("bogus suite accepted")
 	}
 }

@@ -23,20 +23,21 @@ func main() {
 	outFlag := flag.String("out", "report", "output directory")
 	nFlag := flag.Uint64("n", 300000, "simulated instructions per pair")
 	progressFlag := flag.Bool("progress", false, "print a live progress meter to stderr")
+	batchFlag := flag.Int("batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
 	flag.Parse()
-	if err := run(*outFlag, *nFlag, *progressFlag); err != nil {
+	if err := run(*outFlag, *nFlag, *progressFlag, *batchFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "specreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, n uint64, progress bool) error {
+func run(outDir string, n uint64, progress bool, batch int) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
 	// One cache spans every campaign below, so any pair shared between
 	// them (or a re-run of this tool within one process) simulates once.
-	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache()}
+	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache(), BatchSize: batch}
 	if progress {
 		opt.Progress = speckit.ProgressPrinter(os.Stderr)
 	}

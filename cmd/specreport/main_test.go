@@ -15,7 +15,7 @@ func TestRunWritesAllArtifacts(t *testing.T) {
 		t.Skip("full report generation in -short mode")
 	}
 	dir := t.TempDir()
-	if err := run(dir, 25000, false); err != nil {
+	if err := run(dir, 25000, false, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	wantFiles := []string{
@@ -54,7 +54,7 @@ func TestRunWritesAllArtifacts(t *testing.T) {
 }
 
 func TestRunRejectsBadDir(t *testing.T) {
-	if err := run("/proc/definitely/not/writable", 1000, false); err == nil {
+	if err := run("/proc/definitely/not/writable", 1000, false, 0); err == nil {
 		t.Error("unwritable output dir accepted")
 	}
 }

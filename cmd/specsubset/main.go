@@ -26,15 +26,16 @@ func main() {
 	linkFlag := flag.String("linkage", "ward", "clustering linkage: ward, single, complete, average")
 	verbose := flag.Bool("v", false, "print per-cluster membership and the Pareto sweep")
 	progressFlag := flag.Bool("progress", false, "print a live progress meter to stderr")
+	batchFlag := flag.Int("batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
 	flag.Parse()
 
-	if err := run(*nFlag, *pcsFlag, *linkFlag, *verbose, *progressFlag); err != nil {
+	if err := run(*nFlag, *pcsFlag, *linkFlag, *verbose, *progressFlag, *batchFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "specsubset:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n uint64, pcs int, linkName string, verbose, progress bool) error {
+func run(n uint64, pcs int, linkName string, verbose, progress bool, batch int) error {
 	linkage, err := pickLinkage(linkName)
 	if err != nil {
 		return err
@@ -42,7 +43,7 @@ func run(n uint64, pcs int, linkName string, verbose, progress bool) error {
 	// The rate and speed campaigns share a result cache, so pairs common
 	// to both (none today, but cheap insurance) and tool re-runs within a
 	// process simulate once.
-	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache()}
+	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache(), BatchSize: batch}
 	if progress {
 		opt.Progress = speckit.ProgressPrinter(os.Stderr)
 	}

@@ -31,10 +31,10 @@ func TestRunSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite characterization in -short mode")
 	}
-	if err := run(20000, 4, "ward", true, true); err != nil {
+	if err := run(20000, 4, "ward", true, true, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run(1000, 0, "diagonal", false, false); err == nil {
+	if err := run(1000, 0, "diagonal", false, false, 0); err == nil {
 		t.Error("bad linkage accepted")
 	}
 }

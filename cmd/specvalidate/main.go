@@ -26,8 +26,9 @@ func main() {
 	nFlag := flag.Uint64("n", 200000, "simulated instructions per pair")
 	worstFlag := flag.Int("worst", 15, "how many worst deviations to list")
 	progressFlag := flag.Bool("progress", false, "print a live progress meter to stderr")
+	batchFlag := flag.Int("batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
 	flag.Parse()
-	if err := run(*suiteFlag, *sizeFlag, *nFlag, *worstFlag, *progressFlag); err != nil {
+	if err := run(*suiteFlag, *sizeFlag, *nFlag, *worstFlag, *progressFlag, *batchFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "specvalidate:", err)
 		os.Exit(1)
 	}
@@ -40,7 +41,7 @@ type deviation struct {
 	score            float64 // normalized severity
 }
 
-func run(suiteName, sizeName string, n uint64, worst int, progress bool) error {
+func run(suiteName, sizeName string, n uint64, worst int, progress bool, batch int) error {
 	var suite speckit.Suite
 	switch strings.ToLower(suiteName) {
 	case "cpu2017", "cpu17":
@@ -62,7 +63,7 @@ func run(suiteName, sizeName string, n uint64, worst int, progress bool) error {
 		return fmt.Errorf("unknown size %q", sizeName)
 	}
 
-	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache()}
+	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache(), BatchSize: batch}
 	if progress {
 		opt.Progress = speckit.ProgressPrinter(os.Stderr)
 	}

@@ -7,13 +7,13 @@ func TestRunSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite audit in -short mode")
 	}
-	if err := run("cpu2006", "ref", 15000, 5, true); err != nil {
+	if err := run("cpu2006", "ref", 15000, 5, true, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("cpu2095", "ref", 1000, 1, false); err == nil {
+	if err := run("cpu2095", "ref", 1000, 1, false, 0); err == nil {
 		t.Error("unknown suite accepted")
 	}
-	if err := run("cpu2017", "gigantic", 1000, 1, false); err == nil {
+	if err := run("cpu2017", "gigantic", 1000, 1, false, 0); err == nil {
 		t.Error("unknown size accepted")
 	}
 }

@@ -53,7 +53,7 @@ func ExampleSubset() {
 	fmt.Printf("%d pairs -> %d representatives, saving > 0: %v\n",
 		len(chars), len(res.Representatives), res.Saving() > 0)
 	// Output:
-	// 20 pairs -> 10 representatives, saving > 0: true
+	// 20 pairs -> 9 representatives, saving > 0: true
 }
 
 // Detect phases in a two-phase composite workload.

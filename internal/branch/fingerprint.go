@@ -1,0 +1,71 @@
+package branch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fingerprinter is an optional interface for predictors whose Name does
+// not carry every parameter that affects behaviour. The machine
+// configuration fingerprint — and therefore the campaign result cache
+// key — prefers Fingerprint over Name, so two predictors sharing a name
+// but sized differently can never alias to the same cached result. All
+// built-in predictors implement it.
+type Fingerprinter interface {
+	// Fingerprint returns a string covering the predictor's name and
+	// every behaviour-affecting constructor parameter.
+	Fingerprint() string
+}
+
+func log2len(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Fingerprint implements Fingerprinter.
+func (Static) Fingerprint() string { return "static-taken" }
+
+// Fingerprint implements Fingerprinter.
+func (b *Bimodal) Fingerprint() string {
+	return fmt.Sprintf("bimodal:%d", log2len(len(b.table)))
+}
+
+// Fingerprint implements Fingerprinter.
+func (g *Gshare) Fingerprint() string {
+	return fmt.Sprintf("gshare:%d:%d", log2len(len(g.table)), g.histLen)
+}
+
+// Fingerprint implements Fingerprinter.
+func (l *TwoLevelLocal) Fingerprint() string {
+	return fmt.Sprintf("two-level-local:%d:%d", log2len(len(l.histories)), l.histLen)
+}
+
+// Fingerprint implements Fingerprinter.
+func (t *Tournament) Fingerprint() string {
+	return fmt.Sprintf("tournament:%d[%s,%s]",
+		log2len(len(t.chooser)), t.global.Fingerprint(), t.local.Fingerprint())
+}
+
+// Fingerprint implements Fingerprinter.
+func (p *Perceptron) Fingerprint() string {
+	return fmt.Sprintf("perceptron:%d:%d", log2len(len(p.weights)), len(p.history))
+}
+
+// Fingerprint implements Fingerprinter.
+func (t *TAGE) Fingerprint() string {
+	var hl strings.Builder
+	for i, h := range t.histLens {
+		if i > 0 {
+			hl.WriteByte(',')
+		}
+		fmt.Fprintf(&hl, "%d", h)
+	}
+	bits := 0
+	if len(t.tables) > 0 {
+		bits = log2len(len(t.tables[0].ctr))
+	}
+	return fmt.Sprintf("tage:%d:%s[%s]", bits, hl.String(), t.base.Fingerprint())
+}

@@ -89,18 +89,33 @@ func (s Stats) MissRate() float64 {
 
 // Cache is a single set-associative cache level.
 type Cache struct {
-	cfg        Config
-	sets       int
-	ways       int
-	lineShift  uint
-	setMask    uint64 // sets-1 when sets is a power of two, else 0
-	pow2       bool
-	tags       []uint64 // sets*ways entries
-	valid      []bool
+	cfg       Config
+	sets      int
+	ways      int
+	lineShift uint
+	setMask   uint64 // sets-1 when sets is a power of two, else 0
+	pow2      bool
+	tags      []uint64 // sets*ways entries
+	valid     []bool
+	// keys mirrors tags with the valid bit folded in (tag | keyValid, 0
+	// when empty) so the batched kernel's probe is a single compare per
+	// way. It is maintained by fill and Reset, the only places lines
+	// appear or disappear, so it stays coherent under both kernels.
+	keys       []uint64
 	repl       Replacement
 	stats      Stats
 	loadStats  Stats // subset of stats attributable to load uops
 	storeStats Stats
+
+	// Batched-kernel fast path state (see AccessHot). tagShift is the
+	// precomputed bitsFor(sets); lru devirtualizes the default policy so
+	// the hot path touches it without an interface dispatch; memoLine and
+	// memoHit, allocated by EnableFetchMemo, record the last line accessed
+	// in each set for the fetch deduplication short-circuit.
+	tagShift uint
+	lru      *lruState
+	memoLine []uint64
+	memoHit  []bool
 }
 
 // New constructs a cache from cfg. It panics if cfg is invalid; callers
@@ -119,7 +134,7 @@ func New(cfg Config) *Cache {
 	if pol == nil {
 		pol = LRU{}
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:       cfg,
 		sets:      sets,
 		ways:      cfg.Ways,
@@ -128,8 +143,12 @@ func New(cfg Config) *Cache {
 		pow2:      sets&(sets-1) == 0,
 		tags:      make([]uint64, lines),
 		valid:     make([]bool, lines),
+		keys:      make([]uint64, lines),
 		repl:      pol.New(sets, cfg.Ways),
+		tagShift:  uint(bitsFor(sets)),
 	}
+	c.lru, _ = c.repl.(*lruState)
+	return c
 }
 
 // Config returns the cache's configuration.
@@ -165,6 +184,11 @@ const (
 	// AccessPrefetch is a hardware prefetch (not counted in demand stats).
 	AccessPrefetch
 )
+
+// keyValid is the occupancy bit folded into Cache.keys entries. Tags are
+// line numbers shifted down by the set-index width, so bit 63 is always
+// clear in a real tag.
+const keyValid = uint64(1) << 63
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	line := addr >> c.lineShift
@@ -232,6 +256,7 @@ func (c *Cache) fill(set int, tag uint64) int {
 		if !c.valid[base+w] {
 			c.valid[base+w] = true
 			c.tags[base+w] = tag
+			c.keys[base+w] = tag | keyValid
 			return w
 		}
 	}
@@ -241,6 +266,7 @@ func (c *Cache) fill(set int, tag uint64) int {
 	}
 	c.stats.Evictions++
 	c.tags[base+w] = tag
+	c.keys[base+w] = tag | keyValid
 	return w
 }
 
@@ -261,10 +287,192 @@ func (c *Cache) record(kind AccessKind, hit bool) {
 	}
 }
 
+// RecordHits credits n demand hits of the given kind without probing the
+// arrays or touching replacement state. It exists for batched callers
+// that have proven the accesses would hit and leave replacement state
+// unchanged — e.g. the machine's fetch loop deduplicating consecutive
+// instruction fetches of one line under an idempotent-touch policy. The
+// resulting statistics are bit-identical to performing the accesses.
+func (c *Cache) RecordHits(kind AccessKind, n uint64) {
+	if n == 0 || kind == AccessPrefetch {
+		return
+	}
+	c.stats.Hits += n
+	switch kind {
+	case AccessLoad:
+		c.loadStats.Hits += n
+	case AccessStore:
+		c.storeStats.Hits += n
+	}
+}
+
+// AccessHot is Access optimized for the batched simulation kernel: the
+// tag shift is precomputed instead of re-derived per call, the default
+// LRU policy is touched through a devirtualized handle, and statistics
+// are recorded without a closure. It performs exactly the same state
+// transitions and statistics updates as Access — the machine equivalence
+// tests compare whole simulations run through each — and additionally
+// maintains the per-set fetch memo when EnableFetchMemo was called. The
+// legacy Access is kept verbatim as the reference kernel's path; callers
+// must not mix Access and FetchHot on one cache, since Access does not
+// update the memo.
+func (c *Cache) AccessHot(addr uint64, kind AccessKind) bool {
+	line := addr >> c.lineShift
+	var set int
+	var tag uint64
+	if c.pow2 {
+		set, tag = int(line&c.setMask), line>>c.tagShift
+	} else {
+		set, tag = int(line%uint64(c.sets)), line
+	}
+	base := set * c.ways
+	// Subslicing the probe window lets the compiler drop the per-way
+	// bounds checks the legacy Access pays, and the folded valid|tag keys
+	// make the scan one compare per way. The scan runs to the end with a
+	// conditional select instead of breaking early: the hit way is
+	// data-dependent and effectively uniform, so an early-exit branch
+	// mispredicts almost every probe, which costs more than the few
+	// extra compares.
+	keys := c.keys[base : base+c.ways]
+	want := tag | keyValid
+	hitWay := -1
+	for w := range keys {
+		if keys[w] == want {
+			hitWay = w
+		}
+	}
+	hit := hitWay >= 0
+	if hit {
+		if c.lru != nil {
+			c.lru.Touch(set, hitWay)
+		} else {
+			c.repl.Touch(set, hitWay)
+		}
+	} else {
+		w := c.fill(set, tag)
+		if c.lru != nil {
+			c.lru.Fill(set, w)
+		} else {
+			c.repl.Fill(set, w)
+		}
+	}
+	if kind != AccessPrefetch {
+		if hit {
+			c.stats.Hits++
+		} else {
+			c.stats.Misses++
+		}
+		switch kind {
+		case AccessLoad:
+			if hit {
+				c.loadStats.Hits++
+			} else {
+				c.loadStats.Misses++
+			}
+		case AccessStore:
+			if hit {
+				c.storeStats.Hits++
+			} else {
+				c.storeStats.Misses++
+			}
+		}
+	}
+	if c.memoLine != nil {
+		c.memoLine[set] = line
+		c.memoHit[set] = hit
+	}
+	return hit
+}
+
+// EnableFetchMemo allocates the per-set last-access memo that lets
+// FetchHot short-circuit repeated fetches. Callers must only enable it
+// when TouchIdempotent holds for the cache's policy, and must then route
+// every access to this cache through AccessHot/FetchHot so the memo
+// stays coherent.
+func (c *Cache) EnableFetchMemo() {
+	c.memoLine = make([]uint64, c.sets)
+	c.memoHit = make([]bool, c.sets)
+}
+
+// FetchHot performs a fetch-kind demand access with the set-memo
+// short-circuit: if the last access to this line's set was this very line
+// and it hit, the line is still resident and most-recently-used, so under
+// an idempotent-touch policy re-probing and re-touching it is observably
+// a no-op (no future Victim decision can change — see TouchIdempotent).
+// The access is then answered by a statistics credit alone, which is
+// bit-identical to what Access would have recorded.
+func (c *Cache) FetchHot(addr uint64) bool {
+	if c.memoLine != nil {
+		line := addr >> c.lineShift
+		var set int
+		if c.pow2 {
+			set = int(line & c.setMask)
+		} else {
+			set = int(line % uint64(c.sets))
+		}
+		if c.memoHit[set] && c.memoLine[set] == line {
+			c.stats.Hits++
+			return true
+		}
+	}
+	return c.AccessHot(addr, AccessFetch)
+}
+
+// MemoHit reports whether addr hits the per-set last-line memo: the last
+// access to its set was the same line and found it resident. It is small
+// enough to inline, so the batched kernel's sweeps can test the memo
+// without a call and fall through to AccessHot themselves, crediting the
+// hit through RecordHits. Callers own the statistics credit; MemoHit
+// records nothing.
+func (c *Cache) MemoHit(addr uint64) bool {
+	line := addr >> c.lineShift
+	var set int
+	if c.pow2 {
+		set = int(line & c.setMask)
+	} else {
+		set = int(line % uint64(c.sets))
+	}
+	return c.memoLine != nil && c.memoHit[set] && c.memoLine[set] == line
+}
+
+// DemandHot is FetchHot for demand load/store accesses: the same per-set
+// last-line memo short-circuit, but the statistics credit is recorded
+// under the caller's access kind so load/store hit breakdowns stay
+// bit-identical to the un-memoized path. The soundness argument is the
+// one in FetchHot: a memo hit proves the line is resident and
+// most-recently-used in its set, so under an idempotent-touch policy the
+// probe and Touch are observably no-ops.
+func (c *Cache) DemandHot(addr uint64, kind AccessKind) bool {
+	if c.memoLine != nil {
+		line := addr >> c.lineShift
+		var set int
+		if c.pow2 {
+			set = int(line & c.setMask)
+		} else {
+			set = int(line % uint64(c.sets))
+		}
+		if c.memoHit[set] && c.memoLine[set] == line {
+			c.stats.Hits++
+			switch kind {
+			case AccessLoad:
+				c.loadStats.Hits++
+			case AccessStore:
+				c.storeStats.Hits++
+			}
+			return true
+		}
+	}
+	return c.AccessHot(addr, kind)
+}
+
 // Reset invalidates all lines and zeroes statistics.
 func (c *Cache) Reset() {
 	for i := range c.valid {
 		c.valid[i] = false
+		c.keys[i] = 0
+	}
+	for i := range c.memoHit {
+		c.memoHit[i] = false
 	}
 	c.stats = Stats{}
 	c.loadStats = Stats{}

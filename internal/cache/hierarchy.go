@@ -160,6 +160,69 @@ func (h *Hierarchy) Data(addr uint64, kind AccessKind) HitLevel {
 	return level
 }
 
+// FetchHot is Fetch through the batched-kernel fast path: the L1I probe
+// uses the fetch memo short-circuit (see Cache.FetchHot) and lower levels
+// use AccessHot. State transitions and statistics are bit-identical to
+// Fetch; callers must not mix the two on one hierarchy.
+func (h *Hierarchy) FetchHot(pc uint64) HitLevel {
+	if h.l1i.FetchHot(pc) {
+		return HitL1
+	}
+	if h.l2.AccessHot(pc, AccessFetch) {
+		return HitL2
+	}
+	if h.l3.AccessHot(pc, AccessFetch) {
+		return HitL3
+	}
+	return HitMemory
+}
+
+// DataHot is Data through the batched-kernel fast path (AccessHot at
+// every level, including prefetch fills). State transitions and
+// statistics are bit-identical to Data.
+func (h *Hierarchy) DataHot(addr uint64, kind AccessKind) HitLevel {
+	level := HitMemory
+	switch {
+	case h.l1d.DemandHot(addr, kind):
+		level = HitL1
+	case h.l2.AccessHot(addr, kind):
+		level = HitL2
+	case h.l3.AccessHot(addr, kind):
+		level = HitL3
+	}
+	if level != HitL1 && h.pf != nil {
+		for _, p := range h.pf.Observe(addr) {
+			if !h.l2.AccessHot(p, AccessPrefetch) {
+				h.l3.AccessHot(p, AccessPrefetch)
+			}
+		}
+	}
+	return level
+}
+
+// DataHotMiss completes a demand access that the caller already probed
+// (and missed) in L1D via DemandHot: the L2 and L3 lookups plus the
+// prefetcher observation — exactly the non-L1 arm of DataHot. Splitting
+// the access this way lets the batched kernel's data sweep keep the
+// dominant L1-hit case down to a single call.
+func (h *Hierarchy) DataHotMiss(addr uint64, kind AccessKind) HitLevel {
+	level := HitMemory
+	switch {
+	case h.l2.AccessHot(addr, kind):
+		level = HitL2
+	case h.l3.AccessHot(addr, kind):
+		level = HitL3
+	}
+	if h.pf != nil {
+		for _, p := range h.pf.Observe(addr) {
+			if !h.l2.AccessHot(p, AccessPrefetch) {
+				h.l3.AccessHot(p, AccessPrefetch)
+			}
+		}
+	}
+	return level
+}
+
 // Reset clears the private levels and statistics. The shared L3 is reset
 // too; when sharing an L3 across hierarchies reset it only once.
 func (h *Hierarchy) Reset() {

@@ -1,6 +1,10 @@
 package cache
 
-import "repro/internal/xrand"
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
 
 // LRU is true least-recently-used replacement. Recency is tracked with an
 // age counter per line; Victim picks the oldest.
@@ -28,11 +32,18 @@ func (s *lruState) Touch(set, w int) {
 func (s *lruState) Fill(set, w int) { s.Touch(set, w) }
 
 func (s *lruState) Victim(set int) int {
-	base := set * s.ways
-	victim, oldest := 0, s.ages[base]
-	for w := 1; w < s.ways; w++ {
-		if s.ages[base+w] < oldest {
-			victim, oldest = w, s.ages[base+w]
+	// Branch-free scan: the minimum's position is data-dependent, so a
+	// compare-and-branch form mispredicts on most updates; conditional
+	// selects keep the pipeline full.
+	ages := s.ages[set*s.ways : set*s.ways+s.ways]
+	victim, oldest := 0, ages[0]
+	for w := 1; w < len(ages); w++ {
+		a := ages[w]
+		if a < oldest {
+			victim = w
+		}
+		if a < oldest {
+			oldest = a
 		}
 	}
 	return victim
@@ -171,4 +182,40 @@ func (s *srripState) Victim(set int) int {
 // ablation benchmarks.
 func Policies() []Policy {
 	return []Policy{LRU{}, TreePLRU{}, Random{}, SRRIP{}}
+}
+
+// Fingerprinter is an optional interface for policies (and other machine
+// components) whose Name does not carry every parameter that affects
+// behaviour. The machine configuration fingerprint — and therefore the
+// campaign result cache key — prefers Fingerprint over Name, so two
+// custom components sharing a name can never alias to the same cached
+// result.
+type Fingerprinter interface {
+	// Fingerprint returns a string covering the component's name and
+	// every behaviour-affecting parameter.
+	Fingerprint() string
+}
+
+// Fingerprint implements Fingerprinter: Random's victim stream depends on
+// its seed, which the bare name does not carry.
+func (r Random) Fingerprint() string { return fmt.Sprintf("random:seed=%d", r.Seed) }
+
+// TouchIdempotent reports whether a policy's Touch is observably
+// idempotent: as long as no other way of set s has been accessed since
+// Touch(s, w), repeating Touch(s, w) cannot change any future Victim
+// decision. Victim only ever compares state within one set, so the
+// property holds per set: LRU re-stamps the way that already holds the
+// set's newest stamp (relative order within every set is unchanged),
+// PLRU re-points the tree nodes the same direction, SRRIP re-zeroes an
+// already-zero RRPV, and Random ignores touches entirely.
+// Frequency-counting policies would not qualify. The batched kernel's
+// fetch deduplication (Cache.FetchHot's per-set memo) is only sound when
+// this holds, so unknown custom policies conservatively disable the
+// optimization rather than risk divergence from the per-uop kernel.
+func TouchIdempotent(p Policy) bool {
+	switch p.(type) {
+	case nil, LRU, TreePLRU, Random, SRRIP:
+		return true
+	}
+	return false
 }

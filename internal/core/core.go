@@ -47,6 +47,12 @@ type Options struct {
 	// pair (pairs done/total, cache hits, elapsed time). Callbacks are
 	// invoked serially.
 	Progress func(sched.Progress)
+	// BatchSize is the simulation kernel's uop buffer length (0 means
+	// machine.DefaultBatchSize). Purely a performance knob: results are
+	// bit-identical for every batch size, so it is deliberately excluded
+	// from the result-cache key — cached Characteristics stay valid when
+	// it changes.
+	BatchSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -156,6 +162,7 @@ func characterizePairCtx(ctx context.Context, pair profile.Pair, opt Options) (*
 		Workload:           pipeline.Workload{ILP: 2, MLP: m.MLP},
 		CalibrateIPC:       m.TargetIPC,
 		Context:            ctx,
+		BatchSize:          opt.BatchSize,
 	})
 	if err != nil {
 		return nil, err

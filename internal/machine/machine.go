@@ -67,19 +67,33 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// kernelDigest versions the simulation kernel itself inside the
+// configuration fingerprint. Bump it whenever a kernel change could alter
+// any Result bit for some configuration, so the campaign scheduler's
+// memoizing cache can never return results computed by an older kernel
+// variant. Options.BatchSize is deliberately NOT part of any cache key:
+// the equivalence tests prove results are batch-size independent.
+const kernelDigest = "kernel=batched-v3"
+
 // Fingerprint returns a deterministic content key for the configuration,
 // used by the campaign scheduler's memoizing result cache. Component
-// factories (predictor, replacement policy, prefetcher) are identified by
-// name and static parameters; two configs whose factories share a name
-// but differ in parameters the name does not carry would alias, so custom
-// factories should use distinct names.
+// factories (predictor, replacement policy, prefetcher) that implement
+// their package's Fingerprinter interface are identified by their full
+// parameterized fingerprint; others fall back to name and static
+// parameters. Custom components that carry behaviour-affecting parameters
+// their Name does not should implement Fingerprinter, otherwise two
+// instances sharing a name would alias to the same cached result.
 func (c Config) Fingerprint() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "machine|%s|", c.Name)
+	fmt.Fprintf(&b, "machine|%s|%s|", kernelDigest, c.Name)
 	for _, l := range []cache.Config{c.Hierarchy.L1I, c.Hierarchy.L1D, c.Hierarchy.L2, c.Hierarchy.L3} {
 		policy := "lru"
 		if l.Policy != nil {
-			policy = l.Policy.Name()
+			if f, ok := l.Policy.(cache.Fingerprinter); ok {
+				policy = f.Fingerprint()
+			} else {
+				policy = l.Policy.Name()
+			}
 		}
 		fmt.Fprintf(&b, "%s:%d:%d:%d:%s|", l.Name, l.SizeBytes, l.Ways, l.LineBytes, policy)
 	}
@@ -91,11 +105,20 @@ func (c Config) Fingerprint() string {
 	case *cache.StridePrefetcher:
 		fmt.Fprintf(&b, "pf=stride:%d:%d|", pf.LineBytes, pf.Degree)
 	default:
-		fmt.Fprintf(&b, "pf=%T|", pf)
+		if f, ok := pf.(cache.Fingerprinter); ok {
+			fmt.Fprintf(&b, "pf=%s|", f.Fingerprint())
+		} else {
+			fmt.Fprintf(&b, "pf=%T|", pf)
+		}
 	}
-	predictor := "tournament"
-	if c.NewPredictor != nil {
-		predictor = c.NewPredictor().Name()
+	newPred := c.NewPredictor
+	if newPred == nil {
+		newPred = func() branch.Predictor { return branch.NewTournament(14) }
+	}
+	pred := newPred()
+	predictor := pred.Name()
+	if f, ok := pred.(branch.Fingerprinter); ok {
+		predictor = f.Fingerprint()
 	}
 	fmt.Fprintf(&b, "bp=%s:%d:%d|", predictor, c.BTBBits, c.RASDepth)
 	p := c.Pipeline
@@ -167,15 +190,28 @@ type Options struct {
 	// value). See DESIGN.md: miss rates and mix are measured from the
 	// simulation; IPC is anchored to the paper's measurement.
 	CalibrateIPC float64
-	// Context, when non-nil, aborts an in-flight simulation: the run
-	// loop polls it every cancelCheckStride instructions and returns the
-	// context's error. Nil disables cancellation checks.
+	// Context, when non-nil, aborts an in-flight simulation: the batched
+	// run loop polls it between batches (RunReference polls every
+	// cancelCheckStride instructions) and returns the context's error.
+	// Nil disables cancellation checks.
 	Context context.Context
+	// BatchSize is the uop buffer length of the batched kernel; 0 means
+	// DefaultBatchSize. It is a performance knob only: results are
+	// bit-identical for every batch size (the machine equivalence tests
+	// enforce this), so it is excluded from all result-cache keys.
+	BatchSize int
 }
 
-// cancelCheckStride is how often (in instructions) the run loop polls
+// cancelCheckStride is how often (in instructions) RunReference polls
 // Options.Context; a power of two so the check is a mask, not a divide.
+// The batched loop polls between batches instead, which for the default
+// batch size is at least as often.
 const cancelCheckStride = 8192
+
+// DefaultBatchSize is the uop buffer length used when Options.BatchSize
+// is zero. 4096 uops (192 KB) amortize per-batch overheads to noise while
+// keeping the buffer well inside L2.
+const DefaultBatchSize = 4096
 
 // Result is the outcome of one run.
 type Result struct {
@@ -224,7 +260,44 @@ type core struct {
 	loadLevel [4]uint64
 	// All-access per-level outcomes feeding the pipeline model.
 	dataLevel [4]uint64
+
+	// Batched-kernel data-side deduplication: consecutive memory uops to
+	// one 4 KB page re-hit the just-promoted DTLB entry and re-set an
+	// already-set footprint bit, so translation and footprint tracking
+	// are skipped and the TLB hit credited directly. The cache access
+	// itself always runs — distinct lines within a page matter. (Fetch
+	// deduplication lives in the cache itself: see Cache.FetchHot.)
+	dataPage uint64 // last translated page, ^0 = none yet
+
+	// Register-level dedup configuration for the batched sweeps. The
+	// sweeps keep the last fetched / last accessed line number in a local
+	// and skip the cache entirely on a repeat, crediting the guaranteed
+	// hit instead. This is sound only under an idempotent-touch policy at
+	// the corresponding level (see TouchIdempotent), so each side carries
+	// its own gate; the shifts are the precomputed line-offset widths.
+	fetchDedup, dataDedup bool
+	fetchShift, dataShift uint
+
+	// Kind-index lists for the split sweeps: fetchSweep, which touches
+	// every record anyway, classifies kinds into these packed position
+	// lists with branch-free table lookups, and dataSweep then walks only
+	// the memory and branch records — no data-dependent kind tests, which
+	// on a mixed stream mispredict almost every record. memIdx entries
+	// carry the record position in the low bits and the store flag in bit
+	// 31 (batch buffers are nowhere near 2^31 records).
+	memIdx, brIdx []uint32
+	nMem, nBr     int
 }
+
+// Branch-free kind classification tables for fetchSweep's index-list
+// building: an unconditional store plus a table-driven increment replaces
+// a compare-and-branch per record.
+var (
+	kindIsMem    = [trace.NumKinds]uint32{trace.KindLoad: 1, trace.KindStore: 1}
+	kindIsBranch = [trace.NumKinds]uint32{trace.KindBranch: 1}
+	kindStoreBit = [trace.NumKinds]uint32{trace.KindStore: 1 << 31}
+	accessBySBit = [2]cache.AccessKind{cache.AccessLoad, cache.AccessStore}
+)
 
 func newCore(cfg Config, hier *cache.Hierarchy) *core {
 	pred := cfg.NewPredictor
@@ -232,19 +305,41 @@ func newCore(cfg Config, hier *cache.Hierarchy) *core {
 		pred = func() branch.Predictor { return branch.NewTournament(14) }
 	}
 	return &core{
-		hier:    hier,
-		unified: cfg.UnifiedCodePath,
-		unit:    branch.NewUnit(pred(), cfg.BTBBits, cfg.RASDepth),
-		tlb:     tlb.NewHaswell(),
-		foot:    mem.NewFootprint(0, 1<<30, 0),
+		hier:       hier,
+		unified:    cfg.UnifiedCodePath,
+		unit:       branch.NewUnit(pred(), cfg.BTBBits, cfg.RASDepth),
+		tlb:        tlb.NewHaswell(),
+		foot:       mem.NewFootprint(0, 1<<30, 0),
+		dataPage:   ^uint64(0),
+		fetchDedup: cache.TouchIdempotent(cfg.Hierarchy.L1I.Policy),
+		dataDedup:  cache.TouchIdempotent(cfg.Hierarchy.L1D.Policy),
+		fetchShift: lineShift(cfg.Hierarchy.L1I.LineBytes),
+		dataShift:  lineShift(cfg.Hierarchy.L1D.LineBytes),
 	}
 }
 
+// lineShift returns log2 of the (validated, power-of-two) line size.
+func lineShift(lineBytes int) uint {
+	s := uint(0)
+	for 1<<s < lineBytes {
+		s++
+	}
+	return s
+}
+
 // step consumes one uop. It returns false when the source is exhausted.
+// It is the reference per-uop kernel, kept verbatim for RunReference and
+// the shared-L3 interleaved runner.
 func (c *core) step(src trace.Source, u *trace.Uop) bool {
 	if !src.Next(u) {
 		return false
 	}
+	c.process(u)
+	return true
+}
+
+// process simulates one uop through every component model.
+func (c *core) process(u *trace.Uop) {
 	c.kinds[u.Kind]++
 	if c.unified {
 		c.hier.Fetch(u.PC)
@@ -269,7 +364,241 @@ func (c *core) step(src trace.Source, u *trace.Uop) bool {
 	case trace.KindBranch:
 		c.unit.Resolve(u)
 	}
-	return true
+}
+
+// processBatch simulates a buffer of uops through the batched kernel. It
+// produces bit-identical statistics to calling process on each uop in
+// order (the equivalence tests enforce this); the speedup comes from the
+// cache fast paths (AccessHot/FetchHot with per-set fetch dedup), the
+// DTLB page dedup, and — on non-unified machines — sweeping the batch
+// once per component instead of once per uop.
+func (c *core) processBatch(buf []trace.Uop) {
+	if c.unified {
+		c.processBatchUnified(buf)
+		return
+	}
+	// Non-unified machines keep the L1I, the data path (L1D/L2/L3, DTLB,
+	// footprint) and the branch unit fully disjoint: no component's state
+	// is read or written by another's sweep, so processing the batch
+	// component-by-component is a pure reordering of commuting updates —
+	// bit-identical to the interleaved order, and much kinder to the
+	// simulator's own caches and branch predictor. fetchSweep classifies
+	// every record into the kind-index lists as it passes, so dataSweep
+	// streams only the memory and branch records instead of re-scanning
+	// (and re-mispredicting) the whole buffer.
+	if cap(c.memIdx) < len(buf) {
+		c.memIdx = make([]uint32, len(buf))
+		c.brIdx = make([]uint32, len(buf))
+	}
+	c.fetchSweep(buf)
+	c.dataSweep(buf)
+}
+
+// fetchSweep runs the instruction-fetch side of a batch on a non-unified
+// machine. Under an idempotent-touch L1I policy it deduplicates
+// consecutive same-line fetches in a register: within the sweep nothing
+// else touches the L1I between two fetches, so after a fetch of line L
+// that HIT (leaving L resident with its touch state freshly set), an
+// immediately following fetch of L is a guaranteed hit whose repeated
+// touch is a no-op — it is answered by a hit credit without probing.
+// A miss does not arm the dedup: policies like SRRIP fill at a distant
+// re-reference interval, so the follow-up hit's touch genuinely promotes
+// the line and must execute.
+func (c *core) fetchSweep(buf []trace.Uop) {
+	l1i := c.hier.L1I()
+	memIdx, brIdx := c.memIdx, c.brIdx
+	nm, nb := uint32(0), uint32(0)
+	if !c.fetchDedup {
+		for i := range buf {
+			u := &buf[i]
+			k := u.Kind
+			c.kinds[k]++
+			memIdx[nm] = uint32(i) | kindStoreBit[k]
+			nm += kindIsMem[k]
+			brIdx[nb] = uint32(i)
+			nb += kindIsBranch[k]
+			if !l1i.FetchHot(u.PC) {
+				// Sequential next-line instruction prefetch, as in process.
+				l1i.AccessHot(u.PC+64, cache.AccessPrefetch)
+			}
+		}
+		c.nMem, c.nBr = int(nm), int(nb)
+		return
+	}
+	shift := c.fetchShift
+	lastLine := ^uint64(0)
+	lastOK := false
+	credit := uint64(0)
+	for i := range buf {
+		u := &buf[i]
+		k := u.Kind
+		c.kinds[k]++
+		memIdx[nm] = uint32(i) | kindStoreBit[k]
+		nm += kindIsMem[k]
+		brIdx[nb] = uint32(i)
+		nb += kindIsBranch[k]
+		line := u.PC >> shift
+		if lastOK && line == lastLine {
+			credit++
+			continue
+		}
+		// Inlined FetchHot: the set-memo test runs call-free and its
+		// hit is credited through the same deferred counter as the
+		// register dedup; only memo misses pay the AccessHot call.
+		hit := true
+		if l1i.MemoHit(u.PC) {
+			credit++
+		} else if hit = l1i.AccessHot(u.PC, cache.AccessFetch); !hit {
+			// Sequential next-line instruction prefetch, as in process.
+			l1i.AccessHot(u.PC+64, cache.AccessPrefetch)
+		}
+		lastLine = line
+		lastOK = hit
+	}
+	c.nMem, c.nBr = int(nm), int(nb)
+	l1i.RecordHits(cache.AccessFetch, credit)
+}
+
+// dataSweep runs the branch and data sides of a batch on a non-unified
+// machine, walking the kind-index lists fetchSweep built instead of
+// re-scanning the buffer. Under an idempotent-touch L1D policy
+// consecutive memory uops to one line are deduplicated in a register once the line has HIT in the L1D:
+// the hit's touch left the line resident with its touch state freshly
+// set, so a same-line follow-up is a guaranteed L1 hit whose repeated
+// touch is a no-op, and — lines being smaller than pages — a guaranteed
+// repeat of the just-translated page. It is answered by crediting the
+// L1 hit, the per-level counters and the DTLB hit. A miss does not arm
+// the dedup (an SRRIP-style fill inserts cold; the follow-up hit's
+// touch genuinely promotes the line and must execute).
+func (c *core) dataSweep(buf []trace.Uop) {
+	// Branch state is disjoint from the data path's, so draining the
+	// branch list first is the same commuting reordering as the sweep
+	// split itself.
+	for _, i := range c.brIdx[:c.nBr] {
+		c.unit.Resolve(&buf[i])
+	}
+	if !c.dataDedup {
+		for _, p := range c.memIdx[:c.nMem] {
+			c.processData(&buf[p&^(1<<31)])
+		}
+		return
+	}
+	l1d := c.hier.Cache(cache.L1)
+	shift := c.dataShift
+	lastLine := ^uint64(0)
+	// credit[0] accumulates deferred load hits, credit[1] store hits; the
+	// store bit from the packed index selects arithmetically so the
+	// load-vs-store distinction never costs a branch.
+	var credit [2]uint64
+	for _, p := range c.memIdx[:c.nMem] {
+		u := &buf[p&^(1<<31)]
+		s := uint64(p >> 31)
+		line := u.Addr >> shift
+		if line == lastLine {
+			c.dataLevel[cache.HitL1]++
+			c.loadLevel[cache.HitL1] += 1 - s
+			credit[s]++
+			c.tlb.RecordL1Hits(1)
+			continue
+		}
+		// The L1-hit common cases stay call-free (set memo, inlined) or
+		// a single call (AccessHot); only a real L1D miss takes the
+		// hierarchy walk (L2/L3 plus the prefetcher). Memo hits are
+		// credited through the same deferred RecordHits counters as the
+		// register dedup, which is the statistics update DemandHot
+		// would have made.
+		kind := accessBySBit[s]
+		level := cache.HitL1
+		if l1d.MemoHit(u.Addr) {
+			credit[s]++
+			lastLine = line
+		} else if l1d.AccessHot(u.Addr, kind) {
+			lastLine = line
+		} else {
+			level = c.hier.DataHotMiss(u.Addr, kind)
+			lastLine = ^uint64(0)
+		}
+		c.dataLevel[level]++
+		c.loadLevel[level] += 1 - s
+		if page := u.Addr >> tlb.PageBits; page == c.dataPage {
+			c.tlb.RecordL1Hits(1)
+		} else {
+			c.tlb.Translate(u.Addr)
+			c.foot.Touch(u.Addr)
+			c.dataPage = page
+		}
+	}
+	l1d.RecordHits(cache.AccessLoad, credit[0])
+	l1d.RecordHits(cache.AccessStore, credit[1])
+}
+
+// processBatchUnified is the batched kernel for machines whose L1I misses
+// share L2/L3 with the data path; fetch and data work stay interleaved in
+// uop order, with the same register-level hit-armed dedups as the split
+// sweeps. The interleaving is harmless to them: data accesses touch
+// L1D/L2/L3 only, never an L1I set, and fetches never touch the L1D.
+func (c *core) processBatchUnified(buf []trace.Uop) {
+	l1i := c.hier.L1I()
+	l1d := c.hier.Cache(cache.L1)
+	fLine, dLine := ^uint64(0), ^uint64(0)
+	var fetchCredit, creditLoad, creditStore uint64
+	for i := range buf {
+		u := &buf[i]
+		c.kinds[u.Kind]++
+		if line := u.PC >> c.fetchShift; c.fetchDedup && line == fLine {
+			fetchCredit++
+		} else if c.hier.FetchHot(u.PC) == cache.HitL1 {
+			fLine = line
+		} else {
+			fLine = ^uint64(0)
+		}
+		switch u.Kind {
+		case trace.KindLoad, trace.KindStore:
+			if line := u.Addr >> c.dataShift; c.dataDedup && line == dLine {
+				c.dataLevel[cache.HitL1]++
+				if u.Kind == trace.KindLoad {
+					c.loadLevel[cache.HitL1]++
+					creditLoad++
+				} else {
+					creditStore++
+				}
+				c.tlb.RecordL1Hits(1)
+			} else if c.processData(u) == cache.HitL1 {
+				dLine = line
+			} else {
+				dLine = ^uint64(0)
+			}
+		case trace.KindBranch:
+			c.unit.Resolve(u)
+		}
+	}
+	l1i.RecordHits(cache.AccessFetch, fetchCredit)
+	l1d.RecordHits(cache.AccessLoad, creditLoad)
+	l1d.RecordHits(cache.AccessStore, creditStore)
+}
+
+// processData runs one memory uop's data-side accesses in the batched
+// kernel: hierarchy access, per-level counters, and the page-deduplicated
+// DTLB translation and footprint touch. It reports where the access hit
+// so callers can arm the same-line register dedup on L1 hits.
+func (c *core) processData(u *trace.Uop) cache.HitLevel {
+	kind := cache.AccessLoad
+	if u.Kind == trace.KindStore {
+		kind = cache.AccessStore
+	}
+	level := c.hier.DataHot(u.Addr, kind)
+	c.dataLevel[level]++
+	if u.Kind == trace.KindLoad {
+		c.loadLevel[level]++
+	}
+	if page := u.Addr >> tlb.PageBits; page == c.dataPage {
+		c.tlb.RecordL1Hits(1)
+	} else {
+		c.tlb.Translate(u.Addr)
+		c.foot.Touch(u.Addr)
+		c.dataPage = page
+	}
+	return level
 }
 
 func (c *core) resetStats() {
@@ -283,11 +612,80 @@ func (c *core) resetStats() {
 	c.dataLevel = [4]uint64{}
 }
 
+// runWindow simulates exactly n instructions through the batched kernel,
+// polling ctx between batches. It returns the number completed; done < n
+// with a nil error means the source was exhausted.
+func (c *core) runWindow(src trace.BatchSource, buf []trace.Uop, n uint64, ctx context.Context) (uint64, error) {
+	done := uint64(0)
+	for done < n {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return done, err
+			}
+		}
+		want := n - done
+		if want > uint64(len(buf)) {
+			want = uint64(len(buf))
+		}
+		got := src.NextBatch(buf[:want])
+		if got == 0 {
+			return done, nil
+		}
+		c.processBatch(buf[:got])
+		done += uint64(got)
+	}
+	return done, nil
+}
+
 func run(cfg Config, hier *cache.Hierarchy, src trace.Source, opt Options) (*Result, error) {
 	c := newCore(cfg, hier)
+	if cache.TouchIdempotent(cfg.Hierarchy.L1I.Policy) {
+		hier.L1I().EnableFetchMemo()
+	}
+	if cache.TouchIdempotent(cfg.Hierarchy.L1D.Policy) {
+		hier.Cache(cache.L1).EnableFetchMemo()
+	}
+	bs := opt.BatchSize
+	if bs <= 0 {
+		bs = DefaultBatchSize
+	}
+	bsrc := trace.AsBatch(src)
+	buf := make([]trace.Uop, bs)
+	if warm := warmupLength(opt); warm > 0 {
+		done, err := c.runWindow(bsrc, buf, warm, opt.Context)
+		if err != nil {
+			return nil, err
+		}
+		if done < warm {
+			return nil, fmt.Errorf("machine: source exhausted during warmup")
+		}
+		c.resetStats()
+	}
+	done, err := c.runWindow(bsrc, buf, opt.Instructions, opt.Context)
+	if err != nil {
+		return nil, err
+	}
+	if done < opt.Instructions {
+		return nil, fmt.Errorf("machine: source exhausted after %d instructions", done)
+	}
+	return c.finish(cfg, opt)
+}
+
+// RunReference simulates one uop stream with the legacy per-uop kernel.
+// It is the executable specification the batched Run is tested against:
+// both must produce bit-identical Results for the same configuration,
+// source and options. It is exported for the equivalence tests and the
+// kernel benchmarks; production callers should use Run.
+func RunReference(cfg Config, src trace.Source, opt Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Instructions == 0 {
+		return nil, fmt.Errorf("machine: zero-length run")
+	}
+	c := newCore(cfg, cache.NewHierarchy(cfg.Hierarchy))
 	checkCancel := opt.Context != nil
-	warm := warmupLength(opt)
-	if warm > 0 {
+	if warm := warmupLength(opt); warm > 0 {
 		var u trace.Uop
 		for i := uint64(0); i < warm; i++ {
 			if checkCancel && i&(cancelCheckStride-1) == 0 {

@@ -59,43 +59,60 @@ type Interval struct {
 	Sig Signature
 }
 
+// sliceBatchSize is the uop buffer length Slice pulls through the batch
+// interface; modest because intervals are often only a few thousand uops.
+const sliceBatchSize = 1024
+
 // Slice consumes n*intervalLen uops from the source and returns the n
 // interval signatures. It returns an error if the source ends early.
+// Records are pulled through the source's batch path when it has one;
+// fills are clamped to the current interval so exactly n*intervalLen
+// records are consumed either way.
 func Slice(src trace.Source, intervalLen uint64, n int) ([]Interval, error) {
 	if intervalLen == 0 || n <= 0 {
 		return nil, fmt.Errorf("phase: invalid slicing %d x %d", intervalLen, n)
 	}
+	bsrc := trace.AsBatch(src)
+	buf := make([]trace.Uop, sliceBatchSize)
 	out := make([]Interval, 0, n)
-	var u trace.Uop
 	for i := 0; i < n; i++ {
 		var counts [trace.NumKinds]uint64
 		var cond, taken, calls, branches uint64
 		lines := map[uint64]struct{}{}
 		seen := map[uint64]struct{}{}
 		newLines := 0
-		for k := uint64(0); k < intervalLen; k++ {
-			if !src.Next(&u) {
+		for done := uint64(0); done < intervalLen; {
+			want := intervalLen - done
+			if want > uint64(len(buf)) {
+				want = uint64(len(buf))
+			}
+			got := bsrc.NextBatch(buf[:want])
+			if got == 0 {
 				return nil, fmt.Errorf("phase: stream ended in interval %d", i)
 			}
-			counts[u.Kind]++
-			switch u.Kind {
-			case trace.KindLoad, trace.KindStore:
-				line := u.Addr / 64
-				if _, ok := seen[line]; !ok {
-					seen[line] = struct{}{}
-					newLines++
-				}
-				lines[line] = struct{}{}
-			case trace.KindBranch:
-				branches++
-				if u.Branch == trace.BranchConditional {
-					cond++
-					if u.Taken {
-						taken++
+			done += uint64(got)
+			for k := 0; k < got; k++ {
+				u := &buf[k]
+				counts[u.Kind]++
+				switch u.Kind {
+				case trace.KindLoad, trace.KindStore:
+					line := u.Addr / 64
+					if _, ok := seen[line]; !ok {
+						seen[line] = struct{}{}
+						newLines++
 					}
-				}
-				if u.Branch == trace.BranchDirectCall {
-					calls++
+					lines[line] = struct{}{}
+				case trace.KindBranch:
+					branches++
+					if u.Branch == trace.BranchConditional {
+						cond++
+						if u.Taken {
+							taken++
+						}
+					}
+					if u.Branch == trace.BranchDirectCall {
+						calls++
+					}
 				}
 			}
 		}

@@ -18,6 +18,9 @@
 package synth
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -64,6 +67,13 @@ const (
 	mixStore
 	mixBranch
 )
+
+// mixKinds maps mix outcomes to uop kinds, letting NextBatch assign the
+// kind with one indexed load instead of a switch. The order above is
+// deliberate: the two kinds needing extra work (memory address, branch
+// fill) sort last, so one >= compare separates them from the plain ALU/FP
+// records.
+var mixKinds = [...]trace.Kind{trace.KindALU, trace.KindFP, trace.KindLoad, trace.KindStore, trace.KindBranch}
 
 // branch class indices for the class alias table.
 const (
@@ -138,10 +148,69 @@ type Generator struct {
 	fnZipf   *xrand.Zipf
 }
 
+// Model sanity bounds: far beyond anything a real profile carries, tight
+// enough that malformed inputs cannot drive allocations or modulo bases
+// to degenerate values.
+const (
+	maxRSSMiB      = 1 << 20 // 1 TiB
+	maxCodeKiB     = 1 << 20 // 1 GiB of code
+	maxBranchSites = 1 << 20
+)
+
+// checkModel rejects models the generator cannot realize: NaN/Inf or
+// out-of-range percentages would poison the sampling tables (and every
+// downstream counter), and unbounded footprint/site counts would turn
+// into multi-gigabyte allocations or zero modulo bases. Callers get a
+// descriptive error instead of a panic deep inside table construction.
+func checkModel(m *profile.Model) error {
+	pcts := []struct {
+		name string
+		v    float64
+	}{
+		{"LoadPct", m.LoadPct}, {"StorePct", m.StorePct},
+		{"BranchPct", m.BranchPct}, {"MispredictPct", m.MispredictPct},
+		{"L1MissPct", m.L1MissPct}, {"L2MissPct", m.L2MissPct},
+		{"L3MissPct", m.L3MissPct},
+	}
+	for _, p := range pcts {
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 100 {
+			return fmt.Errorf("synth: %s %v outside [0,100]", p.name, p.v)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Mix.Cond", m.Mix.Cond}, {"Mix.Jump", m.Mix.Jump},
+		{"Mix.Call", m.Mix.Call}, {"Mix.IndirectJump", m.Mix.IndirectJump},
+		{"Mix.Return", m.Mix.Return},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return fmt.Errorf("synth: %s %v negative or non-finite", f.name, f.v)
+		}
+	}
+	if s := m.Mix.Sum(); !(s > 0) || math.IsInf(s, 0) {
+		return fmt.Errorf("synth: branch mix sum %v not positive and finite", s)
+	}
+	if !(m.RSSMiB > 0) || m.RSSMiB > maxRSSMiB {
+		return fmt.Errorf("synth: RSSMiB %v outside (0,%d]", m.RSSMiB, maxRSSMiB)
+	}
+	if !(m.CodeKiB > 0) || m.CodeKiB > maxCodeKiB || uint64(m.CodeKiB*1024) < 1 {
+		return fmt.Errorf("synth: CodeKiB %v outside [1/1024,%d]", m.CodeKiB, maxCodeKiB)
+	}
+	if m.BranchSites < 0 || m.BranchSites > maxBranchSites {
+		return fmt.Errorf("synth: BranchSites %d outside [0,%d]", m.BranchSites, maxBranchSites)
+	}
+	return nil
+}
+
 // New builds a generator for the model over the given cache geometry.
 // The stream is fully determined by model.Seed.
 func New(model profile.Model, geo Geometry) (*Generator, error) {
 	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkModel(&model); err != nil {
 		return nil, err
 	}
 	g := &Generator{
@@ -183,7 +252,10 @@ func (g *Generator) buildMix() {
 }
 
 // poolRegion is a contiguous range of cache lines re-referenced either
-// randomly (hot pool) or round-robin (guaranteed-gap pools).
+// randomly (hot pool) or round-robin (guaranteed-gap pools). Random pools
+// draw their line offset with a single 32-bit Lemire draw (pool sizes are
+// validated far below 2^32 lines), so there is no per-draw setup for the
+// batch path to hoist — addr and addrFast are the same code.
 type poolRegion struct {
 	baseLine uint64
 	size     int
@@ -195,17 +267,23 @@ func (p *poolRegion) addr(heap uint64, rng *xrand.PCG32) uint64 {
 	if p.size <= 0 {
 		return heap
 	}
-	var i int
+	var i uint64
 	if p.random {
-		i = rng.Intn(p.size)
+		i = uint64(rng.Uint32n(uint32(p.size)))
 	} else {
-		i = p.pos
+		i = uint64(p.pos)
 		p.pos++
 		if p.pos >= p.size {
 			p.pos = 0
 		}
 	}
-	return heap + (p.baseLine+uint64(i))*lineBytes
+	return heap + (p.baseLine+i)*lineBytes
+}
+
+// addrFast is kept as an explicit alias so the batched fill paths read
+// symmetrically with the legacy ones.
+func (p *poolRegion) addrFast(heap uint64, rng *xrand.PCG32) uint64 {
+	return p.addr(heap, rng)
 }
 
 func (g *Generator) buildMemory() {
@@ -350,7 +428,7 @@ func (g *Generator) prologueAddr(i uint64) uint64 {
 
 // memRef samples the next data address from the per-level pools.
 func (g *Generator) memRef() uint64 {
-	switch g.bandProb.Sample(g.rng) {
+	switch g.bandProb.Pick(g.rng.Uint32()) {
 	case 0:
 		return g.pool1.addr(g.heap, g.rng)
 	case 1:
@@ -375,6 +453,39 @@ func (g *Generator) memRef() uint64 {
 			return g.pool3.addr(g.heap, g.rng)
 		}
 		return g.pool1.addr(g.heap, g.rng)
+	}
+}
+
+// memRefFast is memRef with the band and pool rejection bounds hoisted
+// into precomputed fields. It consumes the RNG identically to memRef and
+// returns the same addresses; the batch path uses it so the two kernels
+// differ only in dispatch overhead, never in behaviour.
+func (g *Generator) memRefFast(rng *xrand.PCG32) uint64 {
+	switch g.bandProb.Pick(rng.Uint32()) {
+	case 0:
+		return g.pool1.addrFast(g.heap, rng)
+	case 1:
+		if g.pool2.size > 0 {
+			return g.pool2.addrFast(g.heap, rng)
+		}
+		return g.pool1.addrFast(g.heap, rng)
+	case 2:
+		if g.pool3.size > 0 {
+			return g.pool3.addrFast(g.heap, rng)
+		}
+		return g.pool1.addrFast(g.heap, rng)
+	default:
+		if g.pool4.size > 0 {
+			a := g.pool4.addrFast(g.heap, rng)
+			if t := (a-g.heap)/lineBytes + 1; t > g.touched {
+				g.touched = t
+			}
+			return a
+		}
+		if g.pool3.size > 0 {
+			return g.pool3.addrFast(g.heap, rng)
+		}
+		return g.pool1.addrFast(g.heap, rng)
 	}
 }
 
@@ -486,7 +597,7 @@ func (g *Generator) Next(u *trace.Uop) bool {
 		g.advancePC()
 		return true
 	}
-	switch g.mix.Sample(g.rng) {
+	switch g.mix.Pick(g.rng.Uint32()) {
 	case mixALU:
 		u.PC = g.pc()
 		u.Kind = trace.KindALU
@@ -508,9 +619,84 @@ func (g *Generator) Next(u *trace.Uop) bool {
 	return true
 }
 
+// NextBatch implements trace.BatchSource natively: it emits exactly the
+// record sequence repeated Next calls would (same RNG consumption, same
+// field values — the machine equivalence tests enforce this), but hoists
+// the per-uop costs of the legacy path out of the inner loop: the
+// interface dispatch, the RNG pointer reload, and the rejection-bound
+// divisions inside the mix, reuse-band and hot-pool samplers.
+func (g *Generator) NextBatch(buf []trace.Uop) int {
+	rng := g.rng
+	i := 0
+	// Prologue prefix: the deterministic working-set sweep.
+	for i < len(buf) && g.prologueLeft > 0 {
+		g.prologueLeft--
+		buf[i] = trace.Uop{
+			PC:   g.pc(),
+			Kind: trace.KindLoad,
+			Addr: g.prologueAddr(g.prologuePos),
+		}
+		g.prologuePos++
+		g.advancePC()
+		i++
+	}
+	// Zero the steady-state suffix in one bulk clear (a vectorized memclr)
+	// instead of a per-uop struct store; the fill paths below only write
+	// the fields that are non-zero for their kind, exactly as Next does
+	// after its per-uop zeroing.
+	clear(buf[i:])
+	// Hoist the PC walker (curFn, off) into registers: the non-branch
+	// kinds never touch generator state beyond the walker, so pc() and
+	// advancePC() reduce to an add and a wrap test on locals. Branch
+	// fills can redirect the walker (calls and returns change curFn,
+	// calls reset off), so the locals are written back before and
+	// reloaded after fillBranchFast.
+	pcBase := codeBase + uint64(g.curFn)*fnBytes
+	off := g.off
+	for ; i < len(buf); i++ {
+		u := &buf[i]
+		m := g.mix.Pick(rng.Uint32())
+		// Every kind gets the walker PC and a table-driven Kind up front
+		// instead of a five-way switch: the mix draw is near-uniform
+		// noise, so a computed jump mispredicts on almost every record,
+		// while this form needs only one poorly-predicted test (memory
+		// reference or not, below) and the branch fill overwrites PC and
+		// Kind with its own values just as Next's switch arm would.
+		u.PC = pcBase + off
+		u.Kind = mixKinds[m]
+		if m >= mixLoad {
+			if m != mixBranch {
+				u.Addr = g.memRefFast(rng)
+			} else {
+				g.off = off
+				g.fillBranchFast(u)
+				pcBase = codeBase + uint64(g.curFn)*fnBytes
+				off = g.off
+			}
+		}
+		off += 4
+		if off >= fnBytes {
+			off = 0
+		}
+	}
+	g.off = off
+	return len(buf)
+}
+
 func (g *Generator) fillBranch(u *trace.Uop) {
+	g.fillBranchClass(u, g.class.Pick(g.rng.Uint32()))
+}
+
+// fillBranchFast is fillBranch with the class draw performed by the
+// division-free sampler; the emitted uop and RNG consumption are
+// identical. The batched path uses it.
+func (g *Generator) fillBranchFast(u *trace.Uop) {
+	g.fillBranchClass(u, g.class.Pick(g.rng.Uint32()))
+}
+
+func (g *Generator) fillBranchClass(u *trace.Uop, cls int) {
 	u.Kind = trace.KindBranch
-	switch g.class.Sample(g.rng) {
+	switch cls {
 	case clsCond:
 		if g.burstLeft <= 0 {
 			g.curSite = g.condZipf.Sample(g.rng)

@@ -124,6 +124,16 @@ func (t *TLB) Translate(addr uint64) Outcome {
 	return Walk
 }
 
+// RecordL1Hits credits n first-level hits without probing the arrays or
+// advancing the LRU clock. It exists for batched callers that have proven
+// the translations would hit the entry most recently promoted in its set —
+// e.g. the machine deduplicating consecutive same-page data accesses.
+// Victim choice depends only on the relative order of entry ages, so
+// skipping the redundant re-promotions cannot change any future
+// replacement decision; the resulting statistics are bit-identical to
+// performing the translations.
+func (t *TLB) RecordL1Hits(n uint64) { t.l1.stats.Hits += n }
+
 // L1Stats returns first-level statistics.
 func (t *TLB) L1Stats() Stats { return t.l1.stats }
 

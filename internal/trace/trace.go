@@ -93,22 +93,26 @@ func (c BranchClass) String() string {
 	}
 }
 
-// Uop is one dynamic micro-operation record.
+// Uop is one dynamic micro-operation record. The word-sized fields lead
+// so the struct packs into 32 bytes — two records per cache line, never
+// straddling one; the simulator streams millions of these through batch
+// buffers, and both the padding and the line alignment are measurable
+// memory bandwidth there.
 type Uop struct {
 	// PC is the virtual address of the instruction.
 	PC uint64
-	// Kind classifies the micro-operation.
-	Kind Kind
 	// Addr is the virtual data address for loads and stores.
 	Addr uint64
+	// Target is the resolved target address of a taken branch.
+	Target uint64
+	// Kind classifies the micro-operation.
+	Kind Kind
 	// Branch is the branch class for KindBranch records, BranchNone
 	// otherwise.
 	Branch BranchClass
 	// Taken reports the resolved direction of a conditional branch; it is
 	// true for all unconditional control transfers.
 	Taken bool
-	// Target is the resolved target address of a taken branch.
-	Target uint64
 }
 
 // IsMem reports whether the uop references data memory.
@@ -119,6 +123,45 @@ func (u *Uop) IsMem() bool { return u.Kind == KindLoad || u.Kind == KindStore }
 // is exhausted. Implementations are not safe for concurrent use.
 type Source interface {
 	Next(u *Uop) bool
+}
+
+// BatchSource produces uop records in batches, the simulator's preferred
+// interface: one virtual dispatch amortizes over an entire buffer instead
+// of being paid per record.
+//
+// NextBatch fills a prefix of buf and returns the number of records
+// written. It returns 0 only when the stream is exhausted (an empty buf
+// also yields 0). A batch producer must emit exactly the same record
+// sequence as repeated Next calls, independent of how consumers slice
+// their requests — the machine equivalence tests enforce this for every
+// implementation in the tree.
+type BatchSource interface {
+	NextBatch(buf []Uop) int
+}
+
+// AsBatch adapts src to the batch interface. Sources that natively
+// implement BatchSource are returned unchanged; others are wrapped in an
+// adapter that pulls records one at a time, preserving exact stream
+// semantics at per-record cost.
+func AsBatch(src Source) BatchSource {
+	if b, ok := src.(BatchSource); ok {
+		return b
+	}
+	return &sourceBatcher{src: src}
+}
+
+// sourceBatcher lifts a per-record Source into a BatchSource.
+type sourceBatcher struct {
+	src Source
+}
+
+// NextBatch implements BatchSource.
+func (b *sourceBatcher) NextBatch(buf []Uop) int {
+	n := 0
+	for n < len(buf) && b.src.Next(&buf[n]) {
+		n++
+	}
+	return n
 }
 
 // SliceSource adapts a materialized uop slice to the Source interface.
@@ -136,6 +179,13 @@ func (s *SliceSource) Next(u *Uop) bool {
 	*u = s.Uops[s.pos]
 	s.pos++
 	return true
+}
+
+// NextBatch implements BatchSource by copying directly from the slice.
+func (s *SliceSource) NextBatch(buf []Uop) int {
+	n := copy(buf, s.Uops[s.pos:])
+	s.pos += n
+	return n
 }
 
 // Reset rewinds the source to the beginning of the slice.
@@ -159,4 +209,26 @@ func (l *Limit) Next(u *Uop) bool {
 	}
 	l.seen++
 	return true
+}
+
+// NextBatch implements BatchSource, clamping the request to the remaining
+// budget and delegating to the wrapped source's batch path when it has
+// one.
+func (l *Limit) NextBatch(buf []Uop) int {
+	if l.seen >= l.N {
+		return 0
+	}
+	if rem := l.N - l.seen; uint64(len(buf)) > rem {
+		buf = buf[:rem]
+	}
+	var n int
+	if b, ok := l.Src.(BatchSource); ok {
+		n = b.NextBatch(buf)
+	} else {
+		for n < len(buf) && l.Src.Next(&buf[n]) {
+			n++
+		}
+	}
+	l.seen += uint64(n)
+	return n
 }

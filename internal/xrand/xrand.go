@@ -8,7 +8,10 @@
 // never interfere with each other.
 package xrand
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // SplitMix64 is the splitmix64 generator of Steele, Lea and Flood. It is
 // used both as a standalone generator and to seed PCG32 state from a single
@@ -76,6 +79,29 @@ func (p *PCG32) Intn(n int) int {
 	return int(p.Uint64n(uint64(n)))
 }
 
+// Uint32n returns a uniformly distributed value in [0, n) using Lemire's
+// nearly-divisionless multiply-shift method: the common path is a single
+// 32-bit draw and one widening multiply, with the debiasing division
+// deferred to the (probability n/2^32) rejection path. It panics if
+// n == 0. This is the workhorse of the trace samplers: one generator
+// step per draw instead of the two a 64-bit draw costs.
+func (p *PCG32) Uint32n(n uint32) uint32 {
+	if n == 0 {
+		panic("xrand: Uint32n with zero n")
+	}
+	x := p.Uint32()
+	m := uint64(x) * uint64(n)
+	if l := uint32(m); l < n {
+		t := -n % n
+		for l < t {
+			x = p.Uint32()
+			m = uint64(x) * uint64(n)
+			l = uint32(m)
+		}
+	}
+	return uint32(m >> 32)
+}
+
 // Uint64n returns a uniformly distributed value in [0, n). It panics if
 // n == 0.
 func (p *PCG32) Uint64n(n uint64) uint64 {
@@ -92,14 +118,111 @@ func (p *PCG32) Uint64n(n uint64) uint64 {
 	}
 }
 
+// Uint64nBound returns the rejection bound Uint64n uses internally for a
+// given n. Callers that draw many values for the same n can compute it
+// once and pass it to Uint64nFast, saving one 64-bit division per draw.
+// It panics if n == 0.
+func Uint64nBound(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64nBound with zero n")
+	}
+	return ^uint64(0) - (^uint64(0) % n)
+}
+
+// Uint64nFast is Uint64n with the rejection bound precomputed by
+// Uint64nBound(n). For equal n it consumes the generator identically to
+// Uint64n and returns the same values; it exists purely so batch
+// generators can hoist the bound computation out of their inner loops.
+func (p *PCG32) Uint64nFast(n, bound uint64) uint64 {
+	for {
+		v := p.Uint64()
+		if v < bound {
+			return v % n
+		}
+	}
+}
+
+// Uint64nDiv is Uint64nFast with the final modulo performed by a
+// precomputed Divisor, removing the hardware divide from the accepted
+// path as well. d must be NewDivisor(n) and bound Uint64nBound(n); the
+// values and generator consumption are then identical to Uint64n(n).
+func (p *PCG32) Uint64nDiv(d Divisor, bound uint64) uint64 {
+	for {
+		v := p.Uint64()
+		if v < bound {
+			return d.Mod(v)
+		}
+	}
+}
+
+// Divisor performs exact unsigned division and modulo by a fixed n using
+// the Granlund–Montgomery multiply-shift technique, replacing the ~30-90
+// cycle hardware divide in `v % n` with two multiplies. Div and Mod
+// return bit-identical results to v/n and v%n for every v; the batched
+// samplers rely on this to keep their streams equal to the legacy paths'.
+type Divisor struct {
+	n    uint64
+	m    uint64 // low 64 bits of the 65-bit magic floor(2^(64+l)/n)+1
+	sh   uint   // post-shift: l-1 (generic) or log2(n) (power of two)
+	pow2 bool
+}
+
+// NewDivisor prepares a divisor for n. It panics if n == 0.
+func NewDivisor(n uint64) Divisor {
+	if n == 0 {
+		panic("xrand: NewDivisor with zero n")
+	}
+	if n&(n-1) == 0 {
+		return Divisor{n: n, pow2: true, sh: uint(bits.TrailingZeros64(n))}
+	}
+	// l = ceil(log2 n), so 2^(l-1) < n < 2^l. The 65-bit magic is
+	// M = floor(2^(64+l)/n) + 1 = 2^64 + m with m below: 2^(64+l)/n
+	// splits as (2^l/n)<<64 + ((2^l mod n)<<64)/n = 2^64 + q0.
+	l := uint(bits.Len64(n - 1))
+	q0, _ := bits.Div64((uint64(1)<<l)-n, 0, n)
+	return Divisor{n: n, m: q0 + 1, sh: l - 1}
+}
+
+// N returns the divisor's modulus.
+func (d Divisor) N() uint64 { return d.n }
+
+// Div returns v / d.n exactly.
+func (d Divisor) Div(v uint64) uint64 {
+	if d.pow2 {
+		return v >> d.sh
+	}
+	// q = floor(M*v / 2^(64+l)) with M = 2^64 + m: the 2^64 term
+	// contributes v, recombined overflow-free as t + (v-t)/2 (v >= t).
+	t, _ := bits.Mul64(d.m, v)
+	return (t + (v-t)>>1) >> d.sh
+}
+
+// Mod returns v % d.n exactly.
+func (d Divisor) Mod(v uint64) uint64 {
+	if d.pow2 {
+		return v & (d.n - 1)
+	}
+	return v - d.Div(v)*d.n
+}
+
 // Float64 returns a uniformly distributed float64 in [0, 1).
 func (p *PCG32) Float64() float64 {
 	return float64(p.Uint64()>>11) / (1 << 53)
 }
 
-// Bool returns true with probability prob.
+// Bool returns true with probability prob. It always consumes exactly one
+// 32-bit draw (probability resolution 2^-32), so a stream stays aligned
+// regardless of the probabilities asked of it.
 func (p *PCG32) Bool(prob float64) bool {
-	return p.Float64() < prob
+	r := p.Uint32()
+	if prob >= 1 {
+		return true
+	}
+	// Comparing in float64 avoids the out-of-range edge of converting
+	// prob*2^32 to an integer; float64(r) and the product are both exact
+	// enough at 2^-32 granularity, and prob <= 0 can never be greater
+	// than a non-negative draw.
+	return float64(r) < prob*(1<<32)
 }
 
 // NormFloat64 returns a standard normal variate using the polar
@@ -133,9 +256,24 @@ func (p *PCG32) Geometric(prob float64) int {
 
 // Categorical samples from a discrete distribution in O(1) using Walker's
 // alias method. Build once with NewCategorical, then call Sample per draw.
+// A draw costs a single 32-bit generator step: the low 16 bits select the
+// alias slot and the independent high 16 bits flip the biased coin, so
+// category probabilities are realized at 2^-16 resolution — far below the
+// percent-scale tolerances of the workload models this feeds.
 type Categorical struct {
-	prob  []float64
-	alias []int
+	// Threshold and alias are interleaved so a draw costs one bounds
+	// check and one 8-byte load — that keeps Sample within the
+	// compiler's inlining budget, which matters because the synthesis
+	// hot loops draw from it once per uop.
+	ta []catEntry
+	n  uint32
+}
+
+type catEntry struct {
+	// threshold is prob[i] scaled to [0, 1<<16]; the coin keeps slot i
+	// when the high half of the draw is below it.
+	threshold uint32
+	alias     int32
 }
 
 // NewCategorical builds an alias table for the given non-negative weights.
@@ -157,9 +295,10 @@ func NewCategorical(weights []float64) *Categorical {
 		panic("xrand: NewCategorical with all-zero weights")
 	}
 	c := &Categorical{
-		prob:  make([]float64, n),
-		alias: make([]int, n),
+		ta: make([]catEntry, n),
+		n:  uint32(n),
 	}
+	prob := make([]float64, n)
 	scaled := make([]float64, n)
 	var small, large []int
 	for i, w := range weights {
@@ -175,8 +314,8 @@ func NewCategorical(weights []float64) *Categorical {
 		small = small[:len(small)-1]
 		l := large[len(large)-1]
 		large = large[:len(large)-1]
-		c.prob[s] = scaled[s]
-		c.alias[s] = l
+		prob[s] = scaled[s]
+		c.ta[s].alias = int32(l)
 		scaled[l] = scaled[l] + scaled[s] - 1
 		if scaled[l] < 1 {
 			small = append(small, l)
@@ -185,33 +324,60 @@ func NewCategorical(weights []float64) *Categorical {
 		}
 	}
 	for _, i := range large {
-		c.prob[i] = 1
-		c.alias[i] = i
+		prob[i] = 1
+		c.ta[i].alias = int32(i)
 	}
 	for _, i := range small {
-		c.prob[i] = 1
-		c.alias[i] = i
+		prob[i] = 1
+		c.ta[i].alias = int32(i)
+	}
+	for i, p := range prob {
+		c.ta[i].threshold = uint32(math.Round(p * (1 << 16)))
 	}
 	return c
 }
 
 // N returns the number of categories.
-func (c *Categorical) N() int { return len(c.prob) }
+func (c *Categorical) N() int { return len(c.ta) }
 
-// Sample draws a category index using rng.
+// Sample draws a category index using rng. One 32-bit draw: the low half
+// picks the slot (a fixed-point multiply, never a divide), the disjoint —
+// hence independent — high half flips the alias coin.
 func (c *Categorical) Sample(rng *PCG32) int {
-	i := rng.Intn(len(c.prob))
-	if rng.Float64() < c.prob[i] {
-		return i
-	}
-	return c.alias[i]
+	return c.Pick(rng.Uint32())
 }
 
+// Pick maps one full 32-bit draw to a category. It is split from Sample
+// so that both it and PCG32.Uint32 fit the compiler's inlining budget
+// individually: a hot loop writing c.Pick(rng.Uint32()) compiles with no
+// call at all, where c.Sample(rng) — whose body costs the sum of the
+// two — does not.
+func (c *Categorical) Pick(r uint32) int {
+	i := (r & 0xffff) * c.n >> 16
+	e := c.ta[i]
+	if r>>16 < e.threshold {
+		return int(i)
+	}
+	return int(e.alias)
+}
+
+// SampleFast is an alias for Sample, kept so call sites on the batched
+// hot path read explicitly; the single-draw sampler no longer has any
+// per-call setup worth hoisting.
+func (c *Categorical) SampleFast(rng *PCG32) int { return c.Sample(rng) }
+
 // Zipf samples integers in [0, n) with probability proportional to
-// 1/(i+1)^s. It precomputes the CDF and samples by binary search, which is
-// fast enough for the moderate n used in branch-site selection.
+// 1/(i+1)^s. The CDF is precomputed in 32-bit fixed point and sampled
+// with one 32-bit draw and an integer binary search; a 256-entry guide
+// table narrows the search to a couple of probes even for thousands of
+// branch sites.
 type Zipf struct {
-	cdf []float64
+	// cdf[i] is the inclusive cumulative probability of items 0..i scaled
+	// to 2^32, with the final entry saturated so every draw lands.
+	cdf []uint32
+	// guide[b] is the first index whose cdf can cover a draw with high
+	// byte b, so Sample searches only [guide[b], guide[b+1]].
+	guide [257]int32
 }
 
 // NewZipf builds a Zipf sampler over n items with exponent s. It panics if
@@ -223,24 +389,44 @@ func NewZipf(n int, s float64) *Zipf {
 	if s < 0 {
 		panic("xrand: NewZipf with negative exponent")
 	}
-	cdf := make([]float64, n)
+	fcdf := make([]float64, n)
 	sum := 0.0
 	for i := 0; i < n; i++ {
 		sum += 1 / math.Pow(float64(i+1), s)
-		cdf[i] = sum
+		fcdf[i] = sum
 	}
-	for i := range cdf {
-		cdf[i] /= sum
+	z := &Zipf{cdf: make([]uint32, n)}
+	for i := range fcdf {
+		v := math.Round(fcdf[i] / sum * (1 << 32))
+		if v >= (1 << 32) {
+			v = (1 << 32) - 1
+		}
+		z.cdf[i] = uint32(v)
 	}
-	return &Zipf{cdf: cdf}
+	z.cdf[n-1] = ^uint32(0)
+	// guide[b] = first i with cdf[i] >= b<<24, i.e. the lowest index any
+	// draw whose high byte is b could select.
+	i := int32(0)
+	for b := 0; b <= 256; b++ {
+		lo := uint64(b) << 24
+		for int(i) < n-1 && uint64(z.cdf[i]) < lo {
+			i++
+		}
+		z.guide[b] = i
+	}
+	return z
 }
 
-// Sample draws an index using rng.
+// Sample draws an index using rng: one 32-bit draw, then an integer
+// binary search over the guide-table bucket the draw's high byte selects.
+// An item i is drawn when cdf[i-1] <= u < cdf[i] (in 2^32 fixed point),
+// realizing each item's probability at 2^-32 resolution.
 func (z *Zipf) Sample(rng *PCG32) int {
-	u := rng.Float64()
-	lo, hi := 0, len(z.cdf)-1
+	u := rng.Uint32()
+	b := u >> 24
+	lo, hi := int(z.guide[b]), int(z.guide[b+1])
 	for lo < hi {
-		mid := (lo + hi) / 2
+		mid := int(uint(lo+hi) >> 1)
 		if z.cdf[mid] < u {
 			lo = mid + 1
 		} else {
