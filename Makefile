@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-seed bench-smoke ci
+.PHONY: build vet test race bench fuzz-seed bench-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -26,4 +26,10 @@ fuzz-seed:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Kernel -benchtime=1x .
 
-ci: build vet test race fuzz-seed bench-smoke
+# Build the real specserved binary, run a campaign over HTTP, restart on
+# the same store and assert the repeat simulates zero pairs, then check
+# the SIGTERM drain path.
+serve-smoke:
+	$(GO) test -run='^TestServeSmoke' -count=1 ./cmd/specserved
+
+ci: build vet test race fuzz-seed bench-smoke serve-smoke

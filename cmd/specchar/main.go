@@ -6,57 +6,87 @@
 //
 //	specchar [-suite cpu2017|cpu2006] [-mini all|rate-int|rate-fp|speed-int|speed-fp]
 //	         [-size test|train|ref] [-n instructions] [-csv] [-progress]
+//	         [-cache-dir DIR]
+//
+// Ctrl-C (or SIGTERM) cancels the in-flight campaign through the
+// scheduler's context path rather than killing the process mid-write.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	speckit "repro"
 	"repro/internal/report"
 )
 
+// config collects the tool's flags.
+type config struct {
+	suite, mini, size string
+	n                 uint64
+	csv, progress     bool
+	batch             int
+	cacheDir          string
+}
+
 func main() {
-	suiteFlag := flag.String("suite", "cpu2017", "suite to characterize: cpu2017 or cpu2006")
-	miniFlag := flag.String("mini", "all", "mini-suite filter: all, rate-int, rate-fp, speed-int, speed-fp")
-	sizeFlag := flag.String("size", "ref", "input size: test, train or ref")
-	nFlag := flag.Uint64("n", 300000, "simulated instructions per pair")
-	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	progressFlag := flag.Bool("progress", false, "print a live progress meter to stderr")
-	batchFlag := flag.Int("batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
+	var cfg config
+	flag.StringVar(&cfg.suite, "suite", "cpu2017", "suite to characterize: cpu2017 or cpu2006")
+	flag.StringVar(&cfg.mini, "mini", "all", "mini-suite filter: all, rate-int, rate-fp, speed-int, speed-fp")
+	flag.StringVar(&cfg.size, "size", "ref", "input size: test, train or ref")
+	flag.Uint64Var(&cfg.n, "n", 300000, "simulated instructions per pair")
+	flag.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of aligned text")
+	flag.BoolVar(&cfg.progress, "progress", false, "print a live progress meter (with per-tier cache hits) to stderr")
+	flag.IntVar(&cfg.batch, "batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent result-store directory: pair results are saved as checksummed content-addressed records, and repeated runs with the same models, machine and options are re-used bit-identically instead of re-simulated (empty = in-memory cache only)")
 	flag.Parse()
 
-	if err := run(*suiteFlag, *miniFlag, *sizeFlag, *nFlag, *csvFlag, *progressFlag, *batchFlag); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "specchar:", err)
 		os.Exit(1)
 	}
 }
 
-func run(suiteName, mini, sizeName string, n uint64, csv, progress bool, batch int) error {
-	suite, err := pickSuite(suiteName)
+func run(ctx context.Context, cfg config) error {
+	suite, err := pickSuite(cfg.suite)
 	if err != nil {
 		return err
 	}
-	if suite, err = filterMini(suite, mini); err != nil {
+	if suite, err = filterMini(suite, cfg.mini); err != nil {
 		return err
 	}
-	size, err := pickSize(sizeName)
+	size, err := pickSize(cfg.size)
 	if err != nil {
 		return err
 	}
-	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache(), BatchSize: batch}
-	if progress {
+	opt := speckit.Options{Instructions: cfg.n, Cache: speckit.NewCache(), BatchSize: cfg.batch, Context: ctx}
+	if cfg.progress {
 		opt.Progress = speckit.ProgressPrinter(os.Stderr)
+	}
+	if cfg.cacheDir != "" {
+		st, err := speckit.OpenStore(cfg.cacheDir)
+		if err != nil {
+			return err
+		}
+		opt.Store = st
 	}
 	chars, err := speckit.Characterize(suite, size, opt)
 	if err != nil {
 		return err
 	}
+	if cfg.progress {
+		reportCacheStats(opt.Cache)
+	}
 
 	t := report.NewTable(
-		fmt.Sprintf("Characterization of %s (%s inputs, %d pairs)", suiteName, sizeName, len(chars)),
+		fmt.Sprintf("Characterization of %s (%s inputs, %d pairs)", cfg.suite, cfg.size, len(chars)),
 		"Pair", "Instr (B)", "IPC", "Time (s)", "%Loads", "%Stores", "%Branches",
 		"Misp%", "L1%", "L2%", "L3%", "RSS (MiB)", "VSZ (MiB)")
 	uncalibrated := 0
@@ -78,7 +108,7 @@ func run(suiteName, mini, sizeName string, n uint64, csv, progress bool, batch i
 			c.LoadPct, c.StorePct, c.BranchPct, c.MispredictPct,
 			c.L1MissPct, c.L2MissPct, c.L3MissPct, c.RSSMiB, c.VSZMiB)
 	}
-	if csv {
+	if cfg.csv {
 		if err := t.WriteCSV(os.Stdout); err != nil {
 			return err
 		}
@@ -113,6 +143,14 @@ func run(suiteName, mini, sizeName string, n uint64, csv, progress bool, batch i
 		sum.AddRowf(m.name, s.Mean, s.Std)
 	}
 	return sum.WriteText(os.Stdout)
+}
+
+// reportCacheStats prints the campaign cache counters split by tier,
+// completing the -progress output.
+func reportCacheStats(c *speckit.Cache) {
+	s := c.Stats()
+	fmt.Fprintf(os.Stderr, "cache: %d memory hits, %d store hits, %d misses (%.0f%% hit rate)\n",
+		s.MemoryHits, s.StoreHits, s.Misses, 100*s.HitRate())
 }
 
 func pickSuite(name string) (speckit.Suite, error) {

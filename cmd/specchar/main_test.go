@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+)
 
 func TestPickSuite(t *testing.T) {
 	for _, name := range []string{"cpu2017", "CPU17", "cpu2006", "cpu06"} {
@@ -45,13 +49,41 @@ func TestPickSize(t *testing.T) {
 
 // TestRunSmoke drives the tool end to end on a small mini-suite.
 func TestRunSmoke(t *testing.T) {
-	if err := run("cpu2017", "rate-int", "test", 15000, false, false, 0); err != nil {
+	ctx := context.Background()
+	if err := run(ctx, config{suite: "cpu2017", mini: "rate-int", size: "test", n: 15000}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("cpu2006", "all", "ref", 10000, true, true, 256); err != nil {
+	if err := run(ctx, config{suite: "cpu2006", mini: "all", size: "ref", n: 10000, csv: true, progress: true, batch: 256}); err != nil {
 		t.Fatalf("csv run: %v", err)
 	}
-	if err := run("bogus", "all", "ref", 1000, false, false, 0); err == nil {
+	if err := run(ctx, config{suite: "bogus", mini: "all", size: "ref", n: 1000}); err == nil {
 		t.Error("bogus suite accepted")
+	}
+}
+
+// TestRunCacheDir: a second run against the same -cache-dir is served
+// from the persistent store and produces the same output.
+func TestRunCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{suite: "cpu2017", mini: "rate-int", size: "test", n: 10000, cacheDir: dir}
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatalf("store-served run: %v", err)
+	}
+}
+
+// TestRunCancelledContext: a pre-cancelled context (as Ctrl-C produces)
+// aborts the campaign with the context's error instead of running it.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, config{suite: "cpu2017", mini: "rate-int", size: "test", n: 10000})
+	if err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -7,12 +7,18 @@
 // Usage:
 //
 //	specphase [-a 525.x264_r] [-b 505.mcf_r] [-interval 5000] [-intervals 24] [-progress]
+//
+// Ctrl-C (or SIGTERM) aborts the pipeline between stages rather than
+// killing the process mid-write.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	speckit "repro"
 	"repro/internal/phase"
@@ -27,19 +33,26 @@ func main() {
 	n := flag.Int("intervals", 24, "intervals to analyze")
 	progressFlag := flag.Bool("progress", false, "print stage progress to stderr")
 	flag.Parse()
-	if err := run(*aFlag, *bFlag, *ilen, *n, *progressFlag); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *aFlag, *bFlag, *ilen, *n, *progressFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "specphase:", err)
 		os.Exit(1)
 	}
 }
 
-func run(aName, bName string, intervalLen uint64, n int, progress bool) error {
+func run(ctx context.Context, aName, bName string, intervalLen uint64, n int, progress bool) error {
 	// specphase has no pair campaign to meter, so -progress reports the
-	// coarse pipeline stages instead.
-	stage := func(format string, args ...interface{}) {
+	// coarse pipeline stages instead. The phase pipeline has no Context
+	// option of its own, so cancellation is checked between stages.
+	stage := func(format string, args ...interface{}) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if progress {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+		return nil
 	}
 	a, err := findApp(aName)
 	if err != nil {
@@ -50,7 +63,9 @@ func run(aName, bName string, intervalLen uint64, n int, progress bool) error {
 		return err
 	}
 	segLen := intervalLen * 3 // three intervals per phase leg
-	stage("building phased workload %s <-> %s", aName, bName)
+	if err := stage("building phased workload %s <-> %s", aName, bName); err != nil {
+		return err
+	}
 	src, err := speckit.NewPhasedWorkload([]speckit.PhaseSegment{
 		{Model: a.Expand(profile.Ref)[0].Model, Instr: segLen},
 		{Model: b.Expand(profile.Ref)[0].Model, Instr: segLen},
@@ -60,12 +75,16 @@ func run(aName, bName string, intervalLen uint64, n int, progress bool) error {
 	}
 	fmt.Printf("phased workload: %s <-> %s, %d instructions per leg\n\n", aName, bName, segLen)
 
-	stage("slicing %d intervals of %d instructions", n, intervalLen)
+	if err := stage("slicing %d intervals of %d instructions", n, intervalLen); err != nil {
+		return err
+	}
 	intervals, err := speckit.SliceIntervals(src, intervalLen, n)
 	if err != nil {
 		return err
 	}
-	stage("detecting phases")
+	if err := stage("detecting phases"); err != nil {
+		return err
+	}
 	res, err := speckit.DetectPhases(intervals, speckit.PhaseOptions{})
 	if err != nil {
 		return err

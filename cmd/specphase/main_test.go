@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+)
 
 func TestFindApp(t *testing.T) {
 	if _, err := findApp("505.mcf_r"); err != nil {
@@ -13,10 +17,22 @@ func TestFindApp(t *testing.T) {
 
 // TestRunSmoke drives the phase tool end to end.
 func TestRunSmoke(t *testing.T) {
-	if err := run("525.x264_r", "505.mcf_r", 3000, 12, true); err != nil {
+	ctx := context.Background()
+	if err := run(ctx, "525.x264_r", "505.mcf_r", 3000, 12, true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("nope", "505.mcf_r", 3000, 12, false); err == nil {
+	if err := run(ctx, "nope", "505.mcf_r", 3000, 12, false); err == nil {
 		t.Error("unknown app accepted")
+	}
+}
+
+// TestRunCancelledContext: a pre-cancelled context (as Ctrl-C produces)
+// aborts the pipeline between stages.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, "525.x264_r", "505.mcf_r", 3000, 12, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -5,41 +5,69 @@
 //
 // Usage:
 //
-//	specreport [-out report] [-n instructions] [-progress]
+//	specreport [-out report] [-n instructions] [-progress] [-cache-dir DIR]
+//
+// Ctrl-C (or SIGTERM) cancels the in-flight campaign through the
+// scheduler's context path rather than killing the process mid-write.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	speckit "repro"
 	"repro/internal/report"
 )
 
+// config collects the tool's flags.
+type config struct {
+	out      string
+	n        uint64
+	progress bool
+	batch    int
+	cacheDir string
+}
+
 func main() {
-	outFlag := flag.String("out", "report", "output directory")
-	nFlag := flag.Uint64("n", 300000, "simulated instructions per pair")
-	progressFlag := flag.Bool("progress", false, "print a live progress meter to stderr")
-	batchFlag := flag.Int("batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
+	var cfg config
+	flag.StringVar(&cfg.out, "out", "report", "output directory")
+	flag.Uint64Var(&cfg.n, "n", 300000, "simulated instructions per pair")
+	flag.BoolVar(&cfg.progress, "progress", false, "print a live progress meter (with per-tier cache hits) to stderr")
+	flag.IntVar(&cfg.batch, "batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent result-store directory: pair results are saved as checksummed content-addressed records, and repeated runs with the same models, machine and options are re-used bit-identically instead of re-simulated (empty = in-memory cache only)")
 	flag.Parse()
-	if err := run(*outFlag, *nFlag, *progressFlag, *batchFlag); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "specreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, n uint64, progress bool, batch int) error {
+func run(ctx context.Context, cfg config) error {
+	outDir := cfg.out
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
 	// One cache spans every campaign below, so any pair shared between
-	// them (or a re-run of this tool within one process) simulates once.
-	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache(), BatchSize: batch}
-	if progress {
+	// them (or a re-run of this tool within one process) simulates once;
+	// with -cache-dir that reuse extends across processes.
+	opt := speckit.Options{Instructions: cfg.n, Cache: speckit.NewCache(), BatchSize: cfg.batch, Context: ctx}
+	if cfg.progress {
 		opt.Progress = speckit.ProgressPrinter(os.Stderr)
+	}
+	if cfg.cacheDir != "" {
+		st, err := speckit.OpenStore(cfg.cacheDir)
+		if err != nil {
+			return err
+		}
+		opt.Store = st
 	}
 
 	fmt.Println("characterizing CPU2017 at test/train/ref (194 pairs)...")
@@ -156,6 +184,11 @@ func run(outDir string, n uint64, progress bool, batch int) error {
 		return err
 	}
 	fmt.Print(summary)
+	if cfg.progress {
+		s := opt.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d memory hits, %d store hits, %d misses (%.0f%% hit rate)\n",
+			s.MemoryHits, s.StoreHits, s.Misses, 100*s.HitRate())
+	}
 	fmt.Printf("report written to %s\n", outDir)
 	return nil
 }

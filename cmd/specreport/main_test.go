@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,7 +16,7 @@ func TestRunWritesAllArtifacts(t *testing.T) {
 		t.Skip("full report generation in -short mode")
 	}
 	dir := t.TempDir()
-	if err := run(dir, 25000, false, 0); err != nil {
+	if err := run(context.Background(), config{out: dir, n: 25000}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	wantFiles := []string{
@@ -54,7 +55,7 @@ func TestRunWritesAllArtifacts(t *testing.T) {
 }
 
 func TestRunRejectsBadDir(t *testing.T) {
-	if err := run("/proc/definitely/not/writable", 1000, false, 0); err == nil {
+	if err := run(context.Background(), config{out: "/proc/definitely/not/writable", n: 1000}); err == nil {
 		t.Error("unwritable output dir accepted")
 	}
 }

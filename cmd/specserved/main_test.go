@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	speckit "repro"
+)
+
+// smokeStatus mirrors the server's campaign status JSON, keeping results
+// raw so parity can be checked byte-for-byte.
+type smokeStatus struct {
+	ID       string `json:"id"`
+	Status   string `json:"status"`
+	Pairs    int    `json:"pairs"`
+	Progress struct {
+		Done      int `json:"done"`
+		CacheHits int `json:"cache_hits"`
+		StoreHits int `json:"store_hits"`
+	} `json:"progress"`
+	Error   string          `json:"error,omitempty"`
+	Results json.RawMessage `json:"results"`
+}
+
+// specserved starts the built binary and returns its base URL plus the
+// running command; callers stop it with SIGTERM and check the exit.
+func specserved(t *testing.T, bin string, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	scanner := bufio.NewScanner(stdout)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if addr, ok := strings.CutPrefix(line, "specserved listening on "); ok {
+			go func() { // keep draining stdout so the child never blocks
+				for scanner.Scan() {
+				}
+			}()
+			return "http://" + strings.TrimSpace(addr), cmd
+		}
+	}
+	t.Fatalf("specserved never reported its address (scanner err: %v)", scanner.Err())
+	return "", nil
+}
+
+func submitWait(t *testing.T, base string, spec map[string]any) smokeStatus {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/campaigns?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	var st smokeStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func sigtermAndWait(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("specserved exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("specserved did not drain within 30s of SIGTERM")
+	}
+}
+
+// TestServeSmoke is the `make serve-smoke` gate: build the real binary,
+// run one train-size campaign over HTTP, assert parity with the library,
+// then restart on the same cache dir and assert the repeat is served
+// entirely from the persistent store — zero pairs simulated — before
+// draining cleanly on SIGTERM.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the specserved binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "specserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+	cacheDir := filepath.Join(tmp, "speccache")
+	const instructions = 10000
+	spec := map[string]any{
+		"suite": "cpu2017", "mini": "rate-int", "size": "train",
+		"instructions": instructions,
+	}
+
+	// First server lifetime: simulate everything, write the store.
+	base, cmd := specserved(t, bin, "-cache-dir", cacheDir, "-workers", "1")
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	first := submitWait(t, base, spec)
+	if first.Status != "done" {
+		t.Fatalf("first campaign = %s (%s)", first.Status, first.Error)
+	}
+	if first.Progress.CacheHits != 0 {
+		t.Fatalf("first campaign had %d cache hits, want 0", first.Progress.CacheHits)
+	}
+	sigtermAndWait(t, cmd)
+
+	// Parity with a direct library run under identical options.
+	pairs := speckit.CPU2017().Mini(speckit.RateInt)
+	direct, err := speckit.Characterize(pairs, speckit.Train, speckit.Options{Instructions: instructions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directJSON, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(directJSON, first.Results) {
+		t.Error("served results are not bit-identical to a direct library run")
+	}
+	if first.Pairs != len(direct) {
+		t.Errorf("served %d pairs, library produced %d", first.Pairs, len(direct))
+	}
+
+	// Second server lifetime on the same cache dir: the repeat campaign
+	// must be served from the persistent store without simulating a
+	// single pair, bit-identically.
+	base2, cmd2 := specserved(t, bin, "-cache-dir", cacheDir, "-workers", "1")
+	second := submitWait(t, base2, spec)
+	if second.Status != "done" {
+		t.Fatalf("second campaign = %s (%s)", second.Status, second.Error)
+	}
+	if second.Progress.StoreHits != second.Pairs || second.Progress.CacheHits != second.Pairs {
+		t.Errorf("second campaign hits = %+v, want all %d pairs from the store tier",
+			second.Progress, second.Pairs)
+	}
+	if !bytes.Equal(first.Results, second.Results) {
+		t.Error("restarted server returned different bytes for the same campaign")
+	}
+
+	// The tier stats on /metrics confirm zero simulated pairs.
+	mresp, err := http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics struct {
+		Specserved struct {
+			Pairs map[string]uint64 `json:"pairs"`
+		} `json:"specserved"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if sim := metrics.Specserved.Pairs["simulated"]; sim != 0 {
+		t.Errorf("restarted server simulated %d pairs, want 0", sim)
+	}
+	if fromStore := metrics.Specserved.Pairs["from_store"]; fromStore != uint64(second.Pairs) {
+		t.Errorf("metrics from_store = %d, want %d", fromStore, second.Pairs)
+	}
+	sigtermAndWait(t, cmd2)
+}
+
+// TestServeSmokeDrainsInFlight: SIGTERM while a campaign is running
+// still exits cleanly, with the job completed or reported cancelled.
+func TestServeSmokeDrainsInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the specserved binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "specserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+	base, cmd := specserved(t, bin, "-workers", "1", "-drain-grace", "2s")
+
+	// A big window keeps the campaign in flight when SIGTERM lands.
+	body, _ := json.Marshal(map[string]any{
+		"suite": "cpu2017", "size": "ref", "instructions": 5000000,
+	})
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st smokeStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	// Give the worker a moment to pick the campaign up, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		r, err := http.Get(fmt.Sprintf("%s/v1/campaigns/%s?results=0", base, st.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur smokeStatus
+		json.NewDecoder(r.Body).Decode(&cur)
+		r.Body.Close()
+		if cur.Status == "running" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sigtermAndWait(t, cmd)
+}

@@ -6,48 +6,78 @@
 //
 // Usage:
 //
-//	specsubset [-n instructions] [-pcs 4] [-linkage ward|single|complete|average] [-v] [-progress]
+//	specsubset [-n instructions] [-pcs 4] [-linkage ward|single|complete|average]
+//	           [-v] [-progress] [-cache-dir DIR]
+//
+// Ctrl-C (or SIGTERM) cancels the in-flight campaign through the
+// scheduler's context path rather than killing the process mid-write.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	speckit "repro"
 	"repro/internal/cluster"
 	"repro/internal/report"
 )
 
+// config collects the tool's flags.
+type config struct {
+	n        uint64
+	pcs      int
+	linkage  string
+	verbose  bool
+	progress bool
+	batch    int
+	cacheDir string
+}
+
 func main() {
-	nFlag := flag.Uint64("n", 300000, "simulated instructions per pair")
-	pcsFlag := flag.Int("pcs", 0, "retained principal components (0 = cover 76% variance)")
-	linkFlag := flag.String("linkage", "ward", "clustering linkage: ward, single, complete, average")
-	verbose := flag.Bool("v", false, "print per-cluster membership and the Pareto sweep")
-	progressFlag := flag.Bool("progress", false, "print a live progress meter to stderr")
-	batchFlag := flag.Int("batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
+	var cfg config
+	flag.Uint64Var(&cfg.n, "n", 300000, "simulated instructions per pair")
+	flag.IntVar(&cfg.pcs, "pcs", 0, "retained principal components (0 = cover 76% variance)")
+	flag.StringVar(&cfg.linkage, "linkage", "ward", "clustering linkage: ward, single, complete, average")
+	flag.BoolVar(&cfg.verbose, "v", false, "print per-cluster membership and the Pareto sweep")
+	flag.BoolVar(&cfg.progress, "progress", false, "print a live progress meter (with per-tier cache hits) to stderr")
+	flag.IntVar(&cfg.batch, "batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent result-store directory: pair results are saved as checksummed content-addressed records, and repeated runs with the same models, machine and options are re-used bit-identically instead of re-simulated (empty = in-memory cache only)")
 	flag.Parse()
 
-	if err := run(*nFlag, *pcsFlag, *linkFlag, *verbose, *progressFlag, *batchFlag); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "specsubset:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n uint64, pcs int, linkName string, verbose, progress bool, batch int) error {
-	linkage, err := pickLinkage(linkName)
+func run(ctx context.Context, cfg config) error {
+	linkage, err := pickLinkage(cfg.linkage)
 	if err != nil {
 		return err
 	}
 	// The rate and speed campaigns share a result cache, so pairs common
 	// to both (none today, but cheap insurance) and tool re-runs within a
-	// process simulate once.
-	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache(), BatchSize: batch}
-	if progress {
+	// process simulate once; with -cache-dir that reuse extends across
+	// processes.
+	opt := speckit.Options{Instructions: cfg.n, Cache: speckit.NewCache(), BatchSize: cfg.batch, Context: ctx}
+	if cfg.progress {
 		opt.Progress = speckit.ProgressPrinter(os.Stderr)
 	}
-	sopt := speckit.SubsetOptions{Components: pcs, Linkage: linkage}
+	if cfg.cacheDir != "" {
+		st, err := speckit.OpenStore(cfg.cacheDir)
+		if err != nil {
+			return err
+		}
+		opt.Store = st
+	}
+	sopt := speckit.SubsetOptions{Components: cfg.pcs, Linkage: linkage}
 
 	results := map[string]*speckit.SubsetResult{}
 	for _, group := range []struct {
@@ -72,9 +102,14 @@ func run(n uint64, pcs int, linkName string, verbose, progress bool, batch int) 
 		results[group.name] = res
 		fmt.Printf("%s: %d pairs, %d PCs (%.1f%% variance), chose %d clusters\n",
 			group.name, len(chars), res.Components, res.VarianceExplained*100, res.ChosenK)
-		if verbose {
+		if cfg.verbose {
 			printDetail(res)
 		}
+	}
+	if cfg.progress {
+		s := opt.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d memory hits, %d store hits, %d misses (%.0f%% hit rate)\n",
+			s.MemoryHits, s.StoreHits, s.Misses, 100*s.HitRate())
 	}
 
 	fmt.Println()

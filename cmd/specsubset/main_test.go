@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cluster"
@@ -31,10 +32,26 @@ func TestRunSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite characterization in -short mode")
 	}
-	if err := run(20000, 4, "ward", true, true, 0); err != nil {
+	ctx := context.Background()
+	if err := run(ctx, config{n: 20000, pcs: 4, linkage: "ward", verbose: true, progress: true}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run(1000, 0, "diagonal", false, false, 0); err == nil {
+	if err := run(ctx, config{n: 1000, linkage: "diagonal"}); err == nil {
 		t.Error("bad linkage accepted")
+	}
+}
+
+// TestRunCacheDir: a repeat run on the same -cache-dir is served from
+// the persistent store.
+func TestRunCacheDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite characterization in -short mode")
+	}
+	dir := t.TempDir()
+	cfg := config{n: 10000, linkage: "ward", cacheDir: dir}
+	for i := 0; i < 2; i++ {
+		if err := run(context.Background(), cfg); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
 	}
 }

@@ -5,30 +5,52 @@
 //
 // Usage:
 //
-//	specvalidate [-suite cpu2017|cpu2006] [-size ref] [-n instructions] [-worst 15] [-progress]
+//	specvalidate [-suite cpu2017|cpu2006] [-size ref] [-n instructions] [-worst 15]
+//	             [-progress] [-cache-dir DIR]
+//
+// Ctrl-C (or SIGTERM) cancels the in-flight campaign through the
+// scheduler's context path rather than killing the process mid-write.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	speckit "repro"
 	"repro/internal/report"
 )
 
+// config collects the tool's flags.
+type config struct {
+	suite, size string
+	n           uint64
+	worst       int
+	progress    bool
+	batch       int
+	cacheDir    string
+}
+
 func main() {
-	suiteFlag := flag.String("suite", "cpu2017", "suite to validate")
-	sizeFlag := flag.String("size", "ref", "input size")
-	nFlag := flag.Uint64("n", 200000, "simulated instructions per pair")
-	worstFlag := flag.Int("worst", 15, "how many worst deviations to list")
-	progressFlag := flag.Bool("progress", false, "print a live progress meter to stderr")
-	batchFlag := flag.Int("batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
+	var cfg config
+	flag.StringVar(&cfg.suite, "suite", "cpu2017", "suite to validate")
+	flag.StringVar(&cfg.size, "size", "ref", "input size")
+	flag.Uint64Var(&cfg.n, "n", 200000, "simulated instructions per pair")
+	flag.IntVar(&cfg.worst, "worst", 15, "how many worst deviations to list")
+	flag.BoolVar(&cfg.progress, "progress", false, "print a live progress meter (with per-tier cache hits) to stderr")
+	flag.IntVar(&cfg.batch, "batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent result-store directory: pair results are saved as checksummed content-addressed records, and repeated runs with the same models, machine and options are re-used bit-identically instead of re-simulated (empty = in-memory cache only)")
 	flag.Parse()
-	if err := run(*suiteFlag, *sizeFlag, *nFlag, *worstFlag, *progressFlag, *batchFlag); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "specvalidate:", err)
 		os.Exit(1)
 	}
@@ -41,18 +63,18 @@ type deviation struct {
 	score            float64 // normalized severity
 }
 
-func run(suiteName, sizeName string, n uint64, worst int, progress bool, batch int) error {
+func run(ctx context.Context, cfg config) error {
 	var suite speckit.Suite
-	switch strings.ToLower(suiteName) {
+	switch strings.ToLower(cfg.suite) {
 	case "cpu2017", "cpu17":
 		suite = speckit.CPU2017()
 	case "cpu2006", "cpu06":
 		suite = speckit.CPU2006()
 	default:
-		return fmt.Errorf("unknown suite %q", suiteName)
+		return fmt.Errorf("unknown suite %q", cfg.suite)
 	}
 	var size speckit.InputSize
-	switch strings.ToLower(sizeName) {
+	switch strings.ToLower(cfg.size) {
 	case "test":
 		size = speckit.Test
 	case "train":
@@ -60,16 +82,28 @@ func run(suiteName, sizeName string, n uint64, worst int, progress bool, batch i
 	case "ref":
 		size = speckit.Ref
 	default:
-		return fmt.Errorf("unknown size %q", sizeName)
+		return fmt.Errorf("unknown size %q", cfg.size)
 	}
 
-	opt := speckit.Options{Instructions: n, Cache: speckit.NewCache(), BatchSize: batch}
-	if progress {
+	opt := speckit.Options{Instructions: cfg.n, Cache: speckit.NewCache(), BatchSize: cfg.batch, Context: ctx}
+	if cfg.progress {
 		opt.Progress = speckit.ProgressPrinter(os.Stderr)
+	}
+	if cfg.cacheDir != "" {
+		st, err := speckit.OpenStore(cfg.cacheDir)
+		if err != nil {
+			return err
+		}
+		opt.Store = st
 	}
 	chars, err := speckit.Characterize(suite, size, opt)
 	if err != nil {
 		return err
+	}
+	if cfg.progress {
+		s := opt.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d memory hits, %d store hits, %d misses (%.0f%% hit rate)\n",
+			s.MemoryHits, s.StoreHits, s.Misses, 100*s.HitRate())
 	}
 
 	var devs []deviation
@@ -103,7 +137,7 @@ func run(suiteName, sizeName string, n uint64, worst int, progress bool, batch i
 	// Aggregate error per metric.
 	agg := report.NewTable(
 		fmt.Sprintf("Calibration audit: %s %s (%d pairs, %d unreachable IPC targets)",
-			suiteName, sizeName, len(chars), unreachable),
+			cfg.suite, cfg.size, len(chars), unreachable),
 		"Metric", "Mean |err| (norm)", "P95 |err| (norm)", "Max |err| (norm)")
 	byMetric := map[string][]float64{}
 	order := []string{"IPC", "%loads", "%stores", "%branches", "misp%", "L1%", "L2%", "L3%"}
@@ -127,6 +161,7 @@ func run(suiteName, sizeName string, n uint64, worst int, progress bool, batch i
 
 	// Worst individual deviations.
 	sort.Slice(devs, func(i, j int) bool { return devs[i].score > devs[j].score })
+	worst := cfg.worst
 	if worst > len(devs) {
 		worst = len(devs)
 	}

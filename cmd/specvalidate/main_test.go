@@ -1,19 +1,38 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestRunSmoke audits a suite end to end with a small window.
 func TestRunSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite audit in -short mode")
 	}
-	if err := run("cpu2006", "ref", 15000, 5, true, 0); err != nil {
+	ctx := context.Background()
+	if err := run(ctx, config{suite: "cpu2006", size: "ref", n: 15000, worst: 5, progress: true}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("cpu2095", "ref", 1000, 1, false, 0); err == nil {
+	if err := run(ctx, config{suite: "cpu2095", size: "ref", n: 1000, worst: 1}); err == nil {
 		t.Error("unknown suite accepted")
 	}
-	if err := run("cpu2017", "gigantic", 1000, 1, false, 0); err == nil {
+	if err := run(ctx, config{suite: "cpu2017", size: "gigantic", n: 1000, worst: 1}); err == nil {
 		t.Error("unknown size accepted")
+	}
+}
+
+// TestRunCacheDir: a repeat audit on the same -cache-dir is served from
+// the persistent store.
+func TestRunCacheDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite audit in -short mode")
+	}
+	dir := t.TempDir()
+	cfg := config{suite: "cpu2006", size: "ref", n: 10000, worst: 3, cacheDir: dir}
+	for i := 0; i < 2; i++ {
+		if err := run(context.Background(), cfg); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
 	}
 }

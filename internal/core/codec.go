@@ -1,0 +1,34 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// CharacteristicsCodec translates Characteristics to and from the
+// persistent result store's record encoding (sched.Codec). The encoding
+// is plain JSON: every Characteristics field is either an integer, a
+// finite float64 (ExecSeconds is guarded against ±Inf/NaN at
+// construction), a string, or a struct of those, and Go's JSON encoder
+// emits the shortest float representation that parses back to the same
+// bits — so Decode(Encode(c)) reproduces c bit-identically, which is
+// what lets a store hit stand in for a simulation.
+type CharacteristicsCodec struct{}
+
+// Encode marshals one Characteristics value.
+func (CharacteristicsCodec) Encode(v any) ([]byte, error) {
+	c, ok := v.(Characteristics)
+	if !ok {
+		return nil, fmt.Errorf("core: cannot encode %T as Characteristics", v)
+	}
+	return json.Marshal(c)
+}
+
+// Decode unmarshals a record produced by Encode.
+func (CharacteristicsCodec) Decode(data []byte) (any, error) {
+	var c Characteristics
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

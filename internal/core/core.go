@@ -43,9 +43,16 @@ type Options struct {
 	// Characteristics bit-identical; share one cache across repeated or
 	// overlapping campaigns to avoid paying for the same pair twice.
 	Cache *sched.Cache
+	// Store, when non-nil, is a persistent second cache tier (typically
+	// internal/store's content-addressed file store) attached under the
+	// result cache: pair results are written through to it as checksummed
+	// records and later campaigns — including ones in other processes —
+	// are served from it bit-identically. Setting Store without Cache
+	// creates a campaign-local memory tier automatically.
+	Store sched.Backend
 	// Progress, when non-nil, receives a snapshot after each completed
-	// pair (pairs done/total, cache hits, elapsed time). Callbacks are
-	// invoked serially.
+	// pair (pairs done/total, cache hits split by tier, elapsed time).
+	// Callbacks are invoked serially.
 	Progress func(sched.Progress)
 	// BatchSize is the simulation kernel's uop buffer length (0 means
 	// machine.DefaultBatchSize). Purely a performance knob: results are
@@ -113,6 +120,12 @@ func (c *Characteristics) MemPct() float64 { return c.LoadPct + c.StorePct }
 // from the cache bit-identically instead of being re-simulated.
 func Characterize(pairs []profile.Pair, opt Options) ([]Characteristics, error) {
 	opt = opt.withDefaults()
+	if opt.Store != nil {
+		if opt.Cache == nil {
+			opt.Cache = sched.NewCache()
+		}
+		opt.Cache.SetBackend(opt.Store, CharacteristicsCodec{})
+	}
 	prefix := ""
 	if opt.Cache != nil {
 		prefix = campaignKeyPrefix(&opt)

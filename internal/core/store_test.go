@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+// TestCodecRoundTripBitIdentical: the store codec must reproduce a real
+// simulated Characteristics value exactly — decoded records stand in
+// for simulations, so any drift would poison every downstream analysis.
+func TestCodecRoundTripBitIdentical(t *testing.T) {
+	pair := profile.CPU2017()[2].Expand(profile.Ref)[0] // 505.mcf_r
+	c, err := CharacterizePair(pair, Options{Instructions: 20000, MultiplexSlots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := CharacteristicsCodec{}
+	data, err := codec.Encode(*c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := codec.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(Characteristics)
+	if !reflect.DeepEqual(got, *c) {
+		t.Fatal("decoded Characteristics differ from the original")
+	}
+	// Re-encoding must also be byte-stable (deterministic map ordering),
+	// since parity checks compare serialized results.
+	data2, err := codec.Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("re-encoded record differs from the first encoding")
+	}
+}
+
+func TestCodecRejectsForeignType(t *testing.T) {
+	if _, err := (CharacteristicsCodec{}).Encode(42); err == nil {
+		t.Fatal("encoded a non-Characteristics value")
+	}
+	if _, err := (CharacteristicsCodec{}).Decode([]byte("{")); err == nil {
+		t.Fatal("decoded truncated JSON")
+	}
+}
+
+// TestStoreServesSecondCampaign: a campaign run against a persistent
+// store, then re-run with a fresh memory cache on the same directory
+// (what a second process does), must be served entirely from the store
+// — zero simulations — and bit-identically.
+func TestStoreServesSecondCampaign(t *testing.T) {
+	dir := t.TempDir()
+	var rateInt []*profile.Profile
+	for _, p := range profile.CPU2017() {
+		if p.Suite == profile.RateInt {
+			rateInt = append(rateInt, p)
+		}
+	}
+	pairs := profile.ExpandSuite(rateInt, profile.Train)
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Instructions: 20000, Store: st1}
+	first, err := Characterize(pairs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := st1.Stats().Writes; w != uint64(len(pairs)) {
+		t.Fatalf("store writes = %d, want %d", w, len(pairs))
+	}
+
+	// Second "process": fresh handle, fresh memory tier, a simulation
+	// counter that must stay at zero.
+	var simulated atomic.Int64
+	stubRunPair(t, func(ctx context.Context, pair profile.Pair, o Options) (*Characteristics, error) {
+		simulated.Add(1)
+		return characterizePairCtx(ctx, pair, o)
+	})
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := sched.NewCache()
+	var last sched.Progress
+	opt2 := Options{Instructions: 20000, Store: st2, Cache: cache,
+		Progress: func(p sched.Progress) { last = p }}
+	second, err := Characterize(pairs, opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := simulated.Load(); n != 0 {
+		t.Errorf("second campaign simulated %d pairs, want 0", n)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("store-served results are not bit-identical to simulated results")
+	}
+	if last.CacheHits != len(pairs) || last.StoreHits != len(pairs) {
+		t.Errorf("progress = %+v, want all %d pairs from the store tier", last, len(pairs))
+	}
+	if s := cache.Stats(); s.StoreHits != uint64(len(pairs)) || s.MemoryHits != 0 {
+		t.Errorf("cache stats = %+v, want store-tier hits only", s)
+	}
+}
+
+// TestCorruptStoreRecordRecomputes: damaging a record forces exactly
+// that pair back through the simulator; the recomputation repairs the
+// store and the results stay identical.
+func TestCorruptStoreRecordRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	pairs := fakePairs(4)
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Instructions: 20000, Store: st}
+	first, err := Characterize(pairs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate every record file to simulate a crash mid-write.
+	damaged := 0
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		damaged++
+		return os.WriteFile(path, data[:len(data)/3], 0o644)
+	})
+	if damaged != len(pairs) {
+		t.Fatalf("damaged %d records, want %d", damaged, len(pairs))
+	}
+
+	var simulated atomic.Int64
+	stubRunPair(t, func(ctx context.Context, pair profile.Pair, o Options) (*Characteristics, error) {
+		simulated.Add(1)
+		return characterizePairCtx(ctx, pair, o)
+	})
+	st2, _ := store.Open(dir)
+	second, err := Characterize(pairs, Options{Instructions: 20000, Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := simulated.Load(); n != int64(len(pairs)) {
+		t.Errorf("recomputed %d pairs, want %d", n, len(pairs))
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("recomputed results differ")
+	}
+	if got := st2.Stats().Corrupt; got != uint64(len(pairs)) {
+		t.Errorf("corrupt counter = %d, want %d", got, len(pairs))
+	}
+
+	// Third run: the write-through repaired every record.
+	var resimulated atomic.Int64
+	stubRunPair(t, func(ctx context.Context, pair profile.Pair, o Options) (*Characteristics, error) {
+		resimulated.Add(1)
+		return characterizePairCtx(ctx, pair, o)
+	})
+	st3, _ := store.Open(dir)
+	third, err := Characterize(pairs, Options{Instructions: 20000, Store: st3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := resimulated.Load(); n != 0 {
+		t.Errorf("third campaign simulated %d pairs after repair, want 0", n)
+	}
+	if !reflect.DeepEqual(first, third) {
+		t.Error("repaired results differ")
+	}
+}

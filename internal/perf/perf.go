@@ -6,6 +6,7 @@
 package perf
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 )
@@ -83,6 +84,45 @@ func NewCounters(values map[string]uint64, rss, vsz uint64, seconds float64) *Co
 		m[k] = v
 	}
 	return &Counters{values: m, RSSBytes: rss, VSZBytes: vsz, Seconds: seconds}
+}
+
+// countersJSON is the serialized form of Counters. Event counts are
+// uint64 and the footprint/time fields are plain numbers, so a
+// marshal→unmarshal round trip reproduces the snapshot bit-identically
+// (Go's JSON encoder emits the shortest float representation that parses
+// back to the same float64). The persistent result store depends on this.
+type countersJSON struct {
+	Values   map[string]uint64 `json:"values"`
+	RSSBytes uint64            `json:"rss_bytes"`
+	VSZBytes uint64            `json:"vsz_bytes"`
+	Seconds  float64           `json:"seconds"`
+}
+
+// MarshalJSON implements json.Marshaler, exposing the private event map
+// so snapshots can be persisted (map keys are emitted sorted, making the
+// encoding deterministic).
+func (c *Counters) MarshalJSON() ([]byte, error) {
+	return json.Marshal(countersJSON{
+		Values: c.values, RSSBytes: c.RSSBytes,
+		VSZBytes: c.VSZBytes, Seconds: c.Seconds,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rebuilding the snapshot
+// produced by MarshalJSON.
+func (c *Counters) UnmarshalJSON(data []byte) error {
+	var j countersJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Values == nil {
+		j.Values = map[string]uint64{}
+	}
+	c.values = j.Values
+	c.RSSBytes = j.RSSBytes
+	c.VSZBytes = j.VSZBytes
+	c.Seconds = j.Seconds
+	return nil
 }
 
 // Value returns the count for the named event, and whether it is present.

@@ -2,30 +2,93 @@ package sched
 
 import "sync"
 
+// Backend is a persistent second cache tier keyed by the same content
+// keys as the in-memory Cache. Implementations store opaque encoded
+// records (see Codec); the canonical implementation is the
+// content-addressed file store in internal/store.
+//
+// Both methods are best-effort cache semantics: Load returns false on
+// any miss or unreadable record (a corrupt record is a miss, never an
+// error), and Store failures are swallowed by the implementation — a
+// write that does not land simply costs a future recomputation.
+type Backend interface {
+	// Load returns the record stored under key, if present and intact.
+	Load(key string) (data []byte, ok bool)
+	// Store persists data under key. Records are immutable: two writes
+	// under one key must carry bit-identical payloads (keys are content
+	// hashes of everything that determines the result), so overwrites
+	// and concurrent writers are harmless.
+	Store(key string, data []byte)
+}
+
+// Codec translates cached values to and from the Backend's on-disk
+// record encoding. Decode(Encode(v)) must reproduce v bit-identically;
+// the campaign engine serves decoded records in place of recomputation.
+type Codec interface {
+	Encode(v any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// Tier identifies which cache tier satisfied a lookup.
+type Tier int
+
+const (
+	// TierMiss means no tier had the key.
+	TierMiss Tier = iota
+	// TierMemory means the in-process map had the key.
+	TierMemory
+	// TierStore means the persistent Backend had the key; the decoded
+	// value has been promoted into the memory tier.
+	TierStore
+)
+
 // Cache is a memoizing campaign result cache. It is safe for concurrent
 // use and is meant to be shared across campaigns (re-characterizations,
 // all-sizes sweeps, bench loops): a task whose content key is present is
 // not re-run, and the stored value is returned bit-identical.
 //
-// The cache grows without bound; campaigns are finite (194 pairs in the
-// paper's full sweep) and entries are a few hundred bytes, so eviction is
-// deliberately out of scope.
+// The memory tier grows without bound; campaigns are finite (194 pairs
+// in the paper's full sweep) and entries are a few hundred bytes, so
+// eviction is deliberately out of scope. With SetBackend a persistent
+// second tier sits underneath: lookups fall through memory to the
+// backend (promoting hits), and writes go through to both tiers, so
+// results survive the process and are shared between runs.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]any
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	entries   map[string]any
+	hits      uint64 // memory-tier hits
+	storeHits uint64 // backend-tier hits
+	misses    uint64
+	backend   Backend
+	codec     Codec
 }
 
-// NewCache returns an empty cache.
+// NewCache returns an empty cache with no persistent tier.
 func NewCache() *Cache {
 	return &Cache{entries: make(map[string]any)}
 }
 
-// CacheStats are cumulative lookup counters.
+// SetBackend attaches (or, with a nil backend, detaches) a persistent
+// second tier. codec translates values to the backend's record encoding;
+// it must be non-nil when backend is. Safe to call concurrently with
+// lookups; entries already in memory are unaffected.
+func (c *Cache) SetBackend(backend Backend, codec Codec) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.backend = backend
+	c.codec = codec
+}
+
+// CacheStats are cumulative lookup counters, split by the tier that
+// satisfied the lookup.
 type CacheStats struct {
-	// Hits counts lookups that found an entry; Misses counts the rest.
+	// Hits counts lookups satisfied by any tier
+	// (MemoryHits + StoreHits); Misses counts the rest.
 	Hits, Misses uint64
+	// MemoryHits counts lookups satisfied by the in-process map;
+	// StoreHits counts those that fell through to the persistent
+	// backend and found an intact record there.
+	MemoryHits, StoreHits uint64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -37,37 +100,78 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Get returns the entry stored under key and whether it was present,
-// updating the hit/miss counters.
+// Get returns the entry stored under key and whether it was present in
+// any tier, updating the hit/miss counters.
 func (c *Cache) Get(key string) (any, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok := c.entries[key]
-	if ok {
-		c.hits++
-	} else {
-		c.misses++
-	}
-	return v, ok
+	v, tier := c.GetTier(key)
+	return v, tier != TierMiss
 }
 
-// Put stores v under key, overwriting any previous entry.
+// GetTier returns the entry stored under key together with the tier
+// that satisfied the lookup (TierMiss when absent). A backend hit is
+// decoded through the codec and promoted into the memory tier; a record
+// that fails to decode counts as a miss.
+func (c *Cache) GetTier(key string) (any, Tier) {
+	c.mu.Lock()
+	if v, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v, TierMemory
+	}
+	backend, codec := c.backend, c.codec
+	c.mu.Unlock()
+
+	// Backend I/O happens outside the lock so a slow disk does not
+	// serialize the campaign workers. Two workers racing on the same key
+	// decode the same immutable record; last promotion wins harmlessly.
+	if backend != nil && codec != nil {
+		if data, ok := backend.Load(key); ok {
+			if v, err := codec.Decode(data); err == nil {
+				c.mu.Lock()
+				c.entries[key] = v
+				c.storeHits++
+				c.mu.Unlock()
+				return v, TierStore
+			}
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, TierMiss
+}
+
+// Put stores v under key in the memory tier, overwriting any previous
+// entry, and writes it through to the persistent backend when one is
+// attached (best-effort: an encode or store failure only costs a future
+// recomputation).
 func (c *Cache) Put(key string, v any) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.entries[key] = v
+	backend, codec := c.backend, c.codec
+	c.mu.Unlock()
+	if backend != nil && codec != nil {
+		if data, err := codec.Encode(v); err == nil {
+			backend.Store(key, data)
+		}
+	}
 }
 
-// Len returns the number of stored entries.
+// Len returns the number of entries in the memory tier.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
 }
 
-// Stats returns the cumulative hit/miss counters.
+// Stats returns the cumulative per-tier hit/miss counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses}
+	return CacheStats{
+		Hits:       c.hits + c.storeHits,
+		Misses:     c.misses,
+		MemoryHits: c.hits,
+		StoreHits:  c.storeHits,
+	}
 }

@@ -37,8 +37,12 @@ type Progress struct {
 	// Done counts completed tasks (cache hits included); Total is the
 	// campaign size.
 	Done, Total int
-	// CacheHits counts tasks satisfied from the cache during this run.
+	// CacheHits counts tasks satisfied from the cache during this run
+	// (both tiers); StoreHits is the subset served from the persistent
+	// backend tier rather than the in-process map.
 	CacheHits int
+	// StoreHits counts tasks satisfied from the persistent store tier.
+	StoreHits int
 	// Elapsed is the wall-clock time since the campaign started.
 	Elapsed time.Duration
 }
@@ -78,22 +82,27 @@ func Run[T any](ctx context.Context, tasks []Task[T], opt Options) ([]T, error) 
 	out := make([]T, len(tasks))
 	start := time.Now()
 	var (
-		mu       sync.Mutex
-		firstErr error
-		done     int
-		hits     int
+		mu        sync.Mutex
+		firstErr  error
+		done      int
+		hits      int
+		storeHits int
 	)
-	report := func(cacheHit bool) {
+	report := func(tier Tier) {
 		mu.Lock()
 		defer mu.Unlock()
 		done++
-		if cacheHit {
+		if tier != TierMiss {
 			hits++
+		}
+		if tier == TierStore {
+			storeHits++
 		}
 		if opt.Progress != nil {
 			opt.Progress(Progress{
 				Done: done, Total: len(tasks),
-				CacheHits: hits, Elapsed: time.Since(start),
+				CacheHits: hits, StoreHits: storeHits,
+				Elapsed: time.Since(start),
 			})
 		}
 	}
@@ -134,10 +143,10 @@ func Run[T any](ctx context.Context, tasks []Task[T], opt Options) ([]T, error) 
 				}
 				t := &tasks[i]
 				if opt.Cache != nil && t.Key != "" {
-					if v, ok := opt.Cache.Get(t.Key); ok {
+					if v, tier := opt.Cache.GetTier(t.Key); tier != TierMiss {
 						if tv, ok := v.(T); ok {
 							out[i] = tv
-							report(true)
+							report(tier)
 							continue
 						}
 						// Type mismatch: recompute and overwrite below.
@@ -152,7 +161,7 @@ func Run[T any](ctx context.Context, tasks []Task[T], opt Options) ([]T, error) 
 					opt.Cache.Put(t.Key, v)
 				}
 				out[i] = v
-				report(false)
+				report(TierMiss)
 			}
 		}()
 	}
@@ -175,8 +184,8 @@ func Run[T any](ctx context.Context, tasks []Task[T], opt Options) ([]T, error) 
 // the campaign completes. The cmd tools wire it to -progress.
 func ProgressPrinter(w io.Writer) func(Progress) {
 	return func(p Progress) {
-		fmt.Fprintf(w, "\r%d/%d pairs done (%d cache hits, %.1fs)",
-			p.Done, p.Total, p.CacheHits, p.Elapsed.Seconds())
+		fmt.Fprintf(w, "\r%d/%d pairs done (%d cache hits, %d from store, %.1fs)",
+			p.Done, p.Total, p.CacheHits, p.StoreHits, p.Elapsed.Seconds())
 		if p.Done >= p.Total {
 			fmt.Fprintln(w)
 		}

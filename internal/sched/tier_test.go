@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// memBackend is an in-memory sched.Backend for tier tests.
+type memBackend struct {
+	mu     sync.Mutex
+	m      map[string][]byte
+	loads  int
+	stores int
+}
+
+func newMemBackend() *memBackend { return &memBackend{m: map[string][]byte{}} }
+
+func (b *memBackend) Load(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.loads++
+	v, ok := b.m[key]
+	return v, ok
+}
+
+func (b *memBackend) Store(key string, data []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stores++
+	b.m[key] = append([]byte(nil), data...)
+}
+
+// intCodec encodes ints as decimal strings.
+type intCodec struct{}
+
+func (intCodec) Encode(v any) ([]byte, error) {
+	i, ok := v.(int)
+	if !ok {
+		return nil, fmt.Errorf("not an int: %T", v)
+	}
+	return []byte(strconv.Itoa(i)), nil
+}
+
+func (intCodec) Decode(data []byte) (any, error) {
+	i, err := strconv.Atoi(string(data))
+	if err != nil {
+		return nil, err
+	}
+	return i, nil
+}
+
+func TestPutWritesThroughToBackend(t *testing.T) {
+	b := newMemBackend()
+	c := NewCache()
+	c.SetBackend(b, intCodec{})
+	c.Put("k", 7)
+	if got, ok := b.m["k"]; !ok || string(got) != "7" {
+		t.Fatalf("backend record = %q, %v", got, ok)
+	}
+	if v, tier := c.GetTier("k"); tier != TierMemory || v.(int) != 7 {
+		t.Fatalf("GetTier = %v, %v; want memory hit", v, tier)
+	}
+}
+
+func TestGetFallsThroughAndPromotes(t *testing.T) {
+	b := newMemBackend()
+	b.m["k"] = []byte("41")
+	c := NewCache()
+	c.SetBackend(b, intCodec{})
+
+	v, tier := c.GetTier("k")
+	if tier != TierStore || v.(int) != 41 {
+		t.Fatalf("first lookup = %v, %v; want store hit", v, tier)
+	}
+	// Promoted: the second lookup is a memory hit and does not touch
+	// the backend again.
+	loads := b.loads
+	if v, tier := c.GetTier("k"); tier != TierMemory || v.(int) != 41 {
+		t.Fatalf("second lookup = %v, %v; want memory hit", v, tier)
+	}
+	if b.loads != loads {
+		t.Errorf("promotion did not stick: backend loaded again")
+	}
+	s := c.Stats()
+	if s.MemoryHits != 1 || s.StoreHits != 1 || s.Hits != 2 || s.Misses != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestUndecodableBackendRecordIsMiss(t *testing.T) {
+	b := newMemBackend()
+	b.m["k"] = []byte("not-a-number")
+	c := NewCache()
+	c.SetBackend(b, intCodec{})
+	if _, tier := c.GetTier("k"); tier != TierMiss {
+		t.Fatalf("tier = %v, want miss for undecodable record", tier)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestNoBackendBehavesAsBefore(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", 9)
+	if v, ok := c.Get("k"); !ok || v.(int) != 9 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.MemoryHits != 1 || s.StoreHits != 0 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRunReportsStoreHits(t *testing.T) {
+	b := newMemBackend()
+	c := NewCache()
+	c.SetBackend(b, intCodec{})
+	b.m["from-store"] = []byte("10")
+	c.Put("from-memory", 20)
+
+	tasks := []Task[int]{
+		{Name: "a", Key: "from-store", Run: func(context.Context) (int, error) {
+			return 0, errors.New("should have been served from the store tier")
+		}},
+		{Name: "b", Key: "from-memory", Run: func(context.Context) (int, error) {
+			return 0, errors.New("should have been served from the memory tier")
+		}},
+		{Name: "c", Key: "computed", Run: func(context.Context) (int, error) {
+			return 30, nil
+		}},
+	}
+	var last Progress
+	out, err := Run(context.Background(), tasks, Options{
+		Workers:  1,
+		Cache:    c,
+		Progress: func(p Progress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 10 || out[1] != 20 || out[2] != 30 {
+		t.Fatalf("out = %v", out)
+	}
+	if last.CacheHits != 2 || last.StoreHits != 1 || last.Done != 3 {
+		t.Errorf("progress = %+v, want 2 hits of which 1 store", last)
+	}
+	// The computed task was written through and survives into a new
+	// memory tier.
+	c2 := NewCache()
+	c2.SetBackend(b, intCodec{})
+	if v, tier := c2.GetTier("computed"); tier != TierStore || v.(int) != 30 {
+		t.Errorf("write-through record = %v, %v", v, tier)
+	}
+}

@@ -1,0 +1,746 @@
+// Package server implements specserved's HTTP characterization service:
+// a bounded campaign queue in front of the internal/sched engine, with
+// per-job cancellation, SSE progress streaming, expvar metrics and a
+// graceful drain for SIGTERM.
+//
+// API (all request/response bodies are JSON):
+//
+//	POST   /v1/campaigns             submit a campaign; 202 + status,
+//	                                 429 when the queue is full,
+//	                                 503 while draining.
+//	                                 ?wait=1 blocks until the campaign
+//	                                 finishes and returns the full
+//	                                 result; a client disconnect while
+//	                                 waiting cancels the job.
+//	GET    /v1/campaigns             list campaign statuses.
+//	GET    /v1/campaigns/{id}        status; results included once done.
+//	DELETE /v1/campaigns/{id}        cancel a queued or running campaign.
+//	GET    /v1/campaigns/{id}/events SSE progress stream
+//	                                 (progress events, then one done).
+//	GET    /healthz                  200 ok / 503 draining.
+//	GET    /metrics                  expvar JSON, including the
+//	                                 "specserved" map (queue, jobs,
+//	                                 per-tier cache stats, store stats).
+//
+// Results served twice are bit-identical: campaigns run through the same
+// memoizing cache (and optional persistent store tier) as the CLI tools,
+// keyed by content hashes of pair model + machine + options.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the number of campaigns run concurrently (default 2).
+	// Each campaign additionally fans out over
+	// Characterize.Parallelism pair workers.
+	Workers int
+	// QueueDepth bounds the submission queue (default 16); submissions
+	// beyond running + queued capacity are rejected with 429.
+	QueueDepth int
+	// DrainGrace bounds how long Drain waits for in-flight campaigns
+	// before cancelling them (0 = wait until they complete).
+	DrainGrace time.Duration
+	// Characterize is the base options every campaign starts from —
+	// machine, instruction window, parallelism, cache and persistent
+	// store. Per-request spec fields override Instructions and
+	// MultiplexSlots.
+	Characterize core.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	return c
+}
+
+// CampaignSpec is the client's description of one campaign.
+type CampaignSpec struct {
+	// Suite is "cpu2017" or "cpu2006".
+	Suite string `json:"suite"`
+	// Mini filters to one mini-suite: "all" (or empty), "rate-int",
+	// "rate-fp", "speed-int", "speed-fp".
+	Mini string `json:"mini,omitempty"`
+	// Size is the input size: "test", "train" or "ref".
+	Size string `json:"size"`
+	// Instructions overrides the server's per-pair instruction window
+	// when positive.
+	Instructions uint64 `json:"instructions,omitempty"`
+	// MultiplexSlots overrides the server's counter-multiplexing
+	// emulation when positive.
+	MultiplexSlots int `json:"multiplex_slots,omitempty"`
+}
+
+// resolve expands the spec into the campaign's pair list.
+func (spec *CampaignSpec) resolve() ([]profile.Pair, error) {
+	var apps []*profile.Profile
+	switch strings.ToLower(spec.Suite) {
+	case "cpu2017", "cpu17", "":
+		apps = profile.CPU2017()
+	case "cpu2006", "cpu06":
+		apps = profile.CPU2006()
+	default:
+		return nil, fmt.Errorf("unknown suite %q", spec.Suite)
+	}
+	switch strings.ToLower(spec.Mini) {
+	case "all", "":
+	case "rate-int", "rate-fp", "speed-int", "speed-fp":
+		want := map[string]profile.Suite{
+			"rate-int": profile.RateInt, "rate-fp": profile.RateFP,
+			"speed-int": profile.SpeedInt, "speed-fp": profile.SpeedFP,
+		}[strings.ToLower(spec.Mini)]
+		var kept []*profile.Profile
+		for _, app := range apps {
+			if app.Suite == want {
+				kept = append(kept, app)
+			}
+		}
+		apps = kept
+	default:
+		return nil, fmt.Errorf("unknown mini-suite %q", spec.Mini)
+	}
+	var size profile.InputSize
+	switch strings.ToLower(spec.Size) {
+	case "test":
+		size = profile.Test
+	case "train":
+		size = profile.Train
+	case "ref", "":
+		size = profile.Ref
+	default:
+		return nil, fmt.Errorf("unknown input size %q", spec.Size)
+	}
+	pairs := profile.ExpandSuite(apps, size)
+	if len(pairs) == 0 {
+		return nil, errors.New("spec selects no application-input pairs")
+	}
+	return pairs, nil
+}
+
+// Campaign statuses.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// ProgressStatus is the JSON form of a campaign progress snapshot.
+type ProgressStatus struct {
+	Done      int   `json:"done"`
+	Total     int   `json:"total"`
+	CacheHits int   `json:"cache_hits"`
+	StoreHits int   `json:"store_hits"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// CampaignStatus is the JSON form of one campaign's state.
+type CampaignStatus struct {
+	ID       string                 `json:"id"`
+	Spec     CampaignSpec           `json:"spec"`
+	Status   string                 `json:"status"`
+	Pairs    int                    `json:"pairs"`
+	Created  time.Time              `json:"created"`
+	Started  *time.Time             `json:"started,omitempty"`
+	Finished *time.Time             `json:"finished,omitempty"`
+	Progress ProgressStatus         `json:"progress"`
+	Error    string                 `json:"error,omitempty"`
+	Results  []core.Characteristics `json:"results,omitempty"`
+}
+
+// sseEvent is one server-sent event.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// campaign is the server-side state of one submitted job.
+type campaign struct {
+	id    string
+	spec  CampaignSpec
+	pairs []profile.Pair
+
+	// ctx is cancelled by DELETE, a waiting client's disconnect, or the
+	// drain timeout; the sched engine aborts queued and in-flight pairs
+	// through it (the PR 1 cancellation path).
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu           sync.Mutex
+	status       string
+	created      time.Time
+	started      time.Time
+	finished     time.Time
+	progress     sched.Progress
+	results      []core.Characteristics
+	errMsg       string
+	cancelReason string
+	subs         map[chan sseEvent]struct{}
+
+	// done is closed exactly once when the campaign reaches a terminal
+	// status; SSE streams and ?wait=1 submitters block on it.
+	done chan struct{}
+}
+
+func (c *campaign) snapshot(includeResults bool) CampaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CampaignStatus{
+		ID: c.id, Spec: c.spec, Status: c.status, Pairs: len(c.pairs),
+		Created: c.created, Error: c.errMsg,
+		Progress: ProgressStatus{
+			Done: c.progress.Done, Total: c.progress.Total,
+			CacheHits: c.progress.CacheHits, StoreHits: c.progress.StoreHits,
+			ElapsedMS: c.progress.Elapsed.Milliseconds(),
+		},
+	}
+	if st.Progress.Total == 0 {
+		st.Progress.Total = len(c.pairs)
+	}
+	if !c.started.IsZero() {
+		t := c.started
+		st.Started = &t
+	}
+	if !c.finished.IsZero() {
+		t := c.finished
+		st.Finished = &t
+	}
+	if includeResults && c.status == StatusDone {
+		st.Results = c.results
+	}
+	return st
+}
+
+func (c *campaign) terminal() bool {
+	switch c.status {
+	case StatusDone, StatusFailed, StatusCancelled:
+		return true
+	}
+	return false
+}
+
+// finish moves the campaign to a terminal status once; later calls are
+// no-ops (e.g. a DELETE racing the worker's own completion).
+func (c *campaign) finish(status string, results []core.Characteristics, errMsg string) {
+	c.mu.Lock()
+	if c.terminal() {
+		c.mu.Unlock()
+		return
+	}
+	c.status = status
+	c.results = results
+	c.errMsg = errMsg
+	c.finished = time.Now()
+	close(c.done)
+	c.mu.Unlock()
+	c.cancel() // release the context regardless of how we finished
+}
+
+func (c *campaign) setRunning() {
+	c.mu.Lock()
+	c.status = StatusRunning
+	c.started = time.Now()
+	c.mu.Unlock()
+}
+
+func (c *campaign) setProgress(p sched.Progress) {
+	c.mu.Lock()
+	c.progress = p
+	c.mu.Unlock()
+	data, _ := json.Marshal(ProgressStatus{
+		Done: p.Done, Total: p.Total,
+		CacheHits: p.CacheHits, StoreHits: p.StoreHits,
+		ElapsedMS: p.Elapsed.Milliseconds(),
+	})
+	c.broadcast(sseEvent{name: "progress", data: data})
+}
+
+// requestCancel records why the job is being cancelled and cancels its
+// context. A queued job is finished immediately; a running one aborts
+// through the scheduler and is finished by its worker.
+func (c *campaign) requestCancel(reason string) {
+	c.mu.Lock()
+	if c.terminal() {
+		c.mu.Unlock()
+		return
+	}
+	if c.cancelReason == "" {
+		c.cancelReason = reason
+	}
+	queued := c.status == StatusQueued
+	c.mu.Unlock()
+	c.cancel()
+	if queued {
+		c.finish(StatusCancelled, nil, reason)
+	}
+}
+
+func (c *campaign) subscribe() chan sseEvent {
+	ch := make(chan sseEvent, 64)
+	c.mu.Lock()
+	c.subs[ch] = struct{}{}
+	c.mu.Unlock()
+	return ch
+}
+
+func (c *campaign) unsubscribe(ch chan sseEvent) {
+	c.mu.Lock()
+	delete(c.subs, ch)
+	c.mu.Unlock()
+}
+
+// broadcast fans an event out to subscribers, dropping it for any
+// subscriber whose buffer is full — terminal state is delivered via the
+// done channel, so slow consumers only lose intermediate snapshots.
+func (c *campaign) broadcast(ev sseEvent) {
+	c.mu.Lock()
+	for ch := range c.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Server is the characterization service.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *campaign
+
+	mu       sync.Mutex
+	jobs     map[string]*campaign
+	order    []string // submission order, for listing
+	nextID   int
+	draining bool
+
+	wg      sync.WaitGroup
+	started time.Time
+
+	rejected       atomic.Uint64
+	pairsSimulated atomic.Uint64
+	pairsFromCache atomic.Uint64
+	pairsFromStore atomic.Uint64
+}
+
+// runCampaign is the worker's campaign entry point; tests swap it to
+// observe queueing and cancellation without paying for simulations.
+var runCampaign = core.Characterize
+
+// New builds the server and starts its worker pool. Call Drain to stop.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *campaign, cfg.QueueDepth),
+		jobs:    make(map[string]*campaign),
+		started: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", expvar.Handler())
+	s.publishMetrics()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admission (submits return 503, healthz flips to 503),
+// cancels still-queued campaigns, and waits for in-flight campaigns to
+// finish — or cancels them after Config.DrainGrace. Safe to call more
+// than once; every call returns only when the pool has stopped.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	if first {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	if s.cfg.DrainGrace > 0 {
+		select {
+		case <-done:
+			return
+		case <-time.After(s.cfg.DrainGrace):
+			s.cancelAll("server shutting down")
+		}
+	}
+	<-done
+}
+
+func (s *Server) cancelAll(reason string) {
+	s.mu.Lock()
+	jobs := make([]*campaign, 0, len(s.jobs))
+	for _, c := range s.jobs {
+		jobs = append(jobs, c)
+	}
+	s.mu.Unlock()
+	for _, c := range jobs {
+		c.requestCancel(reason)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// worker pulls campaigns off the bounded queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for c := range s.queue {
+		if s.isDraining() {
+			c.finish(StatusCancelled, nil, "server draining")
+			continue
+		}
+		if c.ctx.Err() != nil {
+			c.finish(StatusCancelled, nil, c.reason("cancelled before start"))
+			continue
+		}
+		s.run(c)
+	}
+}
+
+func (c *campaign) reason(fallback string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cancelReason != "" {
+		return c.cancelReason
+	}
+	return fallback
+}
+
+func (s *Server) run(c *campaign) {
+	c.setRunning()
+	opt := s.cfg.Characterize
+	if c.spec.Instructions > 0 {
+		opt.Instructions = c.spec.Instructions
+	}
+	if c.spec.MultiplexSlots > 0 {
+		opt.MultiplexSlots = c.spec.MultiplexSlots
+	}
+	opt.Context = c.ctx
+	opt.Progress = c.setProgress
+
+	results, err := runCampaign(c.pairs, opt)
+
+	// Account completed pairs by where they came from before flipping
+	// the terminal status.
+	c.mu.Lock()
+	p := c.progress
+	c.mu.Unlock()
+	s.pairsFromStore.Add(uint64(p.StoreHits))
+	s.pairsFromCache.Add(uint64(p.CacheHits - p.StoreHits))
+	s.pairsSimulated.Add(uint64(p.Done - p.CacheHits))
+
+	switch {
+	case err == nil:
+		c.finish(StatusDone, results, "")
+	case c.ctx.Err() != nil || errors.Is(err, context.Canceled):
+		c.finish(StatusCancelled, nil, c.reason("cancelled"))
+	default:
+		c.finish(StatusFailed, nil, err.Error())
+	}
+}
+
+// --- HTTP handlers ----------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		return
+	}
+	pairs, err := spec.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &campaign{
+		spec: spec, pairs: pairs,
+		ctx: ctx, cancel: cancel,
+		status: StatusQueued, created: time.Now(),
+		subs: make(map[chan sseEvent]struct{}),
+		done: make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.nextID++
+	c.id = fmt.Sprintf("c%06d", s.nextID)
+	select {
+	case s.queue <- c:
+		s.jobs[c.id] = c
+		s.order = append(s.order, c.id)
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		cancel()
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"campaign queue is full (%d queued); retry later", s.cfg.QueueDepth)
+		return
+	}
+	s.mu.Unlock()
+
+	if wait := r.URL.Query().Get("wait"); wait == "1" || strings.EqualFold(wait, "true") {
+		select {
+		case <-c.done:
+			writeJSON(w, http.StatusOK, c.snapshot(true))
+		case <-r.Context().Done():
+			// The client that asked to wait is gone: cancel its job
+			// through the scheduler's context path.
+			c.requestCancel("client disconnected")
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/campaigns/"+c.id)
+	writeJSON(w, http.StatusAccepted, c.snapshot(false))
+}
+
+func (s *Server) lookup(r *http.Request) (*campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.jobs[r.PathValue("id")]
+	return c, ok
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	includeResults := r.URL.Query().Get("results") != "0"
+	writeJSON(w, http.StatusOK, c.snapshot(includeResults))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*campaign, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]CampaignStatus, len(jobs))
+	for i, c := range jobs {
+		out[i] = c.snapshot(false)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	c.requestCancel("cancelled by client")
+	writeJSON(w, http.StatusAccepted, c.snapshot(false))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	ch := c.subscribe()
+	defer c.unsubscribe(ch)
+
+	writeSSE(w, sseEvent{name: "status", data: mustJSON(c.snapshot(false))})
+	flusher.Flush()
+	for {
+		select {
+		case ev := <-ch:
+			writeSSE(w, ev)
+			flusher.Flush()
+		case <-c.done:
+			// Flush any progress still buffered, then the terminal event.
+			for {
+				select {
+				case ev := <-ch:
+					writeSSE(w, ev)
+				default:
+					writeSSE(w, sseEvent{name: "done", data: mustJSON(c.snapshot(false))})
+					flusher.Flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			// An SSE watcher leaving does not cancel the job — other
+			// watchers (or none) may still want the result.
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev sseEvent) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+}
+
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	return data
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// --- Metrics ----------------------------------------------------------
+
+// expvar.Publish panics on duplicate names, so the "specserved" map is
+// published once per process and routed to whichever Server was built
+// most recently (tests build several; real processes build one).
+var (
+	metricsOnce  sync.Once
+	activeServer atomic.Pointer[Server]
+)
+
+func (s *Server) publishMetrics() {
+	activeServer.Store(s)
+	metricsOnce.Do(func() {
+		expvar.Publish("specserved", expvar.Func(func() any {
+			srv := activeServer.Load()
+			if srv == nil {
+				return nil
+			}
+			return srv.MetricsSnapshot()
+		}))
+	})
+}
+
+// MetricsSnapshot returns the live metrics served under /metrics as the
+// "specserved" expvar: queue occupancy, job states, where completed
+// pairs came from (simulated vs. memory vs. store tier), and the
+// campaign cache / persistent store counters.
+func (s *Server) MetricsSnapshot() map[string]any {
+	s.mu.Lock()
+	states := map[string]int{}
+	for _, c := range s.jobs {
+		c.mu.Lock()
+		states[c.status]++
+		c.mu.Unlock()
+	}
+	queueLen := len(s.queue)
+	draining := s.draining
+	s.mu.Unlock()
+
+	m := map[string]any{
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"draining":       draining,
+		"queue": map[string]int{
+			"depth":    queueLen,
+			"capacity": s.cfg.QueueDepth,
+			"workers":  s.cfg.Workers,
+		},
+		"jobs": map[string]any{
+			"states":   states,
+			"rejected": s.rejected.Load(),
+		},
+		"pairs": map[string]uint64{
+			"simulated":   s.pairsSimulated.Load(),
+			"from_memory": s.pairsFromCache.Load(),
+			"from_store":  s.pairsFromStore.Load(),
+		},
+	}
+	if cache := s.cfg.Characterize.Cache; cache != nil {
+		st := cache.Stats()
+		m["cache"] = map[string]any{
+			"hits":        st.Hits,
+			"memory_hits": st.MemoryHits,
+			"store_hits":  st.StoreHits,
+			"misses":      st.Misses,
+			"hit_rate":    st.HitRate(),
+			"entries":     cache.Len(),
+		}
+	}
+	if fs, ok := s.cfg.Characterize.Store.(*store.Store); ok && fs != nil {
+		st := fs.Stats()
+		m["store"] = map[string]any{
+			"dir":          fs.Dir(),
+			"hits":         st.Hits,
+			"misses":       st.Misses,
+			"corrupt":      st.Corrupt,
+			"writes":       st.Writes,
+			"write_errors": st.WriteErrors,
+		}
+	}
+	return m
+}

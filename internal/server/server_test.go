@@ -1,0 +1,589 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+// stubCampaigns swaps the worker's campaign runner for the test.
+func stubCampaigns(t *testing.T, fn func([]profile.Pair, core.Options) ([]core.Characteristics, error)) {
+	t.Helper()
+	old := runCampaign
+	runCampaign = fn
+	t.Cleanup(func() { runCampaign = old })
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Drain)
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, spec CampaignSpec, query string) (*http.Response, CampaignStatus) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/campaigns"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st CampaignStatus
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") &&
+		(resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK) {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) CampaignStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	var st CampaignStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) CampaignStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		switch st.Status {
+		case StatusDone, StatusFailed, StatusCancelled:
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never reached a terminal status", id)
+	return CampaignStatus{}
+}
+
+// TestEndToEnd: submit → SSE progress → fetched result equals a direct
+// core.Characterize run, and a resubmission is served entirely from the
+// cache.
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.Options{Instructions: 20000, Cache: sched.NewCache(), Store: st}
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, Characterize: base})
+
+	spec := CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train", Instructions: 20000}
+	resp, status := submit(t, ts, spec, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	if status.ID == "" || status.Pairs == 0 {
+		t.Fatalf("submit status = %+v", status)
+	}
+
+	// Follow the SSE stream until the campaign completes.
+	sseCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(sseCtx, "GET", ts.URL+"/v1/campaigns/"+status.ID+"/events", nil)
+	sse, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sse.Body.Close()
+	if ct := sse.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type = %q", ct)
+	}
+	var progressEvents, doneEvents int
+	var lastProgress ProgressStatus
+	scanner := bufio.NewScanner(sse.Body)
+	event := ""
+	for scanner.Scan() {
+		line := scanner.Text()
+		if after, ok := strings.CutPrefix(line, "event: "); ok {
+			event = after
+		}
+		if after, ok := strings.CutPrefix(line, "data: "); ok {
+			switch event {
+			case "progress":
+				progressEvents++
+				if err := json.Unmarshal([]byte(after), &lastProgress); err != nil {
+					t.Fatalf("bad progress payload %q: %v", after, err)
+				}
+			case "done":
+				doneEvents++
+			}
+		}
+		if event == "done" && line == "" {
+			break
+		}
+	}
+	if doneEvents != 1 {
+		t.Fatalf("saw %d done events (%d progress)", doneEvents, progressEvents)
+	}
+	if progressEvents == 0 || lastProgress.Done != status.Pairs {
+		t.Errorf("progress events = %d, last = %+v, want %d pairs", progressEvents, lastProgress, status.Pairs)
+	}
+
+	final := waitTerminal(t, ts, status.ID)
+	if final.Status != StatusDone || len(final.Results) != status.Pairs {
+		t.Fatalf("final = %s with %d results, want done with %d", final.Status, len(final.Results), status.Pairs)
+	}
+
+	// Parity: the served results are bit-identical to a direct library
+	// run with the same options (compare serialized forms: the codec
+	// encoding is deterministic).
+	pairs, err := spec.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.Characterize(pairs, core.Options{Instructions: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directJSON, _ := json.Marshal(direct)
+	servedJSON, _ := json.Marshal(final.Results)
+	if !bytes.Equal(directJSON, servedJSON) {
+		t.Error("served results differ from direct library results")
+	}
+
+	// Resubmission: every pair must come from the cache, none simulated.
+	before := s.pairsSimulated.Load()
+	_, again := submit(t, ts, spec, "?wait=1")
+	if again.Status != StatusDone {
+		t.Fatalf("resubmit status = %s (%s)", again.Status, again.Error)
+	}
+	if again.Progress.CacheHits != status.Pairs {
+		t.Errorf("resubmit cache hits = %d, want all %d", again.Progress.CacheHits, status.Pairs)
+	}
+	if got := s.pairsSimulated.Load(); got != before {
+		t.Errorf("resubmit simulated %d pairs, want 0", got-before)
+	}
+	resubJSON, _ := json.Marshal(again.Results)
+	if !bytes.Equal(directJSON, resubJSON) {
+		t.Error("resubmitted results are not bit-identical")
+	}
+
+	// The store received the write-through records.
+	if st.Stats().Writes == 0 {
+		t.Error("no records written through to the persistent store")
+	}
+
+	// Metrics surface the tiered stats.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics struct {
+		Specserved struct {
+			Pairs map[string]uint64 `json:"pairs"`
+			Cache map[string]any    `json:"cache"`
+			Store map[string]any    `json:"store"`
+		} `json:"specserved"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	m := metrics.Specserved
+	if m.Pairs["simulated"] != uint64(status.Pairs) || m.Pairs["from_memory"] != uint64(status.Pairs) {
+		t.Errorf("metrics pairs = %v, want %d simulated + %d from_memory", m.Pairs, status.Pairs, status.Pairs)
+	}
+	if m.Cache == nil || m.Store == nil {
+		t.Errorf("metrics missing cache/store sections: %+v", m)
+	}
+}
+
+// TestQueueFull429: with one worker wedged and a single queue slot
+// filled, the next submission is rejected with 429 + Retry-After.
+func TestQueueFull429(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	stubCampaigns(t, func(pairs []profile.Pair, opt core.Options) ([]core.Characteristics, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return make([]core.Characteristics, len(pairs)), nil
+		case <-opt.Context.Done():
+			return nil, opt.Context.Err()
+		}
+	})
+	defer close(release)
+
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	spec := CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train"}
+
+	resp1, _ := submit(t, ts, spec, "") // taken by the worker
+	<-started
+	resp2, _ := submit(t, ts, spec, "") // fills the single queue slot
+	resp3, _ := submit(t, ts, spec, "") // over capacity
+	if resp1.StatusCode != http.StatusAccepted || resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submits = %d, %d", resp1.StatusCode, resp2.StatusCode)
+	}
+	if resp3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit = %d, want 429", resp3.StatusCode)
+	}
+	if resp3.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+// TestDeleteCancelsInFlight: DELETE aborts a running campaign through
+// the scheduler's context and the job reports cancelled.
+func TestDeleteCancelsInFlight(t *testing.T) {
+	started := make(chan struct{}, 1)
+	stubCampaigns(t, func(pairs []profile.Pair, opt core.Options) ([]core.Characteristics, error) {
+		started <- struct{}{}
+		<-opt.Context.Done() // a real campaign aborts via this context
+		return nil, opt.Context.Err()
+	})
+
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	_, st := submit(t, ts, CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train"}, "")
+	<-started
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/campaigns/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	final := waitTerminal(t, ts, st.ID)
+	if final.Status != StatusCancelled {
+		t.Fatalf("status after DELETE = %s, want cancelled", final.Status)
+	}
+	if final.Error == "" {
+		t.Error("cancelled campaign carries no reason")
+	}
+}
+
+// TestDeleteQueuedCampaign: cancelling a job that never started is
+// immediate and the worker skips it.
+func TestDeleteQueuedCampaign(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	stubCampaigns(t, func(pairs []profile.Pair, opt core.Options) ([]core.Characteristics, error) {
+		started <- struct{}{}
+		<-release
+		return make([]core.Characteristics, len(pairs)), nil
+	})
+
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	spec := CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train"}
+	submit(t, ts, spec, "")
+	<-started // worker busy
+	_, queued := submit(t, ts, spec, "")
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/campaigns/"+queued.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st := waitTerminal(t, ts, queued.ID); st.Status != StatusCancelled {
+		t.Fatalf("queued campaign after DELETE = %s", st.Status)
+	}
+	close(release)
+	// The worker must not "run" the cancelled job: only the first
+	// campaign ever started.
+	select {
+	case <-started:
+		t.Error("worker started a cancelled queued campaign")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestDrain: draining completes the in-flight campaign, cancels the
+// queued one, and flips admission + health to 503.
+func TestDrain(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	stubCampaigns(t, func(pairs []profile.Pair, opt core.Options) ([]core.Characteristics, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return make([]core.Characteristics, len(pairs)), nil
+		case <-opt.Context.Done():
+			return nil, opt.Context.Err()
+		}
+	})
+
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	spec := CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train"}
+	_, inflight := submit(t, ts, spec, "")
+	<-started
+	_, queued := submit(t, ts, spec, "")
+
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+
+	// Drain blocks on the in-flight job; meanwhile admission is closed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never flipped to 503 while draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, _ := submit(t, ts, spec, "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+
+	close(release) // let the in-flight campaign finish
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	if st := getStatus(t, ts, inflight.ID); st.Status != StatusDone {
+		t.Errorf("in-flight campaign after drain = %s, want done", st.Status)
+	}
+	if st := getStatus(t, ts, queued.ID); st.Status != StatusCancelled {
+		t.Errorf("queued campaign after drain = %s, want cancelled", st.Status)
+	}
+}
+
+// TestDrainGraceCancelsStragglers: a campaign that outlives the grace
+// period is cancelled, not waited on forever.
+func TestDrainGraceCancelsStragglers(t *testing.T) {
+	started := make(chan struct{}, 1)
+	stubCampaigns(t, func(pairs []profile.Pair, opt core.Options) ([]core.Characteristics, error) {
+		started <- struct{}{}
+		<-opt.Context.Done() // never finishes on its own
+		return nil, opt.Context.Err()
+	})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, DrainGrace: 50 * time.Millisecond})
+	_, st := submit(t, ts, CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train"}, "")
+	<-started
+
+	done := make(chan struct{})
+	go func() { s.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain with grace period hung")
+	}
+	if got := getStatus(t, ts, st.ID); got.Status != StatusCancelled {
+		t.Errorf("straggler after grace = %s, want cancelled", got.Status)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	for _, body := range []string{
+		`{"suite":"cpu2099","size":"ref"}`,
+		`{"suite":"cpu2017","size":"gigantic"}`,
+		`{"suite":"cpu2017","mini":"rate-bf16","size":"ref"}`,
+		`{"suite":`,
+		`{"unknown_field":1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %q = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/campaigns/cunknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown campaign = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestListCampaigns(t *testing.T) {
+	stubCampaigns(t, func(pairs []profile.Pair, opt core.Options) ([]core.Characteristics, error) {
+		return make([]core.Characteristics, len(pairs)), nil
+	})
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	spec := CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train"}
+	_, first := submit(t, ts, spec, "?wait=1")
+	_, second := submit(t, ts, spec, "?wait=1")
+
+	resp, err := http.Get(ts.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []CampaignStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].ID != first.ID || list[1].ID != second.ID {
+		t.Fatalf("list = %+v, want [%s %s] in order", list, first.ID, second.ID)
+	}
+	if len(list[0].Results) != 0 {
+		t.Error("list includes result payloads")
+	}
+}
+
+// TestWaitModeReturnsResults: ?wait=1 blocks and returns the finished
+// campaign in one round trip.
+func TestWaitModeReturnsResults(t *testing.T) {
+	stubCampaigns(t, func(pairs []profile.Pair, opt core.Options) ([]core.Characteristics, error) {
+		out := make([]core.Characteristics, len(pairs))
+		for i := range out {
+			out[i].Pair = pairs[i]
+		}
+		return out, nil
+	})
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	resp, st := submit(t, ts, CampaignSpec{Suite: "cpu2017", Mini: "rate-fp", Size: "test"}, "?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait submit = %d", resp.StatusCode)
+	}
+	if st.Status != StatusDone || len(st.Results) != st.Pairs {
+		t.Fatalf("wait result = %s with %d/%d results", st.Status, len(st.Results), st.Pairs)
+	}
+}
+
+// TestWaitClientDisconnectCancels: dropping a waiting submission cancels
+// its campaign through the job context.
+func TestWaitClientDisconnectCancels(t *testing.T) {
+	started := make(chan struct{}, 1)
+	stubCampaigns(t, func(pairs []profile.Pair, opt core.Options) ([]core.Characteristics, error) {
+		started <- struct{}{}
+		<-opt.Context.Done()
+		return nil, opt.Context.Err()
+	})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train"})
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/campaigns?wait=1", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-started
+	cancel() // client gives up
+	<-errc
+
+	// The lone job must transition to cancelled.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		var job *campaign
+		for _, c := range s.jobs {
+			job = c
+		}
+		s.mu.Unlock()
+		if job != nil {
+			job.mu.Lock()
+			status := job.status
+			job.mu.Unlock()
+			if status == StatusCancelled {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign not cancelled after waiting client disconnected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEventsForFinishedCampaign: subscribing after completion yields the
+// terminal event immediately.
+func TestEventsForFinishedCampaign(t *testing.T) {
+	stubCampaigns(t, func(pairs []profile.Pair, opt core.Options) ([]core.Characteristics, error) {
+		return make([]core.Characteristics, len(pairs)), nil
+	})
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	_, st := submit(t, ts, CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train"}, "?wait=1")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/campaigns/"+st.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := func() (string, error) {
+		var b strings.Builder
+		scanner := bufio.NewScanner(resp.Body)
+		for scanner.Scan() {
+			b.WriteString(scanner.Text())
+			b.WriteByte('\n')
+			if strings.Contains(b.String(), "event: done") && strings.HasSuffix(b.String(), "\n\n") {
+				break
+			}
+		}
+		return b.String(), scanner.Err()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(data, "event: done") {
+		t.Fatalf("no done event for finished campaign: %q", data)
+	}
+}
+
+func TestSpecResolve(t *testing.T) {
+	for _, tc := range []struct {
+		spec CampaignSpec
+		ok   bool
+	}{
+		{CampaignSpec{Suite: "cpu2017", Size: "ref"}, true},
+		{CampaignSpec{Suite: "cpu2006", Mini: "all", Size: "test"}, true},
+		{CampaignSpec{Suite: "", Size: ""}, true}, // defaults: cpu2017 ref
+		{CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train"}, true},
+		{CampaignSpec{Suite: "spec95", Size: "ref"}, false},
+		{CampaignSpec{Suite: "cpu2017", Mini: "nope", Size: "ref"}, false},
+		{CampaignSpec{Suite: "cpu2017", Size: "huge"}, false},
+	} {
+		pairs, err := tc.spec.resolve()
+		if tc.ok && (err != nil || len(pairs) == 0) {
+			t.Errorf("resolve(%+v) = %d pairs, %v", tc.spec, len(pairs), err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("resolve(%+v) succeeded, want error", tc.spec)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package store implements the persistent, content-addressed result
+// store that sits under the in-memory campaign cache (internal/sched) as
+// its second tier. One record holds one cached campaign result, keyed by
+// the same content hashes the memory tier uses
+// (machine Config.Fingerprint + pair model + run options), so a record
+// is immutable by construction: equal keys imply bit-identical payloads,
+// which is why overwrites, concurrent writers and cross-process sharing
+// need no coordination beyond atomic file replacement.
+//
+// Durability model. Records are JSON envelopes carrying the key, a
+// SHA-256 checksum of the payload, and the payload itself. Writes go to
+// a temp file in the destination directory and are published with
+// os.Rename, so readers only ever observe complete envelopes. Loads
+// verify the envelope's key and checksum; any unreadable, truncated,
+// corrupt or mismatched record is reported as a miss — never an error —
+// so a crash mid-write (or a stray editor) costs at most one
+// recomputation.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is a directory of content-addressed result records. It
+// implements sched.Backend. Safe for concurrent use by any number of
+// goroutines and processes sharing the directory.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats are cumulative operation counters for one Store handle.
+type Stats struct {
+	// Hits counts Loads that returned an intact record; Misses counts
+	// Loads that found nothing usable.
+	Hits, Misses uint64
+	// Corrupt is the subset of Misses caused by a record that existed
+	// but failed envelope, key or checksum validation.
+	Corrupt uint64
+	// Writes counts successful Stores; WriteErrors counts Stores that
+	// failed to land (best-effort, so they surface only here).
+	Writes, WriteErrors uint64
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// envelope is the on-disk record format.
+type envelope struct {
+	// Key echoes the content key the record was stored under; Load
+	// rejects a record whose Key does not match the requested key
+	// (e.g. a file copied to the wrong name).
+	Key string `json:"key"`
+	// SHA256 is the hex checksum of the raw Payload bytes.
+	SHA256 string `json:"sha256"`
+	// Payload is the codec-encoded result, kept verbatim.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// path maps a key to its record file. Keys produced by the campaign
+// cache are hex SHA-256 digests and are used directly, sharded by their
+// first byte so a 194-pair sweep doesn't pile every record into one
+// directory; any other key is first hashed so arbitrary strings can
+// never escape the store root or collide with shard names.
+func (s *Store) path(key string) string {
+	if !isHexKey(key) {
+		sum := sha256.Sum256([]byte(key))
+		key = hex.EncodeToString(sum[:])
+	}
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+func isHexKey(key string) bool {
+	if len(key) < 16 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Load returns the payload stored under key. Implements sched.Backend:
+// every failure mode — absent file, unreadable file, truncated or
+// garbage JSON, key mismatch, checksum mismatch — is a miss, never an
+// error.
+func (s *Store) Load(key string) ([]byte, bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		return nil, false
+	}
+	sum := sha256.Sum256(env.Payload)
+	if env.Key != key || env.SHA256 != hex.EncodeToString(sum[:]) || len(env.Payload) == 0 {
+		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		return nil, false
+	}
+	s.count(func(st *Stats) { st.Hits++ })
+	return env.Payload, true
+}
+
+// Store persists data under key, replacing any existing record
+// atomically. Implements sched.Backend: failures are swallowed (they
+// only cost a future recomputation) and surface in Stats.WriteErrors.
+func (s *Store) Store(key string, data []byte) {
+	if err := s.write(key, data); err != nil {
+		s.count(func(st *Stats) { st.WriteErrors++ })
+		return
+	}
+	s.count(func(st *Stats) { st.Writes++ })
+}
+
+func (s *Store) write(key string, data []byte) error {
+	sum := sha256.Sum256(data)
+	env, err := json.Marshal(envelope{
+		Key:     key,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: json.RawMessage(data),
+	})
+	if err != nil {
+		return err
+	}
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	// Write-then-rename in the destination directory: a reader sees the
+	// old record or the new one, never a partial file, and a crash
+	// leaves at worst an orphaned temp file that Load never looks at.
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(env); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), dst)
+}
+
+// Len walks the store and returns the number of record files — a test
+// and metrics helper, not a hot path.
+func (s *Store) Len() int {
+	n := 0
+	filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// Stats returns the handle's cumulative counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}

@@ -1,0 +1,208 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// hexKey builds a realistic content key (the campaign cache uses hex
+// SHA-256 digests).
+func hexKey(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := hexKey("pair-1")
+	payload := []byte(`{"ipc":1.25,"pair":"505.mcf_r"}`)
+	s.Store(key, payload)
+
+	got, ok := s.Load(key)
+	if !ok {
+		t.Fatal("freshly stored record is a miss")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload round trip: got %s want %s", got, payload)
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Hits != 1 || st.Misses != 0 || st.WriteErrors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLoadAbsentIsMiss(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if _, ok := s.Load(hexKey("never-stored")); ok {
+		t.Fatal("absent key reported as hit")
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v, want clean miss", st)
+	}
+}
+
+func TestReopenSurvivesProcess(t *testing.T) {
+	dir := t.TempDir()
+	key := hexKey("durable")
+	s1, _ := Open(dir)
+	s1.Store(key, []byte(`{"v":42}`))
+
+	s2, err := Open(dir) // fresh handle, as a new process would make
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Load(key)
+	if !ok || string(got) != `{"v":42}` {
+		t.Fatalf("reopened store: ok=%v payload=%s", ok, got)
+	}
+}
+
+// corruptions enumerates the on-disk failure modes Load must absorb as
+// misses: each mutator damages a valid record file in a different way.
+var corruptions = []struct {
+	name   string
+	mutate func(t *testing.T, path string)
+}{
+	{"truncated", func(t *testing.T, path string) {
+		data, _ := os.ReadFile(path)
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}},
+	{"garbage", func(t *testing.T, path string) {
+		if err := os.WriteFile(path, []byte("not json at all\x00\xff"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}},
+	{"empty", func(t *testing.T, path string) {
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}},
+	{"tampered-payload", func(t *testing.T, path string) {
+		data, _ := os.ReadFile(path)
+		// Flip the stored IPC without updating the checksum.
+		out := strings.Replace(string(data), `\"ipc\":1`, `\"ipc\":9`, 1)
+		if out == string(data) {
+			out = strings.Replace(string(data), `1.25`, `9.25`, 1)
+		}
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}},
+}
+
+func TestCorruptRecordIsMissNeverError(t *testing.T) {
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			s, _ := Open(t.TempDir())
+			key := hexKey("victim-" + tc.name)
+			s.Store(key, []byte(`{"ipc":1.25}`))
+			tc.mutate(t, s.path(key))
+
+			if _, ok := s.Load(key); ok {
+				t.Fatal("corrupt record reported as hit")
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Errorf("stats = %+v, want Corrupt=1", st)
+			}
+			// The store self-heals by overwrite: a recomputation's
+			// write-through replaces the bad record.
+			s.Store(key, []byte(`{"ipc":1.25}`))
+			if _, ok := s.Load(key); !ok {
+				t.Fatal("rewrite after corruption did not recover")
+			}
+		})
+	}
+}
+
+func TestRecordCopiedToWrongKeyIsMiss(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	k1, k2 := hexKey("a"), hexKey("b")
+	s.Store(k1, []byte(`{"v":1}`))
+	// Simulate an operator copying a record file onto another key's
+	// path: the envelope's embedded key no longer matches.
+	if err := os.MkdirAll(filepath.Dir(s.path(k2)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(s.path(k1))
+	if err := os.WriteFile(s.path(k2), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(k2); ok {
+		t.Fatal("record with mismatched embedded key reported as hit")
+	}
+}
+
+func TestNonHexKeysAreSandboxed(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	for _, key := range []string{"../../etc/passwd", "short", "UPPER" + hexKey("x")[5:], ""} {
+		s.Store(key, []byte(`{"v":1}`))
+		got, ok := s.Load(key)
+		if !ok || string(got) != `{"v":1}` {
+			t.Fatalf("key %q: ok=%v payload=%s", key, ok, got)
+		}
+		rel, err := filepath.Rel(s.Dir(), s.path(key))
+		if err != nil || strings.HasPrefix(rel, "..") {
+			t.Fatalf("key %q escapes store root: %s", key, s.path(key))
+		}
+	}
+}
+
+func TestOverwriteIsAtomicReplace(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	key := hexKey("rewrite")
+	s.Store(key, []byte(`{"v":1}`))
+	s.Store(key, []byte(`{"v":1}`)) // immutable records: same payload
+	got, ok := s.Load(key)
+	if !ok || string(got) != `{"v":1}` {
+		t.Fatalf("after overwrite: ok=%v payload=%s", ok, got)
+	}
+	if n := s.Len(); n != 1 {
+		t.Errorf("Len = %d after overwriting one key", n)
+	}
+	// No temp files left behind.
+	filepath.WalkDir(s.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			t.Errorf("leftover temp file %s", path)
+		}
+		return nil
+	})
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := hexKey(fmt.Sprintf("k%d", i%8))
+			payload := []byte(fmt.Sprintf(`{"v":%d}`, i%8))
+			s.Store(key, payload)
+			if got, ok := s.Load(key); !ok || string(got) != string(payload) {
+				t.Errorf("concurrent load %d: ok=%v payload=%s", i, ok, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := s.Len(); n != 8 {
+		t.Errorf("Len = %d, want 8 distinct records", n)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/profile"
 	"repro/internal/sched"
+	"repro/internal/store"
 	"repro/internal/subset"
 )
 
@@ -94,8 +95,26 @@ type Options = core.Options
 // across repeated or overlapping campaigns via Options.Cache.
 type Cache = sched.Cache
 
-// CacheStats is a snapshot of cache hit/miss counters.
+// CacheStats is a snapshot of cache hit/miss counters, split by the
+// tier that satisfied each lookup (in-process memory vs. persistent
+// store).
 type CacheStats = sched.CacheStats
+
+// Store is a persistent, content-addressed result store: a directory of
+// checksummed JSON records keyed by the same content hashes as the
+// in-memory Cache. Set Options.Store to attach it as a write-through
+// second cache tier; results then survive the process and are re-used
+// bit-identically by later runs — including other processes sharing the
+// directory. Corrupt or truncated records are treated as misses and
+// recomputed, never surfaced as errors.
+type Store = store.Store
+
+// StoreStats is a snapshot of persistent-store operation counters.
+type StoreStats = store.Stats
+
+// OpenStore creates (if needed) and opens the persistent result store
+// rooted at dir, for Options.Store.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
 
 // Progress is a campaign progress snapshot delivered to
 // Options.Progress after each completed pair.
