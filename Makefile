@@ -22,9 +22,13 @@ fuzz-seed:
 	$(GO) test -run='^Fuzz' ./internal/cache ./internal/synth
 
 # One-iteration pass over the kernel benchmarks: catches benchmarks that
-# no longer build or crash without paying for stable timings.
+# no longer build or crash without paying for stable timings. The
+# baseline gate then checks the ratios recorded in BENCH_kernel.json
+# against the acceptance floors (batched >=1.5x per-uop, sampled >=3x
+# exact) — recorded numbers, so a loaded machine can't flake it.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Kernel -benchtime=1x .
+	$(GO) test -run='^TestKernelBenchBaselines$$' -count=1 .
 
 # Build the real specserved binary, run a campaign over HTTP, restart on
 # the same store and assert the repeat simulates zero pairs, then check

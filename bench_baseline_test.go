@@ -1,0 +1,66 @@
+package speckit
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchBaselines mirrors BENCH_kernel.json: recorded kernel benchmark
+// throughputs plus the acceptance floors their ratios must clear.
+type benchBaselines struct {
+	Benchmarks map[string]struct {
+		UopsPerS float64 `json:"uops_per_s"`
+	} `json:"benchmarks"`
+	Floors map[string]float64 `json:"floors"`
+}
+
+// TestKernelBenchBaselines gates the recorded kernel baselines against
+// the acceptance floors: the batched machine kernel must be >=1.5x the
+// per-uop reference, and the sampled kernel >=3x the exact per-pair
+// cost. It checks the numbers recorded in BENCH_kernel.json — not a
+// live timing, which a loaded CI machine would make flaky — so a kernel
+// regression is caught at re-record time and a stale record that never
+// met the floor is caught on every run (bench-smoke re-times the
+// benchmarks for liveness right before this gate).
+func TestKernelBenchBaselines(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_kernel.json")
+	if err != nil {
+		t.Fatalf("reading baselines: %v", err)
+	}
+	var b benchBaselines
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("parsing BENCH_kernel.json: %v", err)
+	}
+	uops := func(name string) float64 {
+		e, ok := b.Benchmarks[name]
+		if !ok || e.UopsPerS <= 0 {
+			t.Fatalf("BENCH_kernel.json missing benchmark %q", name)
+		}
+		return e.UopsPerS
+	}
+	floor := func(name string) float64 {
+		f, ok := b.Floors[name]
+		if !ok || f <= 0 {
+			t.Fatalf("BENCH_kernel.json missing floor %q", name)
+		}
+		return f
+	}
+	ratios := []struct {
+		floor    string
+		num, den string
+	}{
+		{"machine_batched_over_peruop", "BenchmarkKernelMachine/batched", "BenchmarkKernelMachine/peruop"},
+		{"sampled_over_exact", "BenchmarkKernelSampled/sampled", "BenchmarkKernelSampled/exact"},
+	}
+	for _, r := range ratios {
+		got := uops(r.num) / uops(r.den)
+		want := floor(r.floor)
+		if got < want {
+			t.Errorf("%s: recorded ratio %.2fx below floor %.2fx (%s / %s)",
+				r.floor, got, want, r.num, r.den)
+		} else {
+			t.Logf("%s: %.2fx (floor %.2fx)", r.floor, got, want)
+		}
+	}
+}

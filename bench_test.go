@@ -754,6 +754,48 @@ func BenchmarkKernelMachine(b *testing.B) {
 	b.Run("batched", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkKernelSampled measures the sampled-simulation fidelity knob:
+// one production characterization pair run exact against the same pair
+// run sampled at the default knob (machine.DefaultSampling) on a
+// 16Mi-instruction stream — the multi-million instruction regime
+// sampling exists for. Each side uses the options the core package
+// drives it with: the exact run pays the default fractional warmup, the
+// sampled run replaces it with its own settle window (WarmupFraction
+// -1), so the exact/sampled ns/op ratio is the per-pair wall-clock
+// speedup a sampled campaign sees. That ratio is this tentpole's
+// acceptance metric (floor: 3x; BENCH_kernel.json records the measured
+// baselines and TestKernelBenchBaselines gates the floor in
+// bench-smoke). Throughput counts measured instructions only, so
+// uops/s also reflects the per-pair cost, not kernel speed.
+func BenchmarkKernelSampled(b *testing.B) {
+	pair := kernelPair()
+	cfg := machine.HaswellScaled()
+	const instr = 16 << 20
+	run := func(b *testing.B, sp machine.Sampling) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			gen := kernelGen(b, pair)
+			opt := machine.Options{
+				Instructions:       instr,
+				WarmupInstructions: gen.Prologue(),
+				Workload:           pipeline.Workload{ILP: 2, MLP: pair.Model.MLP},
+				CalibrateIPC:       pair.Model.TargetIPC,
+				Sampling:           sp,
+			}
+			if sp.Enabled() {
+				opt.WarmupFraction = -1
+			}
+			b.StartTimer()
+			if _, err := machine.Run(cfg, gen, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportUops(b, instr)
+	}
+	b.Run("exact", func(b *testing.B) { run(b, machine.Sampling{}) })
+	b.Run("sampled", func(b *testing.B) { run(b, machine.DefaultSampling()) })
+}
+
 // BenchmarkReuseDistanceProfile measures the exact reuse-distance
 // profiler on a generator stream and reports the predicted
 // fully-associative hit rate at the L1 capacity.

@@ -6,7 +6,8 @@
 //
 //	specchar [-suite cpu2017|cpu2006] [-mini all|rate-int|rate-fp|speed-int|speed-fp]
 //	         [-size test|train|ref] [-n instructions] [-csv] [-progress]
-//	         [-cache-dir DIR]
+//	         [-cache-dir DIR] [-sampling off|default|P/D/W]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Ctrl-C (or SIGTERM) cancels the in-flight campaign through the
 // scheduler's context path rather than killing the process mid-write.
@@ -18,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -27,11 +30,13 @@ import (
 
 // config collects the tool's flags.
 type config struct {
-	suite, mini, size string
-	n                 uint64
-	csv, progress     bool
-	batch             int
-	cacheDir          string
+	suite, mini, size      string
+	n                      uint64
+	csv, progress          bool
+	batch                  int
+	cacheDir               string
+	sampling               string
+	cpuprofile, memprofile string
 }
 
 func main() {
@@ -44,6 +49,9 @@ func main() {
 	flag.BoolVar(&cfg.progress, "progress", false, "print a live progress meter (with per-tier cache hits) to stderr")
 	flag.IntVar(&cfg.batch, "batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
 	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent result-store directory: pair results are saved as checksummed content-addressed records, and repeated runs with the same models, machine and options are re-used bit-identically instead of re-simulated (empty = in-memory cache only)")
+	flag.StringVar(&cfg.sampling, "sampling", "off", "systematic-sampling fidelity knob: off, default, or PERIOD/DETAIL/WARMUP instruction counts (e.g. 262144/8192/8192); sampled results are bounded-error estimates and never share cache entries with exact runs")
+	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the campaign to FILE")
+	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a pprof heap profile to FILE when the campaign finishes")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -55,6 +63,31 @@ func main() {
 }
 
 func run(ctx context.Context, cfg config) error {
+	if cfg.cpuprofile != "" {
+		f, err := os.Create(cfg.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if cfg.memprofile != "" {
+		defer func() {
+			f, err := os.Create(cfg.memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "specchar: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "specchar: memprofile:", err)
+			}
+		}()
+	}
 	suite, err := pickSuite(cfg.suite)
 	if err != nil {
 		return err
@@ -66,7 +99,11 @@ func run(ctx context.Context, cfg config) error {
 	if err != nil {
 		return err
 	}
-	opt := speckit.Options{Instructions: cfg.n, Cache: speckit.NewCache(), BatchSize: cfg.batch, Context: ctx}
+	sampling, err := speckit.ParseSampling(cfg.sampling)
+	if err != nil {
+		return err
+	}
+	opt := speckit.Options{Instructions: cfg.n, Cache: speckit.NewCache(), BatchSize: cfg.batch, Context: ctx, Sampling: sampling}
 	if cfg.progress {
 		opt.Progress = speckit.ProgressPrinter(os.Stderr)
 	}
@@ -119,6 +156,22 @@ func run(ctx context.Context, cfg config) error {
 	}
 	if uncalibrated > 0 {
 		fmt.Printf("* %d pair(s) did not reach the model's IPC target (uncalibrated)\n", uncalibrated)
+	}
+	if sampling.Enabled() {
+		// Surface the extrapolation-error estimate so sampled tables are
+		// never mistaken for exact ones.
+		worst := 0.0
+		for i := range chars {
+			if sp := chars[i].Sampling; sp != nil {
+				for _, e := range []float64{sp.IPCRelErr, sp.L1RelErr, sp.L2RelErr, sp.L3RelErr, sp.MispredictRelErr} {
+					if e > worst {
+						worst = e
+					}
+				}
+			}
+		}
+		fmt.Printf("sampled run (knob %s): metrics are extrapolated estimates, worst per-metric relative standard error %.1f%%\n",
+			sampling, 100*worst)
 	}
 
 	fmt.Println()

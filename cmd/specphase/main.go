@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	specphase [-a 525.x264_r] [-b 505.mcf_r] [-interval 5000] [-intervals 24] [-progress]
+//	specphase [-a 525.x264_r] [-b 505.mcf_r] [-interval 5000] [-intervals 24]
+//	          [-stride 0] [-progress]
 //
 // Ctrl-C (or SIGTERM) aborts the pipeline between stages rather than
 // killing the process mid-write.
@@ -31,17 +32,18 @@ func main() {
 	bFlag := flag.String("b", "505.mcf_r", "second phase application")
 	ilen := flag.Uint64("interval", 5000, "instructions per interval")
 	n := flag.Int("intervals", 24, "intervals to analyze")
+	stride := flag.Uint64("stride", 0, "sampled slicing: space interval starts this many instructions apart, fast-forwarding the gaps (0 = back-to-back, must otherwise be >= -interval); covers a stride/interval-times-longer stretch of the stream at the same cost")
 	progressFlag := flag.Bool("progress", false, "print stage progress to stderr")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *aFlag, *bFlag, *ilen, *n, *progressFlag); err != nil {
+	if err := run(ctx, *aFlag, *bFlag, *ilen, *stride, *n, *progressFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "specphase:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, aName, bName string, intervalLen uint64, n int, progress bool) error {
+func run(ctx context.Context, aName, bName string, intervalLen, stride uint64, n int, progress bool) error {
 	// specphase has no pair campaign to meter, so -progress reports the
 	// coarse pipeline stages instead. The phase pipeline has no Context
 	// option of its own, so cancellation is checked between stages.
@@ -75,10 +77,13 @@ func run(ctx context.Context, aName, bName string, intervalLen uint64, n int, pr
 	}
 	fmt.Printf("phased workload: %s <-> %s, %d instructions per leg\n\n", aName, bName, segLen)
 
-	if err := stage("slicing %d intervals of %d instructions", n, intervalLen); err != nil {
+	if stride == 0 {
+		stride = intervalLen
+	}
+	if err := stage("slicing %d intervals of %d instructions (stride %d)", n, intervalLen, stride); err != nil {
 		return err
 	}
-	intervals, err := speckit.SliceIntervals(src, intervalLen, n)
+	intervals, err := speckit.SliceIntervalsSampled(src, intervalLen, stride, n)
 	if err != nil {
 		return err
 	}

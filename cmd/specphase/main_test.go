@@ -15,14 +15,21 @@ func TestFindApp(t *testing.T) {
 	}
 }
 
-// TestRunSmoke drives the phase tool end to end.
+// TestRunSmoke drives the phase tool end to end, back-to-back and with
+// a sampled stride, and rejects bad inputs.
 func TestRunSmoke(t *testing.T) {
 	ctx := context.Background()
-	if err := run(ctx, "525.x264_r", "505.mcf_r", 3000, 12, true); err != nil {
+	if err := run(ctx, "525.x264_r", "505.mcf_r", 3000, 0, 12, true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run(ctx, "nope", "505.mcf_r", 3000, 12, false); err == nil {
+	if err := run(ctx, "525.x264_r", "505.mcf_r", 3000, 9000, 12, false); err != nil {
+		t.Fatalf("sampled run: %v", err)
+	}
+	if err := run(ctx, "nope", "505.mcf_r", 3000, 0, 12, false); err == nil {
 		t.Error("unknown app accepted")
+	}
+	if err := run(ctx, "525.x264_r", "505.mcf_r", 3000, 1000, 12, false); err == nil {
+		t.Error("stride shorter than interval accepted")
 	}
 }
 
@@ -31,7 +38,7 @@ func TestRunSmoke(t *testing.T) {
 func TestRunCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := run(ctx, "525.x264_r", "505.mcf_r", 3000, 12, false)
+	err := run(ctx, "525.x264_r", "505.mcf_r", 3000, 0, 12, false)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

@@ -35,6 +35,7 @@ type config struct {
 	progress    bool
 	batch       int
 	cacheDir    string
+	sampling    string
 }
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 	flag.BoolVar(&cfg.progress, "progress", false, "print a live progress meter (with per-tier cache hits) to stderr")
 	flag.IntVar(&cfg.batch, "batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
 	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent result-store directory: pair results are saved as checksummed content-addressed records, and repeated runs with the same models, machine and options are re-used bit-identically instead of re-simulated (empty = in-memory cache only)")
+	flag.StringVar(&cfg.sampling, "sampling", "off", "systematic-sampling fidelity knob: off, default, or PERIOD/DETAIL/WARMUP instruction counts (e.g. 262144/8192/8192); sampled results are bounded-error estimates and never share cache entries with exact runs")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -85,7 +87,11 @@ func run(ctx context.Context, cfg config) error {
 		return fmt.Errorf("unknown size %q", cfg.size)
 	}
 
-	opt := speckit.Options{Instructions: cfg.n, Cache: speckit.NewCache(), BatchSize: cfg.batch, Context: ctx}
+	sampling, err := speckit.ParseSampling(cfg.sampling)
+	if err != nil {
+		return err
+	}
+	opt := speckit.Options{Instructions: cfg.n, Cache: speckit.NewCache(), BatchSize: cfg.batch, Context: ctx, Sampling: sampling}
 	if cfg.progress {
 		opt.Progress = speckit.ProgressPrinter(os.Stderr)
 	}

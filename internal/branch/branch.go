@@ -449,3 +449,26 @@ func (r *RAS) Pop() uint64 {
 // ResetStats zeroes the unit's statistics while keeping predictor state
 // warm, for discarding a warmup window.
 func (u *Unit) ResetStats() { u.stats = Stats{} }
+
+// Warm applies one branch record's state transitions — direction
+// training, BTB fill, RAS push/pop — without predicting or counting.
+// Sampled runs feed it the branch records inside fast-forward gaps
+// (functional warming): predictor state is large and phase-sensitive,
+// so freezing it across a gap leaves every history-indexed entry
+// trained on a stale phase of its site, a bias no affordable warmup
+// window can retrain away.
+func (u *Unit) Warm(up *trace.Uop) {
+	switch up.Branch {
+	case trace.BranchConditional:
+		u.dir.Update(up.PC, up.Taken)
+		if up.Taken {
+			u.btb.Update(up.PC, up.Target)
+		}
+	case trace.BranchDirectCall:
+		u.ras.Push(up.PC + 4)
+	case trace.BranchReturn:
+		u.ras.Pop()
+	case trace.BranchIndirectJump:
+		u.btb.Update(up.PC, up.Target)
+	}
+}

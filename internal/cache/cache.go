@@ -116,6 +116,13 @@ type Cache struct {
 	lru      *lruState
 	memoLine []uint64
 	memoHit  []bool
+
+	// fills counts every line fill, including prefetch fills that the
+	// demand statistics exclude; sampled runs use it to estimate the
+	// cache's turnover rate (see Age). ageCursor round-robins Age's
+	// evictions across sets.
+	fills     uint64
+	ageCursor int
 }
 
 // New constructs a cache from cfg. It panics if cfg is invalid; callers
@@ -251,6 +258,7 @@ func (c *Cache) Access(addr uint64, kind AccessKind) bool {
 }
 
 func (c *Cache) fill(set int, tag uint64) int {
+	c.fills++
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
 		if !c.valid[base+w] {
@@ -465,6 +473,57 @@ func (c *Cache) DemandHot(addr uint64, kind AccessKind) bool {
 	return c.AccessHot(addr, kind)
 }
 
+// Fills returns the total number of line fills, including prefetch
+// fills the demand statistics exclude. Together with an instruction
+// count it yields the cache's turnover rate, which sampled runs use to
+// size Age calls across skipped gaps.
+func (c *Cache) Fills() uint64 { return c.fills }
+
+// Age invalidates up to n replacement-policy victims, one per set,
+// round-robin across sets. Sampled runs call it to model capacity
+// turnover across a skipped gap: during the gap the stream would have
+// kept filling the cache, displacing exactly the lines the replacement
+// policy ranks as victims, while the hot lines it would keep re-touching
+// survive. Simply freezing the cache instead leaves those victims
+// resident, and a cyclic reference stream then re-hits them in the next
+// counted window, biasing its miss rate low. Each invalidated way is
+// touched to most-recently-used so successive rounds through the same
+// set pick fresh victims and remaining valid lines keep their relative
+// recency order; invalidated ways are refilled first on the next miss,
+// so the touch is never observable to demand accesses. Statistics are
+// untouched.
+func (c *Cache) Age(n int) {
+	if lines := c.sets * c.ways; n > lines {
+		n = lines
+	}
+	for i := 0; i < n; i++ {
+		s := c.ageCursor
+		c.ageCursor++
+		if c.ageCursor == c.sets {
+			c.ageCursor = 0
+		}
+		var w int
+		if c.lru != nil {
+			w = c.lru.Victim(s)
+		} else {
+			w = c.repl.Victim(s)
+		}
+		idx := s*c.ways + w
+		if c.valid[idx] {
+			c.valid[idx] = false
+			c.keys[idx] = 0
+		}
+		if c.lru != nil {
+			c.lru.Touch(s, w)
+		} else {
+			c.repl.Touch(s, w)
+		}
+		if c.memoLine != nil {
+			c.memoHit[s] = false
+		}
+	}
+}
+
 // Reset invalidates all lines and zeroes statistics.
 func (c *Cache) Reset() {
 	for i := range c.valid {
@@ -477,6 +536,8 @@ func (c *Cache) Reset() {
 	c.stats = Stats{}
 	c.loadStats = Stats{}
 	c.storeStats = Stats{}
+	c.fills = 0
+	c.ageCursor = 0
 }
 
 // ResetStats zeroes the access statistics while keeping cache contents,

@@ -60,6 +60,15 @@ type Options struct {
 	// from the result-cache key — cached Characteristics stay valid when
 	// it changes.
 	BatchSize int
+	// Sampling, when enabled, runs each pair with SMARTS-style systematic
+	// sampling (machine.Options.Sampling): only periodic detailed windows
+	// are simulated and the counters are extrapolated, trading a bounded
+	// metric error for a multi-x speedup. Unlike BatchSize it changes
+	// result bits, so the knob is folded into every result-cache key —
+	// sampled and exact results can never alias in the memory or store
+	// tiers. Each pair's Characteristics.Sampling then carries the
+	// per-metric error estimate.
+	Sampling machine.Sampling
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +115,10 @@ type Characteristics struct {
 	Breakdown pipeline.Breakdown
 	// Calibrated reports whether the IPC target was reachable.
 	Calibrated bool
+	// Sampling carries the systematic-sampling knob and per-metric
+	// extrapolation-error estimates when the pair was characterized with
+	// Options.Sampling; nil for exact runs.
+	Sampling *machine.SamplingStats
 }
 
 // MemPct returns loads+stores as a percentage of uops.
@@ -169,14 +182,24 @@ func characterizePairCtx(ctx context.Context, pair profile.Pair, opt Options) (*
 	if err != nil {
 		return nil, err
 	}
-	res, err := machine.Run(opt.Machine, gen, machine.Options{
+	mopt := machine.Options{
 		Instructions:       opt.Instructions,
 		WarmupInstructions: gen.Prologue(),
 		Workload:           pipeline.Workload{ILP: 2, MLP: m.MLP},
 		CalibrateIPC:       m.TargetIPC,
 		Context:            ctx,
 		BatchSize:          opt.BatchSize,
-	})
+		Sampling:           opt.Sampling,
+	}
+	if opt.Sampling.Enabled() {
+		// Under sampling the fractional pre-measurement warmup would
+		// simulate a quarter of the stream in full and cap the speedup
+		// near 2x; the sampled loop's own settle period plus per-window
+		// re-warms replace it (see machine.Sampling), so only the
+		// generator prologue stays mandatory.
+		mopt.WarmupFraction = -1
+	}
+	res, err := machine.Run(opt.Machine, gen, mopt)
 	if err != nil {
 		return nil, err
 	}
@@ -200,6 +223,7 @@ func characterizePairCtx(ctx context.Context, pair profile.Pair, opt Options) (*
 		Counters:      counters,
 		Breakdown:     res.Breakdown,
 		Calibrated:    res.Calibrated,
+		Sampling:      res.Sampling,
 	}
 	branches := float64(counters.MustValue(perf.AllBranches))
 	if branches > 0 {

@@ -19,10 +19,19 @@ import (
 // campaignKeyPrefix captures the per-campaign (pair-independent) part of
 // the key: machine fingerprint and run options. Computed once per
 // campaign, not once per pair, because Config.Fingerprint constructs a
-// throwaway predictor.
+// throwaway predictor. The sampling knob is appended only when enabled,
+// so exact-run keys are stable across the feature's introduction while
+// sampled results — which are estimates, not bit-identical to exact
+// ones — can never alias an exact entry in any cache tier, nor an entry
+// sampled at a different knob.
 func campaignKeyPrefix(opt *Options) string {
-	return fmt.Sprintf("%s|n=%d|mux=%d", opt.Machine.Fingerprint(),
+	key := fmt.Sprintf("%s|n=%d|mux=%d", opt.Machine.Fingerprint(),
 		opt.Instructions, opt.MultiplexSlots)
+	if opt.Sampling.Enabled() {
+		key += fmt.Sprintf("|sampling=%d/%d/%d",
+			opt.Sampling.Period, opt.Sampling.DetailLen, opt.Sampling.WarmupLen)
+	}
+	return key
 }
 
 // pairKey hashes the campaign prefix together with the pair identity and

@@ -1,0 +1,120 @@
+package machine
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/profile"
+	"repro/internal/synth"
+)
+
+// Scratch experiment: accuracy + wall-clock for candidate sampling knobs.
+// Not part of the suite (the tolerance bounds live in sampling_test.go);
+// run with SPECKIT_EXP=1 go test -run TestExpKnobs -v to re-tune the
+// package-level aging/warm-tail shape after a model or kernel change.
+func TestExpKnobs(t *testing.T) {
+	if os.Getenv("SPECKIT_EXP") == "" {
+		t.Skip("tuning scratch; set SPECKIT_EXP=1 to run")
+	}
+	cfg := HaswellScaled()
+	models := map[string]profile.Model{"testModel": testModel()}
+	want := map[string]bool{
+		"505.mcf_r": true, "525.x264_r": true, "541.leela_r": true,
+		"503.bwaves_r": true, "519.lbm_r": true, "508.namd_r": true,
+	}
+	for _, app := range profile.CPU2017() {
+		if want[app.Name] {
+			models[app.Name] = app.Expand(profile.Ref)[0].Model
+		}
+	}
+	const N = 16777216
+	type knobCase struct {
+		sp       Sampling
+		age, pow float64
+		tail     uint64
+	}
+	base := Sampling{Period: 262144, DetailLen: 8192, WarmupLen: 8192}
+	knobs := []knobCase{
+		{base, 0.4, 1.5, 8},
+	}
+	seeds := []uint64{0x9E3779B97F4A7C15, 1, 0xDEADBEEF12345678}
+	run := func(m profile.Model, sp Sampling) (*Result, time.Duration) {
+		gen, err := synth.New(m, cfg.Geometry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Options{
+			Instructions:       N,
+			WarmupInstructions: gen.Prologue(),
+			Workload:           pipeline.Workload{ILP: 2, MLP: m.MLP},
+			CalibrateIPC:       m.TargetIPC,
+			Sampling:           sp,
+		}
+		if sp.Enabled() {
+			opt.WarmupFraction = -1
+		}
+		start := time.Now()
+		res, err := Run(cfg, gen, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, time.Since(start)
+	}
+	rel := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return (a - b) / b * 100
+	}
+	for name, m := range models {
+		exact, te := run(m, Sampling{})
+		fmt.Printf("%-14s exact  %8.2fms IPC %.3f L1 %.2f%% L2 %.2f%% L3 %.2f%% MISP %.3f%%\n",
+			name, float64(te.Microseconds())/1000, exact.IPC,
+			exact.Counters.CacheMissPct(1), exact.Counters.CacheMissPct(2), exact.Counters.CacheMissPct(3), exact.Counters.MispredictPct())
+		for _, kc := range knobs {
+			for _, seed := range seeds {
+				sp := kc.sp
+				warmTailFactor = kc.tail
+				ageCoeff, agePow = kc.age, kc.pow
+				jitterSeed = seed
+				res, ts := run(m, sp)
+				fmt.Printf("  %-12s a=%.2f p=%.1f t=%d s=%08x %8.2fms %5.2fx | dIPC %+6.2f%% dL1 %+6.2f%% dL2 %+6.2f%% dL3 %+6.2f%% dMISP %+6.2f%% | w=%d f=%.3f\n",
+					sp, kc.age, kc.pow, kc.tail, seed&0xffffffff, float64(ts.Microseconds())/1000, float64(te)/float64(ts),
+					rel(res.IPC, exact.IPC), rel(res.Counters.CacheMissPct(1), exact.Counters.CacheMissPct(1)),
+					rel(res.Counters.CacheMissPct(2), exact.Counters.CacheMissPct(2)), rel(res.Counters.CacheMissPct(3), exact.Counters.CacheMissPct(3)),
+					rel(res.Counters.MispredictPct(), exact.Counters.MispredictPct()),
+					res.Sampling.Windows, res.Sampling.SampledFraction)
+			}
+		}
+	}
+}
+
+// BenchmarkExpSampled profiles the sampled path composition.
+func BenchmarkExpSampled(b *testing.B) {
+	cfg := HaswellScaled()
+	m := testModel()
+	const N = 8000000
+	sp := Sampling{Period: 262144, DetailLen: 8192, WarmupLen: 8192}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen, err := synth.New(m, cfg.Geometry())
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt := Options{
+			Instructions:       N,
+			WarmupInstructions: gen.Prologue(),
+			Workload:           pipeline.Workload{ILP: 2, MLP: m.MLP},
+			CalibrateIPC:       m.TargetIPC,
+			Sampling:           sp,
+			WarmupFraction:     -1,
+		}
+		if _, err := Run(cfg, gen, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(N), "ns/instr")
+}

@@ -73,7 +73,11 @@ func (c Config) Validate() error {
 // memoizing cache can never return results computed by an older kernel
 // variant. Options.BatchSize is deliberately NOT part of any cache key:
 // the equivalence tests prove results are batch-size independent.
-const kernelDigest = "kernel=batched-v3"
+// Options.Sampling, by contrast, IS part of every cache key (core's
+// campaign key appends the knob when enabled) because sampled results
+// are estimates, never bit-identical to exact ones; v4 marks the kernel
+// generation that grew the sampling surface.
+const kernelDigest = "kernel=batched-v4"
 
 // Fingerprint returns a deterministic content key for the configuration,
 // used by the campaign scheduler's memoizing result cache. Component
@@ -200,6 +204,12 @@ type Options struct {
 	// bit-identical for every batch size (the machine equivalence tests
 	// enforce this), so it is excluded from all result-cache keys.
 	BatchSize int
+	// Sampling, when enabled, simulates only periodic detailed windows of
+	// the measured stream and extrapolates the counters to the full
+	// length (see the Sampling type). Unlike BatchSize it changes result
+	// bits, so it participates in every result-cache key. Only the
+	// batched Run supports it; RunReference and RunShared reject it.
+	Sampling Sampling
 }
 
 // cancelCheckStride is how often (in instructions) RunReference polls
@@ -232,6 +242,9 @@ type Result struct {
 	// SimRSSBytes is the resident footprint the sampled stream actually
 	// touched (pre-extrapolation; see DESIGN.md on footprint scaling).
 	SimRSSBytes uint64
+	// Sampling describes how the run was sampled and the estimated
+	// extrapolation error per headline metric; nil for exact runs.
+	Sampling *SamplingStats
 }
 
 // Run simulates one uop stream on the machine. The source must produce at
@@ -242,6 +255,9 @@ func Run(cfg Config, src trace.Source, opt Options) (*Result, error) {
 	}
 	if opt.Instructions == 0 {
 		return nil, fmt.Errorf("machine: zero-length run")
+	}
+	if err := opt.Sampling.Validate(); err != nil {
+		return nil, err
 	}
 	hier := cache.NewHierarchy(cfg.Hierarchy)
 	return run(cfg, hier, src, opt)
@@ -661,6 +677,9 @@ func run(cfg Config, hier *cache.Hierarchy, src trace.Source, opt Options) (*Res
 		}
 		c.resetStats()
 	}
+	if opt.Sampling.Enabled() {
+		return c.runSampled(cfg, bsrc, buf, opt)
+	}
 	done, err := c.runWindow(bsrc, buf, opt.Instructions, opt.Context)
 	if err != nil {
 		return nil, err
@@ -668,7 +687,7 @@ func run(cfg Config, hier *cache.Hierarchy, src trace.Source, opt Options) (*Res
 	if done < opt.Instructions {
 		return nil, fmt.Errorf("machine: source exhausted after %d instructions", done)
 	}
-	return c.finish(cfg, opt)
+	return c.finish(cfg, opt, c.snap())
 }
 
 // RunReference simulates one uop stream with the legacy per-uop kernel.
@@ -682,6 +701,11 @@ func RunReference(cfg Config, src trace.Source, opt Options) (*Result, error) {
 	}
 	if opt.Instructions == 0 {
 		return nil, fmt.Errorf("machine: zero-length run")
+	}
+	if opt.Sampling.Enabled() {
+		// The reference kernel is the exact-run executable specification;
+		// a sampled reference would have nothing to be a reference for.
+		return nil, fmt.Errorf("machine: sampling requires the batched kernel (use Run)")
 	}
 	c := newCore(cfg, cache.NewHierarchy(cfg.Hierarchy))
 	checkCancel := opt.Context != nil
@@ -710,23 +734,25 @@ func RunReference(cfg Config, src trace.Source, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("machine: source exhausted after %d instructions", i)
 		}
 	}
-	return c.finish(cfg, opt)
+	return c.finish(cfg, opt, c.snap())
 }
 
-func (c *core) finish(cfg Config, opt Options) (*Result, error) {
-	n := uint64(0)
-	for _, k := range c.kinds {
-		n += k
-	}
+// finish derives the Result from a counter snapshot — the core's own
+// cumulative statistics for exact runs, or the scaled aggregate of the
+// detailed windows for sampled runs. Only the footprint is read from
+// the core directly (it is a high-water mark, not a rate, and is
+// reported pre-extrapolation either way).
+func (c *core) finish(cfg Config, opt Options, s counterSnap) (*Result, error) {
+	n := s.instructions()
 	ev := pipeline.Events{
 		Instructions: n,
-		L2Hits:       c.dataLevel[cache.HitL2],
-		L3Hits:       c.dataLevel[cache.HitL3],
-		MemAccesses:  c.dataLevel[cache.HitMemory],
-		FetchMisses:  c.hier.L1I().Stats().Misses,
-		Walks:        c.tlb.Walks(),
+		L2Hits:       s.dataLevel[cache.HitL2],
+		L3Hits:       s.dataLevel[cache.HitL3],
+		MemAccesses:  s.dataLevel[cache.HitMemory],
+		FetchMisses:  s.fetchMisses,
+		Walks:        s.walks,
 	}
-	_, misp := func() (uint64, uint64) { s := c.unit.Stats(); return s.Total() }()
+	_, misp := s.branch.Total()
 	ev.Mispredicts = misp
 
 	w := opt.Workload
@@ -745,26 +771,26 @@ func (c *core) finish(cfg Config, opt Options) (*Result, error) {
 	}
 	res.IPC = float64(n) / cycles
 
-	bs := c.unit.Stats()
+	bs := s.branch
 	values := map[string]uint64{
 		perf.InstRetired:   n,
 		perf.RefCycles:     uint64(cycles),
 		perf.UopsRetired:   n,
-		perf.AllLoads:      c.kinds[trace.KindLoad],
-		perf.AllStores:     c.kinds[trace.KindStore],
-		perf.AllBranches:   c.kinds[trace.KindBranch],
+		perf.AllLoads:      s.kinds[trace.KindLoad],
+		perf.AllStores:     s.kinds[trace.KindStore],
+		perf.AllBranches:   s.kinds[trace.KindBranch],
 		perf.MispBranches:  misp,
 		perf.CondBranches:  bs.Executed[trace.BranchConditional],
 		perf.DirectJumps:   bs.Executed[trace.BranchDirectJump],
 		perf.DirectCalls:   bs.Executed[trace.BranchDirectCall],
 		perf.IndirectJumps: bs.Executed[trace.BranchIndirectJump],
 		perf.Returns:       bs.Executed[trace.BranchReturn],
-		perf.L1Hit:         c.loadLevel[cache.HitL1],
-		perf.L1Miss:        c.loadLevel[cache.HitL2] + c.loadLevel[cache.HitL3] + c.loadLevel[cache.HitMemory],
-		perf.L2Hit:         c.loadLevel[cache.HitL2],
-		perf.L2Miss:        c.loadLevel[cache.HitL3] + c.loadLevel[cache.HitMemory],
-		perf.L3Hit:         c.loadLevel[cache.HitL3],
-		perf.L3Miss:        c.loadLevel[cache.HitMemory],
+		perf.L1Hit:         s.loadLevel[cache.HitL1],
+		perf.L1Miss:        s.loadLevel[cache.HitL2] + s.loadLevel[cache.HitL3] + s.loadLevel[cache.HitMemory],
+		perf.L2Hit:         s.loadLevel[cache.HitL2],
+		perf.L2Miss:        s.loadLevel[cache.HitL3] + s.loadLevel[cache.HitMemory],
+		perf.L3Hit:         s.loadLevel[cache.HitL3],
+		perf.L3Miss:        s.loadLevel[cache.HitMemory],
 		perf.ICacheMisses:  ev.FetchMisses,
 		perf.DTLBWalks:     ev.Walks,
 	}

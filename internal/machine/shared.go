@@ -31,6 +31,11 @@ func RunShared(cfg Config, srcs []trace.Source, opt Options) (*SharedResult, err
 	if opt.Instructions == 0 {
 		return nil, fmt.Errorf("machine: zero-length run")
 	}
+	if opt.Sampling.Enabled() {
+		// Skipping one stream would still age the shared L3 through the
+		// others; per-stream systematic sampling is not meaningful here.
+		return nil, fmt.Errorf("machine: sampling is not supported for shared-L3 runs")
+	}
 	l3 := cache.New(cfg.Hierarchy.L3)
 	cores := make([]*core, len(srcs))
 	for i := range cores {
@@ -60,7 +65,7 @@ func RunShared(cfg Config, srcs []trace.Source, opt Options) (*SharedResult, err
 	maxCycles := 0.0
 	totalInstr := uint64(0)
 	for i, c := range cores {
-		r, err := c.finish(cfg, opt)
+		r, err := c.finish(cfg, opt, c.snap())
 		if err != nil {
 			return nil, err
 		}

@@ -69,13 +69,34 @@ const sliceBatchSize = 1024
 // fills are clamped to the current interval so exactly n*intervalLen
 // records are consumed either way.
 func Slice(src trace.Source, intervalLen uint64, n int) ([]Interval, error) {
+	return SliceSampled(src, intervalLen, intervalLen, n)
+}
+
+// SliceSampled is Slice with systematic sampling: intervals are still
+// intervalLen uops long but their starts are spaced stride apart, and
+// the gap between consecutive intervals is fast-forwarded through the
+// source's trace.Skipper capability (or drained, for sources that
+// cannot skip). Interval signatures are microarchitecture-independent
+// stream statistics, so skipping costs no fidelity within the sampled
+// intervals — it trades interval coverage for slicing a stride/
+// intervalLen-times-longer stretch of the stream at the same cost.
+// stride == intervalLen degenerates to plain back-to-back slicing.
+func SliceSampled(src trace.Source, intervalLen, stride uint64, n int) ([]Interval, error) {
 	if intervalLen == 0 || n <= 0 {
 		return nil, fmt.Errorf("phase: invalid slicing %d x %d", intervalLen, n)
+	}
+	if stride < intervalLen {
+		return nil, fmt.Errorf("phase: stride %d shorter than interval %d", stride, intervalLen)
 	}
 	bsrc := trace.AsBatch(src)
 	buf := make([]trace.Uop, sliceBatchSize)
 	out := make([]Interval, 0, n)
 	for i := 0; i < n; i++ {
+		if gap := stride - intervalLen; i > 0 && gap > 0 {
+			if skipped := trace.SkipRecords(bsrc, buf, gap); skipped < gap {
+				return nil, fmt.Errorf("phase: stream ended before interval %d", i)
+			}
+		}
 		var counts [trace.NumKinds]uint64
 		var cond, taken, calls, branches uint64
 		lines := map[uint64]struct{}{}

@@ -1,0 +1,182 @@
+package phase
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// nextOnlySrc hides every capability of the wrapped source except Next,
+// forcing the record-by-record drain fallbacks.
+type nextOnlySrc struct{ src trace.Source }
+
+func (s nextOnlySrc) Next(u *trace.Uop) bool { return s.src.Next(u) }
+
+// TestSpeedupFactor: the phase-simulation speedup is the interval count
+// over the phase count (simulate one representative per phase instead
+// of every interval), and degrades to 1 when nothing was detected.
+func TestSpeedupFactor(t *testing.T) {
+	var empty Result
+	if got := empty.SpeedupFactor(); got != 1 {
+		t.Errorf("empty result speedup = %v, want 1", got)
+	}
+	synthetic := Result{
+		Phases: make([]Phase, 3),
+		Assign: make([]int, 24),
+	}
+	if got := synthetic.SpeedupFactor(); got != 8 {
+		t.Errorf("24 intervals / 3 phases speedup = %v, want 8", got)
+	}
+
+	// And through the real pipeline: a two-phase stream sliced into 16
+	// intervals should report len(Assign)/len(Phases) exactly.
+	src := phasedSource(t, 4000)
+	ivs, err := Slice(src, 4000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(ivs, Options{MaxPhases: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(len(res.Assign)) / float64(len(res.Phases))
+	if got := res.SpeedupFactor(); got != want {
+		t.Errorf("speedup = %v, want %v (%d intervals, %d phases)",
+			got, want, len(res.Assign), len(res.Phases))
+	}
+	if res.SpeedupFactor() <= 1 {
+		t.Errorf("multi-interval detection yields speedup %v, want > 1", res.SpeedupFactor())
+	}
+}
+
+// TestPhasedSourceSkipEquivalence: skipping a PhasedSource must land on
+// exactly the record (and segment) that draining the same count through
+// Next would, including skips that cross segment boundaries and wrap
+// the repeating schedule.
+func TestPhasedSourceSkipEquivalence(t *testing.T) {
+	const perSegment = 1000
+	for _, skip := range []uint64{0, 1, 999, 1000, 1001, 2500, 4000} {
+		drained := phasedSource(t, perSegment)
+		skipped := phasedSource(t, perSegment)
+
+		var u trace.Uop
+		for i := uint64(0); i < skip; i++ {
+			if !drained.Next(&u) {
+				t.Fatalf("skip %d: drained source ended at %d", skip, i)
+			}
+		}
+		if got := skipped.Skip(skip); got != skip {
+			t.Fatalf("Skip(%d) = %d; the schedule repeats, so skips never clamp", skip, got)
+		}
+		if d, s := drained.CurrentSegment(), skipped.CurrentSegment(); d != s {
+			t.Errorf("skip %d: segment cursor %d after Skip, %d after draining", skip, s, d)
+		}
+		for i := 0; i < 32; i++ {
+			var du, su trace.Uop
+			drained.Next(&du)
+			skipped.Next(&su)
+			if du != su {
+				t.Fatalf("skip %d: record %d after skip diverges: %+v vs %+v", skip, i, su, du)
+			}
+		}
+	}
+}
+
+// TestPhasedSourceSkipWarmEquivalence: the warming skip must observe
+// exactly the branch records that Next would have emitted over the
+// skipped stretch — across a segment boundary — and leave the stream at
+// the same position. A nil observer degrades to the cold skip.
+func TestPhasedSourceSkipWarmEquivalence(t *testing.T) {
+	const perSegment, skip = 1000, 2500
+	drained := phasedSource(t, perSegment)
+	warmed := phasedSource(t, perSegment)
+
+	var want []trace.Uop
+	var u trace.Uop
+	for i := 0; i < skip; i++ {
+		drained.Next(&u)
+		if u.Kind == trace.KindBranch {
+			want = append(want, u)
+		}
+	}
+	var got []trace.Uop
+	if n := warmed.SkipWarm(skip, func(u *trace.Uop) { got = append(got, *u) }); n != skip {
+		t.Fatalf("SkipWarm = %d, want %d", n, skip)
+	}
+	if len(want) == 0 {
+		t.Fatal("no branches in the skipped stretch; test is vacuous")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("warm skip observed %d branch records, drain saw %d (or contents differ)",
+			len(got), len(want))
+	}
+	if d, w := drained.CurrentSegment(), warmed.CurrentSegment(); d != w {
+		t.Errorf("segment cursor %d after SkipWarm, %d after draining", w, d)
+	}
+	for i := 0; i < 32; i++ {
+		var du, wu trace.Uop
+		drained.Next(&du)
+		warmed.Next(&wu)
+		if du != wu {
+			t.Fatalf("record %d after warm skip diverges: %+v vs %+v", i, wu, du)
+		}
+	}
+
+	// nil observer = cold skip, same landing position.
+	cold := phasedSource(t, perSegment)
+	cold.SkipWarm(skip, nil)
+	var cu trace.Uop
+	drained2 := phasedSource(t, perSegment)
+	drained2.Skip(skip)
+	cold.Next(&cu)
+	drained2.Next(&u)
+	if cu != u {
+		t.Errorf("nil-observe SkipWarm landed on %+v, Skip on %+v", cu, u)
+	}
+}
+
+// TestSliceSampledEquivalence: stride == intervalLen degenerates to
+// plain Slice, and the skipped gaps produce identical interval
+// signatures whether the source can skip natively or must be drained.
+func TestSliceSampledEquivalence(t *testing.T) {
+	plain, err := Slice(phasedSource(t, 5000), 1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degenerate, err := SliceSampled(phasedSource(t, 5000), 1000, 1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, degenerate) {
+		t.Error("stride == intervalLen does not degenerate to Slice")
+	}
+
+	native, err := SliceSampled(phasedSource(t, 5000), 1000, 2500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained, err := SliceSampled(nextOnlySrc{phasedSource(t, 5000)}, 1000, 2500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(native, drained) {
+		t.Error("sampled intervals differ between native skip and drain fallback")
+	}
+	if reflect.DeepEqual(native, plain) {
+		t.Error("stride > intervalLen produced the same intervals as back-to-back slicing")
+	}
+}
+
+// TestSliceSampledErrors: invalid stride and exhausted gaps are
+// reported, not silently truncated.
+func TestSliceSampledErrors(t *testing.T) {
+	if _, err := SliceSampled(phasedSource(t, 1000), 100, 50, 4); err == nil {
+		t.Error("stride shorter than interval accepted")
+	}
+	// 3 intervals at stride 100 need 250 records; only 180 exist.
+	short := &trace.SliceSource{Uops: make([]trace.Uop, 180)}
+	if _, err := SliceSampled(short, 50, 100, 3); err == nil {
+		t.Error("stream ending inside a gap not reported")
+	}
+}

@@ -42,12 +42,9 @@ func NewPhasedSource(segments []Segment, geo synth.Geometry) (*PhasedSource, err
 		if err != nil {
 			return nil, fmt.Errorf("phase: segment %d: %w", i, err)
 		}
-		// Drain each generator's prologue up front so phase boundaries
-		// show steady-state behaviour, not warmup sweeps.
-		var u trace.Uop
-		for k, n := uint64(0), g.Prologue(); k < n; k++ {
-			g.Next(&u)
-		}
+		// Fast-forward past each generator's prologue up front so phase
+		// boundaries show steady-state behaviour, not warmup sweeps.
+		g.Skip(g.Prologue())
 		p.gens = append(p.gens, g)
 		p.lens = append(p.lens, seg.Instr)
 	}
@@ -63,6 +60,53 @@ func (p *PhasedSource) Next(u *trace.Uop) bool {
 	}
 	p.left--
 	return p.gens[p.seg].Next(u)
+}
+
+// Skip implements trace.Skipper segment-correctly: the schedule cursor
+// advances through segment boundaries exactly as n Next calls would,
+// and each segment's share of the skip is fast-forwarded on that
+// segment's own generator, so per-generator state stays aligned with
+// the stream position. The schedule repeats forever, so Skip always
+// skips the full n.
+func (p *PhasedSource) Skip(n uint64) uint64 {
+	for left := n; left > 0; {
+		if p.left == 0 {
+			p.seg = (p.seg + 1) % len(p.gens)
+			p.left = p.lens[p.seg]
+		}
+		take := p.left
+		if take > left {
+			take = left
+		}
+		p.gens[p.seg].Skip(take)
+		p.left -= take
+		left -= take
+	}
+	return n
+}
+
+// SkipWarm implements trace.WarmSkipper with the same segment-correct
+// cursor walk as Skip, delegating each segment's share to that
+// generator's warming skip so the observer sees every branch record the
+// skipped stretch would have emitted, across phase boundaries.
+func (p *PhasedSource) SkipWarm(n uint64, observe func(*trace.Uop)) uint64 {
+	if observe == nil {
+		return p.Skip(n)
+	}
+	for left := n; left > 0; {
+		if p.left == 0 {
+			p.seg = (p.seg + 1) % len(p.gens)
+			p.left = p.lens[p.seg]
+		}
+		take := p.left
+		if take > left {
+			take = left
+		}
+		p.gens[p.seg].SkipWarm(take, observe)
+		p.left -= take
+		left -= take
+	}
+	return n
 }
 
 // CurrentSegment reports which segment the next uop comes from.

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/machine"
 	"repro/internal/profile"
 	"repro/internal/sched"
 	"repro/internal/store"
@@ -59,8 +60,8 @@ type Config struct {
 	DrainGrace time.Duration
 	// Characterize is the base options every campaign starts from —
 	// machine, instruction window, parallelism, cache and persistent
-	// store. Per-request spec fields override Instructions and
-	// MultiplexSlots.
+	// store. Per-request spec fields override Instructions,
+	// MultiplexSlots and Sampling.
 	Characterize core.Options
 }
 
@@ -89,6 +90,13 @@ type CampaignSpec struct {
 	// MultiplexSlots overrides the server's counter-multiplexing
 	// emulation when positive.
 	MultiplexSlots int `json:"multiplex_slots,omitempty"`
+	// Sampling sets the systematic-sampling fidelity knob for this
+	// campaign: "off", "default", or "PERIOD/DETAIL/WARMUP" instruction
+	// counts (e.g. "262144/8192/8192"). Empty inherits the server's base
+	// options. Sampled results are bounded-error estimates keyed
+	// separately from exact runs in every cache tier, and their pairs
+	// are reported under the sampled_* counters in /metrics.
+	Sampling string `json:"sampling,omitempty"`
 }
 
 // resolve expands the spec into the campaign's pair list.
@@ -180,6 +188,11 @@ type campaign struct {
 	id    string
 	spec  CampaignSpec
 	pairs []profile.Pair
+	// sampling is the knob parsed from spec.Sampling at submit time
+	// (validation happens before the campaign is admitted); the zero
+	// value with an empty spec.Sampling inherits the server's base
+	// options.
+	sampling machine.Sampling
 
 	// ctx is cancelled by DELETE, a waiting client's disconnect, or the
 	// drain timeout; the sched engine aborts queued and in-flight pairs
@@ -343,6 +356,13 @@ type Server struct {
 	pairsSimulated atomic.Uint64
 	pairsFromCache atomic.Uint64
 	pairsFromStore atomic.Uint64
+
+	// Sampled campaigns account their pairs separately: sampled results
+	// are estimates, so mixing them into the exact counters would make
+	// the tier split lie about how much exact simulation the server did.
+	sampledSimulated atomic.Uint64
+	sampledFromCache atomic.Uint64
+	sampledFromStore atomic.Uint64
 }
 
 // runCampaign is the worker's campaign entry point; tests swap it to
@@ -455,19 +475,27 @@ func (s *Server) run(c *campaign) {
 	if c.spec.MultiplexSlots > 0 {
 		opt.MultiplexSlots = c.spec.MultiplexSlots
 	}
+	if c.spec.Sampling != "" {
+		opt.Sampling = c.sampling
+	}
 	opt.Context = c.ctx
 	opt.Progress = c.setProgress
 
 	results, err := runCampaign(c.pairs, opt)
 
 	// Account completed pairs by where they came from before flipping
-	// the terminal status.
+	// the terminal status; sampled campaigns feed their own counter trio
+	// so /metrics never conflates estimates with exact results.
 	c.mu.Lock()
 	p := c.progress
 	c.mu.Unlock()
-	s.pairsFromStore.Add(uint64(p.StoreHits))
-	s.pairsFromCache.Add(uint64(p.CacheHits - p.StoreHits))
-	s.pairsSimulated.Add(uint64(p.Done - p.CacheHits))
+	fromStore, fromCache, simulated := &s.pairsFromStore, &s.pairsFromCache, &s.pairsSimulated
+	if opt.Sampling.Enabled() {
+		fromStore, fromCache, simulated = &s.sampledFromStore, &s.sampledFromCache, &s.sampledSimulated
+	}
+	fromStore.Add(uint64(p.StoreHits))
+	fromCache.Add(uint64(p.CacheHits - p.StoreHits))
+	simulated.Add(uint64(p.Done - p.CacheHits))
 
 	switch {
 	case err == nil:
@@ -506,10 +534,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
 		return
 	}
+	sampling, err := machine.ParseSampling(spec.Sampling)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		return
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &campaign{
-		spec: spec, pairs: pairs,
+		spec: spec, pairs: pairs, sampling: sampling,
 		ctx: ctx, cancel: cancel,
 		status: StatusQueued, created: time.Now(),
 		subs: make(map[chan sseEvent]struct{}),
@@ -715,9 +748,12 @@ func (s *Server) MetricsSnapshot() map[string]any {
 			"rejected": s.rejected.Load(),
 		},
 		"pairs": map[string]uint64{
-			"simulated":   s.pairsSimulated.Load(),
-			"from_memory": s.pairsFromCache.Load(),
-			"from_store":  s.pairsFromStore.Load(),
+			"simulated":           s.pairsSimulated.Load(),
+			"from_memory":         s.pairsFromCache.Load(),
+			"from_store":          s.pairsFromStore.Load(),
+			"sampled_simulated":   s.sampledSimulated.Load(),
+			"sampled_from_memory": s.sampledFromCache.Load(),
+			"sampled_from_store":  s.sampledFromStore.Load(),
 		},
 	}
 	if cache := s.cfg.Characterize.Cache; cache != nil {

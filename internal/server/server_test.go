@@ -8,10 +8,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/machine"
 	"repro/internal/profile"
 	"repro/internal/sched"
 	"repro/internal/store"
@@ -585,5 +587,69 @@ func TestSpecResolve(t *testing.T) {
 		if !tc.ok && err == nil {
 			t.Errorf("resolve(%+v) succeeded, want error", tc.spec)
 		}
+	}
+}
+
+// TestSamplingCampaigns: the per-campaign sampling knob reaches the
+// characterization options, invalid knobs are rejected at submit time,
+// and sampled campaigns' pairs land in the sampled_* metric counters —
+// never in the exact tier split.
+func TestSamplingCampaigns(t *testing.T) {
+	var mu sync.Mutex
+	var seen []machine.Sampling
+	stubCampaigns(t, func(pairs []profile.Pair, opt core.Options) ([]core.Characteristics, error) {
+		mu.Lock()
+		seen = append(seen, opt.Sampling)
+		mu.Unlock()
+		if opt.Progress != nil {
+			opt.Progress(sched.Progress{Done: len(pairs), Total: len(pairs)})
+		}
+		return make([]core.Characteristics, len(pairs)), nil
+	})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+
+	// Invalid knob: rejected before the campaign is admitted.
+	resp, _ := submit(t, ts, CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train", Sampling: "not-a-knob"}, "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad sampling spec = %d, want 400", resp.StatusCode)
+	}
+
+	exact := CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train"}
+	sampled := exact
+	sampled.Sampling = "default"
+	custom := exact
+	custom.Sampling = "262144/8192/8192"
+	var pairsPer int
+	for _, spec := range []CampaignSpec{exact, sampled, custom} {
+		resp, st := submit(t, ts, spec, "?wait=1")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %+v = %d", spec, resp.StatusCode)
+		}
+		pairsPer = st.Pairs
+	}
+
+	mu.Lock()
+	got := append([]machine.Sampling(nil), seen...)
+	mu.Unlock()
+	want := []machine.Sampling{{}, machine.DefaultSampling(), {Period: 262144, DetailLen: 8192, WarmupLen: 8192}}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d campaigns, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("campaign %d sampling = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	m := s.MetricsSnapshot()
+	pairs := m["pairs"].(map[string]uint64)
+	if pairs["simulated"] != uint64(pairsPer) {
+		t.Errorf("exact simulated = %d, want %d", pairs["simulated"], pairsPer)
+	}
+	if pairs["sampled_simulated"] != uint64(2*pairsPer) {
+		t.Errorf("sampled simulated = %d, want %d", pairs["sampled_simulated"], 2*pairsPer)
+	}
+	if pairs["sampled_from_memory"] != 0 || pairs["sampled_from_store"] != 0 {
+		t.Errorf("sampled cache tiers = %v, want zero", pairs)
 	}
 }

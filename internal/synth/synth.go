@@ -146,6 +146,15 @@ type Generator struct {
 	curFn    int
 	off      uint64
 	fnZipf   *xrand.Zipf
+
+	// Skip draw buffer: raw RNG values interpreted by the fast-forward
+	// path (see Skip). Allocated once on first use, reused for the
+	// generator's lifetime.
+	skipBuf []uint32
+	// warmScratch is the branch record SkipWarm reconstructs for its
+	// observer; a field rather than a loop local so the unknown observer
+	// callee doesn't force a per-skip heap allocation.
+	warmScratch trace.Uop
 }
 
 // Model sanity bounds: far beyond anything a real profile carries, tight
@@ -785,6 +794,508 @@ func (g *Generator) doCall(u *trace.Uop) {
 	g.callStack = append(g.callStack, pc+4)
 	g.curFn = callee
 	g.off = 0
+}
+
+// Skip implements trace.Skipper: it advances the generator past n
+// records without materializing them. Every piece of state evolves
+// exactly as n Next calls would evolve it — the PC walker, the RNG
+// streams (same draws in the same order, including Lemire rejection
+// retries), the pool cursors and footprint high-water mark, the
+// conditional-site burst sequence and the shadow call stack — so the
+// record emitted after Skip(n) is bit-identical to the record n
+// discarded Next calls would have exposed (the skip-equivalence tests
+// enforce this against every profile family). The stream is unbounded,
+// so Skip always skips the full n.
+//
+// The saving is twofold. The record itself disappears: no address
+// formation results, no field stores, no batch-buffer traffic. And the
+// RNG is consumed through a buffer of precomputed raw draws
+// (PCG32.Fill) instead of one serial call per draw, which breaks the
+// latency chain that bounds the emitting paths — the LCG recurrence
+// runs four-wide ahead of the interpreting loop, whose data-dependent
+// branches then replay cheap L1 loads on mispredict instead of the
+// whole multiply chain. Unconsumed draws are returned to the stream
+// with an O(log n) rewind (PCG32.Advance) when the skip ends.
+func (g *Generator) Skip(n uint64) uint64 { return g.skip(n, nil) }
+
+// SkipWarm implements trace.WarmSkipper: it fast-forwards exactly like
+// Skip, and additionally reconstructs every branch record the skipped
+// stretch contains — bit-identical to the record Next would have
+// emitted — and reports it to observe. Non-branch records are never
+// materialized, which is what keeps a warm skip far cheaper than
+// draining: the caller gets the branch stream (the state a sampled
+// simulation must keep functionally warm, since predictor state is both
+// large and phase-sensitive) at a small surcharge over a cold skip.
+func (g *Generator) SkipWarm(n uint64, observe func(*trace.Uop)) uint64 {
+	return g.skip(n, observe)
+}
+
+func (g *Generator) skip(n uint64, observe func(*trace.Uop)) uint64 {
+	left := n
+	// Prologue prefix: a deterministic working-set sweep whose only
+	// per-record state is the sweep position and the PC walker, so it
+	// fast-forwards in O(1). No branches occur before the prologue ends,
+	// so curFn is untouched and the PC offset is pure arithmetic.
+	if g.prologueLeft > 0 {
+		p := g.prologueLeft
+		if p > left {
+			p = left
+		}
+		g.prologueLeft -= p
+		g.prologuePos += p
+		g.off = (g.off + 4*p) % fnBytes
+		left -= p
+	}
+	if left == 0 {
+		return n
+	}
+	// Short skips don't amortize a buffer fill; run them on a
+	// stack-local RNG copy instead (or, when warming, through the
+	// emitting path — at these lengths Next's cost is acceptable).
+	if left < skipBufLen {
+		if observe == nil {
+			g.skipScalar(left)
+		} else {
+			g.skipNextWarm(left, observe)
+		}
+		return n
+	}
+	if g.skipBuf == nil {
+		g.skipBuf = make([]uint32, skipBufLen)
+	}
+	buf := g.skipBuf
+	g.rng.Fill(buf)
+	idx := 0
+	off := g.off
+	mix, band := g.mix, g.bandProb
+	// Pool 1 is the only random pool (2-4 are placed round-robin), so the
+	// memory path below needs just its size for the hand-inlined draw.
+	var p1n uint32
+	if g.pool1.size > 0 {
+		p1n = uint32(g.pool1.size)
+	}
+	// bandActs bakes memRef's empty-pool fall-throughs into a packed
+	// band → action map (0 none, 1 pool-1 draw, 2-4 round-robin cursor
+	// k), so the loop resolves a memory reference with one shift-and-mask
+	// instead of re-walking the pool cascade. The mix/band branches
+	// themselves stay real branches: a fully branchless (cmov/setcc)
+	// interpretation was tried and lost ~25% — it trades predictable-ish
+	// mispredicts for a longer serial dependency chain and register
+	// spills, and the buffered draws already make a mispredict replay
+	// cheap (L1 reloads, not the RNG multiply chain).
+	var bandActs uint32
+	if p1n != 0 {
+		bandActs = 0x01010101 // every band falls through to pool 1
+	}
+	if g.pool2.size > 0 {
+		bandActs = bandActs&^(0xff<<8) | 2<<8
+	}
+	if g.pool3.size > 0 {
+		// memRef's band-3 fall-through is pool4 → pool3 → pool1.
+		bandActs = bandActs&^(0xff<<16|0xff<<24) | 3<<16 | 3<<24
+	}
+	if g.pool4.size > 0 {
+		bandActs = bandActs&^(0xff<<24) | 4<<24
+	}
+	for ; left > 0; left-- {
+		// One refill check per record covers every draw below except the
+		// rejection loops, which check for themselves; skipHeadroom
+		// bounds the non-rejecting per-record consumption.
+		if idx > skipBufLen-skipHeadroom {
+			idx = g.skipRefill(idx)
+		}
+		m := mix.Pick(buf[idx])
+		idx++
+		if m == mixBranch {
+			g.off = off
+			cls := g.class.Pick(buf[idx])
+			idx++
+			if observe == nil {
+				idx = g.skipBranchClass(cls, idx)
+			} else {
+				idx = g.warmBranchClass(cls, idx, &g.warmScratch)
+				observe(&g.warmScratch)
+			}
+			off = g.off + 4
+			if off >= fnBytes {
+				off = 0
+			}
+			continue
+		}
+		if m >= mixLoad {
+			b := band.Pick(buf[idx])
+			idx++
+			act := int(bandActs>>uint(b*8)) & 0xff
+			if act == 1 {
+				m64 := uint64(buf[idx]) * uint64(p1n)
+				idx++
+				if l := uint32(m64); l < p1n {
+					t := -p1n % p1n
+					for l < t {
+						if idx == skipBufLen {
+							idx = g.skipRefill(idx)
+						}
+						m64 = uint64(buf[idx]) * uint64(p1n)
+						idx++
+						l = uint32(m64)
+					}
+				}
+			} else if act != 0 {
+				g.skipCursor(act)
+			}
+		}
+		off += 4
+		if off >= fnBytes {
+			off = 0
+		}
+	}
+	g.off = off
+	// Return the buffered draws that were never consumed: Fill advanced
+	// the RNG to the buffer's end, the stream position is idx.
+	g.rng.Advance(uint64(idx) - uint64(skipBufLen))
+	return n
+}
+
+// skipCursor advances the round-robin cursor of pool act (2-4), the
+// deep-reuse arm of the skip loop's memory path; pool 4 also feeds the
+// footprint high-water mark exactly as memRef's pool-4 arm does.
+func (g *Generator) skipCursor(act int) {
+	var p *poolRegion
+	switch act {
+	case 2:
+		p = &g.pool2
+	case 3:
+		p = &g.pool3
+	default:
+		p = &g.pool4
+		if t := p.baseLine + uint64(p.pos) + 1; t > g.touched {
+			g.touched = t
+		}
+	}
+	p.pos++
+	if p.pos >= p.size {
+		p.pos = 0
+	}
+}
+
+const (
+	// skipBufLen is the skip draw buffer size: big enough to amortize
+	// refills (a leftover slide plus a Fill per ~skipBufLen/1.5 records),
+	// small enough to stay L1-resident.
+	skipBufLen = 512
+	// skipHeadroom is the most draws one record can consume outside the
+	// self-checking rejection loops: the mix pick, plus the larger of a
+	// memory reference (band + pool draw) and a branch (class pick plus a
+	// conditional's burst refresh: site, two geometric halves, flip).
+	skipHeadroom = 8
+)
+
+// logBurstRemain is Geometric(1.0/18)'s denominator, precomputed with
+// the identical expression so skipBranchClass's inverse transform is
+// bit-equal to the Geometric call in fillBranchClass.
+var logBurstRemain = math.Log(1 - 1.0/18)
+
+// skipRefill slides the unconsumed tail of the skip buffer to the front
+// and fills the freed space with fresh draws; idx is the first
+// unconsumed position. Returns the new read index, 0.
+func (g *Generator) skipRefill(idx int) int {
+	rem := copy(g.skipBuf, g.skipBuf[idx:])
+	g.rng.Fill(g.skipBuf[rem:])
+	return 0
+}
+
+// skipBranchClass evolves exactly the generator state one
+// fillBranchClass call would — burst counters, shadow call stack,
+// walker redirections, polymorphic target rotation — while consuming
+// the same draws from the skip buffer instead of the RNG. Draws whose
+// values influence only the emitted record (outcome flips, jump-site
+// picks) are consumed and discarded. Returns the new buffer index.
+func (g *Generator) skipBranchClass(cls, idx int) int {
+	buf := g.skipBuf
+	switch cls {
+	case clsCond:
+		if g.burstLeft <= 0 {
+			g.curSite = g.condZipf.Pick(buf[idx])
+			// Geometric(1/18) by inverse transform on the two-draw
+			// Float64, exactly as xrand.PCG32.Geometric computes it.
+			u := float64((uint64(buf[idx+1])<<32|uint64(buf[idx+2]))>>11) / (1 << 53)
+			g.burstLeft = 6 + int(math.Log(1-u)/logBurstRemain)
+			idx += 3
+		}
+		g.burstLeft--
+		idx++ // the outcome-flip Bool; taken-ness is record-only
+	case clsJump:
+		idx++ // the site pick; jump PCs are record-only
+	case clsCall:
+		if len(g.callStack) >= 12 {
+			g.skipReturn()
+			return idx
+		}
+		return g.skipCall(buf, idx)
+	case clsReturn:
+		if len(g.callStack) == 0 {
+			return g.skipCall(buf, idx)
+		}
+		g.skipReturn()
+	case clsIndirect:
+		// Intn(len(indirectSites)) = Uint64n: two draws per attempt,
+		// top-of-range rejections resampled.
+		sites := uint64(len(g.indirectSites))
+		bound := ^uint64(0) - (^uint64(0) % sites)
+		var v uint64
+		for {
+			if idx+2 > skipBufLen {
+				idx = g.skipRefill(idx)
+			}
+			v = uint64(buf[idx])<<32 | uint64(buf[idx+1])
+			idx += 2
+			if v < bound {
+				break
+			}
+		}
+		site := &g.indirectSites[v%sites]
+		if len(site.targets) > 1 {
+			// Bool(0.3) gates the polymorphic target rotation.
+			if float64(buf[idx]) < 0.3*(1<<32) {
+				site.next = (site.next + 1) % len(site.targets)
+			}
+			idx++
+		}
+	}
+	return idx
+}
+
+// skipReturn is doReturn's state evolution (no draws).
+func (g *Generator) skipReturn() {
+	ret := g.callStack[len(g.callStack)-1]
+	g.callStack = g.callStack[:len(g.callStack)-1]
+	g.curFn = int((ret - codeBase) / fnBytes % uint64(g.numFuncs))
+}
+
+// skipCall is doCall's state evolution: two draws (call site, callee),
+// a stack push with the same deep-recursion trim, and the walker
+// redirect into the callee.
+func (g *Generator) skipCall(buf []uint32, idx int) int {
+	pc := g.callPCs[g.otherZipf.Pick(buf[idx])]
+	callee := g.fnZipf.Pick(buf[idx+1])
+	idx += 2
+	if len(g.callStack) >= maxCallDepth {
+		g.callStack = append(g.callStack[:0], g.callStack[maxCallDepth/2:]...)
+	}
+	g.callStack = append(g.callStack, pc+4)
+	g.curFn = callee
+	g.off = 0
+	return idx
+}
+
+// warmBranchClass is skipBranchClass plus record reconstruction: same
+// draws consumed, same state transitions, and u is filled with exactly
+// the branch record fillBranchClass would have emitted — the warm-skip
+// equivalence test holds it bit-identical against the emitting path.
+func (g *Generator) warmBranchClass(cls, idx int, u *trace.Uop) int {
+	buf := g.skipBuf
+	u.Kind = trace.KindBranch
+	u.Addr = 0
+	switch cls {
+	case clsCond:
+		if g.burstLeft <= 0 {
+			g.curSite = g.condZipf.Pick(buf[idx])
+			uf := float64((uint64(buf[idx+1])<<32|uint64(buf[idx+2]))>>11) / (1 << 53)
+			g.burstLeft = 6 + int(math.Log(1-uf)/logBurstRemain)
+			idx += 3
+		}
+		g.burstLeft--
+		site := &g.condSites[g.curSite]
+		taken := site.taken
+		// xrand.PCG32.Bool's comparison, on the buffered draw.
+		if site.flipProb >= 1 || float64(buf[idx]) < site.flipProb*(1<<32) {
+			taken = !taken
+		}
+		idx++
+		u.PC = site.pc
+		u.Branch = trace.BranchConditional
+		u.Taken = taken
+		u.Target = 0
+		if taken {
+			u.Target = site.pc - 64
+		}
+	case clsJump:
+		pc := g.jumpPCs[g.otherZipf.Pick(buf[idx])]
+		idx++
+		u.PC = pc
+		u.Branch = trace.BranchDirectJump
+		u.Taken = true
+		u.Target = pc + 128
+	case clsCall:
+		if len(g.callStack) >= 12 {
+			g.warmReturn(u)
+			return idx
+		}
+		return g.warmCall(buf, idx, u)
+	case clsReturn:
+		if len(g.callStack) == 0 {
+			return g.warmCall(buf, idx, u)
+		}
+		g.warmReturn(u)
+	case clsIndirect:
+		sites := uint64(len(g.indirectSites))
+		bound := ^uint64(0) - (^uint64(0) % sites)
+		var v uint64
+		for {
+			if idx+2 > skipBufLen {
+				idx = g.skipRefill(idx)
+			}
+			v = uint64(buf[idx])<<32 | uint64(buf[idx+1])
+			idx += 2
+			if v < bound {
+				break
+			}
+		}
+		site := &g.indirectSites[v%sites]
+		u.PC = site.pc
+		u.Branch = trace.BranchIndirectJump
+		u.Taken = true
+		if len(site.targets) == 1 {
+			u.Target = site.targets[0]
+		} else {
+			u.Target = site.targets[site.next]
+			if float64(buf[idx]) < 0.3*(1<<32) {
+				site.next = (site.next + 1) % len(site.targets)
+			}
+			idx++
+		}
+	}
+	return idx
+}
+
+// warmReturn is doReturn with the record kept.
+func (g *Generator) warmReturn(u *trace.Uop) {
+	ret := g.callStack[len(g.callStack)-1]
+	g.callStack = g.callStack[:len(g.callStack)-1]
+	u.PC = ret + 60
+	u.Branch = trace.BranchReturn
+	u.Taken = true
+	u.Target = ret
+	g.curFn = int((ret - codeBase) / fnBytes % uint64(g.numFuncs))
+}
+
+// warmCall is doCall with the record kept, drawing from the skip buffer.
+func (g *Generator) warmCall(buf []uint32, idx int, u *trace.Uop) int {
+	pc := g.callPCs[g.otherZipf.Pick(buf[idx])]
+	callee := g.fnZipf.Pick(buf[idx+1])
+	idx += 2
+	u.PC = pc
+	u.Branch = trace.BranchDirectCall
+	u.Taken = true
+	u.Target = codeBase + uint64(callee)*fnBytes
+	if len(g.callStack) >= maxCallDepth {
+		g.callStack = append(g.callStack[:0], g.callStack[maxCallDepth/2:]...)
+	}
+	g.callStack = append(g.callStack, pc+4)
+	g.curFn = callee
+	g.off = 0
+	return idx
+}
+
+// skipNextWarm handles short warm skips through the emitting path: the
+// draw buffer doesn't amortize under skipBufLen records, and at these
+// lengths Next's cost is acceptable.
+func (g *Generator) skipNextWarm(left uint64, observe func(*trace.Uop)) {
+	u := &g.warmScratch
+	for ; left > 0; left-- {
+		g.Next(u)
+		if u.Kind == trace.KindBranch {
+			observe(u)
+		}
+	}
+}
+
+// skipScalar fast-forwards left steady-state records on a stack-local
+// RNG copy — the short-skip path, where a buffer fill would cost more
+// than it saves. Branch records (the only kind whose fill mutates state
+// beyond the RNG and pool cursors) sync the local copy back and run the
+// full fill into a scratch record.
+func (g *Generator) skipScalar(left uint64) {
+	var scratch trace.Uop
+	off := g.off
+	mix, band := g.mix, g.bandProb
+	var p1n uint32
+	if g.pool1.size > 0 {
+		p1n = uint32(g.pool1.size)
+	}
+	lr := *g.rng
+	for ; left > 0; left-- {
+		m := mix.Pick(lr.Uint32())
+		if m >= mixLoad {
+			if m != mixBranch {
+				pool1 := false
+				switch band.Pick(lr.Uint32()) {
+				case 0:
+					pool1 = true
+				case 1:
+					if p := &g.pool2; p.size > 0 {
+						p.pos++
+						if p.pos >= p.size {
+							p.pos = 0
+						}
+					} else {
+						pool1 = true
+					}
+				case 2:
+					if p := &g.pool3; p.size > 0 {
+						p.pos++
+						if p.pos >= p.size {
+							p.pos = 0
+						}
+					} else {
+						pool1 = true
+					}
+				default:
+					if p := &g.pool4; p.size > 0 {
+						i := uint64(p.pos)
+						p.pos++
+						if p.pos >= p.size {
+							p.pos = 0
+						}
+						if t := p.baseLine + i + 1; t > g.touched {
+							g.touched = t
+						}
+					} else if p := &g.pool3; p.size > 0 {
+						p.pos++
+						if p.pos >= p.size {
+							p.pos = 0
+						}
+					} else {
+						pool1 = true
+					}
+				}
+				if pool1 && p1n != 0 {
+					x := lr.Uint32()
+					m64 := uint64(x) * uint64(p1n)
+					if l := uint32(m64); l < p1n {
+						t := -p1n % p1n
+						for l < t {
+							x = lr.Uint32()
+							m64 = uint64(x) * uint64(p1n)
+							l = uint32(m64)
+						}
+					}
+				}
+			} else {
+				g.off = off
+				*g.rng = lr
+				g.fillBranchClass(&scratch, g.class.Pick(g.rng.Uint32()))
+				lr = *g.rng
+				off = g.off
+			}
+		}
+		off += 4
+		if off >= fnBytes {
+			off = 0
+		}
+	}
+	*g.rng = lr
+	g.off = off
 }
 
 // Footprint returns the number of distinct lines the generator has

@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// patternUops builds a deterministic mixed stream: every 5th record a
+// branch (alternating classes), every 3rd a load, the rest ALU.
+func patternUops(n int) []Uop {
+	uops := make([]Uop, n)
+	for i := range uops {
+		u := &uops[i]
+		u.PC = 0x1000 + uint64(i)*4
+		switch {
+		case i%5 == 4:
+			u.Kind = KindBranch
+			u.Taken = i%2 == 0
+			if i%10 == 4 {
+				u.Branch = BranchConditional
+				u.Target = u.PC - 64
+			} else {
+				u.Branch = BranchDirectJump
+				u.Target = u.PC + 128
+			}
+		case i%3 == 0:
+			u.Kind = KindLoad
+			u.Addr = 0x10000 + uint64(i%97)*64
+		default:
+			u.Kind = KindALU
+		}
+	}
+	return uops
+}
+
+// nextOnly exposes only Next, hiding every batch/skip capability.
+type nextOnly struct{ src Source }
+
+func (s nextOnly) Next(u *Uop) bool { return s.src.Next(u) }
+
+// batchOnly exposes only NextBatch, hiding the skip capabilities.
+type batchOnly struct{ src BatchSource }
+
+func (s batchOnly) NextBatch(buf []Uop) int { return s.src.NextBatch(buf) }
+
+// drainAll collects every remaining record of src.
+func drainAll(src BatchSource) []Uop {
+	var out []Uop
+	buf := make([]Uop, 64)
+	for {
+		n := src.NextBatch(buf)
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+// TestSkipRecordsFallbackEquivalence: SkipRecords through a native
+// Skipper and through the batch-drain fallback must leave the stream at
+// the same position, report the same count, and clamp identically at
+// exhaustion.
+func TestSkipRecordsFallbackEquivalence(t *testing.T) {
+	const n = 1000
+	uops := patternUops(n)
+	buf := make([]Uop, 128)
+	for _, skip := range []uint64{0, 1, 127, 128, 129, 500, 999, 1000, 1500} {
+		native := &SliceSource{Uops: uops}
+		fallback := batchOnly{&SliceSource{Uops: uops}}
+		gotN := SkipRecords(native, buf, skip)
+		gotF := SkipRecords(fallback, buf, skip)
+		want := skip
+		if want > n {
+			want = n
+		}
+		if gotN != want || gotF != want {
+			t.Errorf("skip %d: native %d, fallback %d, want %d", skip, gotN, gotF, want)
+		}
+		restN, restF := drainAll(native), drainAll(fallback)
+		if !reflect.DeepEqual(restN, restF) {
+			t.Errorf("skip %d: stream positions diverge (native %d records left, fallback %d)",
+				skip, len(restN), len(restF))
+		}
+	}
+}
+
+// TestSkipRecordsWarmFallbackEquivalence: the warming variant must
+// observe exactly the branch records of the skipped stretch, in order,
+// whether natively or through the drain fallback, and a nil observe
+// must behave exactly like SkipRecords.
+func TestSkipRecordsWarmFallbackEquivalence(t *testing.T) {
+	const n = 1000
+	uops := patternUops(n)
+	buf := make([]Uop, 128)
+	var wantBranches []Uop
+	for i := 0; i < 700; i++ {
+		if uops[i].Kind == KindBranch {
+			wantBranches = append(wantBranches, uops[i])
+		}
+	}
+	collect := func(dst *[]Uop) func(*Uop) {
+		return func(u *Uop) { *dst = append(*dst, *u) }
+	}
+	var native, fallback []Uop
+	srcN := &SliceSource{Uops: uops}
+	srcF := batchOnly{&SliceSource{Uops: uops}}
+	if got := SkipRecordsWarm(srcN, buf, 700, collect(&native)); got != 700 {
+		t.Fatalf("native warm skip = %d, want 700", got)
+	}
+	if got := SkipRecordsWarm(srcF, buf, 700, collect(&fallback)); got != 700 {
+		t.Fatalf("fallback warm skip = %d, want 700", got)
+	}
+	if !reflect.DeepEqual(native, wantBranches) {
+		t.Errorf("native observed %d branches, want %d (or wrong records)", len(native), len(wantBranches))
+	}
+	if !reflect.DeepEqual(fallback, wantBranches) {
+		t.Errorf("fallback observed %d branches, want %d (or wrong records)", len(fallback), len(wantBranches))
+	}
+	if !reflect.DeepEqual(drainAll(srcN), drainAll(srcF)) {
+		t.Error("stream positions diverge after warm skip")
+	}
+
+	// nil observe degrades to a cold skip.
+	srcNil := &SliceSource{Uops: uops}
+	if got := SkipRecordsWarm(srcNil, buf, 700, nil); got != 700 {
+		t.Fatalf("nil-observe warm skip = %d, want 700", got)
+	}
+	if rest := drainAll(srcNil); len(rest) != n-700 {
+		t.Errorf("nil-observe left %d records, want %d", len(rest), n-700)
+	}
+}
+
+// TestLimitSkipWarm: Limit clamps skips to the remaining budget, counts
+// them against it, and delegates to the wrapped source's capabilities —
+// or drains record-by-record when there are none.
+func TestLimitSkipWarm(t *testing.T) {
+	uops := patternUops(100)
+	for _, wrap := range []struct {
+		name string
+		mk   func() Source
+	}{
+		{"native", func() Source { return &SliceSource{Uops: uops} }},
+		{"drain", func() Source { return nextOnly{&SliceSource{Uops: uops}} }},
+	} {
+		t.Run(wrap.name, func(t *testing.T) {
+			l := &Limit{Src: wrap.mk(), N: 50}
+			var branches []Uop
+			if got := l.SkipWarm(30, func(u *Uop) { branches = append(branches, *u) }); got != 30 {
+				t.Fatalf("SkipWarm(30) = %d", got)
+			}
+			var wantBr int
+			for i := 0; i < 30; i++ {
+				if uops[i].Kind == KindBranch {
+					wantBr++
+				}
+			}
+			if len(branches) != wantBr {
+				t.Errorf("observed %d branches, want %d", len(branches), wantBr)
+			}
+			var u Uop
+			if !l.Next(&u) || u != uops[30] {
+				t.Errorf("record after skip = %+v, want %+v", u, uops[30])
+			}
+			// 31 consumed; the budget has 19 left, so a long skip clamps.
+			if got := l.Skip(100); got != 19 {
+				t.Errorf("Skip past budget = %d, want 19", got)
+			}
+			if l.Next(&u) {
+				t.Error("Limit produced a record past its budget")
+			}
+		})
+	}
+}
+
+// TestSliceSourceSkipWarmBounds: skipping past the end clamps and
+// observes only the records that exist.
+func TestSliceSourceSkipWarmBounds(t *testing.T) {
+	uops := patternUops(10)
+	s := &SliceSource{Uops: uops}
+	count := 0
+	if got := s.SkipWarm(100, func(*Uop) { count++ }); got != 10 {
+		t.Errorf("SkipWarm past end = %d, want 10", got)
+	}
+	var wantBr int
+	for i := range uops {
+		if uops[i].Kind == KindBranch {
+			wantBr++
+		}
+	}
+	if count != wantBr {
+		t.Errorf("observed %d branches, want %d", count, wantBr)
+	}
+	var u Uop
+	if s.Next(&u) {
+		t.Error("exhausted source produced a record")
+	}
+}
+
+// endlessSource is an allocation-free unbounded Source for the
+// steady-state allocation regression.
+type endlessSource struct{ i uint64 }
+
+func (s *endlessSource) Next(u *Uop) bool {
+	*u = Uop{PC: 0x1000 + s.i*4, Kind: KindALU}
+	if s.i%7 == 3 {
+		u.Kind = KindBranch
+		u.Branch = BranchConditional
+		u.Taken = true
+		u.Target = u.PC - 64
+	}
+	s.i++
+	return true
+}
+
+// TestSourceBatcherSkipAllocs pins the Source→BatchSource adapter's
+// skip fallbacks at zero steady-state allocations: the drain buffer is
+// allocated once on first use and reused by every subsequent cold and
+// warm skip.
+func TestSourceBatcherSkipAllocs(t *testing.T) {
+	b := AsBatch(nextOnly{&endlessSource{}})
+	skipper, ok := b.(interface {
+		Skipper
+		WarmSkipper
+	})
+	if !ok {
+		t.Fatal("sourceBatcher lost its skip capabilities")
+	}
+	warmed := 0
+	observe := func(*Uop) { warmed++ }
+	skipper.Skip(scratchLen * 4) // first call allocates the scratch buffer
+	if allocs := testing.AllocsPerRun(10, func() {
+		skipper.Skip(scratchLen * 4)
+	}); allocs != 0 {
+		t.Errorf("steady-state Skip allocates %.0f objects per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		skipper.SkipWarm(scratchLen*4, observe)
+	}); allocs != 0 {
+		t.Errorf("steady-state SkipWarm allocates %.0f objects per call, want 0", allocs)
+	}
+	if warmed == 0 {
+		t.Error("SkipWarm observed no branches")
+	}
+}

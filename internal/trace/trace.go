@@ -139,6 +139,92 @@ type BatchSource interface {
 	NextBatch(buf []Uop) int
 }
 
+// Skipper is an optional capability on Source/BatchSource
+// implementations: fast-forwarding the stream without materializing
+// records. Skip advances the stream by up to n records and returns how
+// many were actually skipped; fewer than n means the stream is
+// exhausted. Skipping must be stream-equivalent: after Skip(n) the next
+// record produced is exactly the record that n discarded Next calls
+// would have exposed, including every piece of hidden generator state
+// (RNG streams, cursors, stacks). The sampled-simulation tests enforce
+// this for every implementation in the tree.
+type Skipper interface {
+	Skip(n uint64) uint64
+}
+
+// WarmSkipper is the warming variant of Skipper: SkipWarm fast-forwards
+// exactly like Skip while reporting every branch record inside the
+// skipped stretch to observe, each reconstructed bit-identically to the
+// record Next would have emitted. Non-branch records are not reported
+// (and, in native implementations, never materialized) — that asymmetry
+// is the point: branch-predictor state is the one piece of simulator
+// state that is both large and phase-sensitive, so sampled simulation
+// keeps it functionally warm across fast-forward gaps at a small
+// surcharge over a cold skip, while cache recency rides on frozen state
+// plus the per-window warmup. A nil observe must behave exactly like
+// Skip.
+type WarmSkipper interface {
+	Skipper
+	SkipWarm(n uint64, observe func(*Uop)) uint64
+}
+
+// SkipRecords fast-forwards src by n records: through its native Skip
+// when it implements Skipper, otherwise by draining batches into buf and
+// discarding them. Callers own buf (typically their existing per-run
+// batch buffer), so the fallback allocates nothing. It returns the
+// number of records skipped; fewer than n means exhaustion.
+func SkipRecords(src BatchSource, buf []Uop, n uint64) uint64 {
+	if s, ok := src.(Skipper); ok {
+		return s.Skip(n)
+	}
+	done := uint64(0)
+	for done < n {
+		want := n - done
+		if want > uint64(len(buf)) {
+			want = uint64(len(buf))
+		}
+		got := src.NextBatch(buf[:want])
+		if got == 0 {
+			break
+		}
+		done += uint64(got)
+	}
+	return done
+}
+
+// SkipRecordsWarm is SkipRecords with branch warming: branch records in
+// the skipped stretch are reported to observe. Sources implementing
+// WarmSkipper do this natively; anything else falls back to draining
+// batches into buf and observing the branch records among them — the
+// same stream advance and the same observations, at materialization
+// cost. A nil observe degrades to SkipRecords.
+func SkipRecordsWarm(src BatchSource, buf []Uop, n uint64, observe func(*Uop)) uint64 {
+	if observe == nil {
+		return SkipRecords(src, buf, n)
+	}
+	if ws, ok := src.(WarmSkipper); ok {
+		return ws.SkipWarm(n, observe)
+	}
+	done := uint64(0)
+	for done < n {
+		want := n - done
+		if want > uint64(len(buf)) {
+			want = uint64(len(buf))
+		}
+		got := src.NextBatch(buf[:want])
+		if got == 0 {
+			break
+		}
+		for i := range buf[:got] {
+			if buf[i].Kind == KindBranch {
+				observe(&buf[i])
+			}
+		}
+		done += uint64(got)
+	}
+	return done
+}
+
 // AsBatch adapts src to the batch interface. Sources that natively
 // implement BatchSource are returned unchanged; others are wrapped in an
 // adapter that pulls records one at a time, preserving exact stream
@@ -150,9 +236,18 @@ func AsBatch(src Source) BatchSource {
 	return &sourceBatcher{src: src}
 }
 
+// scratchLen is the sourceBatcher's fallback drain-buffer length: big
+// enough to amortize the per-batch loop, small enough (16 KB) to stay
+// resident while a skip drains millions of records through it.
+const scratchLen = 512
+
 // sourceBatcher lifts a per-record Source into a BatchSource.
 type sourceBatcher struct {
 	src Source
+	// scratch is the Skip fallback's drain buffer, allocated once per
+	// adapter on first use and reused for every subsequent call (the
+	// allocation-regression test pins this at zero steady-state allocs).
+	scratch []Uop
 }
 
 // NextBatch implements BatchSource.
@@ -163,6 +258,52 @@ func (b *sourceBatcher) NextBatch(buf []Uop) int {
 	}
 	return n
 }
+
+// Skip implements Skipper: natively when the wrapped source can skip,
+// otherwise by draining into the adapter's reusable scratch buffer.
+func (b *sourceBatcher) Skip(n uint64) uint64 {
+	if s, ok := b.src.(Skipper); ok {
+		return s.Skip(n)
+	}
+	if b.scratch == nil {
+		b.scratch = make([]Uop, scratchLen)
+	}
+	done := uint64(0)
+	for done < n {
+		want := n - done
+		if want > scratchLen {
+			want = scratchLen
+		}
+		got := b.NextBatch(b.scratch[:want])
+		if got == 0 {
+			break
+		}
+		done += uint64(got)
+	}
+	return done
+}
+
+// SkipWarm implements WarmSkipper: natively when the wrapped source can
+// warm-skip, otherwise by draining into the adapter's reusable scratch
+// buffer and observing the branch records among the drained stretch.
+func (b *sourceBatcher) SkipWarm(n uint64, observe func(*Uop)) uint64 {
+	if observe == nil {
+		return b.Skip(n)
+	}
+	if ws, ok := b.src.(WarmSkipper); ok {
+		return ws.SkipWarm(n, observe)
+	}
+	if b.scratch == nil {
+		b.scratch = make([]Uop, scratchLen)
+	}
+	return SkipRecordsWarm(noSkipSource{b}, b.scratch, n, observe)
+}
+
+// noSkipSource hides a batcher's skip capabilities so SkipRecordsWarm's
+// drain fallback can be reused without recursing into SkipWarm.
+type noSkipSource struct{ b *sourceBatcher }
+
+func (s noSkipSource) NextBatch(buf []Uop) int { return s.b.NextBatch(buf) }
 
 // SliceSource adapts a materialized uop slice to the Source interface.
 // It is primarily useful in tests.
@@ -185,6 +326,36 @@ func (s *SliceSource) Next(u *Uop) bool {
 func (s *SliceSource) NextBatch(buf []Uop) int {
 	n := copy(buf, s.Uops[s.pos:])
 	s.pos += n
+	return n
+}
+
+// Skip implements Skipper by advancing the cursor.
+func (s *SliceSource) Skip(n uint64) uint64 {
+	rem := uint64(len(s.Uops) - s.pos)
+	if n > rem {
+		n = rem
+	}
+	s.pos += int(n)
+	return n
+}
+
+// SkipWarm implements WarmSkipper: the records already exist, so the
+// skipped stretch is walked in place for its branch records.
+func (s *SliceSource) SkipWarm(n uint64, observe func(*Uop)) uint64 {
+	if observe == nil {
+		return s.Skip(n)
+	}
+	rem := uint64(len(s.Uops) - s.pos)
+	if n > rem {
+		n = rem
+	}
+	skipped := s.Uops[s.pos : s.pos+int(n)]
+	for i := range skipped {
+		if skipped[i].Kind == KindBranch {
+			observe(&skipped[i])
+		}
+	}
+	s.pos += int(n)
 	return n
 }
 
@@ -231,4 +402,57 @@ func (l *Limit) NextBatch(buf []Uop) int {
 	}
 	l.seen += uint64(n)
 	return n
+}
+
+// Skip implements Skipper, clamping to the remaining budget and using
+// the wrapped source's Skip when it has one. Without one the records are
+// drained one at a time — Limit wraps arbitrary Sources, so there is no
+// buffer to reuse and none is allocated.
+func (l *Limit) Skip(n uint64) uint64 {
+	if l.seen >= l.N {
+		return 0
+	}
+	if rem := l.N - l.seen; n > rem {
+		n = rem
+	}
+	var done uint64
+	if s, ok := l.Src.(Skipper); ok {
+		done = s.Skip(n)
+	} else {
+		var u Uop
+		for done < n && l.Src.Next(&u) {
+			done++
+		}
+	}
+	l.seen += done
+	return done
+}
+
+// SkipWarm implements WarmSkipper, clamping to the remaining budget and
+// delegating to the wrapped source's warm skip when it has one; without
+// one the records are drained one at a time and branch records observed.
+func (l *Limit) SkipWarm(n uint64, observe func(*Uop)) uint64 {
+	if observe == nil {
+		return l.Skip(n)
+	}
+	if l.seen >= l.N {
+		return 0
+	}
+	if rem := l.N - l.seen; n > rem {
+		n = rem
+	}
+	var done uint64
+	if ws, ok := l.Src.(WarmSkipper); ok {
+		done = ws.SkipWarm(n, observe)
+	} else {
+		var u Uop
+		for done < n && l.Src.Next(&u) {
+			if u.Kind == KindBranch {
+				observe(&u)
+			}
+			done++
+		}
+	}
+	l.seen += done
+	return done
 }

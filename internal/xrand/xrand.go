@@ -54,13 +54,91 @@ func NewPCG32(seed uint64) *PCG32 {
 	return p
 }
 
+// pcgMult is the PCG 64-bit LCG multiplier.
+const pcgMult = 6364136223846793005
+
 // Uint32 returns the next 32-bit value in the stream.
 func (p *PCG32) Uint32() uint32 {
 	old := p.state
-	p.state = old*6364136223846793005 + p.inc
+	p.state = old*pcgMult + p.inc
 	xorshifted := uint32(((old >> 18) ^ old) >> 27)
 	rot := uint32(old >> 59)
 	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// pcgOut is the XSH-RR output permutation Uint32 applies to the
+// pre-advance state, split out for the block generator.
+func pcgOut(old uint64) uint32 {
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Fill writes the next len(buf) values of the stream into buf and
+// advances the generator past them — bit-identical to len(buf)
+// successive Uint32 calls. The values are produced four stream
+// positions at a time on independent leapfrogged LCG lanes
+// (s[k+4] = s[k]*m^4 + c*(m^3+m^2+m+1)), so the serial multiply
+// recurrence that bounds Uint32's latency splits into four chains the
+// CPU overlaps. Bulk consumers that buffer draws (the synthetic
+// generator's fast-forward) get values at multiply throughput instead
+// of recurrence latency.
+func (p *PCG32) Fill(buf []uint32) {
+	if len(buf) < 8 {
+		for i := range buf {
+			buf[i] = p.Uint32()
+		}
+		return
+	}
+	inc := p.inc
+	m1 := uint64(pcgMult) // force wrapping (non-constant) arithmetic below
+	m2 := m1 * m1
+	c2 := (m1 + 1) * inc
+	m4 := m2 * m2
+	c4 := (m2 + 1) * c2
+	s0 := p.state
+	s1 := s0*pcgMult + inc
+	s2 := s1*pcgMult + inc
+	s3 := s2*pcgMult + inc
+	i := 0
+	for ; i+4 <= len(buf); i += 4 {
+		buf[i] = pcgOut(s0)
+		buf[i+1] = pcgOut(s1)
+		buf[i+2] = pcgOut(s2)
+		buf[i+3] = pcgOut(s3)
+		s0 = s0*m4 + c4
+		s1 = s1*m4 + c4
+		s2 = s2*m4 + c4
+		s3 = s3*m4 + c4
+	}
+	// Lane 0 has advanced exactly i positions; finish any tail serially.
+	for ; i < len(buf); i++ {
+		buf[i] = pcgOut(s0)
+		s0 = s0*pcgMult + inc
+	}
+	p.state = s0
+}
+
+// Advance moves the stream delta steps in O(log delta) time, leaving
+// the generator exactly where delta Uint32 calls would. delta is
+// interpreted modulo 2^64 and the LCG multiplier is odd (invertible),
+// so a "negative" delta — Advance(k - n) with k < n — rewinds the
+// stream; buffered consumers use that to return unconsumed draws.
+// (Brown's arbitrary-stride jump: square-and-multiply on the affine
+// state map.)
+func (p *PCG32) Advance(delta uint64) {
+	accMul, accAdd := uint64(1), uint64(0)
+	curMul, curAdd := uint64(pcgMult), p.inc
+	for delta > 0 {
+		if delta&1 != 0 {
+			accMul *= curMul
+			accAdd = accAdd*curMul + curAdd
+		}
+		curAdd = (curMul + 1) * curAdd
+		curMul *= curMul
+		delta >>= 1
+	}
+	p.state = accMul*p.state + accAdd
 }
 
 // Uint64 returns the next 64-bit value, composed of two 32-bit outputs.
@@ -355,10 +433,13 @@ func (c *Categorical) Sample(rng *PCG32) int {
 func (c *Categorical) Pick(r uint32) int {
 	i := (r & 0xffff) * c.n >> 16
 	e := c.ta[i]
+	// Conditional-move form: the coin is independent noise, so a branch
+	// here would mispredict at the flip rate; a select never does.
+	v := e.alias
 	if r>>16 < e.threshold {
-		return int(i)
+		v = int32(i)
 	}
-	return int(e.alias)
+	return int(v)
 }
 
 // SampleFast is an alias for Sample, kept so call sites on the batched
@@ -422,7 +503,13 @@ func NewZipf(n int, s float64) *Zipf {
 // An item i is drawn when cdf[i-1] <= u < cdf[i] (in 2^32 fixed point),
 // realizing each item's probability at 2^-32 resolution.
 func (z *Zipf) Sample(rng *PCG32) int {
-	u := rng.Uint32()
+	return z.Pick(rng.Uint32())
+}
+
+// Pick maps one full 32-bit draw to an item — Sample with the draw
+// supplied by the caller, so consumers that buffer their draws (see
+// PCG32.Fill) sample without touching the generator.
+func (z *Zipf) Pick(u uint32) int {
 	b := u >> 24
 	lo, hi := int(z.guide[b]), int(z.guide[b+1])
 	for lo < hi {

@@ -351,3 +351,65 @@ func TestDivisorPanicsOnZero(t *testing.T) {
 	}()
 	NewDivisor(0)
 }
+
+func TestFillMatchesUint32(t *testing.T) {
+	// Fill must be bit-identical to successive Uint32 calls — including
+	// the sub-8 scalar path, non-multiple-of-4 tails, and the generator
+	// state left behind — for any split of the stream between the two.
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 12, 15, 64, 257, 1000} {
+		ref := NewPCG32(42)
+		got := NewPCG32(42)
+		// Offset the split point so Fill starts mid-stream too.
+		ref.Uint32()
+		got.Uint32()
+		buf := make([]uint32, n)
+		got.Fill(buf)
+		for i := 0; i < n; i++ {
+			if want := ref.Uint32(); buf[i] != want {
+				t.Fatalf("Fill(%d): value %d = %#x, want %#x", n, i, buf[i], want)
+			}
+		}
+		if got.Uint32() != ref.Uint32() {
+			t.Fatalf("Fill(%d): generator state diverged after fill", n)
+		}
+	}
+}
+
+func TestAdvanceMatchesSteps(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 3, 17, 255, 1 << 12, 999999} {
+		ref := NewPCG32(7)
+		got := NewPCG32(7)
+		for i := uint64(0); i < n; i++ {
+			ref.Uint32()
+		}
+		got.Advance(n)
+		if ref.Uint32() != got.Uint32() {
+			t.Fatalf("Advance(%d) diverged from %d Uint32 steps", n, n)
+		}
+	}
+}
+
+func TestAdvanceRewinds(t *testing.T) {
+	// A wrapped "negative" delta must undo a forward advance exactly;
+	// buffered consumers rely on this to return unconsumed draws.
+	for _, n := range []uint64{1, 5, 512, 100000} {
+		ref := NewPCG32(99)
+		got := NewPCG32(99)
+		got.Advance(n)
+		got.Advance(0 - n)
+		if ref.Uint32() != got.Uint32() {
+			t.Fatalf("Advance(%d) then Advance(-%d) is not the identity", n, n)
+		}
+	}
+}
+
+func TestZipfPickMatchesSample(t *testing.T) {
+	z := NewZipf(100, 1.3)
+	a := NewPCG32(5)
+	b := NewPCG32(5)
+	for i := 0; i < 1000; i++ {
+		if z.Sample(a) != z.Pick(b.Uint32()) {
+			t.Fatalf("Zipf Pick diverged from Sample at draw %d", i)
+		}
+	}
+}

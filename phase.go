@@ -37,6 +37,15 @@ func SliceIntervals(src trace.Source, intervalLen uint64, n int) ([]PhaseInterva
 	return phase.Slice(src, intervalLen, n)
 }
 
+// SliceIntervalsSampled slices n intervals of intervalLen uops whose
+// starts are spaced stride apart, fast-forwarding the gaps through the
+// source's skip capability — systematic sampling at the phase-analysis
+// layer, covering a stride/intervalLen-times-longer stretch of the
+// stream for the same slicing cost.
+func SliceIntervalsSampled(src trace.Source, intervalLen, stride uint64, n int) ([]PhaseInterval, error) {
+	return phase.SliceSampled(src, intervalLen, stride, n)
+}
+
 // DetectPhases clusters interval signatures into execution phases and
 // picks one simulation point per phase.
 func DetectPhases(intervals []PhaseInterval, opt PhaseOptions) (*PhaseResult, error) {
@@ -52,10 +61,7 @@ func AnalyzePhases(w *Workload, size InputSize, intervalLen uint64, n int) (*Pha
 	if err != nil {
 		return nil, err
 	}
-	var u trace.Uop
-	for i, p := uint64(0), gen.Prologue(); i < p; i++ {
-		gen.Next(&u)
-	}
+	gen.Skip(gen.Prologue())
 	intervals, err := phase.Slice(gen, intervalLen, n)
 	if err != nil {
 		return nil, err

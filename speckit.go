@@ -128,6 +128,27 @@ func NewCache() *Cache { return sched.NewCache() }
 // it to their -progress flag.
 func ProgressPrinter(w io.Writer) func(Progress) { return sched.ProgressPrinter(w) }
 
+// Sampling is the systematic-sampling fidelity knob for
+// Options.Sampling: simulate only periodic detailed windows of each
+// pair's stream and extrapolate the counters, trading a bounded,
+// estimated metric error for a multi-x campaign speedup. The zero value
+// disables sampling (exact simulation).
+type Sampling = machine.Sampling
+
+// SamplingStats describes how a sampled run was measured and its
+// estimated per-metric extrapolation error (Characteristics.Sampling).
+type SamplingStats = machine.SamplingStats
+
+// DefaultSampling returns the default fidelity knob (see
+// machine.DefaultSampling for the tuning rationale).
+func DefaultSampling() Sampling { return machine.DefaultSampling() }
+
+// ParseSampling parses the -sampling flag syntax shared by the cmd
+// tools: "off" or "" disables sampling, "on" or "default" selects
+// DefaultSampling, and "PERIOD/DETAIL/WARMUP" (instruction counts, e.g.
+// "32768/4096/8192") sets the knob explicitly.
+func ParseSampling(s string) (Sampling, error) { return machine.ParseSampling(s) }
+
 // Characteristics is one application-input pair's characterization.
 type Characteristics = core.Characteristics
 
