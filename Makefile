@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-seed bench-smoke serve-smoke ci
+.PHONY: build vet test race bench fuzz-seed bench-smoke serve-smoke metrics-smoke ci
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,12 @@ bench-smoke:
 # the same store and assert the repeat simulates zero pairs, then check
 # the SIGTERM drain path.
 serve-smoke:
-	$(GO) test -run='^TestServeSmoke' -count=1 ./cmd/specserved
+	$(GO) test -run='^TestServeSmoke$$|^TestServeSmokeDrainsInFlight$$' -count=1 ./cmd/specserved
 
-ci: build vet test race fuzz-seed bench-smoke serve-smoke
+# Scrape the binary's /metrics during a live campaign and assert the
+# Prometheus text exposition carries the tier-split pair counters, the
+# stage/request histograms and the server gauges.
+metrics-smoke:
+	$(GO) test -run='^TestServeSmokeMetrics$$' -count=1 ./cmd/specserved
+
+ci: build vet test race fuzz-seed bench-smoke serve-smoke metrics-smoke

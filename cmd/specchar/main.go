@@ -6,8 +6,13 @@
 //
 //	specchar [-suite cpu2017|cpu2006] [-mini all|rate-int|rate-fp|speed-int|speed-fp]
 //	         [-size test|train|ref] [-n instructions] [-csv] [-progress]
-//	         [-cache-dir DIR] [-sampling off|default|P/D/W]
+//	         [-cache-dir DIR] [-sampling off|default|P/D/W] [-j N]
+//	         [-trace FILE] [-slow-pair DUR]
 //	         [-cpuprofile FILE] [-memprofile FILE]
+//
+// -trace writes the campaign's span tree (campaign -> pair -> simulation
+// stages, with cache-tier outcomes) as a JSONL run manifest; -slow-pair
+// warns about pairs whose wall time exceeds the threshold.
 //
 // Ctrl-C (or SIGTERM) cancels the in-flight campaign through the
 // scheduler's context path rather than killing the process mid-write.
@@ -18,25 +23,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"syscall"
 
 	speckit "repro"
+	"repro/internal/cliflags"
 	"repro/internal/report"
 )
 
-// config collects the tool's flags.
+// config collects the tool's flags; the embedded Campaign carries the
+// ones shared across the speckit tools.
 type config struct {
 	suite, mini, size      string
 	n                      uint64
-	csv, progress          bool
-	batch                  int
-	cacheDir               string
-	sampling               string
+	csv                    bool
 	cpuprofile, memprofile string
+	cliflags.Campaign
 }
 
 func main() {
@@ -46,15 +49,12 @@ func main() {
 	flag.StringVar(&cfg.size, "size", "ref", "input size: test, train or ref")
 	flag.Uint64Var(&cfg.n, "n", 300000, "simulated instructions per pair")
 	flag.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of aligned text")
-	flag.BoolVar(&cfg.progress, "progress", false, "print a live progress meter (with per-tier cache hits) to stderr")
-	flag.IntVar(&cfg.batch, "batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
-	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent result-store directory: pair results are saved as checksummed content-addressed records, and repeated runs with the same models, machine and options are re-used bit-identically instead of re-simulated (empty = in-memory cache only)")
-	flag.StringVar(&cfg.sampling, "sampling", "off", "systematic-sampling fidelity knob: off, default, or PERIOD/DETAIL/WARMUP instruction counts (e.g. 262144/8192/8192); sampled results are bounded-error estimates and never share cache entries with exact runs")
+	cfg.Campaign.Register(flag.CommandLine)
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the campaign to FILE")
 	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a pprof heap profile to FILE when the campaign finishes")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliflags.SignalContext()
 	defer stop()
 	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "specchar:", err)
@@ -99,28 +99,19 @@ func run(ctx context.Context, cfg config) error {
 	if err != nil {
 		return err
 	}
-	sampling, err := speckit.ParseSampling(cfg.sampling)
+	opt, err := cfg.Campaign.Options(ctx)
 	if err != nil {
 		return err
 	}
-	opt := speckit.Options{Instructions: cfg.n, Cache: speckit.NewCache(), BatchSize: cfg.batch, Context: ctx, Sampling: sampling}
-	if cfg.progress {
-		opt.Progress = speckit.ProgressPrinter(os.Stderr)
-	}
-	if cfg.cacheDir != "" {
-		st, err := speckit.OpenStore(cfg.cacheDir)
-		if err != nil {
-			return err
-		}
-		opt.Store = st
-	}
+	opt.Instructions = cfg.n
 	chars, err := speckit.Characterize(suite, size, opt)
 	if err != nil {
 		return err
 	}
-	if cfg.progress {
-		reportCacheStats(opt.Cache)
+	if err := cfg.Campaign.Finish(); err != nil {
+		return err
 	}
+	sampling := cfg.SamplingKnob()
 
 	t := report.NewTable(
 		fmt.Sprintf("Characterization of %s (%s inputs, %d pairs)", cfg.suite, cfg.size, len(chars)),
@@ -196,14 +187,6 @@ func run(ctx context.Context, cfg config) error {
 		sum.AddRowf(m.name, s.Mean, s.Std)
 	}
 	return sum.WriteText(os.Stdout)
-}
-
-// reportCacheStats prints the campaign cache counters split by tier,
-// completing the -progress output.
-func reportCacheStats(c *speckit.Cache) {
-	s := c.Stats()
-	fmt.Fprintf(os.Stderr, "cache: %d memory hits, %d store hits, %d misses (%.0f%% hit rate)\n",
-		s.MemoryHits, s.StoreHits, s.Misses, 100*s.HitRate())
 }
 
 func pickSuite(name string) (speckit.Suite, error) {

@@ -18,10 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	speckit "repro"
+	"repro/internal/cliflags"
 	"repro/internal/phase"
 	"repro/internal/profile"
 	"repro/internal/report"
@@ -35,7 +34,7 @@ func main() {
 	stride := flag.Uint64("stride", 0, "sampled slicing: space interval starts this many instructions apart, fast-forwarding the gaps (0 = back-to-back, must otherwise be >= -interval); covers a stride/interval-times-longer stretch of the stream at the same cost")
 	progressFlag := flag.Bool("progress", false, "print stage progress to stderr")
 	flag.Parse()
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliflags.SignalContext()
 	defer stop()
 	if err := run(ctx, *aFlag, *bFlag, *ilen, *stride, *n, *progressFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "specphase:", err)

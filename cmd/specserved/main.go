@@ -12,8 +12,10 @@
 //	           [-drain-grace 30s]
 //
 // Endpoints: POST/GET/DELETE /v1/campaigns[/{id}], SSE at
-// /v1/campaigns/{id}/events, GET /healthz, GET /metrics (expvar). See
-// the README's "Serving characterizations" walkthrough.
+// /v1/campaigns/{id}/events, the JSONL run manifest at
+// /v1/campaigns/{id}/manifest, GET /healthz, Prometheus text metrics at
+// GET /metrics (expvar mirror at /metrics/expvar). See the README's
+// "Serving characterizations" walkthrough.
 //
 // SIGINT/SIGTERM drain gracefully: admission stops (429/503), queued
 // campaigns are reported cancelled, in-flight campaigns finish (or are
@@ -27,11 +29,10 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	speckit "repro"
+	"repro/internal/cliflags"
 	"repro/internal/server"
 )
 
@@ -53,7 +54,7 @@ func main() {
 }
 
 func run(addr, cacheDir string, workers, queue, parallelism int, n uint64, mux int, drainGrace time.Duration) error {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliflags.SignalContext()
 	defer stop()
 
 	opt := speckit.Options{

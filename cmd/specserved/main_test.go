@@ -5,10 +5,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -177,8 +179,8 @@ func TestServeSmoke(t *testing.T) {
 		t.Error("restarted server returned different bytes for the same campaign")
 	}
 
-	// The tier stats on /metrics confirm zero simulated pairs.
-	mresp, err := http.Get(base2 + "/metrics")
+	// The tier stats on the expvar mirror confirm zero simulated pairs.
+	mresp, err := http.Get(base2 + "/metrics/expvar")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,6 +200,76 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("metrics from_store = %d, want %d", fromStore, second.Pairs)
 	}
 	sigtermAndWait(t, cmd2)
+}
+
+// TestServeSmokeMetrics is the `make metrics-smoke` gate: the binary's
+// /metrics endpoint serves valid Prometheus text with the tier-split
+// pair counters and stage histograms after a campaign runs.
+func TestServeSmokeMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the specserved binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "specserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+	base, cmd := specserved(t, bin, "-workers", "1")
+	st := submitWait(t, base, map[string]any{
+		"suite": "cpu2017", "mini": "rate-int", "size": "test", "instructions": 10000,
+	})
+	if st.Status != "done" {
+		t.Fatalf("campaign = %s (%s)", st.Status, st.Error)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text exposition 0.0.4", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, series := range []string{
+		`speckit_served_pairs_total{mode="exact",source="simulated"} ` + fmt.Sprint(st.Pairs),
+		`speckit_pairs_total{source="simulated"} ` + fmt.Sprint(st.Pairs),
+		`speckit_stage_seconds_bucket{stage="detail",le="+Inf"}`,
+		`speckit_pair_seconds_bucket{source="simulated",le="+Inf"}`,
+		`speckit_http_requests_total{code="200",route="submit"} 1`,
+		`speckit_http_request_seconds_bucket{route="submit",le="+Inf"} 1`,
+		`speckit_server_queue_depth 0`,
+		`speckit_server_jobs{state="running"} 0`,
+		`speckit_campaigns_total 1`,
+		`speckit_workers_active 0`,
+	} {
+		if !strings.Contains(text, series+"\n") && !strings.Contains(text, series+" ") {
+			t.Errorf("/metrics missing series %q", series)
+		}
+	}
+	// Every sample line must carry a parseable float value.
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("non-numeric sample value in %q: %v", line, err)
+		}
+	}
+	sigtermAndWait(t, cmd)
 }
 
 // TestServeSmokeDrainsInFlight: SIGTERM while a campaign is running

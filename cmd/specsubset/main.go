@@ -7,7 +7,8 @@
 // Usage:
 //
 //	specsubset [-n instructions] [-pcs 4] [-linkage ward|single|complete|average]
-//	           [-v] [-progress] [-cache-dir DIR]
+//	           [-v] [-progress] [-cache-dir DIR] [-sampling off|default|P/D/W]
+//	           [-j N] [-trace FILE] [-slow-pair DUR]
 //
 // Ctrl-C (or SIGTERM) cancels the in-flight campaign through the
 // scheduler's context path rather than killing the process mid-write.
@@ -18,25 +19,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	speckit "repro"
+	"repro/internal/cliflags"
 	"repro/internal/cluster"
 	"repro/internal/report"
 )
 
-// config collects the tool's flags.
+// config collects the tool's flags; the embedded Campaign carries the
+// ones shared across the speckit tools.
 type config struct {
-	n        uint64
-	pcs      int
-	linkage  string
-	verbose  bool
-	progress bool
-	batch    int
-	cacheDir string
-	sampling string
+	n       uint64
+	pcs     int
+	linkage string
+	verbose bool
+	cliflags.Campaign
 }
 
 func main() {
@@ -45,13 +43,10 @@ func main() {
 	flag.IntVar(&cfg.pcs, "pcs", 0, "retained principal components (0 = cover 76% variance)")
 	flag.StringVar(&cfg.linkage, "linkage", "ward", "clustering linkage: ward, single, complete, average")
 	flag.BoolVar(&cfg.verbose, "v", false, "print per-cluster membership and the Pareto sweep")
-	flag.BoolVar(&cfg.progress, "progress", false, "print a live progress meter (with per-tier cache hits) to stderr")
-	flag.IntVar(&cfg.batch, "batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
-	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent result-store directory: pair results are saved as checksummed content-addressed records, and repeated runs with the same models, machine and options are re-used bit-identically instead of re-simulated (empty = in-memory cache only)")
-	flag.StringVar(&cfg.sampling, "sampling", "off", "systematic-sampling fidelity knob: off, default, or PERIOD/DETAIL/WARMUP instruction counts (e.g. 262144/8192/8192); sampled results are bounded-error estimates and never share cache entries with exact runs")
+	cfg.Campaign.Register(flag.CommandLine)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliflags.SignalContext()
 	defer stop()
 	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "specsubset:", err)
@@ -68,21 +63,11 @@ func run(ctx context.Context, cfg config) error {
 	// to both (none today, but cheap insurance) and tool re-runs within a
 	// process simulate once; with -cache-dir that reuse extends across
 	// processes.
-	sampling, err := speckit.ParseSampling(cfg.sampling)
+	opt, err := cfg.Campaign.Options(ctx)
 	if err != nil {
 		return err
 	}
-	opt := speckit.Options{Instructions: cfg.n, Cache: speckit.NewCache(), BatchSize: cfg.batch, Context: ctx, Sampling: sampling}
-	if cfg.progress {
-		opt.Progress = speckit.ProgressPrinter(os.Stderr)
-	}
-	if cfg.cacheDir != "" {
-		st, err := speckit.OpenStore(cfg.cacheDir)
-		if err != nil {
-			return err
-		}
-		opt.Store = st
-	}
+	opt.Instructions = cfg.n
 	sopt := speckit.SubsetOptions{Components: cfg.pcs, Linkage: linkage}
 
 	results := map[string]*speckit.SubsetResult{}
@@ -112,10 +97,8 @@ func run(ctx context.Context, cfg config) error {
 			printDetail(res)
 		}
 	}
-	if cfg.progress {
-		s := opt.Cache.Stats()
-		fmt.Fprintf(os.Stderr, "cache: %d memory hits, %d store hits, %d misses (%.0f%% hit rate)\n",
-			s.MemoryHits, s.StoreHits, s.Misses, 100*s.HitRate())
+	if err := cfg.Campaign.Finish(); err != nil {
+		return err
 	}
 
 	fmt.Println()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/cliflags"
 	"repro/internal/cluster"
 )
 
@@ -33,7 +34,7 @@ func TestRunSmoke(t *testing.T) {
 		t.Skip("full-suite characterization in -short mode")
 	}
 	ctx := context.Background()
-	if err := run(ctx, config{n: 20000, pcs: 4, linkage: "ward", verbose: true, progress: true}); err != nil {
+	if err := run(ctx, config{n: 20000, pcs: 4, linkage: "ward", verbose: true, Campaign: cliflags.Campaign{Progress: true}}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if err := run(ctx, config{n: 1000, linkage: "diagonal"}); err == nil {
@@ -48,7 +49,7 @@ func TestRunCacheDir(t *testing.T) {
 		t.Skip("full-suite characterization in -short mode")
 	}
 	dir := t.TempDir()
-	cfg := config{n: 10000, linkage: "ward", cacheDir: dir}
+	cfg := config{n: 10000, linkage: "ward", Campaign: cliflags.Campaign{CacheDir: dir}}
 	for i := 0; i < 2; i++ {
 		if err := run(context.Background(), cfg); err != nil {
 			t.Fatalf("run %d: %v", i, err)

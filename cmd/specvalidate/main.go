@@ -6,7 +6,8 @@
 // Usage:
 //
 //	specvalidate [-suite cpu2017|cpu2006] [-size ref] [-n instructions] [-worst 15]
-//	             [-progress] [-cache-dir DIR]
+//	             [-progress] [-cache-dir DIR] [-sampling off|default|P/D/W]
+//	             [-j N] [-trace FILE] [-slow-pair DUR]
 //
 // Ctrl-C (or SIGTERM) cancels the in-flight campaign through the
 // scheduler's context path rather than killing the process mid-write.
@@ -18,24 +19,21 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"os/signal"
 	"sort"
 	"strings"
-	"syscall"
 
 	speckit "repro"
+	"repro/internal/cliflags"
 	"repro/internal/report"
 )
 
-// config collects the tool's flags.
+// config collects the tool's flags; the embedded Campaign carries the
+// ones shared across the speckit tools.
 type config struct {
 	suite, size string
 	n           uint64
 	worst       int
-	progress    bool
-	batch       int
-	cacheDir    string
-	sampling    string
+	cliflags.Campaign
 }
 
 func main() {
@@ -44,13 +42,10 @@ func main() {
 	flag.StringVar(&cfg.size, "size", "ref", "input size")
 	flag.Uint64Var(&cfg.n, "n", 200000, "simulated instructions per pair")
 	flag.IntVar(&cfg.worst, "worst", 15, "how many worst deviations to list")
-	flag.BoolVar(&cfg.progress, "progress", false, "print a live progress meter (with per-tier cache hits) to stderr")
-	flag.IntVar(&cfg.batch, "batch", 0, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
-	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent result-store directory: pair results are saved as checksummed content-addressed records, and repeated runs with the same models, machine and options are re-used bit-identically instead of re-simulated (empty = in-memory cache only)")
-	flag.StringVar(&cfg.sampling, "sampling", "off", "systematic-sampling fidelity knob: off, default, or PERIOD/DETAIL/WARMUP instruction counts (e.g. 262144/8192/8192); sampled results are bounded-error estimates and never share cache entries with exact runs")
+	cfg.Campaign.Register(flag.CommandLine)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliflags.SignalContext()
 	defer stop()
 	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "specvalidate:", err)
@@ -87,29 +82,17 @@ func run(ctx context.Context, cfg config) error {
 		return fmt.Errorf("unknown size %q", cfg.size)
 	}
 
-	sampling, err := speckit.ParseSampling(cfg.sampling)
+	opt, err := cfg.Campaign.Options(ctx)
 	if err != nil {
 		return err
 	}
-	opt := speckit.Options{Instructions: cfg.n, Cache: speckit.NewCache(), BatchSize: cfg.batch, Context: ctx, Sampling: sampling}
-	if cfg.progress {
-		opt.Progress = speckit.ProgressPrinter(os.Stderr)
-	}
-	if cfg.cacheDir != "" {
-		st, err := speckit.OpenStore(cfg.cacheDir)
-		if err != nil {
-			return err
-		}
-		opt.Store = st
-	}
+	opt.Instructions = cfg.n
 	chars, err := speckit.Characterize(suite, size, opt)
 	if err != nil {
 		return err
 	}
-	if cfg.progress {
-		s := opt.Cache.Stats()
-		fmt.Fprintf(os.Stderr, "cache: %d memory hits, %d store hits, %d misses (%.0f%% hit rate)\n",
-			s.MemoryHits, s.StoreHits, s.Misses, 100*s.HitRate())
+	if err := cfg.Campaign.Finish(); err != nil {
+		return err
 	}
 
 	var devs []deviation

@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"testing"
+
+	"repro/internal/cliflags"
 )
 
 // TestRunSmoke audits a suite end to end with a small window.
@@ -11,7 +13,7 @@ func TestRunSmoke(t *testing.T) {
 		t.Skip("full-suite audit in -short mode")
 	}
 	ctx := context.Background()
-	if err := run(ctx, config{suite: "cpu2006", size: "ref", n: 15000, worst: 5, progress: true}); err != nil {
+	if err := run(ctx, config{suite: "cpu2006", size: "ref", n: 15000, worst: 5, Campaign: cliflags.Campaign{Progress: true}}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if err := run(ctx, config{suite: "cpu2095", size: "ref", n: 1000, worst: 1}); err == nil {
@@ -29,7 +31,7 @@ func TestRunCacheDir(t *testing.T) {
 		t.Skip("full-suite audit in -short mode")
 	}
 	dir := t.TempDir()
-	cfg := config{suite: "cpu2006", size: "ref", n: 10000, worst: 3, cacheDir: dir}
+	cfg := config{suite: "cpu2006", size: "ref", n: 10000, worst: 3, Campaign: cliflags.Campaign{CacheDir: dir}}
 	for i := 0; i < 2; i++ {
 		if err := run(context.Background(), cfg); err != nil {
 			t.Fatalf("run %d: %v", i, err)

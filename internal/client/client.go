@@ -1,0 +1,317 @@
+// Package client is the typed Go client for specserved's /v1 campaign
+// API (internal/server). It wraps submission, polling, waiting,
+// cancellation, SSE event streaming and manifest retrieval over a plain
+// *http.Client, decoding the server's JSON into the same status types
+// the server defines so the two sides cannot drift.
+//
+// The server's e2e tests run entirely through this package, which keeps
+// the client honest: every endpoint and error path the tests exercise
+// is exercised through the public client surface.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client talks to one specserved instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transports, timeouts, httptest clients).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the server at base (e.g.
+// "http://127.0.0.1:8425"); a trailing slash is tolerated.
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response decoded from the server's JSON error
+// envelope.
+type APIError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Message is the server's error string (or the raw body when the
+	// response was not the JSON envelope).
+	Message string
+	// RetryAfter is the parsed Retry-After hint on 429 responses; zero
+	// when absent.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.Code)
+}
+
+// IsQueueFull reports whether err is the server's 429 queue-full
+// rejection.
+func IsQueueFull(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == http.StatusTooManyRequests
+}
+
+// IsNotFound reports whether err is a 404.
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == http.StatusNotFound
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	ae := &APIError{Code: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+		ae.Message = envelope.Error
+	} else {
+		ae.Message = strings.TrimSpace(string(raw))
+	}
+	return ae
+}
+
+// Submit enqueues a campaign and returns its accepted status (202).
+func (c *Client) Submit(ctx context.Context, spec server.CampaignSpec) (server.CampaignStatus, error) {
+	var st server.CampaignStatus
+	err := c.do(ctx, http.MethodPost, "/v1/campaigns", spec, &st)
+	return st, err
+}
+
+// SubmitWait submits a campaign with ?wait=1: the call blocks until the
+// campaign reaches a terminal state and returns the full status
+// (results included when done). Cancelling ctx disconnects, which the
+// server treats as a request to cancel the job.
+func (c *Client) SubmitWait(ctx context.Context, spec server.CampaignSpec) (server.CampaignStatus, error) {
+	var st server.CampaignStatus
+	err := c.do(ctx, http.MethodPost, "/v1/campaigns?wait=1", spec, &st)
+	return st, err
+}
+
+// Campaign fetches one campaign's status; withResults includes the
+// per-pair characteristics once the campaign is done.
+func (c *Client) Campaign(ctx context.Context, id string, withResults bool) (server.CampaignStatus, error) {
+	path := "/v1/campaigns/" + url.PathEscape(id)
+	if !withResults {
+		path += "?results=0"
+	}
+	var st server.CampaignStatus
+	err := c.do(ctx, http.MethodGet, path, nil, &st)
+	return st, err
+}
+
+// List fetches every campaign's status in submission order.
+func (c *Client) List(ctx context.Context) ([]server.CampaignStatus, error) {
+	var out []server.CampaignStatus
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns", nil, &out)
+	return out, err
+}
+
+// Cancel requests cancellation of a queued or running campaign and
+// returns the status snapshot taken at acceptance.
+func (c *Client) Cancel(ctx context.Context, id string) (server.CampaignStatus, error) {
+	var st server.CampaignStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/campaigns/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Wait polls until the campaign reaches a terminal status and returns
+// it with results. The poll interval is fixed and small; use SubmitWait
+// or Events when latency matters.
+func (c *Client) Wait(ctx context.Context, id string) (server.CampaignStatus, error) {
+	for {
+		st, err := c.Campaign(ctx, id, true)
+		if err != nil {
+			return st, err
+		}
+		switch st.Status {
+		case server.StatusDone, server.StatusFailed, server.StatusCancelled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// Event is one server-sent event from a campaign's /events stream.
+type Event struct {
+	// Name is the event type: "status", "progress" or "done".
+	Name string
+	// Data is the raw JSON payload (a CampaignStatus for status/done,
+	// a ProgressStatus for progress).
+	Data []byte
+}
+
+// Progress decodes the event payload as a progress snapshot.
+func (e Event) Progress() (server.ProgressStatus, error) {
+	var p server.ProgressStatus
+	err := json.Unmarshal(e.Data, &p)
+	return p, err
+}
+
+// Status decodes the event payload as a campaign status.
+func (e Event) Status() (server.CampaignStatus, error) {
+	var st server.CampaignStatus
+	err := json.Unmarshal(e.Data, &st)
+	return st, err
+}
+
+// Events streams the campaign's SSE feed, invoking fn for each event
+// until the stream ends (the server closes it after the "done" event),
+// fn returns a non-nil error, or ctx is cancelled. Returns nil on a
+// normally closed stream and fn's error when fn stopped it.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/campaigns/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var ev Event
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev.Name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if ev.Name != "" || len(ev.Data) > 0 {
+				if err := fn(ev); err != nil {
+					return err
+				}
+				ev = Event{}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// Manifest fetches a campaign's JSONL run manifest and the digest the
+// server advertises for it.
+func (c *Client) Manifest(ctx context.Context, id string) (manifest []byte, digest string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/campaigns/"+url.PathEscape(id)+"/manifest", nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", decodeError(resp)
+	}
+	manifest, err = io.ReadAll(resp.Body)
+	return manifest, resp.Header.Get("X-Manifest-Digest"), err
+}
+
+// Health reports whether the server is accepting work (false while
+// draining).
+func (c *Client) Health(ctx context.Context) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK, nil
+}
+
+// Metrics fetches the Prometheus text exposition from /metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}

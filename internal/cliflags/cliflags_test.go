@@ -1,0 +1,144 @@
+package cliflags
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	speckit "repro"
+)
+
+func TestRegisterAndParse(t *testing.T) {
+	var c Campaign
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.Register(fs)
+	err := fs.Parse([]string{
+		"-progress", "-cache-dir", "/tmp/x", "-sampling", "default",
+		"-batch", "128", "-j", "2", "-trace", "run.jsonl", "-slow-pair", "2s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Campaign{
+		Progress: true, CacheDir: "/tmp/x", Sampling: "default",
+		Batch: 128, Parallelism: 2, TraceFile: "run.jsonl", SlowPair: 2 * time.Second,
+	}
+	if c != want {
+		t.Errorf("parsed = %+v, want %+v", c, want)
+	}
+
+	// Defaults: sampling reads as "off", everything else zero.
+	var d Campaign
+	fs = flag.NewFlagSet("defaults", flag.ContinueOnError)
+	d.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.Sampling != "off" || d.Progress || d.TraceFile != "" || d.SlowPair != 0 {
+		t.Errorf("defaults = %+v", d)
+	}
+}
+
+func TestOptionsBadSampling(t *testing.T) {
+	c := Campaign{Sampling: "not-a-knob"}
+	if _, err := c.Options(context.Background()); err == nil {
+		t.Fatal("bad sampling knob accepted")
+	}
+}
+
+// captureStderr runs fn with os.Stderr redirected and returns what it
+// wrote.
+func captureStderr(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	ferr := fn()
+	w.Close()
+	os.Stderr = old
+	out, _ := io.ReadAll(r)
+	if ferr != nil {
+		t.Fatalf("fn: %v (stderr: %s)", ferr, out)
+	}
+	return string(out)
+}
+
+// TestCampaignTraceAndFinish: a campaign run through the shared flags
+// writes a valid manifest for -trace, warns about slow pairs, and
+// prints the cache-stats line under -progress.
+func TestCampaignTraceAndFinish(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "run.jsonl")
+	c := Campaign{
+		Progress:  true,
+		TraceFile: traceFile,
+		SlowPair:  time.Microsecond, // every simulated pair exceeds this
+	}
+	opt, err := c.Options(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Instructions = 10000
+	suite := speckit.CPU2017().Mini(speckit.RateInt)
+	chars, err := speckit.Characterize(suite, speckit.Test, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStderr(t, c.Finish)
+	if !strings.Contains(out, "cache: ") {
+		t.Errorf("no cache-stats line in %q", out)
+	}
+	if got := strings.Count(out, "slow pair: "); got != len(chars) {
+		t.Errorf("slow-pair warnings = %d, want %d\n%s", got, len(chars), out)
+	}
+	if !strings.Contains(out, "trace: wrote "+traceFile) {
+		t.Errorf("no trace line in %q", out)
+	}
+
+	manifest, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, spans, err := speckit.ReadManifest(bytes.NewReader(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairSpans := 0
+	for _, s := range spans {
+		if s.Attrs["tier"] != nil {
+			pairSpans++
+		}
+	}
+	if pairSpans != len(chars) {
+		t.Errorf("manifest pair spans = %d, want %d", pairSpans, len(chars))
+	}
+	if !strings.Contains(out, speckit.ManifestDigest(manifest)) {
+		t.Error("trace line does not report the manifest digest")
+	}
+}
+
+// TestFinishWithoutTrace: with neither -trace nor -slow-pair, Finish
+// only prints stats and never renders a manifest.
+func TestFinishWithoutTrace(t *testing.T) {
+	var c Campaign
+	opt, err := c.Options(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Trace != nil {
+		t.Error("trace attached without -trace/-slow-pair")
+	}
+	out := captureStderr(t, c.Finish)
+	if out != "" {
+		t.Errorf("quiet Finish wrote %q", out)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
 	"repro/internal/profile"
@@ -69,6 +70,14 @@ type Options struct {
 	// tiers. Each pair's Characteristics.Sampling then carries the
 	// per-metric error estimate.
 	Sampling machine.Sampling
+	// Trace, when non-nil, records the campaign as a span tree — one
+	// campaign root, one span per pair with its satisfying cache tier,
+	// and per-stage children (fast-forward/warmup/detail) under
+	// simulated pairs — renderable as a JSONL run manifest
+	// (obs.Trace.WriteManifest). Like BatchSize, Trace never enters any
+	// result-cache key: observing a run must not change what is
+	// computed or how it is cached.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -159,10 +168,17 @@ func Characterize(pairs []profile.Pair, opt Options) ([]Characteristics, error) 
 		}
 		tasks[i] = t
 	}
+	span := opt.Trace.Start("campaign").
+		SetAttr("pairs", len(pairs)).
+		SetAttr("machine", opt.Machine.Name).
+		SetAttr("instructions", opt.Instructions).
+		SetAttr("sampling", opt.Sampling.String())
+	defer span.Finish()
 	return sched.Run(opt.Context, tasks, sched.Options{
 		Workers:  opt.Parallelism,
 		Cache:    opt.Cache,
 		Progress: opt.Progress,
+		Span:     span,
 	})
 }
 
@@ -190,6 +206,7 @@ func characterizePairCtx(ctx context.Context, pair profile.Pair, opt Options) (*
 		Context:            ctx,
 		BatchSize:          opt.BatchSize,
 		Sampling:           opt.Sampling,
+		Span:               obs.SpanFromContext(ctx),
 	}
 	if opt.Sampling.Enabled() {
 		// Under sampling the fractional pre-measurement warmup would

@@ -17,16 +17,32 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/branch"
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
 	"repro/internal/synth"
 	"repro/internal/tlb"
 	"repro/internal/trace"
 )
+
+// Per-stage wall-time histograms, one observation per run and stage.
+// The timing happens at window boundaries only (a window is thousands
+// of instructions), so the kernel's inner loop is untouched: zero
+// added allocations and no per-uop work. "simulate" is the exact
+// path's measured window; sampled runs split into fast-forward (skip
+// work between windows), warmup (settle plus per-period re-warm) and
+// detail (the counted windows).
+var metStageSeconds = map[string]*obs.Histogram{
+	"simulate":     obs.Default().Histogram("speckit_stage_seconds", "Wall time per simulation stage, accumulated over one run.", obs.LatencyBuckets, "stage", "simulate"),
+	"fast-forward": obs.Default().Histogram("speckit_stage_seconds", "", obs.LatencyBuckets, "stage", "fast-forward"),
+	"warmup":       obs.Default().Histogram("speckit_stage_seconds", "", obs.LatencyBuckets, "stage", "warmup"),
+	"detail":       obs.Default().Histogram("speckit_stage_seconds", "", obs.LatencyBuckets, "stage", "detail"),
+}
 
 // Config describes a simulated machine.
 type Config struct {
@@ -210,6 +226,13 @@ type Options struct {
 	// bits, so it participates in every result-cache key. Only the
 	// batched Run supports it; RunReference and RunShared reject it.
 	Sampling Sampling
+	// Span, when non-nil, receives per-stage child spans
+	// (fast-forward/warmup/detail for sampled runs, warmup/simulate for
+	// exact ones) plus a windows attribute on sampled runs. Stage wall
+	// times additionally feed the speckit_stage_seconds histograms
+	// whether or not a span is attached. Like BatchSize it never enters
+	// a cache key: observability must not change what is computed.
+	Span *obs.Span
 }
 
 // cancelCheckStride is how often (in instructions) RunReference polls
@@ -668,6 +691,7 @@ func run(cfg Config, hier *cache.Hierarchy, src trace.Source, opt Options) (*Res
 	bsrc := trace.AsBatch(src)
 	buf := make([]trace.Uop, bs)
 	if warm := warmupLength(opt); warm > 0 {
+		warmStart := time.Now()
 		done, err := c.runWindow(bsrc, buf, warm, opt.Context)
 		if err != nil {
 			return nil, err
@@ -676,10 +700,12 @@ func run(cfg Config, hier *cache.Hierarchy, src trace.Source, opt Options) (*Res
 			return nil, fmt.Errorf("machine: source exhausted during warmup")
 		}
 		c.resetStats()
+		recordStage(opt.Span, "warmup", time.Since(warmStart))
 	}
 	if opt.Sampling.Enabled() {
 		return c.runSampled(cfg, bsrc, buf, opt)
 	}
+	simStart := time.Now()
 	done, err := c.runWindow(bsrc, buf, opt.Instructions, opt.Context)
 	if err != nil {
 		return nil, err
@@ -687,7 +713,15 @@ func run(cfg Config, hier *cache.Hierarchy, src trace.Source, opt Options) (*Res
 	if done < opt.Instructions {
 		return nil, fmt.Errorf("machine: source exhausted after %d instructions", done)
 	}
+	recordStage(opt.Span, "simulate", time.Since(simStart))
 	return c.finish(cfg, opt, c.snap())
+}
+
+// recordStage feeds one stage's wall time into its histogram and, when
+// a span is attached, records it as a finished stage child span.
+func recordStage(span *obs.Span, stage string, d time.Duration) {
+	metStageSeconds[stage].ObserveDuration(d)
+	span.Stage(stage, d)
 }
 
 // RunReference simulates one uop stream with the legacy per-uop kernel.

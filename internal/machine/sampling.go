@@ -5,6 +5,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/branch"
 	"repro/internal/cache"
@@ -278,9 +279,11 @@ func (c *core) runSampled(cfg Config, src trace.BatchSource, buf []trace.Uop, op
 	// A stream under two periods has no room for a settle window plus a
 	// counted window; simulate it exactly.
 	if total < 2*sp.Period {
+		simStart := time.Now()
 		if err := c.mustRun(src, buf, total, opt); err != nil {
 			return nil, err
 		}
+		recordStage(opt.Span, "simulate", time.Since(simStart))
 		stats.SampledFraction = 1
 		res, err := c.finish(cfg, opt, c.snap())
 		if err != nil {
@@ -314,9 +317,16 @@ func (c *core) runSampled(cfg Config, src trace.BatchSource, buf []trace.Uop, op
 	for i, ch := range ageCaches {
 		fillAcc[i] = ch.Fills()
 	}
+	// Stage accounting: the settle window and per-period re-warm windows
+	// accumulate into warmDur, skip work into ffDur, counted windows
+	// into detailDur. Timing happens a handful of times per period — at
+	// window boundaries, never per uop — so the kernel loop is unchanged.
+	var ffDur, warmDur, detailDur time.Duration
+	settleStart := time.Now()
 	if err := c.mustRun(src, buf, settle, opt); err != nil {
 		return nil, err
 	}
+	warmDur += time.Since(settleStart)
 	for i, ch := range ageCaches {
 		fillAcc[i] = ch.Fills() - fillAcc[i]
 	}
@@ -364,6 +374,7 @@ func (c *core) runSampled(cfg Config, src trace.BatchSource, buf []trace.Uop, op
 		carry = skipLen - pre
 		rem := total - done
 		if s := min64(gap, rem); s > 0 {
+			ffStart := time.Now()
 			for i, ch := range ageCaches {
 				alpha := 1.0
 				if i >= 2 {
@@ -384,18 +395,22 @@ func (c *core) runSampled(cfg Config, src trace.BatchSource, buf []trace.Uop, op
 			if skipped < s {
 				return nil, fmt.Errorf("machine: source exhausted after %d instructions", done+skipped)
 			}
+			ffDur += time.Since(ffStart)
 			done += s
 			rem -= s
 		}
 		if w := min64(sp.WarmupLen, rem); w > 0 {
+			warmStart := time.Now()
 			if err := c.mustRun(src, buf, w, opt); err != nil {
 				return nil, err
 			}
+			warmDur += time.Since(warmStart)
 			done += w
 			rem -= w
 		}
 		d := min64(sp.DetailLen, rem)
 		if d > 0 {
+			detailStart := time.Now()
 			var f0 [4]uint64
 			for i, ch := range ageCaches {
 				f0[i] = ch.Fills()
@@ -410,12 +425,17 @@ func (c *core) runSampled(cfg Config, src trace.BatchSource, buf []trace.Uop, op
 			windows = append(windows, win)
 			agg.add(win)
 			detailed += d
+			detailDur += time.Since(detailStart)
 			for i, ch := range ageCaches {
 				fillAcc[i] += ch.Fills() - f0[i]
 			}
 			fillInstr += d
 		}
 	}
+	recordStage(opt.Span, "fast-forward", ffDur)
+	recordStage(opt.Span, "warmup", warmDur)
+	recordStage(opt.Span, "detail", detailDur)
+	opt.Span.SetAttr("windows", len(windows))
 	if detailed == 0 {
 		// Unreachable once total >= 2*Period and DetailLen > 0, but a
 		// zero division would be silent garbage; fail loudly instead.

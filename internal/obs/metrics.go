@@ -1,0 +1,197 @@
+// Package obs is the project's observability layer: an allocation-free
+// metrics core (atomic counters, gauges, fixed-bucket histograms with
+// quantile snapshots) behind a Prometheus-text registry, plus
+// lightweight tracing (span trees emitted as JSONL run manifests).
+//
+// The package sits at the bottom of the dependency graph — it imports
+// only the standard library — so every layer (sched, machine, store,
+// server, the CLIs) can instrument itself without cycles. Two design
+// rules keep it out of the hot path:
+//
+//   - Metric update operations (Counter.Add, Gauge.Set,
+//     Histogram.Observe) never allocate and never take a lock; they are
+//     single atomic operations (plus a CAS loop for float sums).
+//   - Tracing is opt-in per call site through nil receivers: every
+//     Trace/Span method is a no-op on nil, so instrumented code calls
+//     span.Child(...)/span.Stage(...) unconditionally and pays only a
+//     nil check when tracing is off. The simulation kernel's inner loop
+//     is never instrumented at all — stages are timed at window
+//     boundaries (see internal/machine).
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; updates are lock- and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic float64 value that can go up and down. The zero
+// value is ready to use and reads 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (negative deltas subtract).
+func (g *Gauge) Add(delta float64) { addFloat(&g.bits, delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// addFloat atomically adds v to the float64 stored in bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// LatencyBuckets are the default histogram bounds for operation
+// latencies in seconds: 10µs doubling up to ~84s (24 bounds plus the
+// implicit +Inf bucket). The range covers everything the pipeline
+// times, from a sub-millisecond store read to a multi-minute exact
+// campaign pair. Treat as read-only.
+var LatencyBuckets = func() []float64 {
+	b := make([]float64, 24)
+	v := 1e-5
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket histogram with atomic bucket counters.
+// Bounds are upper bucket edges (a value v lands in the first bucket
+// with v <= bound, Prometheus "le" semantics); values above the last
+// bound land in the implicit +Inf bucket. Observations are lock- and
+// allocation-free. Snapshots taken under concurrent writers are
+// per-bucket consistent but not globally atomic — a snapshot may catch
+// some in-flight observations in the count and not yet in a bucket or
+// vice versa; with monotone writers the skew is bounded by the writes
+// in flight at snapshot time.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+// NewHistogram returns a histogram with the given upper bucket bounds,
+// which must be non-empty and strictly increasing. Most callers want a
+// registry-owned histogram via Registry.Histogram instead.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (the default is 24) and the
+	// common latencies land in the first few buckets, so a scan beats a
+	// branchy binary search and keeps the path trivially allocation-free.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Count and Sum aggregate every observation.
+	Count uint64
+	Sum   float64
+	// Bounds are the upper bucket edges; Counts[i] is the number of
+	// observations in bucket i (non-cumulative), with the final extra
+	// entry counting observations above the last bound.
+	Bounds []float64
+	Counts []uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable after construction
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = math.Float64frombits(h.sum.Load())
+	s.Count = h.count.Load()
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the containing bucket, the standard
+// fixed-bucket estimator. The overflow bucket reports the last bound
+// (the estimate saturates there). Returns 0 for an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := uint64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

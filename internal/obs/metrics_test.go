@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 1.25 {
+		t.Fatalf("gauge = %v, want 1.25", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le (<=) bucket semantics:
+// a value exactly on a bound lands in that bound's bucket, just above
+// goes to the next, above the last bound goes to +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {0.5, 0}, {1, 0}, // le=1
+		{1.0000001, 1}, {2, 1}, // le=2
+		{3, 2}, {4, 2}, // le=4
+		{4.0000001, 3}, {1e9, 3}, // +Inf
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	want := make([]uint64, 4)
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	s := h.Snapshot()
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != uint64(len(cases)) {
+		t.Errorf("count = %d, want %d", s.Count, len(cases))
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40})
+	// 100 uniform observations over (0, 40]: quantiles should sit near
+	// the uniform ideal, exactly on bounds at bucket edges.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.4)
+	}
+	s := h.Snapshot()
+	for _, c := range []struct{ q, want float64 }{
+		{0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40},
+	} {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("q%.2f = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation inside a bucket: p60 is 40% into the (20,30] bucket.
+	if got, want := s.Quantile(0.6), 24.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("q0.60 = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	h.Observe(100) // overflow bucket only
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want saturation at last bound 2", got)
+	}
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Fatalf("q<0 not clamped")
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Fatalf("q>1 not clamped")
+	}
+}
+
+// TestHistogramConcurrentWriters hammers one histogram from many
+// goroutines and checks the final snapshot is exact (no lost updates)
+// and its quantiles are ordered.
+func TestHistogramConcurrentWriters(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Deterministic spread across several decades.
+				h.Observe(1e-5 * float64(1+(w*perWriter+i)%10000))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d (lost updates)", s.Count, writers*perWriter)
+	}
+	var inBuckets uint64
+	for _, c := range s.Counts {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket sum = %d, count = %d", inBuckets, s.Count)
+	}
+	p50, p95, p99 := s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles out of order: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	if p50 <= 0 {
+		t.Fatalf("p50 = %v, want > 0", p50)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 1.5})
+	h.ObserveDuration(time.Second)
+	s := h.Snapshot()
+	if s.Counts[1] != 1 {
+		t.Fatalf("1s landed in %v, want bucket le=1.5", s.Counts)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", "k", "v")
+	b := r.Counter("x_total", "", "k", "v")
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("x_total", "", "k", "other")
+	if a == c {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	// Label order must not matter.
+	h1 := r.Histogram("h_seconds", "", []float64{1}, "a", "1", "b", "2")
+	h2 := r.Histogram("h_seconds", "", []float64{1}, "b", "2", "a", "1")
+	if h1 != h2 {
+		t.Fatal("label order created distinct histograms")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestRegistryGaugeFuncReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("q_depth", "", func() float64 { return 1 })
+	r.GaugeFunc("q_depth", "", func() float64 { return 7 }) // must not panic
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "q_depth 7\n") {
+		t.Fatalf("gauge func not replaced:\n%s", b.String())
+	}
+}
+
+// TestWritePrometheusFormat renders a populated registry and validates
+// every line against the text exposition grammar, plus the histogram
+// invariants (cumulative buckets, +Inf == count).
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("speckit_pairs_total", "Pairs by source.", "source", "simulated").Add(3)
+	r.Counter("speckit_pairs_total", "", "source", "memory").Add(2)
+	r.Gauge("speckit_workers_active", "Active workers.").Set(4)
+	r.GaugeFunc("speckit_queue_depth", "Queue depth.", func() float64 { return 9 })
+	h := r.Histogram("speckit_pair_seconds", "Pair latency.", []float64{0.1, 1, 10}, "source", "simulated")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100)
+	// A label value that needs escaping.
+	r.Counter("speckit_errors_total", "Errors.", "msg", "a\"b\\c\nd").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	assertPromText(t, out)
+
+	for _, want := range []string{
+		`speckit_pairs_total{source="simulated"} 3`,
+		`speckit_pairs_total{source="memory"} 2`,
+		`speckit_workers_active 4`,
+		`speckit_queue_depth 9`,
+		`speckit_pair_seconds_bucket{source="simulated",le="0.1"} 1`,
+		`speckit_pair_seconds_bucket{source="simulated",le="1"} 2`,
+		`speckit_pair_seconds_bucket{source="simulated",le="10"} 2`,
+		`speckit_pair_seconds_bucket{source="simulated",le="+Inf"} 3`,
+		`speckit_pair_seconds_count{source="simulated"} 3`,
+		"# TYPE speckit_pair_seconds histogram",
+		"# TYPE speckit_pairs_total counter",
+		"# TYPE speckit_queue_depth gauge",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// assertPromText is a minimal Prometheus text-format (0.0.4) validator:
+// comments are HELP/TYPE with known types; sample lines are
+// name{labels} value with a parseable float value and balanced quotes.
+func assertPromText(t *testing.T, out string) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	typed := map[string]string{}
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				t.Fatalf("line %d: malformed comment %q", n, line)
+			}
+			if parts[1] == "TYPE" {
+				switch parts[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Fatalf("line %d: unknown TYPE %q", n, parts[3])
+				}
+				typed[parts[2]] = parts[3]
+			}
+			continue
+		}
+		name := line
+		rest := ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if !validMetricName(name) {
+			t.Fatalf("line %d: invalid metric name %q", n, name)
+		}
+		if strings.HasPrefix(rest, "{") {
+			close := strings.LastIndex(rest, "}")
+			if close < 0 {
+				t.Fatalf("line %d: unterminated label set %q", n, line)
+			}
+			if !balancedQuotes(rest[:close]) {
+				t.Fatalf("line %d: unbalanced quotes %q", n, line)
+			}
+			rest = rest[close+1:]
+		}
+		val := strings.TrimSpace(rest)
+		if val == "" {
+			t.Fatalf("line %d: no value in %q", n, line)
+		}
+		if _, err := parsePromValue(val); err != nil {
+			t.Fatalf("line %d: bad value %q: %v", n, val, err)
+		}
+	}
+	if len(typed) == 0 {
+		t.Fatal("no TYPE lines in output")
+	}
+}
+
+// balancedQuotes reports whether every label value's opening quote is
+// closed, honouring backslash escapes inside values.
+func balancedQuotes(s string) bool {
+	in := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if in {
+				i++ // skip the escaped character
+			}
+		case '"':
+			in = !in
+		}
+	}
+	return !in
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	var v float64
+	_, err := fmt.Sscanf(s, "%g", &v)
+	return v, err
+}
+
+func TestRegistryInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, fn := range []func(){
+		func() { r.Counter("", "") },
+		func() { r.Counter("9starts_with_digit", "") },
+		func() { r.Counter("has space", "") },
+		func() { r.Counter("ok_total", "", "only_key") },
+		func() { r.Counter("ok_total", "", "le", "1") },
+		func() { r.Counter("ok_total", "", "bad-label", "1") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad registration did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates what a series holds.
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	gaugeFuncKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind, gaugeFuncKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one (name, labels) time series.
+type series struct {
+	labels string // rendered `{k="v",...}` or ""
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name, help string
+	kind       metricKind
+	series     []*series
+	byLabels   map[string]*series
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Accessors are get-or-create: asking twice for the
+// same (name, labels) returns the same metric, so package-level metric
+// variables in different packages can share one process-wide registry
+// without coordination. Safe for concurrent use; the registry lock is
+// taken only on registration and rendering, never on metric updates.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry is the process-wide registry behind Default.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, the one specserved's
+// /metrics endpoint renders. Instrumented packages register their
+// metrics here as package variables.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name and the given
+// label pairs (key, value, key, value, ...), creating it on first use.
+// Panics if name is already registered as a different kind, or on a
+// malformed name or odd label list — metric registration is programmer
+// intent, not input.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	s := r.lookup(name, help, counterKind, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns the gauge registered under name and labels, creating
+// it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	s := r.lookup(name, help, gaugeKind, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// GaugeFunc registers (or replaces) a gauge whose value is read from
+// fn at render time, for values owned elsewhere — queue depths, pool
+// sizes, feature flags. Re-registering the same series replaces the
+// function, so a rebuilt subsystem (tests construct several servers
+// per process) can repoint the series at its live instance.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	s := r.lookup(name, help, gaugeFuncKind, labels)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram registered under name and labels,
+// creating it with the given bucket bounds on first use (later calls
+// ignore bounds and return the existing histogram).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	s := r.lookup(name, help, histogramKind, labels)
+	r.mu.Lock()
+	if s.h == nil {
+		s.h = NewHistogram(bounds)
+	}
+	h := s.h
+	r.mu.Unlock()
+	return h
+}
+
+// lookup finds or creates the series for (name, labels).
+func (r *Registry) lookup(name, help string, kind metricKind, labels []string) *series {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	rendered := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, byLabels: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	s, ok := f.byLabels[rendered]
+	if !ok {
+		s = &series{labels: rendered}
+		f.byLabels[rendered] = s
+		f.series = append(f.series, s)
+	}
+	return s
+}
+
+// validMetricName checks the Prometheus metric-name grammar.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels renders (key, value, ...) pairs as `{k="v",...}`,
+// sorted by key so equal label sets given in different orders name the
+// same series.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key/value pairs")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		if !validLabelName(labels[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q", labels[i]))
+		}
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, escapeLabelValue(p.v))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func validLabelName(name string) bool {
+	if name == "" || name == "le" { // le is reserved for histogram buckets
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabelValue applies the exposition-format escapes; %q in
+// renderLabels then adds the quotes (its escaping is a superset of
+// Prometheus's and stays parseable).
+func escapeLabelValue(v string) string {
+	return v // %q handles \, " and \n; Prometheus parsers accept Go escapes for these
+}
+
+// withLabel splices an extra label into an already-rendered label set
+// (for the histogram "le" bucket label).
+func withLabel(rendered, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): HELP and TYPE headers per
+// family, one line per series, histograms expanded into cumulative
+// _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Snapshot the structure under the lock, render outside it: metric
+	// reads are atomic and a render must not block registration.
+	r.mu.Lock()
+	fams := make([]*family, len(r.order))
+	for i, name := range r.order {
+		f := r.families[name]
+		cp := &family{name: f.name, help: f.help, kind: f.kind}
+		cp.series = append(cp.series, f.series...)
+		fams[i] = cp
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			var err error
+			switch f.kind {
+			case counterKind:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case gaugeKind:
+				_, err = fmt.Fprintf(w, "%s%s %v\n", f.name, s.labels, s.g.Value())
+			case gaugeFuncKind:
+				v := 0.0
+				if s.fn != nil {
+					v = s.fn()
+				}
+				_, err = fmt.Fprintf(w, "%s%s %v\n", f.name, s.labels, v)
+			case histogramKind:
+				err = writeHistogram(w, f.name, s.labels, s.h.Snapshot())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) error {
+	cum := uint64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLabel(labels, "le", formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Counts[len(s.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLabel(labels, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %v\n", name, labels, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}

@@ -157,6 +157,13 @@ func (c *Cache) Put(key string, v any) {
 	}
 }
 
+// HasBackend reports whether a persistent second tier is attached.
+func (c *Cache) HasBackend() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.backend != nil && c.codec != nil
+}
+
 // Len returns the number of entries in the memory tier.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -14,9 +14,40 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// Campaign-engine metrics, registered once on the process-wide
+// registry. The "source" label splits pairs by how they were satisfied:
+// simulated (cache miss, ran the kernel), memory (in-process cache
+// tier), store (persistent backend tier).
+var (
+	metCampaigns = obs.Default().Counter("speckit_campaigns_total",
+		"Campaign runs started by the scheduler.")
+	metWorkersActive = obs.Default().Gauge("speckit_workers_active",
+		"Scheduler workers currently executing or polling for tasks.")
+	metPairs = map[Tier]*obs.Counter{
+		TierMiss:   obs.Default().Counter("speckit_pairs_total", "Completed pairs by satisfying source.", "source", "simulated"),
+		TierMemory: obs.Default().Counter("speckit_pairs_total", "", "source", "memory"),
+		TierStore:  obs.Default().Counter("speckit_pairs_total", "", "source", "store"),
+	}
+	metPairSeconds = map[Tier]*obs.Histogram{
+		TierMiss:   obs.Default().Histogram("speckit_pair_seconds", "Wall time per completed pair by satisfying source.", obs.LatencyBuckets, "source", "simulated"),
+		TierMemory: obs.Default().Histogram("speckit_pair_seconds", "", obs.LatencyBuckets, "source", "memory"),
+		TierStore:  obs.Default().Histogram("speckit_pair_seconds", "", obs.LatencyBuckets, "source", "store"),
+	}
+)
+
+// tierNames label pair spans with the satisfying cache tier.
+var tierNames = map[Tier]string{
+	TierMiss:   "simulated",
+	TierMemory: "memory",
+	TierStore:  "store",
+}
 
 // Task is one schedulable unit of campaign work.
 type Task[T any] struct {
@@ -58,6 +89,10 @@ type Options struct {
 	// Progress, when non-nil, receives a snapshot after each completed
 	// task.
 	Progress func(Progress)
+	// Span, when non-nil, is the campaign span pair and worker spans are
+	// recorded under. Each task runs with its pair span in the context
+	// (obs.SpanFromContext) so lower layers can attach stage timings.
+	Span *obs.Span
 }
 
 // Run executes every task and returns the results in task order. The
@@ -132,38 +167,71 @@ func Run[T any](ctx context.Context, tasks []Task[T], opt Options) ([]T, error) 
 		}
 	}()
 
+	// finishPair closes a pair span with its satisfying tier and feeds
+	// the pair metrics. Failed pairs never reach it — the counters and
+	// latency histograms describe completed pairs only.
+	finishPair := func(ps *obs.Span, start time.Time, tier Tier) {
+		ps.SetAttr("tier", tierNames[tier]).Finish()
+		d := time.Since(start)
+		metPairs[tier].Inc()
+		metPairSeconds[tier].Observe(d.Seconds())
+	}
+
+	metCampaigns.Inc()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			metWorkersActive.Add(1)
+			defer metWorkersActive.Add(-1)
+			ws := opt.Span.Child("worker-" + strconv.Itoa(w))
+			ran := 0
+			defer func() {
+				ws.SetAttr("tasks", ran)
+				ws.Finish()
+			}()
 			for i := range queue {
 				if ctx.Err() != nil {
 					return
 				}
+				ran++
 				t := &tasks[i]
+				taskStart := time.Now()
+				ps := opt.Span.Child(t.Name).SetAttr("worker", w)
 				if opt.Cache != nil && t.Key != "" {
+					readStart := time.Now()
 					if v, tier := opt.Cache.GetTier(t.Key); tier != TierMiss {
 						if tv, ok := v.(T); ok {
+							if tier == TierStore {
+								ps.Stage("store-read", time.Since(readStart))
+							}
 							out[i] = tv
+							finishPair(ps, taskStart, tier)
 							report(tier)
 							continue
 						}
 						// Type mismatch: recompute and overwrite below.
 					}
 				}
-				v, err := t.Run(ctx)
+				v, err := t.Run(obs.ContextWithSpan(ctx, ps))
 				if err != nil {
+					ps.SetAttr("error", err.Error()).Finish()
 					fail(t.Name, err)
 					return
 				}
 				if opt.Cache != nil && t.Key != "" {
+					writeStart := time.Now()
 					opt.Cache.Put(t.Key, v)
+					if opt.Cache.HasBackend() {
+						ps.Stage("store-write", time.Since(writeStart))
+					}
 				}
 				out[i] = v
+				finishPair(ps, taskStart, TierMiss)
 				report(TierMiss)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

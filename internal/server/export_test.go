@@ -1,0 +1,19 @@
+package server
+
+import (
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// SetRunCampaign swaps the worker's campaign entry point and returns a
+// restore func. The e2e suite (package server_test) uses it to observe
+// queueing and cancellation without paying for simulations.
+func SetRunCampaign(fn func([]profile.Pair, core.Options) ([]core.Characteristics, error)) (restore func()) {
+	old := runCampaign
+	runCampaign = fn
+	return func() { runCampaign = old }
+}
+
+// ResolveSpec exposes spec resolution so the e2e suite can compare
+// served results against a direct library run over the same pairs.
+func ResolveSpec(spec CampaignSpec) ([]profile.Pair, error) { return spec.resolve() }

@@ -17,10 +17,22 @@
 //	DELETE /v1/campaigns/{id}        cancel a queued or running campaign.
 //	GET    /v1/campaigns/{id}/events SSE progress stream
 //	                                 (progress events, then one done).
+//	GET    /v1/campaigns/{id}/manifest JSONL run manifest (the span tree
+//	                                 recorded while the campaign ran);
+//	                                 available once terminal.
 //	GET    /healthz                  200 ok / 503 draining.
-//	GET    /metrics                  expvar JSON, including the
+//	GET    /metrics                  Prometheus text format: the
+//	                                 process-wide obs registry (pair
+//	                                 counters split by cache tier, stage
+//	                                 and store latency histograms, HTTP
+//	                                 request metrics, queue gauges).
+//	GET    /metrics/expvar           expvar JSON, including the
 //	                                 "specserved" map (queue, jobs,
 //	                                 per-tier cache stats, store stats).
+//
+// Every campaign runs under an obs.Trace; its manifest digest is
+// reported in the campaign status, so any served result is traceable to
+// exactly one recorded run.
 //
 // Results served twice are bit-identical: campaigns run through the same
 // memoizing cache (and optional persistent store tier) as the CLI tools,
@@ -34,6 +46,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,6 +54,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/sched"
 	"repro/internal/store"
@@ -175,6 +189,11 @@ type CampaignStatus struct {
 	Progress ProgressStatus         `json:"progress"`
 	Error    string                 `json:"error,omitempty"`
 	Results  []core.Characteristics `json:"results,omitempty"`
+	// ManifestDigest is the sha256 of the campaign's JSONL run manifest
+	// (GET /v1/campaigns/{id}/manifest), set once the campaign ran:
+	// the handle that ties any reported number to exactly one recorded
+	// run.
+	ManifestDigest string `json:"manifest_digest,omitempty"`
 }
 
 // sseEvent is one server-sent event.
@@ -210,6 +229,10 @@ type campaign struct {
 	errMsg       string
 	cancelReason string
 	subs         map[chan sseEvent]struct{}
+	// manifest and manifestDigest hold the rendered JSONL run manifest
+	// once the campaign has run (empty for jobs cancelled before start).
+	manifest       []byte
+	manifestDigest string
 
 	// done is closed exactly once when the campaign reaches a terminal
 	// status; SSE streams and ?wait=1 submitters block on it.
@@ -242,6 +265,7 @@ func (c *campaign) snapshot(includeResults bool) CampaignStatus {
 	if includeResults && c.status == StatusDone {
 		st.Results = c.results
 	}
+	st.ManifestDigest = c.manifestDigest
 	return st
 }
 
@@ -379,13 +403,15 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/campaigns", s.handleList)
-	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGet)
-	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleDelete)
-	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.Handle("GET /metrics", expvar.Handler())
+	s.handle("POST /v1/campaigns", "submit", s.handleSubmit)
+	s.handle("GET /v1/campaigns", "list", s.handleList)
+	s.handle("GET /v1/campaigns/{id}", "get", s.handleGet)
+	s.handle("DELETE /v1/campaigns/{id}", "delete", s.handleDelete)
+	s.handle("GET /v1/campaigns/{id}/events", "events", s.handleEvents)
+	s.handle("GET /v1/campaigns/{id}/manifest", "manifest", s.handleManifest)
+	s.handle("GET /healthz", "health", s.handleHealth)
+	s.handle("GET /metrics", "metrics", handlePrometheus)
+	s.handle("GET /metrics/expvar", "expvar", expvar.Handler().ServeHTTP)
 	s.publishMetrics()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -396,6 +422,58 @@ func New(cfg Config) *Server {
 
 // Handler returns the HTTP handler serving the API.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// handle registers an instrumented route: requests are counted by
+// (route, status code) and timed into a per-route latency histogram.
+// Routes carry an explicit label because the mux pattern is not
+// recoverable from the request under this module's Go version.
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	hist := obs.Default().Histogram("speckit_http_request_seconds",
+		"HTTP request latency by route.", obs.LatencyBuckets, "route", route)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		hist.ObserveDuration(time.Since(start))
+		obs.Default().Counter("speckit_http_requests_total",
+			"HTTP requests by route and status code.",
+			"route", route, "code", strconv.Itoa(sw.code)).Inc()
+	})
+}
+
+// statusWriter captures the response code for the request metrics and
+// forwards Flush so SSE streaming keeps working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handlePrometheus renders the process-wide obs registry in the
+// Prometheus text exposition format.
+func handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default().WritePrometheus(w)
+}
 
 // Drain stops admission (submits return 503, healthz flips to 503),
 // cancels still-queued campaigns, and waits for in-flight campaigns to
@@ -480,8 +558,20 @@ func (s *Server) run(c *campaign) {
 	}
 	opt.Context = c.ctx
 	opt.Progress = c.setProgress
+	tr := obs.NewTrace()
+	opt.Trace = tr
 
 	results, err := runCampaign(c.pairs, opt)
+
+	// Render the run manifest before flipping the terminal status, so a
+	// client that observes "done" can always fetch the manifest whose
+	// digest the status reports.
+	if manifest, merr := tr.Manifest(); merr == nil {
+		c.mu.Lock()
+		c.manifest = manifest
+		c.manifestDigest = obs.ManifestDigest(manifest)
+		c.mu.Unlock()
+	}
 
 	// Account completed pairs by where they came from before flipping
 	// the terminal status; sampled campaigns feed their own counter trio
@@ -490,12 +580,17 @@ func (s *Server) run(c *campaign) {
 	p := c.progress
 	c.mu.Unlock()
 	fromStore, fromCache, simulated := &s.pairsFromStore, &s.pairsFromCache, &s.pairsSimulated
+	mode := "exact"
 	if opt.Sampling.Enabled() {
 		fromStore, fromCache, simulated = &s.sampledFromStore, &s.sampledFromCache, &s.sampledSimulated
+		mode = "sampled"
 	}
 	fromStore.Add(uint64(p.StoreHits))
 	fromCache.Add(uint64(p.CacheHits - p.StoreHits))
 	simulated.Add(uint64(p.Done - p.CacheHits))
+	metServedPairs[mode+"/store"].Add(uint64(p.StoreHits))
+	metServedPairs[mode+"/memory"].Add(uint64(p.CacheHits - p.StoreHits))
+	metServedPairs[mode+"/simulated"].Add(uint64(p.Done - p.CacheHits))
 
 	switch {
 	case err == nil:
@@ -630,6 +725,24 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, c.snapshot(false))
 }
 
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	c.mu.Lock()
+	manifest, digest := c.manifest, c.manifestDigest
+	c.mu.Unlock()
+	if len(manifest) == 0 {
+		writeError(w, http.StatusConflict, "campaign %s has not run yet", c.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Manifest-Digest", digest)
+	w.Write(manifest)
+}
+
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	c, ok := s.lookup(r)
 	if !ok {
@@ -700,14 +813,52 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // expvar.Publish panics on duplicate names, so the "specserved" map is
 // published once per process and routed to whichever Server was built
-// most recently (tests build several; real processes build one).
+// most recently (tests build several; real processes build one). The
+// obs gauge funcs follow the same active-server indirection — GaugeFunc
+// is replace-on-reregister, so repeated New calls just repoint them.
 var (
 	metricsOnce  sync.Once
 	activeServer atomic.Pointer[Server]
 )
 
+// metServedPairs counts pairs in completed campaigns, split by sampling
+// mode (exact vs sampled estimates) and satisfying source — the
+// Prometheus twin of the per-server atomics behind the expvar map.
+var metServedPairs = func() map[string]*obs.Counter {
+	m := make(map[string]*obs.Counter)
+	help := "Pairs in completed campaigns by sampling mode and satisfying source."
+	for _, mode := range []string{"exact", "sampled"} {
+		for _, src := range []string{"simulated", "memory", "store"} {
+			m[mode+"/"+src] = obs.Default().Counter("speckit_served_pairs_total", help,
+				"mode", mode, "source", src)
+			help = ""
+		}
+	}
+	return m
+}()
+
 func (s *Server) publishMetrics() {
 	activeServer.Store(s)
+	reg := obs.Default()
+	reg.GaugeFunc("speckit_server_queue_depth",
+		"Campaigns waiting in the submission queue.", func() float64 {
+			if srv := activeServer.Load(); srv != nil {
+				return float64(len(srv.queue))
+			}
+			return 0
+		})
+	help := "Campaigns known to the server by state."
+	for _, state := range []string{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled} {
+		state := state
+		reg.GaugeFunc("speckit_server_jobs", help, func() float64 {
+			srv := activeServer.Load()
+			if srv == nil {
+				return 0
+			}
+			return float64(srv.countJobs(state))
+		}, "state", state)
+		help = ""
+	}
 	metricsOnce.Do(func() {
 		expvar.Publish("specserved", expvar.Func(func() any {
 			srv := activeServer.Load()
@@ -717,6 +868,20 @@ func (s *Server) publishMetrics() {
 			return srv.MetricsSnapshot()
 		}))
 	})
+}
+
+func (s *Server) countJobs(state string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.jobs {
+		c.mu.Lock()
+		if c.status == state {
+			n++
+		}
+		c.mu.Unlock()
+	}
+	return n
 }
 
 // MetricsSnapshot returns the live metrics served under /metrics as the

@@ -1,0 +1,26 @@
+package server
+
+import "testing"
+
+func TestSpecResolve(t *testing.T) {
+	for _, tc := range []struct {
+		spec CampaignSpec
+		ok   bool
+	}{
+		{CampaignSpec{Suite: "cpu2017", Size: "ref"}, true},
+		{CampaignSpec{Suite: "cpu2006", Mini: "all", Size: "test"}, true},
+		{CampaignSpec{Suite: "", Size: ""}, true}, // defaults: cpu2017 ref
+		{CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train"}, true},
+		{CampaignSpec{Suite: "spec95", Size: "ref"}, false},
+		{CampaignSpec{Suite: "cpu2017", Mini: "nope", Size: "ref"}, false},
+		{CampaignSpec{Suite: "cpu2017", Size: "huge"}, false},
+	} {
+		pairs, err := tc.spec.resolve()
+		if tc.ok && (err != nil || len(pairs) == 0) {
+			t.Errorf("resolve(%+v) = %d pairs, %v", tc.spec, len(pairs), err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("resolve(%+v) succeeded, want error", tc.spec)
+		}
+	}
+}

@@ -25,6 +25,26 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Process-wide store metrics: operation outcomes plus read/write
+// latency histograms. These aggregate across every Store handle in the
+// process (handles already keep per-handle Stats).
+var (
+	metOps = map[string]*obs.Counter{
+		"hit":         obs.Default().Counter("speckit_store_ops_total", "Store operations by outcome.", "op", "hit"),
+		"miss":        obs.Default().Counter("speckit_store_ops_total", "", "op", "miss"),
+		"corrupt":     obs.Default().Counter("speckit_store_ops_total", "", "op", "corrupt"),
+		"write":       obs.Default().Counter("speckit_store_ops_total", "", "op", "write"),
+		"write_error": obs.Default().Counter("speckit_store_ops_total", "", "op", "write_error"),
+	}
+	metReadSeconds = obs.Default().Histogram("speckit_store_read_seconds",
+		"Record load latency (any outcome).", obs.LatencyBuckets)
+	metWriteSeconds = obs.Default().Histogram("speckit_store_write_seconds",
+		"Record persist latency (any outcome).", obs.LatencyBuckets)
 )
 
 // Store is a directory of content-addressed result records. It
@@ -107,22 +127,28 @@ func isHexKey(key string) bool {
 // garbage JSON, key mismatch, checksum mismatch — is a miss, never an
 // error.
 func (s *Store) Load(key string) ([]byte, bool) {
+	start := time.Now()
+	defer func() { metReadSeconds.ObserveDuration(time.Since(start)) }()
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
 		s.count(func(st *Stats) { st.Misses++ })
+		metOps["miss"].Inc()
 		return nil, false
 	}
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		metOps["corrupt"].Inc()
 		return nil, false
 	}
 	sum := sha256.Sum256(env.Payload)
 	if env.Key != key || env.SHA256 != hex.EncodeToString(sum[:]) || len(env.Payload) == 0 {
 		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		metOps["corrupt"].Inc()
 		return nil, false
 	}
 	s.count(func(st *Stats) { st.Hits++ })
+	metOps["hit"].Inc()
 	return env.Payload, true
 }
 
@@ -130,11 +156,15 @@ func (s *Store) Load(key string) ([]byte, bool) {
 // atomically. Implements sched.Backend: failures are swallowed (they
 // only cost a future recomputation) and surface in Stats.WriteErrors.
 func (s *Store) Store(key string, data []byte) {
+	start := time.Now()
+	defer func() { metWriteSeconds.ObserveDuration(time.Since(start)) }()
 	if err := s.write(key, data); err != nil {
 		s.count(func(st *Stats) { st.WriteErrors++ })
+		metOps["write_error"].Inc()
 		return
 	}
 	s.count(func(st *Stats) { st.Writes++ })
+	metOps["write"].Inc()
 }
 
 func (s *Store) write(key string, data []byte) error {

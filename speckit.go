@@ -85,7 +85,11 @@ func (s Suite) Names() []string {
 	return names
 }
 
-// Options configure a characterization campaign.
+// Options configure a characterization campaign. Filling the struct
+// directly is the legacy surface and remains supported; new code should
+// prefer composing Option values (WithInstructions, WithCache, ...) via
+// NewOptions or Suite.Characterize, which stay source-compatible as
+// knobs are added.
 type Options = core.Options
 
 // Cache memoizes characterization results across campaigns. Keys are
