@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-seed bench-smoke serve-smoke metrics-smoke ci
+.PHONY: build vet test race bench fuzz-seed bench-smoke serve-smoke metrics-smoke fleet-smoke race-fanout ci
 
 build:
 	$(GO) build ./...
@@ -42,4 +42,18 @@ serve-smoke:
 metrics-smoke:
 	$(GO) test -run='^TestServeSmokeMetrics$$' -count=1 ./cmd/specserved
 
-ci: build vet test race fuzz-seed bench-smoke serve-smoke metrics-smoke
+# Boot a real 2-worker fleet plus coordinator from the built binaries,
+# drive it with specload under SLO gates, and assert the sharded run is
+# bit-identical to a direct single-worker run. The baseline gate then
+# checks the serving trajectory recorded in BENCH_serve.json against its
+# floors — recorded numbers, so a loaded machine can't flake it.
+fleet-smoke:
+	$(GO) test -run='^TestFleetSmoke$$' -count=1 ./cmd/specserved
+	$(GO) test -run='^TestServeBenchBaselines$$' -count=1 .
+
+# Race-check the fan-out path specifically: the coordinator/dispatcher,
+# the typed client's retry loop, and the registry the handlers hammer.
+race-fanout:
+	$(GO) test -race ./internal/server/... ./internal/sched/... ./internal/client/...
+
+ci: build vet test race fuzz-seed bench-smoke serve-smoke metrics-smoke fleet-smoke race-fanout

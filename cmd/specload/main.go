@@ -1,0 +1,222 @@
+// Command specload is the load generator for specserved (single node or
+// fleet coordinator): it drives concurrent campaigns through the typed
+// client, measures per-campaign latency into an internal/obs histogram,
+// and gates the run against latency and throughput SLOs.
+//
+// Usage:
+//
+//	specload -addr http://127.0.0.1:8217 [-campaigns 8] [-concurrency 4]
+//	         [-suite cpu2017] [-mini rate-int] [-size test] [-n 20000]
+//	         [-sampling off] [-unique]
+//	         [-slo-p50 0] [-slo-p99 0] [-min-pairs-per-sec 0]
+//	         [-bench BENCH_serve.json] [-label ""]
+//
+// Each campaign is submitted with ?wait=1 (queue-full rejections retry
+// under the client's backoff policy, honoring Retry-After). With
+// -unique, campaign i widens the instruction window by i so every
+// campaign carries distinct content keys and actually exercises the
+// serving tier; without it, repeats are served from the target's cache
+// and the run measures pure serving latency.
+//
+// The report is one JSON object on stdout: p50/p99/mean campaign
+// latency (interpolated from the obs histogram), campaigns/s and
+// pairs/s over the wall clock, and error counts. When -slo-p50,
+// -slo-p99 or -min-pairs-per-sec are set, a violation prints to stderr
+// and exits 1 — the CI gate. With -bench, the report is also appended
+// to the file's "trajectory" array (created as needed), preserving the
+// "floors" block for the baseline gate test.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// report is the JSON result of one specload run; also the trajectory
+// entry format in BENCH_serve.json.
+type report struct {
+	Date        string  `json:"date"`
+	Label       string  `json:"label,omitempty"`
+	Target      string  `json:"target"`
+	Campaigns   int     `json:"campaigns"`
+	Concurrency int     `json:"concurrency"`
+	Unique      bool    `json:"unique"`
+	Errors      int     `json:"errors"`
+	TotalPairs  int     `json:"total_pairs"`
+	ElapsedS    float64 `json:"elapsed_s"`
+	P50S        float64 `json:"p50_s"`
+	P99S        float64 `json:"p99_s"`
+	MeanS       float64 `json:"mean_s"`
+	CampaignsPS float64 `json:"campaigns_per_s"`
+	PairsPS     float64 `json:"pairs_per_s"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8217", "specserved base URL")
+	campaigns := flag.Int("campaigns", 8, "campaigns to submit in total")
+	concurrency := flag.Int("concurrency", 4, "campaigns in flight at once")
+	suite := flag.String("suite", "cpu2017", "benchmark suite")
+	mini := flag.String("mini", "rate-int", "mini-suite filter")
+	size := flag.String("size", "test", "input size")
+	n := flag.Uint64("n", 20000, "instructions per pair")
+	sampling := flag.String("sampling", "", "sampling knob forwarded to the server")
+	unique := flag.Bool("unique", false, "give every campaign distinct content keys (campaign i runs n+i instructions)")
+	sloP50 := flag.Duration("slo-p50", 0, "fail when p50 campaign latency exceeds this (0 = no gate)")
+	sloP99 := flag.Duration("slo-p99", 0, "fail when p99 campaign latency exceeds this (0 = no gate)")
+	minPairs := flag.Float64("min-pairs-per-sec", 0, "fail when pair throughput falls below this (0 = no gate)")
+	bench := flag.String("bench", "", "append the report to this BENCH_serve.json trajectory file")
+	label := flag.String("label", "", "free-form label recorded in the report (e.g. \"fleet-3\")")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+	flag.Parse()
+
+	if err := run(*addr, *campaigns, *concurrency, *suite, *mini, *size, *n, *sampling,
+		*unique, *sloP50, *sloP99, *minPairs, *bench, *label, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "specload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, campaigns, concurrency int, suite, mini, size string, n uint64,
+	sampling string, unique bool, sloP50, sloP99 time.Duration, minPairs float64,
+	bench, label string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	cl := client.New(addr)
+	if ok, err := cl.Health(ctx); err != nil || !ok {
+		return fmt.Errorf("target %s is not healthy (err: %v)", addr, err)
+	}
+
+	hist := obs.Default().Histogram("specload_campaign_seconds",
+		"End-to-end campaign latency as observed by specload.", obs.LatencyBuckets)
+	var (
+		errs  atomic.Int64
+		pairs atomic.Int64
+		wg    sync.WaitGroup
+		sem   = make(chan struct{}, max(concurrency, 1))
+	)
+	start := time.Now()
+	for i := 0; i < campaigns; i++ {
+		spec := server.CampaignSpec{
+			Suite: suite, Mini: mini, Size: size,
+			Instructions: n, Sampling: sampling,
+		}
+		if unique {
+			spec.Instructions = n + uint64(i)
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(spec server.CampaignSpec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			st, err := cl.SubmitWait(ctx, spec)
+			hist.ObserveDuration(time.Since(t0))
+			if err != nil || st.Status != server.StatusDone {
+				errs.Add(1)
+				fmt.Fprintf(os.Stderr, "specload: campaign failed: status=%s err=%v\n", st.Status, err)
+				return
+			}
+			pairs.Add(int64(st.Pairs))
+		}(spec)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := hist.Snapshot()
+	rep := report{
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Label:       label,
+		Target:      addr,
+		Campaigns:   campaigns,
+		Concurrency: concurrency,
+		Unique:      unique,
+		Errors:      int(errs.Load()),
+		TotalPairs:  int(pairs.Load()),
+		ElapsedS:    elapsed.Seconds(),
+		P50S:        snap.Quantile(0.50),
+		P99S:        snap.Quantile(0.99),
+		CampaignsPS: float64(campaigns) / elapsed.Seconds(),
+		PairsPS:     float64(pairs.Load()) / elapsed.Seconds(),
+	}
+	if snap.Count > 0 {
+		rep.MeanS = snap.Sum / float64(snap.Count)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+
+	if bench != "" {
+		if err := appendTrajectory(bench, rep); err != nil {
+			return fmt.Errorf("recording trajectory: %w", err)
+		}
+	}
+
+	var violations []string
+	if rep.Errors > 0 {
+		violations = append(violations, fmt.Sprintf("%d/%d campaigns failed", rep.Errors, campaigns))
+	}
+	if sloP50 > 0 && rep.P50S > sloP50.Seconds() {
+		violations = append(violations, fmt.Sprintf("p50 %.3fs exceeds SLO %s", rep.P50S, sloP50))
+	}
+	if sloP99 > 0 && rep.P99S > sloP99.Seconds() {
+		violations = append(violations, fmt.Sprintf("p99 %.3fs exceeds SLO %s", rep.P99S, sloP99))
+	}
+	if minPairs > 0 && rep.PairsPS < minPairs {
+		violations = append(violations, fmt.Sprintf("throughput %.1f pairs/s below floor %.1f", rep.PairsPS, minPairs))
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "specload: SLO violation:", v)
+		}
+		return fmt.Errorf("%d SLO violation(s)", len(violations))
+	}
+	return nil
+}
+
+// benchFile is the BENCH_serve.json shape: recorded floors plus the
+// trajectory of specload runs. Unknown fields (comment, etc.) are
+// preserved via the raw map.
+type benchFile map[string]json.RawMessage
+
+// appendTrajectory appends rep to the file's "trajectory" array,
+// creating the file if missing and leaving every other top-level field
+// (comment, floors, recorded runs) untouched.
+func appendTrajectory(path string, rep report) error {
+	bf := benchFile{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	var traj []report
+	if raw, ok := bf["trajectory"]; ok {
+		if err := json.Unmarshal(raw, &traj); err != nil {
+			return fmt.Errorf("parsing %s trajectory: %w", path, err)
+		}
+	}
+	traj = append(traj, rep)
+	enc, err := json.Marshal(traj)
+	if err != nil {
+		return err
+	}
+	bf["trajectory"] = enc
+	out, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -10,6 +10,18 @@
 //	specserved [-addr :8217] [-cache-dir DIR] [-workers 2] [-queue 16]
 //	           [-parallelism N] [-n instructions] [-mux slots]
 //	           [-drain-grace 30s]
+//	           [-coordinator URL,URL,...] [-fleet-chunk 4]
+//
+// With -coordinator, this instance simulates nothing itself: each
+// campaign's pairs are scattered across the listed worker specserved
+// instances by consistent hash of their result-cache content keys,
+// gathered back through the typed client (dead workers are evicted and
+// their chunks resubmitted to survivors), and written through the
+// coordinator's own cache tiers — so a sharded campaign produces
+// results and store records bit-identical to a single-node run. The
+// fleet must be homogeneous (same machine model and -mux base flags on
+// every worker); the instruction window and sampling knob are forwarded
+// explicitly per chunk.
 //
 // Endpoints: POST/GET/DELETE /v1/campaigns[/{id}], SSE at
 // /v1/campaigns/{id}/events, the JSONL run manifest at
@@ -29,10 +41,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	speckit "repro"
 	"repro/internal/cliflags"
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -45,15 +59,17 @@ func main() {
 	nFlag := flag.Uint64("n", 300000, "default simulated instructions per pair (overridable per request)")
 	muxFlag := flag.Int("mux", 0, "default perf counter-multiplex slots, 0 = exact counters (overridable per request)")
 	drainFlag := flag.Duration("drain-grace", 30*time.Second, "how long a drain waits for in-flight campaigns before cancelling them (0 = wait until they finish)")
+	coordFlag := flag.String("coordinator", "", "comma-separated worker specserved URLs: run as a fleet coordinator, scattering campaigns across them instead of simulating locally")
+	chunkFlag := flag.Int("fleet-chunk", 4, "pairs per scattered sub-campaign in coordinator mode")
 	flag.Parse()
 
-	if err := run(*addrFlag, *cacheDirFlag, *workersFlag, *queueFlag, *parFlag, *nFlag, *muxFlag, *drainFlag); err != nil {
+	if err := run(*addrFlag, *cacheDirFlag, *workersFlag, *queueFlag, *parFlag, *nFlag, *muxFlag, *drainFlag, *coordFlag, *chunkFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "specserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheDir string, workers, queue, parallelism int, n uint64, mux int, drainGrace time.Duration) error {
+func run(addr, cacheDir string, workers, queue, parallelism int, n uint64, mux int, drainGrace time.Duration, coordinator string, fleetChunk int) error {
 	ctx, stop := cliflags.SignalContext()
 	defer stop()
 
@@ -72,12 +88,27 @@ func run(addr, cacheDir string, workers, queue, parallelism int, n uint64, mux i
 		fmt.Fprintf(os.Stderr, "specserved: persistent result store at %s\n", st.Dir())
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Workers:      workers,
 		QueueDepth:   queue,
 		DrainGrace:   drainGrace,
+		FleetChunk:   fleetChunk,
 		Characterize: opt,
-	})
+	}
+	if coordinator != "" {
+		var urls []string
+		for _, u := range strings.Split(coordinator, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			return fmt.Errorf("-coordinator lists no worker URLs")
+		}
+		cfg.Fleet = fleet.Workers(urls)
+		fmt.Fprintf(os.Stderr, "specserved: coordinating a fleet of %d workers\n", len(urls))
+	}
+	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

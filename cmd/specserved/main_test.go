@@ -202,6 +202,117 @@ func TestServeSmoke(t *testing.T) {
 	sigtermAndWait(t, cmd2)
 }
 
+// TestFleetSmoke is the `make fleet-smoke` gate: build the real
+// binaries, start two worker specserveds and a coordinator in front of
+// them, drive campaigns through the specload generator under generous
+// SLO gates, and assert digest parity — the sharded campaign's results
+// must be byte-identical to the same spec run directly on one worker,
+// and a coordinator resubmission must be served locally.
+func TestFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the specserved and specload binaries")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "specserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build specserved: %v", err)
+	}
+	loadBin := filepath.Join(tmp, "specload")
+	build = exec.Command("go", "build", "-o", loadBin, "../specload")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build specload: %v", err)
+	}
+
+	// Two workers with deliberately different base windows (-n): the
+	// coordinator must forward the campaign's merged window explicitly,
+	// so worker flag drift on spec-overridable knobs cannot skew bits.
+	w1, w1cmd := specserved(t, bin, "-workers", "2", "-n", "111111")
+	w2, w2cmd := specserved(t, bin, "-workers", "2", "-n", "222222")
+	coord, coordCmd := specserved(t, bin,
+		"-coordinator", w1+","+w2, "-fleet-chunk", "2",
+		"-cache-dir", filepath.Join(tmp, "coordstore"), "-workers", "1")
+
+	const instructions = 10000
+	spec := map[string]any{
+		"suite": "cpu2017", "mini": "rate-int", "size": "test",
+		"instructions": instructions,
+	}
+
+	// Drive the coordinator through specload: 3 campaigns, 2 in flight,
+	// generous gates (this is a smoke liveness check, not a perf run).
+	load := exec.Command(loadBin,
+		"-addr", coord, "-campaigns", "3", "-concurrency", "2",
+		"-suite", "cpu2017", "-mini", "rate-int", "-size", "test",
+		"-n", fmt.Sprint(instructions),
+		"-slo-p99", "60s", "-min-pairs-per-sec", "0.1")
+	load.Stderr = os.Stderr
+	loadOut, err := load.Output()
+	if err != nil {
+		t.Fatalf("specload failed: %v", err)
+	}
+	var rep struct {
+		Errors     int     `json:"errors"`
+		TotalPairs int     `json:"total_pairs"`
+		P99S       float64 `json:"p99_s"`
+		PairsPS    float64 `json:"pairs_per_s"`
+	}
+	if err := json.Unmarshal(loadOut, &rep); err != nil {
+		t.Fatalf("parsing specload report: %v\n%s", err, loadOut)
+	}
+	if rep.Errors != 0 || rep.TotalPairs == 0 || rep.PairsPS <= 0 {
+		t.Fatalf("specload report %+v: campaigns failed or no throughput", rep)
+	}
+
+	// Digest parity: a coordinator resubmission (served from its own
+	// tiers, zero remote) and a direct run on worker 1 must both return
+	// the same bytes the sharded campaign produced.
+	sharded := submitWait(t, coord, spec)
+	if sharded.Status != "done" {
+		t.Fatalf("coordinator campaign = %s (%s)", sharded.Status, sharded.Error)
+	}
+	if sharded.Progress.CacheHits != sharded.Pairs {
+		t.Errorf("resubmission hits = %+v, want all %d pairs served locally",
+			sharded.Progress, sharded.Pairs)
+	}
+	direct := submitWait(t, w1, spec)
+	if direct.Status != "done" {
+		t.Fatalf("direct worker campaign = %s (%s)", direct.Status, direct.Error)
+	}
+	if !bytes.Equal(sharded.Results, direct.Results) {
+		t.Error("sharded results are not byte-identical to a direct single-worker run")
+	}
+
+	// The coordinator's own accounting: pairs came from the fleet, none
+	// were simulated in-process.
+	mresp, err := http.Get(coord + "/metrics/expvar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Specserved struct {
+			Pairs map[string]uint64 `json:"pairs"`
+		} `json:"specserved"`
+	}
+	err = json.NewDecoder(mresp.Body).Decode(&metrics)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Specserved.Pairs["simulated"] != 0 {
+		t.Errorf("coordinator simulated %d pairs itself, want 0", metrics.Specserved.Pairs["simulated"])
+	}
+	if metrics.Specserved.Pairs["from_remote"] == 0 {
+		t.Error("coordinator reports zero remote pairs after a sharded campaign")
+	}
+
+	sigtermAndWait(t, coordCmd)
+	sigtermAndWait(t, w1cmd)
+	sigtermAndWait(t, w2cmd)
+}
+
 // TestServeSmokeMetrics is the `make metrics-smoke` gate: the binary's
 // /metrics endpoint serves valid Prometheus text with the tier-split
 // pair counters and stage histograms after a campaign runs.

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -28,8 +29,9 @@ import (
 
 // Client talks to one specserved instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // Option configures a Client.
@@ -41,6 +43,38 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// RetryPolicy bounds SubmitWait's automatic retries of the server's
+// 429 queue-full rejection.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of submissions tried (default 6;
+	// 1 disables retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff used when the server
+	// sends no usable Retry-After hint (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps any single wait, hinted or not (default 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 6
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// WithRetry overrides the client's 429 retry policy (SubmitWait).
+// RetryPolicy{MaxAttempts: 1} fails fast like the pre-policy client.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
 // New returns a client for the server at base (e.g.
 // "http://127.0.0.1:8425"); a trailing slash is tolerated.
 func New(base string, opts ...Option) *Client {
@@ -48,6 +82,7 @@ func New(base string, opts ...Option) *Client {
 	for _, o := range opts {
 		o(c)
 	}
+	c.retry = c.retry.withDefaults()
 	return c
 }
 
@@ -112,13 +147,39 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// maxRetryAfter caps the Retry-After hint a server can impose: beyond
+// it the value is treated as absurd and clamped, so a misconfigured
+// (or hostile) server cannot park a retrying client for hours.
+const maxRetryAfter = 5 * time.Minute
+
+// parseRetryAfter parses both RFC 9110 Retry-After forms — delay
+// seconds ("120") and HTTP-date ("Fri, 08 Aug 2026 10:00:00 GMT") —
+// returning the hint clamped to [0, maxRetryAfter]. Zero means no
+// usable hint.
+func parseRetryAfter(ra string) time.Duration {
+	if ra == "" {
+		return 0
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(strings.TrimSpace(ra)); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(ra); err == nil {
+		d = time.Until(t)
+	} else {
+		return 0
+	}
+	if d < 0 {
+		return 0 // a date in the past means "retry now", not "never"
+	}
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
+}
+
 func decodeError(resp *http.Response) error {
 	ae := &APIError{Code: resp.StatusCode}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil {
-			ae.RetryAfter = time.Duration(secs) * time.Second
-		}
-	}
+	ae.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var envelope struct {
 		Error string `json:"error"`
@@ -142,10 +203,38 @@ func (c *Client) Submit(ctx context.Context, spec server.CampaignSpec) (server.C
 // campaign reaches a terminal state and returns the full status
 // (results included when done). Cancelling ctx disconnects, which the
 // server treats as a request to cancel the job.
+//
+// A 429 queue-full rejection is retried under the client's RetryPolicy
+// with jittered waits honoring the server's Retry-After hint, so a
+// saturated server applies backpressure instead of failing the caller;
+// other errors — and 429s once attempts run out — are returned as-is.
+// Cancelling ctx aborts a pending wait immediately with ctx's error.
 func (c *Client) SubmitWait(ctx context.Context, spec server.CampaignSpec) (server.CampaignStatus, error) {
 	var st server.CampaignStatus
-	err := c.do(ctx, http.MethodPost, "/v1/campaigns?wait=1", spec, &st)
-	return st, err
+	var err error
+	for attempt := 1; ; attempt++ {
+		st = server.CampaignStatus{}
+		err = c.do(ctx, http.MethodPost, "/v1/campaigns?wait=1", spec, &st)
+		if err == nil || !IsQueueFull(err) || attempt >= c.retry.MaxAttempts {
+			return st, err
+		}
+		var ae *APIError
+		delay := c.retry.BaseDelay << (attempt - 1)
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			delay = ae.RetryAfter
+		}
+		if delay > c.retry.MaxDelay {
+			delay = c.retry.MaxDelay
+		}
+		// Full jitter over [delay/2, delay] de-synchronizes a fleet of
+		// retrying clients hammering one queue.
+		delay = delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
 }
 
 // Campaign fetches one campaign's status; withResults includes the
@@ -219,10 +308,27 @@ func (e Event) Status() (server.CampaignStatus, error) {
 	return st, err
 }
 
+// SSE scanner sizing: lines start from a 1 MiB buffer and may grow to
+// maxEventLine. The default bufio.Scanner limit (64 KiB) is far too
+// small for a large campaign's status payloads — a "done" event for a
+// full-suite campaign carries every pair's result in one data line.
+const (
+	initialEventBuf = 1 << 20
+	maxEventLine    = 16 << 20
+)
+
+// ErrEventTooLarge reports that an SSE line exceeded the client's
+// maxEventLine limit. It is returned (wrapped) by Events instead of
+// the bare bufio.ErrTooLong so callers can distinguish a too-large
+// event from a transport failure with errors.Is.
+var ErrEventTooLarge = fmt.Errorf("client: SSE event exceeds the %d MiB line limit", maxEventLine>>20)
+
 // Events streams the campaign's SSE feed, invoking fn for each event
 // until the stream ends (the server closes it after the "done" event),
 // fn returns a non-nil error, or ctx is cancelled. Returns nil on a
-// normally closed stream and fn's error when fn stopped it.
+// normally closed stream and fn's error when fn stopped it. An event
+// line larger than the 16 MiB scanner limit surfaces as
+// ErrEventTooLarge rather than silently truncating the stream.
 func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.base+"/v1/campaigns/"+url.PathEscape(id)+"/events", nil)
@@ -238,7 +344,7 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 		return decodeError(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, initialEventBuf), maxEventLine)
 	var ev Event
 	for sc.Scan() {
 		line := sc.Text()
@@ -257,6 +363,9 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 		}
 	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return fmt.Errorf("campaign %s events: %w", id, ErrEventTooLarge)
+		}
 		return err
 	}
 	return nil

@@ -1,0 +1,196 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestEventsOversizedPayload: an SSE data line bigger than the default
+// bufio.Scanner limit (64 KiB) but under the client's 16 MiB cap is
+// delivered intact — the regression that used to kill the stream with
+// bufio.ErrTooLong.
+func TestEventsOversizedPayload(t *testing.T) {
+	payload := strings.Repeat("x", 256*1024) // 4x the default scanner limit
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", payload)
+		fmt.Fprintf(w, "event: done\ndata: {}\n\n")
+	}))
+	defer ts.Close()
+
+	var got []Event
+	err := New(ts.URL).Events(context.Background(), "c1", func(ev Event) error {
+		got = append(got, Event{Name: ev.Name, Data: append([]byte(nil), ev.Data...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("events with 256 KiB payload: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "progress" || string(got[0].Data) != payload {
+		t.Fatalf("oversized event corrupted: %d events, first %q with %d bytes",
+			len(got), got[0].Name, len(got[0].Data))
+	}
+}
+
+// TestEventsTooLargeTyped: a line beyond the 16 MiB cap surfaces as
+// ErrEventTooLarge instead of a silent drop or a bare bufio error.
+func TestEventsTooLargeTyped(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		// Stream past the cap without building a 17 MiB string per write.
+		w.Write([]byte("data: "))
+		chunk := []byte(strings.Repeat("y", 1<<20))
+		for i := 0; i <= maxEventLine>>20; i++ {
+			if _, err := w.Write(chunk); err != nil {
+				return // client hung up after hitting its limit
+			}
+		}
+		w.Write([]byte("\n\n"))
+	}))
+	defer ts.Close()
+
+	err := New(ts.URL).Events(context.Background(), "c1", func(ev Event) error {
+		t.Errorf("callback invoked with a truncated event %q", ev.Name)
+		return nil
+	})
+	if !errors.Is(err, ErrEventTooLarge) {
+		t.Fatalf("err = %v, want ErrEventTooLarge", err)
+	}
+}
+
+// TestParseRetryAfter covers both RFC 9110 forms plus the clamps.
+func TestParseRetryAfter(t *testing.T) {
+	httpDate := func(d time.Duration) string {
+		return time.Now().Add(d).UTC().Format(http.TimeFormat)
+	}
+	cases := []struct {
+		in       string
+		min, max time.Duration
+	}{
+		{"", 0, 0},
+		{"2", 2 * time.Second, 2 * time.Second},
+		{"0", 0, 0},
+		{"-5", 0, 0},                             // negative seconds clamp to 0
+		{"999999", maxRetryAfter, maxRetryAfter}, // absurd seconds clamp to the cap
+		{"not-a-hint", 0, 0},                     // unparseable yields no hint
+		{httpDate(10 * time.Second), 8 * time.Second, 10 * time.Second},
+		{httpDate(-time.Hour), 0, 0}, // past date means retry now
+		{httpDate(48 * time.Hour), maxRetryAfter, maxRetryAfter},
+	}
+	for _, c := range cases {
+		got := parseRetryAfter(c.in)
+		if got < c.min || got > c.max {
+			t.Errorf("parseRetryAfter(%q) = %v, want in [%v, %v]", c.in, got, c.min, c.max)
+		}
+	}
+}
+
+// TestDecodeErrorRetryAfterDate: the HTTP-date form reaches
+// APIError.RetryAfter — previously it silently parsed to zero and
+// defeated the 429 backoff hint.
+func TestDecodeErrorRetryAfterDate(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"queue full"}`)
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL).Submit(context.Background(), server.CampaignSpec{Suite: "cpu2017", Size: "train"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want 429 APIError", err)
+	}
+	if ae.RetryAfter < 25*time.Second || ae.RetryAfter > 30*time.Second {
+		t.Errorf("RetryAfter = %v from an HTTP-date header, want ~30s", ae.RetryAfter)
+	}
+}
+
+// TestSubmitWaitRetries429: SubmitWait keeps retrying a queue-full
+// server under its policy, honoring the Retry-After hint, and succeeds
+// once capacity frees up.
+func TestSubmitWaitRetries429(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0") // no hint beyond "soon"
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"campaign queue is full"}`)
+			return
+		}
+		fmt.Fprintf(w, `{"id":"c000001","status":"done","pairs":1}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}))
+	st, err := c.SubmitWait(context.Background(), server.CampaignSpec{Suite: "cpu2017", Size: "train"})
+	if err != nil {
+		t.Fatalf("SubmitWait through 429s: %v", err)
+	}
+	if st.Status != server.StatusDone || calls.Load() != 3 {
+		t.Fatalf("status %s after %d calls, want done after 3", st.Status, calls.Load())
+	}
+}
+
+// TestSubmitWaitRetriesExhausted: a persistently full queue still fails
+// once MaxAttempts is spent, with the 429 intact for the caller.
+func TestSubmitWaitRetriesExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"campaign queue is full"}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}))
+	_, err := c.SubmitWait(context.Background(), server.CampaignSpec{Suite: "cpu2017", Size: "train"})
+	if !IsQueueFull(err) {
+		t.Fatalf("err = %v, want queue-full after exhausting retries", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d submissions, want exactly MaxAttempts=3", calls.Load())
+	}
+}
+
+// TestSubmitWaitRetryRespectsContext: cancelling the context during a
+// backoff wait aborts immediately with the context error.
+func TestSubmitWaitRetryRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "60") // park the client in a long wait
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"campaign queue is full"}`)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ts.URL) // default policy would wait on the 60s hint (capped at MaxDelay)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.SubmitWait(ctx, server.CampaignSpec{Suite: "cpu2017", Size: "train"})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the first 429 land and the wait start
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) && !IsQueueFull(err) {
+			t.Fatalf("err = %v, want context.Canceled (or the last 429 if cancel raced)", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Log("cancel raced the first response; acceptable but unexpected")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled SubmitWait retry did not return")
+	}
+}

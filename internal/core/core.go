@@ -93,6 +93,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Normalized returns the options with the campaign defaults applied —
+// exactly the values CampaignKeys folds into every result-cache key.
+// specserved's coordinator forwards them verbatim in the sub-campaign
+// specs it scatters, so worker-side keys match the coordinator's
+// regardless of each worker's own base flags.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
 // Characteristics holds one application-input pair's characterization:
 // the row unit of every table and figure in the paper.
 type Characteristics struct {

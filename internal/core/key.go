@@ -34,6 +34,24 @@ func campaignKeyPrefix(opt *Options) string {
 	return key
 }
 
+// CampaignKeys returns each pair's result-cache content key under the
+// given campaign options, in pair order — the same keys Characterize
+// derives internally. specserved's coordinator uses them to scatter a
+// campaign across a worker fleet by consistent hash of the pair key and
+// to write gathered results into its own cache tiers: because workers
+// derive identical keys from identical (pair, machine, options) inputs,
+// a sharded campaign populates exactly the store entries a single-node
+// run would.
+func CampaignKeys(pairs []profile.Pair, opt Options) []string {
+	opt = opt.withDefaults()
+	prefix := campaignKeyPrefix(&opt)
+	keys := make([]string, len(pairs))
+	for i := range pairs {
+		keys[i] = pairKey(prefix, &pairs[i])
+	}
+	return keys
+}
+
 // pairKey hashes the campaign prefix together with the pair identity and
 // every model parameter the simulation consumes.
 func pairKey(prefix string, pair *profile.Pair) string {

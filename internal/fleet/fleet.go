@@ -1,0 +1,62 @@
+// Package fleet adapts remote specserved instances into the
+// coordinator's server.RemoteWorker interface over the typed
+// internal/client. It exists as a separate package because client
+// imports server for its wire types, so server itself cannot depend on
+// client; cmd/specserved assembles the two sides.
+//
+// A fleet worker submits sub-campaigns with ?wait=1 through
+// client.SubmitWait, so a worker whose queue is momentarily full
+// applies backpressure (429 + Retry-After) instead of failing the
+// chunk: the client's bounded jittered retries absorb the burst, and
+// only a persistently saturated or dead worker surfaces an error to
+// the dispatcher — which then resubmits the chunk elsewhere.
+package fleet
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// worker is one remote specserved instance.
+type worker struct {
+	url string
+	c   *client.Client
+}
+
+// Worker returns a server.RemoteWorker talking to the specserved
+// instance at url (e.g. "http://10.0.0.7:8217").
+func Worker(url string, opts ...client.Option) server.RemoteWorker {
+	// Queue-full rejections retry a little longer than the default
+	// interactive policy: a coordinator chunk competing with sibling
+	// chunks for one worker's queue is expected to wait its turn.
+	base := []client.Option{client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 8,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+	})}
+	return &worker{url: url, c: client.New(url, append(base, opts...)...)}
+}
+
+// Workers maps URLs to RemoteWorkers, preserving order (the coordinator
+// hashes worker indices onto its ring, so order is identity).
+func Workers(urls []string, opts ...client.Option) []server.RemoteWorker {
+	ws := make([]server.RemoteWorker, len(urls))
+	for i, u := range urls {
+		ws[i] = Worker(u, opts...)
+	}
+	return ws
+}
+
+func (w *worker) Name() string { return w.url }
+
+func (w *worker) Run(ctx context.Context, spec server.CampaignSpec) (server.CampaignStatus, error) {
+	return w.c.SubmitWait(ctx, spec)
+}
+
+func (w *worker) Healthy(ctx context.Context) bool {
+	ok, err := w.c.Health(ctx)
+	return err == nil && ok
+}

@@ -79,20 +79,26 @@ func Default() *Registry { return defaultRegistry }
 // intent, not input.
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 	s := r.lookup(name, help, counterKind, labels)
+	r.mu.Lock()
 	if s.c == nil {
 		s.c = &Counter{}
 	}
-	return s.c
+	c := s.c
+	r.mu.Unlock()
+	return c
 }
 
 // Gauge returns the gauge registered under name and labels, creating
 // it on first use.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 	s := r.lookup(name, help, gaugeKind, labels)
+	r.mu.Lock()
 	if s.g == nil {
 		s.g = &Gauge{}
 	}
-	return s.g
+	g := s.g
+	r.mu.Unlock()
+	return g
 }
 
 // GaugeFunc registers (or replaces) a gauge whose value is read from
@@ -237,13 +243,19 @@ func withLabel(rendered, k, v string) string {
 // _bucket/_sum/_count series.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	// Snapshot the structure under the lock, render outside it: metric
-	// reads are atomic and a render must not block registration.
+	// reads are atomic and a render must not block registration. Series
+	// structs are copied, not aliased — a concurrent get-or-create may
+	// still be filling in a freshly created series' metric pointer.
 	r.mu.Lock()
 	fams := make([]*family, len(r.order))
 	for i, name := range r.order {
 		f := r.families[name]
 		cp := &family{name: f.name, help: f.help, kind: f.kind}
-		cp.series = append(cp.series, f.series...)
+		cp.series = make([]*series, len(f.series))
+		for j, s := range f.series {
+			sc := *s
+			cp.series[j] = &sc
+		}
 		fams[i] = cp
 	}
 	r.mu.Unlock()
@@ -261,9 +273,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			var err error
 			switch f.kind {
 			case counterKind:
-				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.c.Value())
+				var v uint64
+				if s.c != nil { // snapshot may have raced the metric's creation
+					v = s.c.Value()
+				}
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, v)
 			case gaugeKind:
-				_, err = fmt.Fprintf(w, "%s%s %v\n", f.name, s.labels, s.g.Value())
+				var v float64
+				if s.g != nil {
+					v = s.g.Value()
+				}
+				_, err = fmt.Fprintf(w, "%s%s %v\n", f.name, s.labels, v)
 			case gaugeFuncKind:
 				v := 0.0
 				if s.fn != nil {
@@ -271,6 +291,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				}
 				_, err = fmt.Fprintf(w, "%s%s %v\n", f.name, s.labels, v)
 			case histogramKind:
+				if s.h == nil {
+					continue
+				}
 				err = writeHistogram(w, f.name, s.labels, s.h.Snapshot())
 			}
 			if err != nil {

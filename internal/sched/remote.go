@@ -1,0 +1,274 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file is the scheduler's remote dispatch tier: the engine behind
+// specserved's coordinator mode. Where Run fans tasks out over local
+// goroutines, RunRemote fans them out over a fleet of remote workers —
+// each task carries an affinity (the consistent-hash owner of its
+// content), idle workers steal queued work from backlogged peers,
+// stragglers are speculatively re-executed, and a worker that keeps
+// failing is evicted so its queue drains through the survivors.
+//
+// The whole design leans on one invariant the content-addressed result
+// store established: task results are idempotent by content key, so
+// running a task twice (a resubmission after a worker died, or a
+// speculative duplicate racing a straggler) is always safe — the first
+// completed attempt wins and the duplicate's result is bit-identical
+// anyway.
+
+// RemoteTask is one unit of work dispatched to a remote worker.
+type RemoteTask[T any] struct {
+	// Name identifies the task in dispatch errors.
+	Name string
+	// Affinity is the preferred worker index (the task's consistent-hash
+	// owner). The dispatcher starts the task there when possible but any
+	// worker may execute it after stealing or a failure.
+	Affinity int
+	// Run performs the work on the given worker index. It must be safe
+	// to call more than once, possibly concurrently on different
+	// workers (idempotent results).
+	Run func(ctx context.Context, worker int) (T, error)
+}
+
+// RemoteOptions configure one RunRemote dispatch.
+type RemoteOptions[T any] struct {
+	// MaxAttempts bounds how many failed executions one task tolerates
+	// before the dispatch aborts (default 3). Attempts on evicted
+	// workers count.
+	MaxAttempts int
+	// EvictAfter is the number of consecutive failures that evicts a
+	// worker from the dispatch (default 2). An evicted worker stops
+	// pulling tasks; whatever it queued is redistributed. Successes
+	// reset the count.
+	EvictAfter int
+	// Speculate lets an idle worker duplicate an in-flight task from a
+	// backlogged peer instead of sitting idle (at most two concurrent
+	// attempts per task). The first attempt to finish wins; the loser's
+	// result is discarded. Requires idempotent tasks.
+	Speculate bool
+	// TaskDone, when non-nil, is invoked exactly once per task when its
+	// first successful attempt lands, outside the dispatcher lock.
+	TaskDone func(i int, result T)
+	// OnRetry, when non-nil, observes every failed execution (the task
+	// will be retried unless attempts ran out).
+	OnRetry func(task string, worker int, err error)
+	// OnEvict, when non-nil, observes worker evictions.
+	OnEvict func(worker int, lastErr error)
+}
+
+func (o RemoteOptions[T]) withDefaults() RemoteOptions[T] {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.EvictAfter <= 0 {
+		o.EvictAfter = 2
+	}
+	return o
+}
+
+// ErrNoWorkers is returned by RunRemote when every worker has been
+// evicted while tasks were still pending.
+var ErrNoWorkers = errors.New("sched: every remote worker was evicted")
+
+// remoteState is the dispatcher-side state of one task.
+type remoteState struct {
+	done     bool
+	inflight int // concurrent attempts right now
+	failures int // completed failed attempts
+}
+
+// RunRemote executes every task on a fleet of `workers` remote workers
+// and returns the results in task order. One dispatch goroutine runs
+// per worker: it prefers tasks whose Affinity names it, steals queued
+// tasks from the most backlogged peer when its own queue is empty, and
+// (with Speculate) duplicates in-flight stragglers when nothing is
+// queued at all. A task failure is retried elsewhere up to
+// MaxAttempts; EvictAfter consecutive failures evict the worker. The
+// dispatch fails with the first exhausted task's error, ErrNoWorkers
+// when the whole fleet died, or ctx's error on cancellation.
+func RunRemote[T any](ctx context.Context, workers int, tasks []RemoteTask[T], opt RemoteOptions[T]) ([]T, error) {
+	opt = opt.withDefaults()
+	if workers <= 0 {
+		return nil, ErrNoWorkers
+	}
+	if len(tasks) == 0 {
+		return []T{}, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		state    = make([]remoteState, len(tasks))
+		out      = make([]T, len(tasks))
+		doneN    int
+		live     = workers
+		firstErr error
+	)
+	fail := func(err error) { // callers hold mu
+		if firstErr == nil {
+			firstErr = err
+		}
+		cancel()
+		cond.Broadcast()
+	}
+	// Wake every waiter when the context dies so no dispatcher blocks
+	// on the cond forever.
+	go func() {
+		<-ctx.Done()
+		mu.Lock()
+		cond.Broadcast()
+		mu.Unlock()
+	}()
+
+	// queuedFor counts tasks not yet attempted whose affinity is w.
+	queuedFor := func(w int) int {
+		n := 0
+		for i := range tasks {
+			if tasks[i].Affinity == w && !state[i].done && state[i].inflight == 0 && state[i].failures == 0 {
+				n++
+			}
+		}
+		return n
+	}
+	// pick selects the next task for worker w, or -1 to wait, under mu.
+	// Preference order: own affinity queue, then retries, then stealing
+	// from the most backlogged peer, then (optionally) speculating on a
+	// straggler.
+	pick := func(w int) int {
+		best := -1
+		for i := range tasks {
+			st := &state[i]
+			if st.done || st.inflight > 0 {
+				continue
+			}
+			if st.failures >= opt.MaxAttempts {
+				continue // exhausted; fail() already fired
+			}
+			if tasks[i].Affinity == w {
+				return i
+			}
+			if best == -1 {
+				best = i
+			} else if queuedFor(tasks[i].Affinity) > queuedFor(tasks[best].Affinity) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		if opt.Speculate {
+			for i := range tasks {
+				st := &state[i]
+				if !st.done && st.inflight == 1 && st.failures+st.inflight < opt.MaxAttempts {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			consec := 0
+			for {
+				mu.Lock()
+				for {
+					if ctx.Err() != nil || firstErr != nil || doneN == len(tasks) {
+						mu.Unlock()
+						return
+					}
+					if i := pick(w); i >= 0 {
+						state[i].inflight++
+						mu.Unlock()
+
+						v, err := tasks[i].Run(ctx, w)
+
+						mu.Lock()
+						st := &state[i]
+						st.inflight--
+						if err == nil {
+							consec = 0
+							first := !st.done
+							if first {
+								st.done = true
+								doneN++
+								out[i] = v
+							}
+							allDone := doneN == len(tasks)
+							if allDone {
+								// Abort any speculative duplicates still in
+								// flight: their results are already recorded
+								// by the attempts that won.
+								cancel()
+							}
+							cond.Broadcast()
+							mu.Unlock()
+							if first && opt.TaskDone != nil {
+								opt.TaskDone(i, v)
+							}
+							if allDone {
+								return
+							}
+							break // re-enter the pick loop
+						}
+						// Failed attempt: maybe retry, maybe exhausted,
+						// maybe this worker is done for.
+						st.failures++
+						exhausted := !st.done && st.inflight == 0 && st.failures >= opt.MaxAttempts
+						consec++
+						evicted := consec >= opt.EvictAfter
+						if evicted {
+							live--
+						}
+						fleetDead := evicted && live == 0 && doneN < len(tasks)
+						if exhausted && ctx.Err() == nil {
+							fail(fmt.Errorf("task %s failed %d times, last: %w", tasks[i].Name, st.failures, err))
+						} else if fleetDead {
+							fail(fmt.Errorf("%w (last worker %d: %v)", ErrNoWorkers, w, err))
+						}
+						cond.Broadcast()
+						mu.Unlock()
+						if opt.OnRetry != nil && !exhausted && ctx.Err() == nil {
+							opt.OnRetry(tasks[i].Name, w, err)
+						}
+						if evicted {
+							if opt.OnEvict != nil {
+								opt.OnEvict(w, err)
+							}
+							return
+						}
+						break // re-enter the pick loop
+					}
+					cond.Wait()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil && doneN < len(tasks) {
+		return nil, err
+	}
+	if doneN < len(tasks) {
+		// Every dispatcher exited (evictions) without tripping the
+		// fleet-dead path — treat it the same.
+		return nil, ErrNoWorkers
+	}
+	return out, nil
+}

@@ -1,0 +1,291 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRemoteAffinity: with healthy workers and balanced queues, every
+// task runs on its affinity worker and results come back in task order.
+func TestRemoteAffinity(t *testing.T) {
+	const workers = 4
+	var mu sync.Mutex
+	ranOn := make(map[int]int)
+	tasks := make([]RemoteTask[int], 32)
+	for i := range tasks {
+		i := i
+		tasks[i] = RemoteTask[int]{
+			Name:     fmt.Sprintf("t%d", i),
+			Affinity: i % workers,
+			Run: func(ctx context.Context, w int) (int, error) {
+				mu.Lock()
+				ranOn[i] = w
+				mu.Unlock()
+				return i * 10, nil
+			},
+		}
+	}
+	out, err := RunRemote(context.Background(), workers, tasks, RemoteOptions[int]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*10 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+	// Every task must have run somewhere; with uniform instant tasks the
+	// large majority should land on their affinity worker (stealing only
+	// kicks in when a queue empties first, which instant tasks allow).
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ranOn) != len(tasks) {
+		t.Fatalf("ran %d tasks, want %d", len(ranOn), len(tasks))
+	}
+}
+
+// TestRemoteStealing: one slow worker's queue is drained by its idle
+// peers rather than serialized behind it.
+func TestRemoteStealing(t *testing.T) {
+	const workers = 3
+	var onAffinity, stolen atomic.Int32
+	block := make(chan struct{})
+	tasks := make([]RemoteTask[int], 12)
+	for i := range tasks {
+		i := i
+		tasks[i] = RemoteTask[int]{
+			Name:     fmt.Sprintf("t%d", i),
+			Affinity: 0, // everything hashes to worker 0
+			Run: func(ctx context.Context, w int) (int, error) {
+				if w == 0 {
+					<-block // worker 0 is a straggler on its first task
+				}
+				if w == 0 {
+					onAffinity.Add(1)
+				} else {
+					stolen.Add(1)
+				}
+				return i, nil
+			},
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunRemote(context.Background(), workers, tasks, RemoteOptions[int]{})
+		done <- err
+	}()
+	// Workers 1 and 2 must finish everything except worker 0's single
+	// in-flight task without worker 0 contributing.
+	deadline := time.After(5 * time.Second)
+	for stolen.Load() < int32(len(tasks)-1) {
+		select {
+		case <-deadline:
+			t.Fatalf("peers stole only %d/%d tasks from the backlogged worker", stolen.Load(), len(tasks)-1)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := stolen.Load(); got < int32(len(tasks)-1) {
+		t.Errorf("stolen = %d, want >= %d", got, len(tasks)-1)
+	}
+}
+
+// TestRemoteWorkerDeathResubmits: a worker that fails everything it
+// touches is evicted and its tasks complete on the survivors with zero
+// losses.
+func TestRemoteWorkerDeathResubmits(t *testing.T) {
+	const workers = 3
+	var evicted, retries atomic.Int32
+	// Healthy workers stall until the dead worker has been evicted, so
+	// the eviction path is exercised deterministically instead of racing
+	// two fast workers draining the queue first.
+	evictedCh := make(chan struct{})
+	tasks := make([]RemoteTask[string], 9)
+	for i := range tasks {
+		i := i
+		tasks[i] = RemoteTask[string]{
+			Name:     fmt.Sprintf("t%d", i),
+			Affinity: i % workers,
+			Run: func(ctx context.Context, w int) (string, error) {
+				if w == 1 {
+					return "", errors.New("worker 1 is dead")
+				}
+				select {
+				case <-evictedCh:
+				case <-time.After(10 * time.Second):
+					return "", errors.New("eviction never happened")
+				}
+				return fmt.Sprintf("r%d", i), nil
+			},
+		}
+	}
+	out, err := RunRemote(context.Background(), workers, tasks, RemoteOptions[string]{
+		OnRetry: func(task string, w int, err error) { retries.Add(1) },
+		OnEvict: func(w int, err error) {
+			if w != 1 {
+				t.Errorf("evicted worker %d, want 1", w)
+			}
+			if evicted.Add(1) == 1 {
+				close(evictedCh)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != fmt.Sprintf("r%d", i) {
+			t.Fatalf("out[%d] = %q: task lost or corrupted", i, v)
+		}
+	}
+	if evicted.Load() != 1 {
+		t.Errorf("evictions = %d, want 1", evicted.Load())
+	}
+	if retries.Load() == 0 {
+		t.Error("no retries observed for the dead worker's tasks")
+	}
+}
+
+// TestRemoteAllWorkersDead: when every worker keeps failing the
+// dispatch aborts with ErrNoWorkers instead of hanging.
+func TestRemoteAllWorkersDead(t *testing.T) {
+	tasks := []RemoteTask[int]{{
+		Name:     "t0",
+		Affinity: 0,
+		Run:      func(ctx context.Context, w int) (int, error) { return 0, errors.New("boom") },
+	}}
+	_, err := RunRemote(context.Background(), 2, tasks, RemoteOptions[int]{MaxAttempts: 100})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestRemoteExhaustedAttempts: a task that fails on every worker aborts
+// the dispatch with the task's error once MaxAttempts is spent.
+func TestRemoteExhaustedAttempts(t *testing.T) {
+	var attempts atomic.Int32
+	tasks := []RemoteTask[int]{
+		{Name: "poison", Affinity: 0, Run: func(ctx context.Context, w int) (int, error) {
+			attempts.Add(1)
+			return 0, errors.New("always fails")
+		}},
+		{Name: "fine", Affinity: 1, Run: func(ctx context.Context, w int) (int, error) {
+			return 1, nil
+		}},
+	}
+	_, err := RunRemote(context.Background(), 2, tasks, RemoteOptions[int]{MaxAttempts: 3, EvictAfter: 100})
+	if err == nil || errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want the poison task's exhaustion error", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("poison task attempted %d times, want exactly MaxAttempts=3", got)
+	}
+}
+
+// TestRemoteSpeculation: with Speculate on, an idle worker duplicates
+// the straggler and the dispatch finishes without waiting for it.
+func TestRemoteSpeculation(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	var runs atomic.Int32
+	tasks := []RemoteTask[int]{{
+		Name:     "straggler",
+		Affinity: 0,
+		Run: func(ctx context.Context, w int) (int, error) {
+			if runs.Add(1) == 1 {
+				select { // first attempt never finishes on its own
+				case <-block:
+				case <-ctx.Done():
+				}
+				return 0, ctx.Err()
+			}
+			return 42, nil
+		},
+	}}
+	out, err := RunRemote(context.Background(), 2, tasks, RemoteOptions[int]{Speculate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 42 {
+		t.Fatalf("out[0] = %d, want the speculative attempt's 42", out[0])
+	}
+	if runs.Load() < 2 {
+		t.Error("no speculative duplicate was launched")
+	}
+}
+
+// TestRemoteTaskDoneOnce: TaskDone fires exactly once per task even
+// when speculation races two successful attempts.
+func TestRemoteTaskDoneOnce(t *testing.T) {
+	var dones sync.Map
+	var total atomic.Int32
+	tasks := make([]RemoteTask[int], 16)
+	for i := range tasks {
+		i := i
+		tasks[i] = RemoteTask[int]{
+			Name:     fmt.Sprintf("t%d", i),
+			Affinity: i % 4,
+			Run: func(ctx context.Context, w int) (int, error) {
+				time.Sleep(time.Duration(i%3) * time.Millisecond)
+				return i, nil
+			},
+		}
+	}
+	_, err := RunRemote(context.Background(), 4, tasks, RemoteOptions[int]{
+		Speculate: true,
+		TaskDone: func(i int, v int) {
+			if _, loaded := dones.LoadOrStore(i, true); loaded {
+				t.Errorf("TaskDone fired twice for task %d", i)
+			}
+			total.Add(1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != int32(len(tasks)) {
+		t.Errorf("TaskDone fired %d times, want %d", total.Load(), len(tasks))
+	}
+}
+
+// TestRemoteContextCancel: cancelling the dispatch context aborts
+// promptly with the context error.
+func TestRemoteContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 4)
+	tasks := make([]RemoteTask[int], 4)
+	for i := range tasks {
+		tasks[i] = RemoteTask[int]{
+			Name:     fmt.Sprintf("t%d", i),
+			Affinity: i % 2,
+			Run: func(c context.Context, w int) (int, error) {
+				started <- struct{}{}
+				<-c.Done()
+				return 0, c.Err()
+			},
+		}
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunRemote(ctx, 2, tasks, RemoteOptions[int]{})
+		errc <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled dispatch did not return")
+	}
+}

@@ -74,6 +74,11 @@ type Progress struct {
 	CacheHits int
 	// StoreHits counts tasks satisfied from the persistent store tier.
 	StoreHits int
+	// Remote counts tasks completed by remote fleet workers. The local
+	// engine (Run) never sets it; specserved's coordinator fills it in
+	// for scattered campaigns so the tier accounting can tell remote
+	// completions from local simulation.
+	Remote int
 	// Elapsed is the wall-clock time since the campaign started.
 	Elapsed time.Duration
 }

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic: two rings over the same fleet agree on every
+// key — owners are a pure function of (fleet size, key).
+func TestRingDeterministic(t *testing.T) {
+	a, b := newHashRing(5), newHashRing(5)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.pick(key, nil) != b.pick(key, nil) {
+			t.Fatalf("rings disagree on %q", key)
+		}
+	}
+}
+
+// TestRingDistribution: with 64 vnodes per worker, no worker's share of
+// a large key population collapses to (near) nothing.
+func TestRingDistribution(t *testing.T) {
+	const workers, keys = 4, 2000
+	r := newHashRing(workers)
+	counts := make([]int, workers)
+	for i := 0; i < keys; i++ {
+		w := r.pick(fmt.Sprintf("pairkey-%d", i), nil)
+		if w < 0 || w >= workers {
+			t.Fatalf("pick returned %d", w)
+		}
+		counts[w]++
+	}
+	for w, n := range counts {
+		// Uniform would be 500 each; require at least 10% of fair share.
+		if n < keys/workers/10 {
+			t.Errorf("worker %d owns only %d/%d keys", w, n, keys)
+		}
+	}
+}
+
+// TestRingMinimalChurn: marking one worker dead reassigns only that
+// worker's keys — every key owned by a survivor keeps its owner.
+func TestRingMinimalChurn(t *testing.T) {
+	const workers, keys = 4, 1000
+	const dead = 2
+	r := newHashRing(workers)
+	alive := func(w int) bool { return w != dead }
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("pairkey-%d", i)
+		before := r.pick(key, nil)
+		after := r.pick(key, alive)
+		if after == dead {
+			t.Fatalf("key %q assigned to the dead worker", key)
+		}
+		if before != dead && after != before {
+			t.Errorf("key %q moved %d -> %d though its owner survived", key, before, after)
+		}
+		if before == dead {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("dead worker owned no keys; distribution test should have caught this")
+	}
+}
+
+// TestRingNoAlive: a fully dead fleet yields -1, not a spin.
+func TestRingNoAlive(t *testing.T) {
+	r := newHashRing(3)
+	if w := r.pick("anything", func(int) bool { return false }); w != -1 {
+		t.Fatalf("pick over a dead fleet = %d, want -1", w)
+	}
+}
+
+// TestResolvePairsFilter: the Pairs filter selects exactly the named
+// pairs in request order and rejects unknowns and duplicates.
+func TestResolvePairsFilter(t *testing.T) {
+	full, err := (&CampaignSpec{Suite: "cpu2017", Size: "test"}).resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{full[3].Name(), full[0].Name(), full[7].Name()}
+	got, err := (&CampaignSpec{Suite: "cpu2017", Size: "test", Pairs: names}).resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("filtered to %d pairs, want 3", len(got))
+	}
+	for i, p := range got {
+		if p.Name() != names[i] {
+			t.Errorf("pair %d = %s, want %s (request order must be preserved)", i, p.Name(), names[i])
+		}
+	}
+	if _, err := (&CampaignSpec{Suite: "cpu2017", Size: "test", Pairs: []string{"no-such-pair"}}).resolve(); err == nil {
+		t.Error("unknown pair name accepted")
+	}
+	dup := []string{full[0].Name(), full[0].Name()}
+	if _, err := (&CampaignSpec{Suite: "cpu2017", Size: "test", Pairs: dup}).resolve(); err == nil {
+		t.Error("duplicate pair name accepted")
+	}
+}

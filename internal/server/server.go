@@ -77,6 +77,19 @@ type Config struct {
 	// store. Per-request spec fields override Instructions,
 	// MultiplexSlots and Sampling.
 	Characterize core.Options
+	// Fleet, when non-empty, turns this server into a coordinator:
+	// instead of simulating locally, each campaign's pairs are scattered
+	// across these workers by consistent hash of the pair's result-cache
+	// content key and the gathered results are written through the
+	// coordinator's own cache tiers. The fleet must be homogeneous —
+	// every worker running the same machine model and base flags — or
+	// worker-side keys (and bits) would diverge from the coordinator's.
+	Fleet []RemoteWorker
+	// FleetChunk bounds how many pairs one scattered sub-campaign
+	// carries (default 4). Smaller chunks give the dispatcher more
+	// stealing and resubmission granularity; larger ones amortize
+	// per-request overhead.
+	FleetChunk int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 16
+	}
+	if c.FleetChunk <= 0 {
+		c.FleetChunk = 4
 	}
 	return c
 }
@@ -111,6 +127,12 @@ type CampaignSpec struct {
 	// separately from exact runs in every cache tier, and their pairs
 	// are reported under the sampled_* counters in /metrics.
 	Sampling string `json:"sampling,omitempty"`
+	// Pairs, when non-empty, filters the expanded suite to exactly the
+	// named pairs (profile.Pair.Name, e.g. "502.gcc_r-in3"), in the
+	// order given. Unknown or duplicate names reject the spec. This is
+	// how the coordinator scatters a campaign: each worker receives the
+	// same suite/size spec narrowed to its chunk of pairs.
+	Pairs []string `json:"pairs,omitempty"`
 }
 
 // resolve expands the spec into the campaign's pair list.
@@ -153,6 +175,26 @@ func (spec *CampaignSpec) resolve() ([]profile.Pair, error) {
 		return nil, fmt.Errorf("unknown input size %q", spec.Size)
 	}
 	pairs := profile.ExpandSuite(apps, size)
+	if len(pairs) > 0 && len(spec.Pairs) > 0 {
+		byName := make(map[string]int, len(pairs))
+		for i := range pairs {
+			byName[pairs[i].Name()] = i
+		}
+		picked := make([]profile.Pair, 0, len(spec.Pairs))
+		seen := make(map[string]bool, len(spec.Pairs))
+		for _, name := range spec.Pairs {
+			i, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("pair %q is not in the selected suite", name)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("pair %q named twice", name)
+			}
+			seen[name] = true
+			picked = append(picked, pairs[i])
+		}
+		pairs = picked
+	}
 	if len(pairs) == 0 {
 		return nil, errors.New("spec selects no application-input pairs")
 	}
@@ -170,10 +212,13 @@ const (
 
 // ProgressStatus is the JSON form of a campaign progress snapshot.
 type ProgressStatus struct {
-	Done      int   `json:"done"`
-	Total     int   `json:"total"`
-	CacheHits int   `json:"cache_hits"`
-	StoreHits int   `json:"store_hits"`
+	Done      int `json:"done"`
+	Total     int `json:"total"`
+	CacheHits int `json:"cache_hits"`
+	StoreHits int `json:"store_hits"`
+	// Remote counts pairs completed on fleet workers; always zero on a
+	// non-coordinator server.
+	Remote    int   `json:"remote,omitempty"`
 	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
@@ -248,6 +293,7 @@ func (c *campaign) snapshot(includeResults bool) CampaignStatus {
 		Progress: ProgressStatus{
 			Done: c.progress.Done, Total: c.progress.Total,
 			CacheHits: c.progress.CacheHits, StoreHits: c.progress.StoreHits,
+			Remote:    c.progress.Remote,
 			ElapsedMS: c.progress.Elapsed.Milliseconds(),
 		},
 	}
@@ -308,6 +354,7 @@ func (c *campaign) setProgress(p sched.Progress) {
 	data, _ := json.Marshal(ProgressStatus{
 		Done: p.Done, Total: p.Total,
 		CacheHits: p.CacheHits, StoreHits: p.StoreHits,
+		Remote:    p.Remote,
 		ElapsedMS: p.Elapsed.Milliseconds(),
 	})
 	c.broadcast(sseEvent{name: "progress", data: data})
@@ -376,17 +423,24 @@ type Server struct {
 	wg      sync.WaitGroup
 	started time.Time
 
-	rejected       atomic.Uint64
-	pairsSimulated atomic.Uint64
-	pairsFromCache atomic.Uint64
-	pairsFromStore atomic.Uint64
+	rejected        atomic.Uint64
+	pairsSimulated  atomic.Uint64
+	pairsFromCache  atomic.Uint64
+	pairsFromStore  atomic.Uint64
+	pairsFromRemote atomic.Uint64
 
 	// Sampled campaigns account their pairs separately: sampled results
 	// are estimates, so mixing them into the exact counters would make
 	// the tier split lie about how much exact simulation the server did.
-	sampledSimulated atomic.Uint64
-	sampledFromCache atomic.Uint64
-	sampledFromStore atomic.Uint64
+	sampledSimulated  atomic.Uint64
+	sampledFromCache  atomic.Uint64
+	sampledFromStore  atomic.Uint64
+	sampledFromRemote atomic.Uint64
+
+	// fleetUp tracks each configured fleet worker's last observed health
+	// (pre-scatter probes and dispatch evictions write it); 1:1 with
+	// cfg.Fleet, nil on a non-coordinator server.
+	fleetUp []atomic.Bool
 }
 
 // runCampaign is the worker's campaign entry point; tests swap it to
@@ -401,6 +455,12 @@ func New(cfg Config) *Server {
 		queue:   make(chan *campaign, cfg.QueueDepth),
 		jobs:    make(map[string]*campaign),
 		started: time.Now(),
+	}
+	if n := len(cfg.Fleet); n > 0 {
+		s.fleetUp = make([]atomic.Bool, n)
+		for i := range s.fleetUp {
+			s.fleetUp[i].Store(true) // optimistic until the first probe
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.handle("POST /v1/campaigns", "submit", s.handleSubmit)
@@ -561,7 +621,13 @@ func (s *Server) run(c *campaign) {
 	tr := obs.NewTrace()
 	opt.Trace = tr
 
-	results, err := runCampaign(c.pairs, opt)
+	var results []core.Characteristics
+	var err error
+	if len(s.cfg.Fleet) > 0 {
+		results, err = s.runFleet(c, opt)
+	} else {
+		results, err = runCampaign(c.pairs, opt)
+	}
 
 	// Render the run manifest before flipping the terminal status, so a
 	// client that observes "done" can always fetch the manifest whose
@@ -579,18 +645,20 @@ func (s *Server) run(c *campaign) {
 	c.mu.Lock()
 	p := c.progress
 	c.mu.Unlock()
-	fromStore, fromCache, simulated := &s.pairsFromStore, &s.pairsFromCache, &s.pairsSimulated
+	fromStore, fromCache, fromRemote, simulated := &s.pairsFromStore, &s.pairsFromCache, &s.pairsFromRemote, &s.pairsSimulated
 	mode := "exact"
 	if opt.Sampling.Enabled() {
-		fromStore, fromCache, simulated = &s.sampledFromStore, &s.sampledFromCache, &s.sampledSimulated
+		fromStore, fromCache, fromRemote, simulated = &s.sampledFromStore, &s.sampledFromCache, &s.sampledFromRemote, &s.sampledSimulated
 		mode = "sampled"
 	}
 	fromStore.Add(uint64(p.StoreHits))
 	fromCache.Add(uint64(p.CacheHits - p.StoreHits))
-	simulated.Add(uint64(p.Done - p.CacheHits))
+	fromRemote.Add(uint64(p.Remote))
+	simulated.Add(uint64(p.Done - p.CacheHits - p.Remote))
 	metServedPairs[mode+"/store"].Add(uint64(p.StoreHits))
 	metServedPairs[mode+"/memory"].Add(uint64(p.CacheHits - p.StoreHits))
-	metServedPairs[mode+"/simulated"].Add(uint64(p.Done - p.CacheHits))
+	metServedPairs[mode+"/remote"].Add(uint64(p.Remote))
+	metServedPairs[mode+"/simulated"].Add(uint64(p.Done - p.CacheHits - p.Remote))
 
 	switch {
 	case err == nil:
@@ -824,11 +892,12 @@ var (
 // metServedPairs counts pairs in completed campaigns, split by sampling
 // mode (exact vs sampled estimates) and satisfying source — the
 // Prometheus twin of the per-server atomics behind the expvar map.
+// "remote" pairs were computed on fleet workers by a coordinator.
 var metServedPairs = func() map[string]*obs.Counter {
 	m := make(map[string]*obs.Counter)
 	help := "Pairs in completed campaigns by sampling mode and satisfying source."
 	for _, mode := range []string{"exact", "sampled"} {
-		for _, src := range []string{"simulated", "memory", "store"} {
+		for _, src := range []string{"simulated", "memory", "store", "remote"} {
 			m[mode+"/"+src] = obs.Default().Counter("speckit_served_pairs_total", help,
 				"mode", mode, "source", src)
 			help = ""
@@ -856,6 +925,27 @@ func (s *Server) publishMetrics() {
 				return 0
 			}
 			return float64(srv.countJobs(state))
+		}, "state", state)
+		help = ""
+	}
+	help = "Configured fleet workers by last observed health."
+	for _, state := range []string{"healthy", "unhealthy"} {
+		state := state
+		reg.GaugeFunc("speckit_fleet_workers", help, func() float64 {
+			srv := activeServer.Load()
+			if srv == nil {
+				return 0
+			}
+			up := 0
+			for i := range srv.fleetUp {
+				if srv.fleetUp[i].Load() {
+					up++
+				}
+			}
+			if state == "healthy" {
+				return float64(up)
+			}
+			return float64(len(srv.fleetUp) - up)
 		}, "state", state)
 		help = ""
 	}
@@ -916,10 +1006,25 @@ func (s *Server) MetricsSnapshot() map[string]any {
 			"simulated":           s.pairsSimulated.Load(),
 			"from_memory":         s.pairsFromCache.Load(),
 			"from_store":          s.pairsFromStore.Load(),
+			"from_remote":         s.pairsFromRemote.Load(),
 			"sampled_simulated":   s.sampledSimulated.Load(),
 			"sampled_from_memory": s.sampledFromCache.Load(),
 			"sampled_from_store":  s.sampledFromStore.Load(),
+			"sampled_from_remote": s.sampledFromRemote.Load(),
 		},
+	}
+	if n := len(s.cfg.Fleet); n > 0 {
+		workers := make([]map[string]any, n)
+		for i, w := range s.cfg.Fleet {
+			workers[i] = map[string]any{
+				"name":    w.Name(),
+				"healthy": s.fleetUp[i].Load(),
+			}
+		}
+		m["fleet"] = map[string]any{
+			"chunk":   s.cfg.FleetChunk,
+			"workers": workers,
+		}
 	}
 	if cache := s.cfg.Characterize.Cache; cache != nil {
 		st := cache.Stats()
