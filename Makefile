@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-seed bench-smoke serve-smoke metrics-smoke fleet-smoke race-fanout ci
+.PHONY: build vet test race bench fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke race-fanout ci
 
 build:
 	$(GO) build ./...
@@ -19,16 +19,23 @@ bench:
 
 # Run every fuzz target over its seed corpus (no fuzzing engine time).
 fuzz-seed:
-	$(GO) test -run='^Fuzz' ./internal/cache ./internal/synth
+	$(GO) test -run='^Fuzz' ./internal/cache ./internal/synth ./internal/rdist
 
 # One-iteration pass over the kernel benchmarks: catches benchmarks that
 # no longer build or crash without paying for stable timings. The
 # baseline gate then checks the ratios recorded in BENCH_kernel.json
 # against the acceptance floors (batched >=1.5x per-uop, sampled >=3x
-# exact) — recorded numbers, so a loaded machine can't flake it.
+# exact, analytic >=100x exact) — recorded numbers, so a loaded machine
+# can't flake it.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Kernel -benchtime=1x .
 	$(GO) test -run='^TestKernelBenchBaselines$$' -count=1 .
+
+# The analytic tier's accuracy gate, forced fresh (-count=1): the
+# per-family tolerance harness comparing analytic predictions against
+# exact 16Mi-instruction baselines (skipped under -short).
+analytic-smoke:
+	$(GO) test -run='^TestAnalyticTolerance$$' -count=1 ./internal/analytic
 
 # Build the real specserved binary, run a campaign over HTTP, restart on
 # the same store and assert the repeat simulates zero pairs, then check
@@ -56,4 +63,4 @@ fleet-smoke:
 race-fanout:
 	$(GO) test -race ./internal/server/... ./internal/sched/... ./internal/client/...
 
-ci: build vet test race fuzz-seed bench-smoke serve-smoke metrics-smoke fleet-smoke race-fanout
+ci: build vet test race fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke race-fanout

@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analytic"
 	"repro/internal/branch"
 	"repro/internal/cache"
 	"repro/internal/cluster"
@@ -794,6 +795,37 @@ func BenchmarkKernelSampled(b *testing.B) {
 	}
 	b.Run("exact", func(b *testing.B) { run(b, machine.Sampling{}) })
 	b.Run("sampled", func(b *testing.B) { run(b, machine.DefaultSampling()) })
+}
+
+// BenchmarkKernelAnalytic measures the analytic fidelity tier on the
+// same pair, machine and 16Mi-instruction window as
+// BenchmarkKernelSampled: the per-pair cost of predicting the hierarchy
+// miss rates from a short reuse-distance profile instead of simulating
+// every reference. The analytic/exact uops/s ratio
+// (BenchmarkKernelAnalytic over BenchmarkKernelSampled/exact) is the
+// analytic tentpole's acceptance metric (floor: 100x; BENCH_kernel.json
+// records the measured baselines and TestKernelBenchBaselines gates the
+// floor in bench-smoke). The cost is dominated by the fixed profile and
+// measure windows, so the speedup grows with the instruction window.
+func BenchmarkKernelAnalytic(b *testing.B) {
+	pair := kernelPair()
+	cfg := machine.HaswellScaled()
+	const instr = 16 << 20
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		gen := kernelGen(b, pair)
+		opt := machine.Options{
+			Instructions:       instr,
+			WarmupInstructions: gen.Prologue(),
+			Workload:           pipeline.Workload{ILP: 2, MLP: pair.Model.MLP},
+			CalibrateIPC:       pair.Model.TargetIPC,
+		}
+		b.StartTimer()
+		if _, err := analytic.Run(cfg, gen, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportUops(b, instr)
 }
 
 // BenchmarkReuseDistanceProfile measures the exact reuse-distance

@@ -37,6 +37,9 @@ type Campaign struct {
 	// Sampling is the raw systematic-sampling knob (-sampling); empty
 	// means "off".
 	Sampling string
+	// Fidelity is the raw simulation-tier selector (-fidelity); empty
+	// means "exact".
+	Fidelity string
 	// Batch is the simulation kernel batch size in uops (-batch, 0 =
 	// default).
 	Batch int
@@ -54,6 +57,7 @@ type Campaign struct {
 	cache    *speckit.Cache
 	trace    *speckit.Trace
 	sampling speckit.Sampling
+	fidelity speckit.Fidelity
 }
 
 // Register installs the shared flags on fs (flag.CommandLine in the
@@ -62,9 +66,13 @@ func (c *Campaign) Register(fs *flag.FlagSet) {
 	if c.Sampling == "" {
 		c.Sampling = "off"
 	}
+	if c.Fidelity == "" {
+		c.Fidelity = "exact"
+	}
 	fs.BoolVar(&c.Progress, "progress", c.Progress, "print a live progress meter (with per-tier cache hits) to stderr")
 	fs.StringVar(&c.CacheDir, "cache-dir", c.CacheDir, "persistent result-store directory: pair results are saved as checksummed content-addressed records, and repeated runs with the same models, machine and options are re-used bit-identically instead of re-simulated (empty = in-memory cache only)")
 	fs.StringVar(&c.Sampling, "sampling", c.Sampling, "systematic-sampling fidelity knob: off, default, or PERIOD/DETAIL/WARMUP instruction counts (e.g. 262144/8192/8192); sampled results are bounded-error estimates and never share cache entries with exact runs")
+	fs.StringVar(&c.Fidelity, "fidelity", c.Fidelity, "simulation tier: exact (every uop), sampled (periodic detailed windows; same as -sampling default), or analytic (miss-curve prediction from a reuse-distance profile — the fastest tier); non-exact results are bounded-error estimates and never share cache entries across tiers")
 	fs.IntVar(&c.Batch, "batch", c.Batch, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
 	fs.IntVar(&c.Parallelism, "j", c.Parallelism, "concurrent pair simulations (0 = NumCPU)")
 	fs.StringVar(&c.TraceFile, "trace", c.TraceFile, "write the campaign's span tree (campaign -> pair -> simulation stages, with cache-tier outcomes) to FILE as a JSONL run manifest; never affects results or cache identity")
@@ -80,12 +88,21 @@ func (c *Campaign) Options(ctx context.Context) (speckit.Options, error) {
 	if err != nil {
 		return speckit.Options{}, err
 	}
+	fidelity, err := speckit.ParseFidelity(c.Fidelity)
+	if err != nil {
+		return speckit.Options{}, err
+	}
+	if fidelity == speckit.FidelityAnalytic && sampling.Enabled() {
+		return speckit.Options{}, fmt.Errorf("-fidelity analytic does not compose with -sampling")
+	}
 	c.sampling = sampling
+	c.fidelity = fidelity
 	c.cache = speckit.NewCache()
 	opts := []speckit.Option{
 		speckit.WithContext(ctx),
 		speckit.WithCache(c.cache),
 		speckit.WithSampling(sampling),
+		speckit.WithFidelity(fidelity),
 		speckit.WithBatchSize(c.Batch),
 		speckit.WithParallelism(c.Parallelism),
 	}
@@ -108,6 +125,9 @@ func (c *Campaign) Options(ctx context.Context) (speckit.Options, error) {
 
 // SamplingKnob returns the knob parsed by Options (zero before then).
 func (c *Campaign) SamplingKnob() speckit.Sampling { return c.sampling }
+
+// FidelityTier returns the tier parsed by Options (exact before then).
+func (c *Campaign) FidelityTier() speckit.Fidelity { return c.fidelity }
 
 // Finish completes the shared end-of-run reporting: the tiered
 // cache-stats line under -progress, slow-pair warnings, and the JSONL

@@ -20,27 +20,29 @@ func TestRegisterAndParse(t *testing.T) {
 	c.Register(fs)
 	err := fs.Parse([]string{
 		"-progress", "-cache-dir", "/tmp/x", "-sampling", "default",
+		"-fidelity", "sampled",
 		"-batch", "128", "-j", "2", "-trace", "run.jsonl", "-slow-pair", "2s",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := Campaign{
-		Progress: true, CacheDir: "/tmp/x", Sampling: "default",
+		Progress: true, CacheDir: "/tmp/x", Sampling: "default", Fidelity: "sampled",
 		Batch: 128, Parallelism: 2, TraceFile: "run.jsonl", SlowPair: 2 * time.Second,
 	}
 	if c != want {
 		t.Errorf("parsed = %+v, want %+v", c, want)
 	}
 
-	// Defaults: sampling reads as "off", everything else zero.
+	// Defaults: sampling reads as "off", fidelity as "exact", everything
+	// else zero.
 	var d Campaign
 	fs = flag.NewFlagSet("defaults", flag.ContinueOnError)
 	d.Register(fs)
 	if err := fs.Parse(nil); err != nil {
 		t.Fatal(err)
 	}
-	if d.Sampling != "off" || d.Progress || d.TraceFile != "" || d.SlowPair != 0 {
+	if d.Sampling != "off" || d.Fidelity != "exact" || d.Progress || d.TraceFile != "" || d.SlowPair != 0 {
 		t.Errorf("defaults = %+v", d)
 	}
 }
@@ -49,6 +51,26 @@ func TestOptionsBadSampling(t *testing.T) {
 	c := Campaign{Sampling: "not-a-knob"}
 	if _, err := c.Options(context.Background()); err == nil {
 		t.Fatal("bad sampling knob accepted")
+	}
+}
+
+func TestOptionsFidelity(t *testing.T) {
+	c := Campaign{Fidelity: "analytic"}
+	opt, err := c.Options(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Fidelity != speckit.FidelityAnalytic || c.FidelityTier() != speckit.FidelityAnalytic {
+		t.Errorf("fidelity = %v (tier %v), want analytic", opt.Fidelity, c.FidelityTier())
+	}
+
+	if _, err := (&Campaign{Fidelity: "turbo"}).Options(context.Background()); err == nil {
+		t.Error("bad fidelity tier accepted")
+	}
+	bad := Campaign{Fidelity: "analytic", Sampling: "default"}
+	if _, err := bad.Options(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "analytic") {
+		t.Errorf("analytic+sampling = %v, want rejection", err)
 	}
 }
 

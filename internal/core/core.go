@@ -7,10 +7,12 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
 
+	"repro/internal/analytic"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/perf"
@@ -70,6 +72,16 @@ type Options struct {
 	// tiers. Each pair's Characteristics.Sampling then carries the
 	// per-metric error estimate.
 	Sampling machine.Sampling
+	// Fidelity selects the simulation tier: FidelityExact (the zero
+	// value) simulates every uop, FidelitySampled is shorthand for the
+	// default Sampling knob (an explicit Sampling knob wins), and
+	// FidelityAnalytic predicts cache behaviour from a reuse-distance
+	// profile instead of simulating it (internal/analytic) — the
+	// fastest tier, with error floors gated per metric family.
+	// FidelityAnalytic does not compose with Sampling. Like Sampling the
+	// tier changes result bits, so non-exact tiers are folded into every
+	// result-cache key and can never alias each other or an exact entry.
+	Fidelity machine.Fidelity
 	// Trace, when non-nil, records the campaign as a span tree — one
 	// campaign root, one span per pair with its satisfying cache tier,
 	// and per-stage children (fast-forward/warmup/detail) under
@@ -89,6 +101,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.NumCPU()
+	}
+	// Fidelity and Sampling normalize into one canonical pair so every
+	// spelling of "sampled" derives identical cache keys: the sampled
+	// tier with no explicit knob means the default knob, and an explicit
+	// knob under the exact tier means the sampled tier. The invalid
+	// analytic+sampling combination is left as is for Characterize to
+	// reject.
+	if o.Fidelity == machine.FidelitySampled && !o.Sampling.Enabled() {
+		o.Sampling = machine.DefaultSampling()
+	}
+	if o.Sampling.Enabled() && o.Fidelity == machine.FidelityExact {
+		o.Fidelity = machine.FidelitySampled
 	}
 	return o
 }
@@ -149,6 +173,9 @@ func (c *Characteristics) MemPct() float64 { return c.LoadPct + c.StorePct }
 // from the cache bit-identically instead of being re-simulated.
 func Characterize(pairs []profile.Pair, opt Options) ([]Characteristics, error) {
 	opt = opt.withDefaults()
+	if err := validateFidelity(&opt); err != nil {
+		return nil, err
+	}
 	if opt.Store != nil {
 		if opt.Cache == nil {
 			opt.Cache = sched.NewCache()
@@ -179,7 +206,8 @@ func Characterize(pairs []profile.Pair, opt Options) ([]Characteristics, error) 
 		SetAttr("pairs", len(pairs)).
 		SetAttr("machine", opt.Machine.Name).
 		SetAttr("instructions", opt.Instructions).
-		SetAttr("sampling", opt.Sampling.String())
+		SetAttr("sampling", opt.Sampling.String()).
+		SetAttr("fidelity", opt.Fidelity.String())
 	defer span.Finish()
 	return sched.Run(opt.Context, tasks, sched.Options{
 		Workers:  opt.Parallelism,
@@ -198,8 +226,19 @@ func CharacterizePair(pair profile.Pair, opt Options) (*Characteristics, error) 
 	return characterizePairCtx(context.Background(), pair, opt)
 }
 
+// validateFidelity rejects the option combinations no tier can honor.
+func validateFidelity(opt *Options) error {
+	if opt.Fidelity == machine.FidelityAnalytic && opt.Sampling.Enabled() {
+		return fmt.Errorf("core: the analytic fidelity tier does not compose with sampling")
+	}
+	return nil
+}
+
 func characterizePairCtx(ctx context.Context, pair profile.Pair, opt Options) (*Characteristics, error) {
 	opt = opt.withDefaults()
+	if err := validateFidelity(&opt); err != nil {
+		return nil, err
+	}
 	m := pair.Model
 	gen, err := synth.New(m, opt.Machine.Geometry())
 	if err != nil {
@@ -223,7 +262,12 @@ func characterizePairCtx(ctx context.Context, pair profile.Pair, opt Options) (*
 		// generator prologue stays mandatory.
 		mopt.WarmupFraction = -1
 	}
-	res, err := machine.Run(opt.Machine, gen, mopt)
+	var res *machine.Result
+	if opt.Fidelity == machine.FidelityAnalytic {
+		res, err = analytic.Run(opt.Machine, gen, mopt)
+	} else {
+		res, err = machine.Run(opt.Machine, gen, mopt)
+	}
 	if err != nil {
 		return nil, err
 	}

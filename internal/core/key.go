@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/machine"
 	"repro/internal/profile"
 )
 
@@ -19,17 +20,23 @@ import (
 // campaignKeyPrefix captures the per-campaign (pair-independent) part of
 // the key: machine fingerprint and run options. Computed once per
 // campaign, not once per pair, because Config.Fingerprint constructs a
-// throwaway predictor. The sampling knob is appended only when enabled,
-// so exact-run keys are stable across the feature's introduction while
-// sampled results — which are estimates, not bit-identical to exact
-// ones — can never alias an exact entry in any cache tier, nor an entry
-// sampled at a different knob.
+// throwaway predictor. The sampling and fidelity knobs are appended only
+// when they leave the exact tier, so exact-run keys are stable across
+// each feature's introduction while sampled and analytic results — which
+// are estimates, not bit-identical to exact ones — can never alias an
+// exact entry in any cache tier, an entry of another tier, or an entry
+// sampled at a different knob. The analytic tag carries a version so a
+// model revision invalidates stored predictions instead of serving
+// stale ones.
 func campaignKeyPrefix(opt *Options) string {
 	key := fmt.Sprintf("%s|n=%d|mux=%d", opt.Machine.Fingerprint(),
 		opt.Instructions, opt.MultiplexSlots)
 	if opt.Sampling.Enabled() {
 		key += fmt.Sprintf("|sampling=%d/%d/%d",
 			opt.Sampling.Period, opt.Sampling.DetailLen, opt.Sampling.WarmupLen)
+	}
+	if opt.Fidelity == machine.FidelityAnalytic {
+		key += "|fidelity=analytic-v1"
 	}
 	return key
 }

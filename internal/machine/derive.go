@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/perf"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// Counts is the complete event-count input to DeriveResult: everything
+// the performance model needs to turn a simulated (or predicted) stream
+// into a Result. The simulation kernels fill it from their counter
+// snapshots; the analytic tier fills it from miss-curve predictions
+// scaled to the full stream.
+type Counts struct {
+	// Kinds counts retired uops by kind.
+	Kinds [trace.NumKinds]uint64
+	// LoadLevel counts loads by the cache level that serviced them,
+	// indexed by cache.HitLevel; DataLevel counts loads and stores.
+	LoadLevel [4]uint64
+	DataLevel [4]uint64
+	// FetchMisses counts L1I misses, Walks counts DTLB page walks.
+	FetchMisses uint64
+	Walks       uint64
+	// Branch is the per-class executed/mispredicted breakdown.
+	Branch branch.Stats
+	// RSSBytes and VSZBytes are the footprint high-water marks; they are
+	// reported as-is, never extrapolated.
+	RSSBytes uint64
+	VSZBytes uint64
+}
+
+// DeriveResult runs the analytical back half of a characterization: the
+// first-order interval model (stall events -> cycle breakdown -> IPC,
+// with optional ILP calibration against a target IPC) plus the derived
+// perf-counter view. It is shared by every fidelity tier — the exact
+// and sampled kernels hand it measured counts, the analytic tier hands
+// it predicted ones — so the tiers can never drift apart in how counts
+// become a Result.
+func DeriveResult(cfg Config, opt Options, ct Counts) (*Result, error) {
+	n := uint64(0)
+	for _, k := range ct.Kinds {
+		n += k
+	}
+	ev := pipeline.Events{
+		Instructions: n,
+		L2Hits:       ct.DataLevel[cache.HitL2],
+		L3Hits:       ct.DataLevel[cache.HitL3],
+		MemAccesses:  ct.DataLevel[cache.HitMemory],
+		FetchMisses:  ct.FetchMisses,
+		Walks:        ct.Walks,
+	}
+	_, misp := ct.Branch.Total()
+	ev.Mispredicts = misp
+
+	w := opt.Workload
+	res := &Result{Events: ev, ILP: w.ILP, Calibrated: false}
+	if opt.CalibrateIPC > 0 {
+		stalls := ev
+		stalls.Instructions = 0
+		stallPer := pipeline.Cycles(cfg.Pipeline, w, stalls).Total() / float64(n)
+		res.ILP, res.Calibrated = pipeline.SolveILP(cfg.Pipeline, opt.CalibrateIPC, stallPer)
+		w.ILP = res.ILP
+	}
+	res.Breakdown = pipeline.Cycles(cfg.Pipeline, w, ev)
+	cycles := res.Breakdown.Total()
+	if cycles <= 0 {
+		return nil, fmt.Errorf("machine: non-positive cycle count")
+	}
+	res.IPC = float64(n) / cycles
+
+	bs := ct.Branch
+	values := map[string]uint64{
+		perf.InstRetired:   n,
+		perf.RefCycles:     uint64(cycles),
+		perf.UopsRetired:   n,
+		perf.AllLoads:      ct.Kinds[trace.KindLoad],
+		perf.AllStores:     ct.Kinds[trace.KindStore],
+		perf.AllBranches:   ct.Kinds[trace.KindBranch],
+		perf.MispBranches:  misp,
+		perf.CondBranches:  bs.Executed[trace.BranchConditional],
+		perf.DirectJumps:   bs.Executed[trace.BranchDirectJump],
+		perf.DirectCalls:   bs.Executed[trace.BranchDirectCall],
+		perf.IndirectJumps: bs.Executed[trace.BranchIndirectJump],
+		perf.Returns:       bs.Executed[trace.BranchReturn],
+		perf.L1Hit:         ct.LoadLevel[cache.HitL1],
+		perf.L1Miss:        ct.LoadLevel[cache.HitL2] + ct.LoadLevel[cache.HitL3] + ct.LoadLevel[cache.HitMemory],
+		perf.L2Hit:         ct.LoadLevel[cache.HitL2],
+		perf.L2Miss:        ct.LoadLevel[cache.HitL3] + ct.LoadLevel[cache.HitMemory],
+		perf.L3Hit:         ct.LoadLevel[cache.HitL3],
+		perf.L3Miss:        ct.LoadLevel[cache.HitMemory],
+		perf.ICacheMisses:  ev.FetchMisses,
+		perf.DTLBWalks:     ev.Walks,
+	}
+	seconds := cycles / cfg.ClockHz
+	res.Counters = perf.NewCounters(values, ct.RSSBytes, ct.VSZBytes, seconds)
+	res.SimRSSBytes = ct.RSSBytes
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fidelity selects the simulation tier a pair is characterized with.
+// The tiers trade accuracy for speed:
+//
+//   - FidelityExact simulates every instruction of the measured window
+//     (the batched kernel, bit-identical to the reference kernel).
+//   - FidelitySampled simulates periodic detailed windows and
+//     extrapolates (SMARTS-style systematic sampling, ~20x).
+//   - FidelityAnalytic simulates almost nothing: it measures a short
+//     reuse-distance profile and predicts the cache miss rates from the
+//     miss curve (StatStack-style), feeding a first-order interval
+//     model (~100x+).
+//
+// Results from different tiers are never bit-identical, so the tier is
+// folded into every result-cache key; the zero value is FidelityExact
+// so pre-fidelity callers and serialized specs keep exact semantics.
+type Fidelity int
+
+const (
+	FidelityExact Fidelity = iota
+	FidelitySampled
+	FidelityAnalytic
+)
+
+// String returns the canonical spelling accepted by ParseFidelity.
+func (f Fidelity) String() string {
+	switch f {
+	case FidelityExact:
+		return "exact"
+	case FidelitySampled:
+		return "sampled"
+	case FidelityAnalytic:
+		return "analytic"
+	}
+	return fmt.Sprintf("fidelity(%d)", int(f))
+}
+
+// ParseFidelity parses a tier name as spelled in flags and campaign
+// specs. The empty string means exact, matching the zero value.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "exact":
+		return FidelityExact, nil
+	case "sampled":
+		return FidelitySampled, nil
+	case "analytic":
+		return FidelityAnalytic, nil
+	}
+	return 0, fmt.Errorf("machine: unknown fidelity %q (want exact, sampled or analytic)", s)
+}

@@ -1,0 +1,41 @@
+package machine
+
+import "testing"
+
+func TestParseFidelity(t *testing.T) {
+	good := []struct {
+		in   string
+		want Fidelity
+	}{
+		{"", FidelityExact},
+		{"exact", FidelityExact},
+		{"EXACT", FidelityExact},
+		{" exact ", FidelityExact},
+		{"sampled", FidelitySampled},
+		{"analytic", FidelityAnalytic},
+		{"Analytic", FidelityAnalytic},
+	}
+	for _, tc := range good {
+		got, err := ParseFidelity(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseFidelity(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, in := range []string{"fast", "analytical", "sample", "0"} {
+		if got, err := ParseFidelity(in); err == nil {
+			t.Errorf("ParseFidelity(%q) = %v, want error", in, got)
+		}
+	}
+}
+
+func TestFidelityStringRoundTrip(t *testing.T) {
+	for _, f := range []Fidelity{FidelityExact, FidelitySampled, FidelityAnalytic} {
+		got, err := ParseFidelity(f.String())
+		if err != nil || got != f {
+			t.Errorf("round trip %v -> %q -> %v, %v", f, f.String(), got, err)
+		}
+	}
+	if FidelityExact != 0 {
+		t.Error("FidelityExact must be the zero value for spec back-compat")
+	}
+}

@@ -775,63 +775,19 @@ func RunReference(cfg Config, src trace.Source, opt Options) (*Result, error) {
 // cumulative statistics for exact runs, or the scaled aggregate of the
 // detailed windows for sampled runs. Only the footprint is read from
 // the core directly (it is a high-water mark, not a rate, and is
-// reported pre-extrapolation either way).
+// reported pre-extrapolation either way). The heavy lifting lives in
+// DeriveResult, shared with the analytic tier.
 func (c *core) finish(cfg Config, opt Options, s counterSnap) (*Result, error) {
-	n := s.instructions()
-	ev := pipeline.Events{
-		Instructions: n,
-		L2Hits:       s.dataLevel[cache.HitL2],
-		L3Hits:       s.dataLevel[cache.HitL3],
-		MemAccesses:  s.dataLevel[cache.HitMemory],
-		FetchMisses:  s.fetchMisses,
-		Walks:        s.walks,
-	}
-	_, misp := s.branch.Total()
-	ev.Mispredicts = misp
-
-	w := opt.Workload
-	res := &Result{Events: ev, ILP: w.ILP, Calibrated: false}
-	if opt.CalibrateIPC > 0 {
-		stalls := ev
-		stalls.Instructions = 0
-		stallPer := pipeline.Cycles(cfg.Pipeline, w, stalls).Total() / float64(n)
-		res.ILP, res.Calibrated = pipeline.SolveILP(cfg.Pipeline, opt.CalibrateIPC, stallPer)
-		w.ILP = res.ILP
-	}
-	res.Breakdown = pipeline.Cycles(cfg.Pipeline, w, ev)
-	cycles := res.Breakdown.Total()
-	if cycles <= 0 {
-		return nil, fmt.Errorf("machine: non-positive cycle count")
-	}
-	res.IPC = float64(n) / cycles
-
-	bs := s.branch
-	values := map[string]uint64{
-		perf.InstRetired:   n,
-		perf.RefCycles:     uint64(cycles),
-		perf.UopsRetired:   n,
-		perf.AllLoads:      s.kinds[trace.KindLoad],
-		perf.AllStores:     s.kinds[trace.KindStore],
-		perf.AllBranches:   s.kinds[trace.KindBranch],
-		perf.MispBranches:  misp,
-		perf.CondBranches:  bs.Executed[trace.BranchConditional],
-		perf.DirectJumps:   bs.Executed[trace.BranchDirectJump],
-		perf.DirectCalls:   bs.Executed[trace.BranchDirectCall],
-		perf.IndirectJumps: bs.Executed[trace.BranchIndirectJump],
-		perf.Returns:       bs.Executed[trace.BranchReturn],
-		perf.L1Hit:         s.loadLevel[cache.HitL1],
-		perf.L1Miss:        s.loadLevel[cache.HitL2] + s.loadLevel[cache.HitL3] + s.loadLevel[cache.HitMemory],
-		perf.L2Hit:         s.loadLevel[cache.HitL2],
-		perf.L2Miss:        s.loadLevel[cache.HitL3] + s.loadLevel[cache.HitMemory],
-		perf.L3Hit:         s.loadLevel[cache.HitL3],
-		perf.L3Miss:        s.loadLevel[cache.HitMemory],
-		perf.ICacheMisses:  ev.FetchMisses,
-		perf.DTLBWalks:     ev.Walks,
-	}
-	seconds := cycles / cfg.ClockHz
-	res.Counters = perf.NewCounters(values, c.foot.PeakRSS(), c.foot.VSZ(), seconds)
-	res.SimRSSBytes = c.foot.PeakRSS()
-	return res, nil
+	return DeriveResult(cfg, opt, Counts{
+		Kinds:       s.kinds,
+		LoadLevel:   s.loadLevel,
+		DataLevel:   s.dataLevel,
+		FetchMisses: s.fetchMisses,
+		Walks:       s.walks,
+		Branch:      s.branch,
+		RSSBytes:    c.foot.PeakRSS(),
+		VSZBytes:    c.foot.VSZ(),
+	})
 }
 
 // warmupLength resolves the warmup policy from the options.

@@ -1,13 +1,13 @@
 package machine
 
 import (
-	"math"
 	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/pipeline"
 	"repro/internal/profile"
+	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
@@ -159,25 +159,18 @@ func TestSampledTolerance(t *testing.T) {
 			if sampled.Sampling == nil || sampled.Sampling.Windows == 0 {
 				t.Fatal("sampled run reported no windows")
 			}
-			check := func(metric string, got, want, floor float64) {
-				rel := math.Abs(got - want)
-				if want != 0 {
-					rel = math.Abs(got-want) / math.Abs(want)
-				}
-				if rel <= 0.02 {
-					return
-				}
-				if floor > 0 && math.Abs(got-want) <= floor {
-					return
-				}
-				t.Errorf("%s: sampled %.4f vs exact %.4f (%.2f%% relative, %.3fpp absolute) outside max(2%% rel, %.2fpp)",
-					metric, got, want, rel*100, math.Abs(got-want), floor)
+			var g stats.Gate
+			tol := func(floor float64) stats.Tolerance {
+				return stats.Tolerance{Rel: 0.02, Abs: floor}
 			}
-			check("IPC", sampled.IPC, exact.IPC, 0)
-			check("L1 miss%", sampled.Counters.CacheMissPct(1), exact.Counters.CacheMissPct(1), tc.l1)
-			check("L2 miss%", sampled.Counters.CacheMissPct(2), exact.Counters.CacheMissPct(2), tc.l2)
-			check("L3 miss%", sampled.Counters.CacheMissPct(3), exact.Counters.CacheMissPct(3), tc.l3)
-			check("mispredict%", sampled.Counters.MispredictPct(), exact.Counters.MispredictPct(), tc.mispFl)
+			g.Check("IPC", sampled.IPC, exact.IPC, tol(0))
+			g.Check("L1 miss%", sampled.Counters.CacheMissPct(1), exact.Counters.CacheMissPct(1), tol(tc.l1))
+			g.Check("L2 miss%", sampled.Counters.CacheMissPct(2), exact.Counters.CacheMissPct(2), tol(tc.l2))
+			g.Check("L3 miss%", sampled.Counters.CacheMissPct(3), exact.Counters.CacheMissPct(3), tol(tc.l3))
+			g.Check("mispredict%", sampled.Counters.MispredictPct(), exact.Counters.MispredictPct(), tol(tc.mispFl))
+			if !g.OK() {
+				t.Error(g.Report())
+			}
 		})
 	}
 }

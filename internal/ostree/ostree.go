@@ -53,6 +53,46 @@ func (t *Tree) lazyInit() {
 	}
 }
 
+// FromOrdered builds a tree whose rank order is exactly the order of
+// values, in O(n) time via the right-spine Cartesian-tree construction:
+// each appended node pops the spine while its priority dominates, takes
+// the last popped subtree as its left child and becomes the new spine
+// tip. A single post-order pass then fixes the subtree sizes. Building
+// element-by-element with InsertAt would cost O(n log n).
+func FromOrdered(seed uint64, values []uint64) *Tree {
+	t := New(seed)
+	spine := make([]*node, 0, 64)
+	// One slab allocation for all nodes: the per-node alloc (and its
+	// write-barrier traffic) dominates the build otherwise.
+	slab := make([]node, len(values))
+	for i, v := range values {
+		n := &slab[i]
+		*n = node{value: v, priority: t.rng.Uint32(), size: 1}
+		var popped *node
+		for len(spine) > 0 && spine[len(spine)-1].priority < n.priority {
+			popped = spine[len(spine)-1]
+			spine = spine[:len(spine)-1]
+		}
+		n.left = popped
+		if len(spine) > 0 {
+			spine[len(spine)-1].right = n
+		} else {
+			t.root = n
+		}
+		spine = append(spine, n)
+	}
+	var fix func(n *node) int
+	fix = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		n.size = 1 + fix(n.left) + fix(n.right)
+		return n.size
+	}
+	fix(t.root)
+	return t
+}
+
 // Len returns the number of elements in the tree.
 func (t *Tree) Len() int { return size(t.root) }
 
@@ -104,8 +144,23 @@ func (t *Tree) InsertAt(rank int, value uint64) {
 	t.root = merge(merge(l, n), r)
 }
 
-// PushFront inserts value at rank 0.
-func (t *Tree) PushFront(value uint64) { t.InsertAt(0, value) }
+// PushFront inserts value at rank 0. Equivalent to InsertAt(0, value)
+// but walks the left spine only until the heap order is satisfied,
+// instead of splitting the whole spine and merging it back — this is the
+// LRU-stack hot path.
+func (t *Tree) PushFront(value uint64) {
+	t.lazyInit()
+	n := &node{value: value, priority: t.rng.Uint32(), size: 1}
+	link := &t.root
+	for *link != nil && (*link).priority >= n.priority {
+		(*link).size++
+		link = &(*link).left
+	}
+	// The remaining subtree ranks entirely after the new front element.
+	n.right = *link
+	n.size += size(n.right)
+	*link = n
+}
 
 // At returns the value at the given rank. It panics if rank is out of
 // [0, Len()).
@@ -146,6 +201,75 @@ func (t *Tree) MoveToFront(rank int) uint64 {
 	v := t.RemoveAt(rank)
 	t.PushFront(v)
 	return v
+}
+
+// RankOfValue returns the rank of value in a tree whose values happen to
+// be stored in ascending rank order, or -1 if the value is absent. The
+// treap is rank-ordered, not value-ordered, so this is only meaningful
+// for callers that maintain the ascending invariant themselves — the
+// reuse-distance profiler does: its timestamps strictly decrease over
+// time and every touch moves a line to the front, so rank order and
+// ascending stamp order coincide. One O(log n) descent then replaces a
+// binary search over At (O(log^2 n)).
+func (t *Tree) RankOfValue(value uint64) int {
+	n := t.root
+	rank := 0
+	for n != nil {
+		ls := size(n.left)
+		switch {
+		case value < n.value:
+			n = n.left
+		case value == n.value:
+			return rank + ls
+		default:
+			rank += ls + 1
+			n = n.right
+		}
+	}
+	return -1
+}
+
+// RemoveValue removes the node holding value from an ascending-ordered
+// tree and returns the rank it occupied, or -1 if the value is absent
+// (the tree is then unchanged). Like RankOfValue it requires the
+// caller-maintained ascending invariant. One descent with in-place size
+// fixups replaces the rank search plus RemoveAt's split/split/merge —
+// the profiler's hot path.
+func (t *Tree) RemoveValue(value uint64) int {
+	root, rank := removeValue(t.root, value)
+	if rank < 0 {
+		return -1
+	}
+	t.root = root
+	return rank
+}
+
+func removeValue(n *node, value uint64) (*node, int) {
+	if n == nil {
+		return nil, -1
+	}
+	switch {
+	case value < n.value:
+		l, rank := removeValue(n.left, value)
+		if rank < 0 {
+			return n, -1
+		}
+		n.left = l
+		n.size--
+		return n, rank
+	case value > n.value:
+		r, rank := removeValue(n.right, value)
+		if rank < 0 {
+			return n, -1
+		}
+		n.right = r
+		n.size--
+		return n, rank + size(n.left) + 1
+	default:
+		// Capture the rank before merge mutates the left subtree's size.
+		rank := size(n.left)
+		return merge(n.left, n.right), rank
+	}
 }
 
 // Walk calls fn for each value in rank order, stopping early if fn

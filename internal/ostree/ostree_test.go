@@ -262,6 +262,188 @@ func TestLargeLRUStackBehaviour(t *testing.T) {
 	}
 }
 
+// TestRankOfValue: on a tree maintained in ascending value order (the
+// profiler's invariant: strictly decreasing stamps pushed to the front),
+// RankOfValue inverts At for every element and returns -1 for absent
+// values.
+func TestRankOfValue(t *testing.T) {
+	tr := New(13)
+	// Push descending values to the front: rank order ends up ascending.
+	const n = 1000
+	for v := n - 1; v >= 0; v-- {
+		tr.PushFront(uint64(v * 2)) // even values only
+	}
+	for rank := 0; rank < n; rank++ {
+		v := tr.At(rank)
+		if got := tr.RankOfValue(v); got != rank {
+			t.Fatalf("RankOfValue(%d) = %d, want %d", v, got, rank)
+		}
+	}
+	for _, absent := range []uint64{1, 999, 2*n + 1} {
+		if got := tr.RankOfValue(absent); got != -1 {
+			t.Errorf("RankOfValue(absent %d) = %d, want -1", absent, got)
+		}
+	}
+	if got := New(14).RankOfValue(7); got != -1 {
+		t.Errorf("RankOfValue on empty tree = %d, want -1", got)
+	}
+}
+
+// TestRankOfValueAfterMoves: the ascending invariant survives the LRU
+// touch pattern (remove at rank, push a fresh smaller value to the
+// front), which is exactly how the reuse-distance profiler drives it.
+func TestRankOfValueAfterMoves(t *testing.T) {
+	tr := New(15)
+	rng := xrand.NewPCG32(77)
+	next := uint64(1 << 40)
+	stamps := []uint64{}
+	for i := 0; i < 200; i++ {
+		tr.PushFront(next)
+		stamps = append([]uint64{next}, stamps...)
+		next--
+	}
+	for step := 0; step < 5000; step++ {
+		i := rng.Intn(len(stamps))
+		old := stamps[i]
+		rank := tr.RankOfValue(old)
+		if rank < 0 {
+			t.Fatalf("step %d: live stamp %d not found", step, old)
+		}
+		if got := tr.At(rank); got != old {
+			t.Fatalf("step %d: At(RankOfValue(%d)) = %d", step, old, got)
+		}
+		tr.RemoveAt(rank)
+		tr.PushFront(next)
+		stamps = append(stamps[:i], stamps[i+1:]...)
+		stamps = append([]uint64{next}, stamps...)
+		next--
+	}
+}
+
+// TestRemoveValueAgainstReference drives the LRU touch pattern and
+// cross-checks RemoveValue's returned rank and the resulting sequence
+// against the slice reference.
+func TestRemoveValueAgainstReference(t *testing.T) {
+	tr := New(16)
+	ref := &refStack{}
+	rng := xrand.NewPCG32(123)
+	next := uint64(1 << 50)
+	for i := 0; i < 300; i++ {
+		tr.PushFront(next)
+		ref.insertAt(0, next)
+		next--
+	}
+	for step := 0; step < 10000; step++ {
+		v := ref.s[rng.Intn(len(ref.s))]
+		gotRank := tr.RemoveValue(v)
+		wantRank := -1
+		for i, rv := range ref.s {
+			if rv == v {
+				wantRank = i
+				break
+			}
+		}
+		if gotRank != wantRank {
+			t.Fatalf("step %d: RemoveValue(%d) = %d, ref rank %d", step, v, gotRank, wantRank)
+		}
+		ref.removeAt(wantRank)
+		tr.PushFront(next)
+		ref.insertAt(0, next)
+		next--
+		if tr.Len() != len(ref.s) {
+			t.Fatalf("step %d: Len %d vs %d", step, tr.Len(), len(ref.s))
+		}
+	}
+	// Full sequence equality at the end.
+	for i, v := range ref.s {
+		if got := tr.At(i); got != v {
+			t.Fatalf("At(%d) = %d, ref %d", i, got, v)
+		}
+	}
+	// Absent values leave the tree untouched.
+	if got := tr.RemoveValue(1); got != -1 {
+		t.Errorf("RemoveValue(absent) = %d, want -1", got)
+	}
+	if tr.Len() != len(ref.s) {
+		t.Errorf("failed RemoveValue changed Len to %d", tr.Len())
+	}
+}
+
+// TestFromOrdered: the bulk builder produces the same observable
+// sequence as pushing the values front-to-back, and the resulting tree
+// supports the full operation set (sizes must be correct for At,
+// RemoveValue and later insertions to work).
+func TestFromOrdered(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 1000} {
+		values := make([]uint64, n)
+		for i := range values {
+			values[i] = uint64(1<<40) - uint64(i) // descending, like LRU stamps
+		}
+		tr := FromOrdered(21, values)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len() = %d", n, tr.Len())
+		}
+		for i, v := range values {
+			if got := tr.At(i); got != v {
+				t.Fatalf("n=%d: At(%d) = %d, want %d", n, i, got, v)
+			}
+		}
+		// Walk agrees with At.
+		visited := 0
+		tr.Walk(func(rank int, v uint64) bool {
+			if v != values[rank] {
+				t.Fatalf("n=%d: walk rank %d = %d, want %d", n, rank, v, values[rank])
+			}
+			visited++
+			return true
+		})
+		if visited != n {
+			t.Fatalf("n=%d: walk visited %d", n, visited)
+		}
+	}
+}
+
+// TestFromOrderedThenMutate drives the LRU touch pattern on a bulk-built
+// tree against the slice reference, exercising the size bookkeeping the
+// post-order fixup must have gotten right.
+func TestFromOrderedThenMutate(t *testing.T) {
+	// Ascending values (RemoveValue's invariant: rank order == value
+	// order, the profiler's most-recent-first stamp layout).
+	const n = 500
+	values := make([]uint64, n)
+	ref := &refStack{}
+	for i := range values {
+		values[i] = uint64(1<<50) + uint64(i)
+		ref.insertAt(i, values[i])
+	}
+	tr := FromOrdered(22, values)
+	rng := xrand.NewPCG32(321)
+	next := uint64(1<<50) - 1
+	for step := 0; step < 5000; step++ {
+		v := ref.s[rng.Intn(len(ref.s))]
+		gotRank := tr.RemoveValue(v)
+		wantRank := -1
+		for i, rv := range ref.s {
+			if rv == v {
+				wantRank = i
+				break
+			}
+		}
+		if gotRank != wantRank {
+			t.Fatalf("step %d: RemoveValue(%d) = %d, ref rank %d", step, v, gotRank, wantRank)
+		}
+		ref.removeAt(wantRank)
+		tr.PushFront(next)
+		ref.insertAt(0, next)
+		next--
+	}
+	for i, v := range ref.s {
+		if got := tr.At(i); got != v {
+			t.Fatalf("At(%d) = %d, ref %d", i, got, v)
+		}
+	}
+}
+
 func BenchmarkMoveToFront100k(b *testing.B) {
 	tr := New(11)
 	const n = 100000

@@ -1,0 +1,269 @@
+package rdist
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// randomHistogram fills a histogram with a seeded mixture of short,
+// medium, huge and cold distances so every property test sees mass in
+// the low buckets, the top finite bucket and the cold counter.
+func randomHistogram(seed uint64) *Histogram {
+	h := NewHistogram()
+	rng := xrand.NewPCG32(seed)
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			h.Add(rng.Intn(64))
+		case 1:
+			h.Add(rng.Intn(1 << 20))
+		case 2:
+			h.Add(Infinite - 1 - rng.Intn(1<<10)) // top finite bucket
+		default:
+			h.Add(Infinite)
+		}
+	}
+	return h
+}
+
+// TestMassBelowMonotoneProperty: MassBelow is non-decreasing in the
+// capacity for any histogram, across the whole capacity range up to and
+// including Infinite.
+func TestMassBelowMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		h := randomHistogram(seed)
+		prev := -1.0
+		for c := 1; c > 0 && c < Infinite; c *= 2 {
+			m := h.MassBelow(c)
+			if m < prev-1e-12 || m < 0 || m > 1+1e-12 {
+				return false
+			}
+			prev = m
+		}
+		return h.MassBelow(Infinite) >= prev-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHitRateBoundedProperty: HitRateAt stays inside [0, 1] for any
+// histogram and any capacity, including 0, negative and Infinite.
+func TestHitRateBoundedProperty(t *testing.T) {
+	f := func(seed uint64, rawC int64) bool {
+		h := randomHistogram(seed)
+		caps := []int{0, -1, 1, 7, 1 << 20, Infinite - 1, Infinite,
+			int(rawC % int64(Infinite))}
+		for _, c := range caps {
+			r := h.HitRateAt(c)
+			if r < 0 || r > 1 || math.IsNaN(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPercentileWithinBucketBounds: every percentile is the lower bound
+// of some non-empty bucket, percentiles are non-decreasing in q, and the
+// mass strictly below the returned bound is < q (the quantile inversion
+// property at bucket granularity).
+func TestPercentileWithinBucketBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		h := randomHistogram(seed)
+		bounds, _ := h.Buckets()
+		isBound := map[int]bool{}
+		for _, lo := range bounds {
+			isBound[lo] = true
+		}
+		prev := -1
+		for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			p := h.Percentile(q)
+			if !isBound[p] || p < prev {
+				return false
+			}
+			// The warm mass strictly below this bucket must not already
+			// cover the quantile, else a lower bucket should have won.
+			if p > 0 && h.MassBelow(p) >= q+1e-12 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInfiniteBoundary pins the behaviour of the histogram at and around
+// c == Infinite (MaxInt32): no 32-bit overflow in the bucket math, no
+// off-by-one at the top bucket, and hit rate equal to the warm fraction.
+func TestInfiniteBoundary(t *testing.T) {
+	h := NewHistogram()
+	const warm, cold = 900, 100
+	for i := 0; i < warm; i++ {
+		h.Add(Infinite - 1) // deepest possible finite distance
+	}
+	for i := 0; i < cold; i++ {
+		h.Add(Infinite)
+	}
+	// The deepest finite distance lands in bucket 31 ([2^30, 2^31)),
+	// never in the overflow-prone bucket 32.
+	if b := bucketOf(Infinite - 1); b != 31 {
+		t.Fatalf("bucketOf(Infinite-1) = %d, want 31", b)
+	}
+	// At c = Infinite the partial-bucket interpolation covers effectively
+	// all of bucket 31: (c-2^30)/2^30 = 1 - 1/2^30.
+	if m := h.MassBelow(Infinite); math.Abs(m-1) > 1e-6 {
+		t.Errorf("MassBelow(Infinite) = %v, want ~1", m)
+	}
+	if r := h.HitRateAt(Infinite); math.Abs(r-float64(warm)/float64(warm+cold)) > 1e-6 {
+		t.Errorf("HitRateAt(Infinite) = %v, want %v", r, float64(warm)/float64(warm+cold))
+	}
+	// Monotone through the huge-capacity range: 2^29 (below the mass),
+	// 2^30 (bucket lower bound), Infinite-1, Infinite.
+	caps := []int{1 << 29, 1 << 30, 1<<30 + 1, Infinite - 1, Infinite}
+	prev := -1.0
+	for _, c := range caps {
+		m := h.MassBelow(c)
+		if m < prev-1e-12 {
+			t.Errorf("MassBelow(%d) = %v < MassBelow(prev) = %v", c, m, prev)
+		}
+		prev = m
+	}
+	// Below the top bucket there is no mass at all.
+	if m := h.MassBelow(1 << 29); m != 0 {
+		t.Errorf("MassBelow(2^29) = %v, want 0", m)
+	}
+}
+
+// TestHistogramReset: Reset clears every counter and the histogram
+// accumulates fresh distances afterwards.
+func TestHistogramReset(t *testing.T) {
+	p := NewProfiler(64)
+	for i := 0; i < 100; i++ {
+		p.Touch(uint64(i%10) * 64)
+	}
+	if p.Histogram().Total() != 100 {
+		t.Fatalf("total = %d before reset", p.Histogram().Total())
+	}
+	p.ResetHistogram()
+	h := p.Histogram()
+	if h.Total() != 0 || h.Cold() != 0 {
+		t.Fatalf("after reset total/cold = %d/%d", h.Total(), h.Cold())
+	}
+	if bounds, _ := h.Buckets(); len(bounds) != 0 {
+		t.Fatalf("after reset buckets = %v", bounds)
+	}
+	// The stack stays warm: re-touching a pre-reset line is not cold.
+	if d := p.Touch(0); d == Infinite {
+		t.Error("pre-reset line came back cold; stack was not preserved")
+	}
+	if h.Total() != 1 || h.Cold() != 0 {
+		t.Errorf("post-reset accumulation total/cold = %d/%d", h.Total(), h.Cold())
+	}
+}
+
+// TestPreloadEquivalence: Preload leaves the profiler in exactly the
+// state sequential Touch would (same LRU stack, same recency), verified
+// by comparing every distance of a long follow-up stream; the warmup
+// itself records nothing in the histogram.
+func TestPreloadEquivalence(t *testing.T) {
+	rng := xrand.NewPCG32(42)
+	warmup := make([]uint64, 5000)
+	for i := range warmup {
+		warmup[i] = uint64(rng.Intn(800)) * 64 // repeats guaranteed
+	}
+	seq := NewProfiler(64)
+	for _, a := range warmup {
+		seq.Touch(a)
+	}
+	seq.ResetHistogram()
+
+	bulk := NewProfiler(64)
+	bulk.Preload(warmup)
+	if h := bulk.Histogram(); h.Total() != 0 || h.Cold() != 0 {
+		t.Fatalf("Preload recorded %d/%d histogram entries", h.Total(), h.Cold())
+	}
+	if seq.Lines() != bulk.Lines() {
+		t.Fatalf("Lines: sequential %d vs preloaded %d", seq.Lines(), bulk.Lines())
+	}
+	// Identical distances over a follow-up stream that revisits warmup
+	// lines and introduces fresh ones.
+	for step := 0; step < 20000; step++ {
+		addr := uint64(rng.Intn(1200)) * 64
+		a, b := seq.Touch(addr), bulk.Touch(addr)
+		if a != b {
+			t.Fatalf("step %d addr %#x: sequential distance %d, preloaded %d", step, addr, a, b)
+		}
+	}
+	if Compare(seq.Histogram(), bulk.Histogram()) != 0 {
+		t.Error("follow-up histograms diverged")
+	}
+}
+
+// TestPreloadPanicsWhenWarm: Preload is only valid on a fresh profiler.
+func TestPreloadPanicsWhenWarm(t *testing.T) {
+	p := NewProfiler(64)
+	p.Touch(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on Preload after Touch")
+		}
+	}()
+	p.Preload([]uint64{64})
+}
+
+// FuzzProfilerTouch feeds arbitrary address streams to the profiler and
+// checks its core invariants: the LRU stack holds exactly the distinct
+// lines touched, cold count equals distinct lines, and histogram totals
+// match the reference count.
+func FuzzProfilerTouch(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 1})
+	seed := make([]byte, 0, 64)
+	for i := 0; i < 8; i++ {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], uint64(i)*64)
+		seed = append(seed, w[:]...)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := NewProfiler(64)
+		distinct := map[uint64]bool{}
+		refs := 0
+		for len(data) >= 8 {
+			addr := binary.LittleEndian.Uint64(data[:8])
+			data = data[8:]
+			d := p.Touch(addr)
+			line := addr / 64
+			if d == Infinite && distinct[line] {
+				t.Fatalf("line %d cold twice", line)
+			}
+			if d != Infinite && !distinct[line] {
+				t.Fatalf("line %d warm on first touch (d=%d)", line, d)
+			}
+			if d != Infinite && (d < 0 || d >= len(distinct)) {
+				t.Fatalf("distance %d out of range [0,%d)", d, len(distinct))
+			}
+			distinct[line] = true
+			refs++
+		}
+		if p.Lines() != len(distinct) {
+			t.Fatalf("stack holds %d lines, stream touched %d distinct", p.Lines(), len(distinct))
+		}
+		h := p.Histogram()
+		if h.Total() != uint64(refs) || h.Cold() != uint64(len(distinct)) {
+			t.Fatalf("total/cold = %d/%d, want %d/%d", h.Total(), h.Cold(), refs, len(distinct))
+		}
+	})
+}

@@ -56,8 +56,9 @@ func (p *Profiler) Touch(addr uint64) int {
 	lineAddr := addr / p.lineBytes
 	d := Infinite
 	if stamp, ok := p.pos[lineAddr]; ok {
-		d = p.rankOf(stamp)
-		p.stack.RemoveAt(d)
+		if d = p.stack.RemoveValue(stamp); d < 0 {
+			panic("rdist: stamp not found in stack")
+		}
 	}
 	stamp := p.nextTick
 	p.nextTick--
@@ -67,24 +68,36 @@ func (p *Profiler) Touch(addr uint64) int {
 	return d
 }
 
-// rankOf finds the stack rank of the node carrying the given stamp.
-// Stamps strictly decrease over time and a touched line always moves to
-// the front, so stack rank order equals ascending stamp order; a binary
-// search over ranks recovers the position in O(log^2 n).
-func (p *Profiler) rankOf(stamp uint64) int {
-	lo, hi := 0, p.stack.Len()-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if p.stack.At(mid) < stamp {
-			lo = mid + 1
-		} else {
-			hi = mid
+// Preload warms a fresh profiler's LRU stack with an address stream in
+// one bulk pass, leaving the stack and recency state exactly as if every
+// address had been Touched in order — but records nothing in the
+// histogram: the warmup's distances are an artifact of the cold start,
+// not of the workload's steady state. It panics if the profiler has
+// already seen references; Preload is a constructor-adjacent fast path,
+// not a mid-stream operation.
+func (p *Profiler) Preload(addrs []uint64) {
+	if p.stack.Len() != 0 || p.nextTick != math.MaxUint64 {
+		panic("rdist: Preload requires a fresh profiler")
+	}
+	// A line's stack stamp after the sequential replay would be
+	// MaxUint64 - (index of its last occurrence); rank order is most
+	// recent first, i.e. ascending stamps. Walking the stream backwards
+	// meets each line at its last occurrence first, so the stamps come
+	// out already in rank order — no sort.
+	pos := make(map[uint64]uint64, len(addrs))
+	values := make([]uint64, 0, len(addrs))
+	for i := len(addrs) - 1; i >= 0; i-- {
+		line := addrs[i] / p.lineBytes
+		if _, ok := pos[line]; ok {
+			continue
 		}
+		stamp := math.MaxUint64 - uint64(i)
+		pos[line] = stamp
+		values = append(values, stamp)
 	}
-	if p.stack.At(lo) != stamp {
-		panic("rdist: stamp not found at computed rank")
-	}
-	return lo
+	p.pos = pos
+	p.stack = ostree.FromOrdered(0xd157, values)
+	p.nextTick = math.MaxUint64 - uint64(len(addrs))
 }
 
 // Lines returns the number of distinct lines touched.
@@ -92,6 +105,11 @@ func (p *Profiler) Lines() int { return p.stack.Len() }
 
 // Histogram returns the accumulated distance histogram.
 func (p *Profiler) Histogram() *Histogram { return p.hist }
+
+// ResetHistogram clears the accumulated histogram while keeping the LRU
+// stack warm, so a bounded measurement window can follow a warmup phase
+// without the warmup's references biasing the distribution.
+func (p *Profiler) ResetHistogram() { p.hist.Reset() }
 
 // Histogram accumulates reuse distances in power-of-two buckets plus a
 // cold-reference count.
@@ -118,12 +136,23 @@ func (h *Histogram) Add(d int) {
 	h.buckets[bucketOf(d)]++
 }
 
+// Reset clears all recorded distances (buckets, cold and total counts).
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.cold = 0
+	h.total = 0
+}
+
 func bucketOf(d int) int {
 	if d <= 0 {
 		return 0
 	}
+	// 64-bit shift: d can reach MaxInt32-1, whose bucket boundary 2^31
+	// overflows a 32-bit int mid-comparison.
 	b := 1
-	for 1<<b <= d {
+	for int64(1)<<uint(b) <= int64(d) {
 		b++
 	}
 	return b
@@ -144,24 +173,26 @@ func (h *Histogram) MassBelow(c int) float64 {
 		return 0
 	}
 	var mass float64
+	c64 := int64(c)
 	for b, n := range h.buckets {
 		lo, hi := bucketBounds(b)
 		switch {
-		case hi <= c:
+		case hi <= c64:
 			mass += float64(n)
-		case lo < c:
-			mass += float64(n) * float64(c-lo) / float64(hi-lo)
+		case lo < c64:
+			mass += float64(n) * float64(c64-lo) / float64(hi-lo)
 		}
 	}
 	return mass / float64(warm)
 }
 
-// bucketBounds returns the [lo, hi) distance range of bucket b.
-func bucketBounds(b int) (lo, hi int) {
+// bucketBounds returns the [lo, hi) distance range of bucket b in 64-bit
+// arithmetic: the top buckets' bounds (2^31, 2^32) overflow a 32-bit int.
+func bucketBounds(b int) (lo, hi int64) {
 	if b == 0 {
 		return 0, 1
 	}
-	return 1 << (b - 1), 1 << b
+	return int64(1) << uint(b-1), int64(1) << uint(b)
 }
 
 // HitRateAt estimates the hit rate of a fully-associative LRU cache of c
@@ -182,7 +213,9 @@ func (h *Histogram) Buckets() (bounds []int, counts []uint64) {
 			continue
 		}
 		lo, _ := bucketBounds(b)
-		bounds = append(bounds, lo)
+		// Non-empty buckets are capped at b=31 (distances are < 2^31), so
+		// lo = 2^30 at most and the narrowing is safe on 32-bit ints.
+		bounds = append(bounds, int(lo))
 		counts = append(counts, n)
 	}
 	return bounds, counts

@@ -271,9 +271,10 @@ func (s *Server) runFleet(c *campaign, opt core.Options) ([]core.Characteristics
 		for j, i := range ch.idx {
 			names[j] = pairs[i].Name()
 		}
-		// The chunk spec carries the merged window, multiplexing and
-		// sampling values explicitly so worker-side content keys match
-		// the coordinator's regardless of each worker's base flags.
+		// The chunk spec carries the merged window, multiplexing,
+		// sampling and fidelity values explicitly so worker-side content
+		// keys match the coordinator's regardless of each worker's base
+		// flags.
 		spec := CampaignSpec{
 			Suite:          c.spec.Suite,
 			Size:           c.spec.Size,
@@ -281,6 +282,7 @@ func (s *Server) runFleet(c *campaign, opt core.Options) ([]core.Characteristics
 			Instructions:   opt.Instructions,
 			MultiplexSlots: opt.MultiplexSlots,
 			Sampling:       opt.Sampling.String(),
+			Fidelity:       opt.Fidelity.String(),
 		}
 		name := fmt.Sprintf("%s/chunk%d", c.id, t)
 		tasks[t] = sched.RemoteTask[[]core.Characteristics]{

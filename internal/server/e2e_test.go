@@ -677,3 +677,89 @@ func TestSamplingCampaigns(t *testing.T) {
 		t.Errorf("sampled cache tiers = %v, want zero", pairs)
 	}
 }
+
+// TestFidelityCampaigns: the spec's fidelity field reaches the campaign
+// options, invalid tiers and the analytic+sampling combination are
+// rejected at submit time, and analytic pairs land in their own metrics
+// quartet.
+func TestFidelityCampaigns(t *testing.T) {
+	var mu sync.Mutex
+	type seenOpt struct {
+		fidelity machine.Fidelity
+		sampling machine.Sampling
+	}
+	var seen []seenOpt
+	stubCampaigns(t, func(pairs []profile.Pair, opt core.Options) ([]core.Characteristics, error) {
+		mu.Lock()
+		seen = append(seen, seenOpt{opt.Fidelity, opt.Sampling})
+		mu.Unlock()
+		if opt.Progress != nil {
+			opt.Progress(sched.Progress{Done: len(pairs), Total: len(pairs)})
+		}
+		return make([]core.Characteristics, len(pairs)), nil
+	})
+	// The server's base options carry a sampling default, which an
+	// explicit analytic request must override.
+	s, c, _ := newTestServer(t, server.Config{Workers: 1, QueueDepth: 8,
+		Characterize: core.Options{Sampling: machine.DefaultSampling()}})
+	ctx := ctxT(t)
+
+	base := server.CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train"}
+	bad := base
+	bad.Fidelity = "turbo"
+	var ae *client.APIError
+	if _, err := c.Submit(ctx, bad); !errors.As(err, &ae) || ae.Code != http.StatusBadRequest {
+		t.Fatalf("bad fidelity spec err = %v, want 400", err)
+	}
+	conflicted := base
+	conflicted.Fidelity = "analytic"
+	conflicted.Sampling = "default"
+	if _, err := c.Submit(ctx, conflicted); !errors.As(err, &ae) || ae.Code != http.StatusBadRequest {
+		t.Fatalf("analytic+sampling spec err = %v, want 400", err)
+	}
+
+	analytic := base
+	analytic.Fidelity = "analytic"
+	exact := base
+	exact.Fidelity = "exact"
+	var pairsPer int
+	for _, spec := range []server.CampaignSpec{analytic, exact, base} {
+		st, err := c.SubmitWait(ctx, spec)
+		if err != nil {
+			t.Fatalf("submit %+v: %v", spec, err)
+		}
+		pairsPer = st.Pairs
+	}
+
+	mu.Lock()
+	got := append([]seenOpt(nil), seen...)
+	mu.Unlock()
+	want := []seenOpt{
+		// Analytic clears the server's sampling default.
+		{machine.FidelityAnalytic, machine.Sampling{}},
+		// Explicit exact keeps the base knob (core normalizes it to the
+		// sampled tier).
+		{machine.FidelityExact, machine.DefaultSampling()},
+		// No fidelity field inherits the base options untouched.
+		{machine.FidelityExact, machine.DefaultSampling()},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d campaigns, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("campaign %d options = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	pairs := s.MetricsSnapshot()["pairs"].(map[string]uint64)
+	if pairs["analytic_computed"] != uint64(pairsPer) {
+		t.Errorf("analytic computed = %d, want %d", pairs["analytic_computed"], pairsPer)
+	}
+	if pairs["sampled_simulated"] != uint64(2*pairsPer) {
+		t.Errorf("sampled simulated = %d, want %d", pairs["sampled_simulated"], 2*pairsPer)
+	}
+	if pairs["simulated"] != 0 {
+		t.Errorf("exact simulated = %d, want 0", pairs["simulated"])
+	}
+}

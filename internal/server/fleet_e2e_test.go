@@ -17,6 +17,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/machine"
 	"repro/internal/profile"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -188,6 +189,91 @@ func TestFleetShardedBitIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(asJSON(t, st2.Results), asJSON(t, want)) {
 		t.Error("locally re-served results differ from the single-node run")
+	}
+}
+
+// TestFleetAnalyticBitIdentical: an analytic-tier campaign scattered
+// over the fleet is bit-identical to a single-node analytic run. The
+// workers' base options carry neither the fidelity nor the analytic
+// window, so a match proves the coordinator forwards the tier in every
+// chunk spec rather than relying on fleet-wide flag agreement.
+func TestFleetAnalyticBitIdentical(t *testing.T) {
+	const instructions = 20000
+	spec := server.CampaignSpec{
+		Suite: "cpu2017", Mini: "rate-int", Size: "test",
+		Instructions: instructions, Fidelity: "analytic",
+	}
+
+	workers, _ := startWorkers(t, 3, core.Options{Instructions: 11111, Parallelism: 2})
+	coord, c, coordStore := newCoordinator(t, workers, 2, core.Options{Instructions: 77777, Parallelism: 2})
+	ctx := ctxT(t)
+
+	st, err := c.SubmitWait(ctx, spec)
+	if err != nil {
+		t.Fatalf("sharded analytic campaign: %v", err)
+	}
+	if st.Status != server.StatusDone {
+		t.Fatalf("status %s: %s", st.Status, st.Error)
+	}
+
+	// Single-node baseline with the same tier and window.
+	pairs, err := server.ResolveSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseDir := t.TempDir()
+	baseSt, err := store.Open(baseDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Characterize(pairs, core.Options{
+		Instructions: instructions, Fidelity: machine.FidelityAnalytic,
+		Cache: sched.NewCache(), Store: baseSt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Results) != len(want) {
+		t.Fatalf("sharded campaign returned %d results, single-node %d", len(st.Results), len(want))
+	}
+	if !bytes.Equal(asJSON(t, st.Results), asJSON(t, want)) {
+		t.Error("sharded analytic results differ from the single-node run")
+	}
+	if st.Progress.Remote != len(want) {
+		t.Errorf("progress = %+v, want all %d pairs done remotely", st.Progress, len(want))
+	}
+
+	// Store records carry the analytic key suffix on both sides, so key
+	// sets matching proves the tier survived the scatter.
+	wantKeys := storeKeys(t, baseDir)
+	gotKeys := storeKeys(t, coordStore)
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("coordinator store holds %d records, single-node %d", len(gotKeys), len(wantKeys))
+	}
+	for k := range wantKeys {
+		if !gotKeys[k] {
+			t.Errorf("store record %s missing from the coordinator store", k)
+		}
+	}
+
+	pairsBySource := coord.MetricsSnapshot()["pairs"].(map[string]uint64)
+	if got := pairsBySource["analytic_from_remote"]; got != uint64(len(want)) {
+		t.Errorf("analytic_from_remote = %d, want %d", got, len(want))
+	}
+	if got := pairsBySource["analytic_computed"]; got != 0 {
+		t.Errorf("analytic_computed = %d, want 0 on a coordinator", got)
+	}
+
+	// A resubmission never goes back to the fleet and stays identical.
+	st2, err := c.SubmitWait(ctx, spec)
+	if err != nil {
+		t.Fatalf("resubmission: %v", err)
+	}
+	if st2.Progress.CacheHits != len(want) || st2.Progress.Remote != 0 {
+		t.Errorf("resubmission progress = %+v, want %d local cache hits and 0 remote", st2.Progress, len(want))
+	}
+	if !bytes.Equal(asJSON(t, st2.Results), asJSON(t, want)) {
+		t.Error("locally re-served analytic results differ from the single-node run")
 	}
 }
 

@@ -127,6 +127,15 @@ type CampaignSpec struct {
 	// separately from exact runs in every cache tier, and their pairs
 	// are reported under the sampled_* counters in /metrics.
 	Sampling string `json:"sampling,omitempty"`
+	// Fidelity selects this campaign's simulation tier: "exact",
+	// "sampled" (shorthand for the default sampling knob), or "analytic"
+	// (miss-curve prediction — the fastest tier, with per-metric error
+	// floors). Empty inherits the server's base options. "analytic" does
+	// not compose with a sampling knob and overrides any server-side
+	// sampling default; analytic pairs are reported under the analytic_*
+	// counters in /metrics and keyed separately from both simulation
+	// tiers in every cache tier.
+	Fidelity string `json:"fidelity,omitempty"`
 	// Pairs, when non-empty, filters the expanded suite to exactly the
 	// named pairs (profile.Pair.Name, e.g. "502.gcc_r-in3"), in the
 	// order given. Unknown or duplicate names reject the spec. This is
@@ -252,11 +261,11 @@ type campaign struct {
 	id    string
 	spec  CampaignSpec
 	pairs []profile.Pair
-	// sampling is the knob parsed from spec.Sampling at submit time
+	// sampling and fidelity are parsed from the spec at submit time
 	// (validation happens before the campaign is admitted); the zero
-	// value with an empty spec.Sampling inherits the server's base
-	// options.
+	// values with empty spec fields inherit the server's base options.
 	sampling machine.Sampling
+	fidelity machine.Fidelity
 
 	// ctx is cancelled by DELETE, a waiting client's disconnect, or the
 	// drain timeout; the sched engine aborts queued and in-flight pairs
@@ -437,6 +446,13 @@ type Server struct {
 	sampledFromStore  atomic.Uint64
 	sampledFromRemote atomic.Uint64
 
+	// Analytic campaigns likewise: predictions, not simulations, with
+	// their own error profile.
+	analyticComputed   atomic.Uint64
+	analyticFromCache  atomic.Uint64
+	analyticFromStore  atomic.Uint64
+	analyticFromRemote atomic.Uint64
+
 	// fleetUp tracks each configured fleet worker's last observed health
 	// (pre-scatter probes and dispatch evictions write it); 1:1 with
 	// cfg.Fleet, nil on a non-coordinator server.
@@ -616,6 +632,15 @@ func (s *Server) run(c *campaign) {
 	if c.spec.Sampling != "" {
 		opt.Sampling = c.sampling
 	}
+	if c.spec.Fidelity != "" {
+		opt.Fidelity = c.fidelity
+		if c.fidelity == machine.FidelityAnalytic {
+			// An explicit analytic request overrides any server-side
+			// sampling default: the submit-time validation already
+			// rejected specs that name both knobs themselves.
+			opt.Sampling = machine.Sampling{}
+		}
+	}
 	opt.Context = c.ctx
 	opt.Progress = c.setProgress
 	tr := obs.NewTrace()
@@ -640,14 +665,19 @@ func (s *Server) run(c *campaign) {
 	}
 
 	// Account completed pairs by where they came from before flipping
-	// the terminal status; sampled campaigns feed their own counter trio
-	// so /metrics never conflates estimates with exact results.
+	// the terminal status; each non-exact tier feeds its own counter
+	// quartet so /metrics never conflates estimates with exact results —
+	// or the two estimate tiers with each other.
 	c.mu.Lock()
 	p := c.progress
 	c.mu.Unlock()
 	fromStore, fromCache, fromRemote, simulated := &s.pairsFromStore, &s.pairsFromCache, &s.pairsFromRemote, &s.pairsSimulated
 	mode := "exact"
-	if opt.Sampling.Enabled() {
+	switch {
+	case opt.Fidelity == machine.FidelityAnalytic:
+		fromStore, fromCache, fromRemote, simulated = &s.analyticFromStore, &s.analyticFromCache, &s.analyticFromRemote, &s.analyticComputed
+		mode = "analytic"
+	case opt.Sampling.Enabled():
 		fromStore, fromCache, fromRemote, simulated = &s.sampledFromStore, &s.sampledFromCache, &s.sampledFromRemote, &s.sampledSimulated
 		mode = "sampled"
 	}
@@ -702,10 +732,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
 		return
 	}
+	fidelity, err := machine.ParseFidelity(spec.Fidelity)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		return
+	}
+	if fidelity == machine.FidelityAnalytic && sampling.Enabled() {
+		writeError(w, http.StatusBadRequest,
+			"bad campaign spec: the analytic fidelity tier does not compose with sampling")
+		return
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &campaign{
-		spec: spec, pairs: pairs, sampling: sampling,
+		spec: spec, pairs: pairs, sampling: sampling, fidelity: fidelity,
 		ctx: ctx, cancel: cancel,
 		status: StatusQueued, created: time.Now(),
 		subs: make(map[chan sseEvent]struct{}),
@@ -889,14 +929,14 @@ var (
 	activeServer atomic.Pointer[Server]
 )
 
-// metServedPairs counts pairs in completed campaigns, split by sampling
-// mode (exact vs sampled estimates) and satisfying source — the
+// metServedPairs counts pairs in completed campaigns, split by fidelity
+// tier (exact vs sampled vs analytic estimates) and satisfying source — the
 // Prometheus twin of the per-server atomics behind the expvar map.
 // "remote" pairs were computed on fleet workers by a coordinator.
 var metServedPairs = func() map[string]*obs.Counter {
 	m := make(map[string]*obs.Counter)
-	help := "Pairs in completed campaigns by sampling mode and satisfying source."
-	for _, mode := range []string{"exact", "sampled"} {
+	help := "Pairs in completed campaigns by fidelity tier and satisfying source."
+	for _, mode := range []string{"exact", "sampled", "analytic"} {
 		for _, src := range []string{"simulated", "memory", "store", "remote"} {
 			m[mode+"/"+src] = obs.Default().Counter("speckit_served_pairs_total", help,
 				"mode", mode, "source", src)
@@ -1007,10 +1047,14 @@ func (s *Server) MetricsSnapshot() map[string]any {
 			"from_memory":         s.pairsFromCache.Load(),
 			"from_store":          s.pairsFromStore.Load(),
 			"from_remote":         s.pairsFromRemote.Load(),
-			"sampled_simulated":   s.sampledSimulated.Load(),
-			"sampled_from_memory": s.sampledFromCache.Load(),
-			"sampled_from_store":  s.sampledFromStore.Load(),
-			"sampled_from_remote": s.sampledFromRemote.Load(),
+			"sampled_simulated":    s.sampledSimulated.Load(),
+			"sampled_from_memory":  s.sampledFromCache.Load(),
+			"sampled_from_store":   s.sampledFromStore.Load(),
+			"sampled_from_remote":  s.sampledFromRemote.Load(),
+			"analytic_computed":    s.analyticComputed.Load(),
+			"analytic_from_memory": s.analyticFromCache.Load(),
+			"analytic_from_store":  s.analyticFromStore.Load(),
+			"analytic_from_remote": s.analyticFromRemote.Load(),
 		},
 	}
 	if n := len(s.cfg.Fleet); n > 0 {

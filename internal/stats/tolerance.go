@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Tolerance bounds how far a measured metric may deviate from its
+// reference: the check passes when the relative error is within Rel or
+// the absolute error is within Abs. Either bound may be zero to disable
+// it — a metric whose event population is too thin or too
+// placement-sensitive for a relative bound gets an absolute floor
+// instead, and a headline metric gets a relative bound with no floor.
+// With both bounds zero only an exact match passes.
+type Tolerance struct {
+	Rel float64 // relative error bound, as a fraction (0.02 = 2%)
+	Abs float64 // absolute error bound, in the metric's own unit
+}
+
+// Errs returns the relative and absolute error of got against want. The
+// relative error against a zero reference is defined as the absolute
+// error, matching the fidelity gates' convention.
+func Errs(got, want float64) (rel, abs float64) {
+	abs = math.Abs(got - want)
+	rel = abs
+	if want != 0 {
+		rel = abs / math.Abs(want)
+	}
+	return rel, abs
+}
+
+// Within reports whether got is within tolerance of want.
+func (tl Tolerance) Within(got, want float64) bool {
+	rel, abs := Errs(got, want)
+	if tl.Rel > 0 && rel <= tl.Rel {
+		return true
+	}
+	return abs <= tl.Abs
+}
+
+// Deviation is one recorded metric comparison.
+type Deviation struct {
+	Metric    string
+	Got, Want float64
+	Rel, Abs  float64
+	Tol       Tolerance
+}
+
+// OK reports whether the deviation is within its tolerance.
+func (d Deviation) OK() bool { return d.Tol.Within(d.Got, d.Want) }
+
+// Excess is how far outside its tolerance the deviation lands: the
+// smallest multiple by which an enabled bound is exceeded. Values <= 1
+// are within tolerance; the report sorts descending on this.
+func (d Deviation) Excess() float64 {
+	excess := math.Inf(1)
+	if d.Tol.Rel > 0 {
+		excess = d.Rel / d.Tol.Rel
+	}
+	if d.Tol.Abs > 0 {
+		if e := d.Abs / d.Tol.Abs; e < excess {
+			excess = e
+		}
+	}
+	if math.IsInf(excess, 1) && d.Abs == 0 {
+		return 0 // exact-match tolerance, exactly matched
+	}
+	return excess
+}
+
+// Gate is the table-driven tolerance harness shared by the fidelity
+// tiers: record every metric of a run against its bound, then fail once
+// with a worst-offenders-first report that includes the absolute floor
+// each offender would need to pass. Extracted from the sampling
+// tolerance test so the analytic tier gates through identical machinery.
+//
+// The zero value is ready to use.
+type Gate struct {
+	devs []Deviation
+}
+
+// Check records one metric comparison against its tolerance.
+func (g *Gate) Check(metric string, got, want float64, tol Tolerance) {
+	rel, abs := Errs(got, want)
+	g.devs = append(g.devs, Deviation{metric, got, want, rel, abs, tol})
+}
+
+// Failures returns the out-of-tolerance deviations, worst first.
+func (g *Gate) Failures() []Deviation {
+	var out []Deviation
+	for _, d := range g.devs {
+		if !d.OK() {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Excess() > out[j].Excess() })
+	return out
+}
+
+// OK reports whether every recorded metric passed.
+func (g *Gate) OK() bool { return len(g.Failures()) == 0 }
+
+// Report renders the failures worst-first. Each line carries the
+// absolute floor that offender would have needed — the update hint when
+// a legitimate model change shifts the measured errors and the table's
+// floors have to be re-derived.
+func (g *Gate) Report() string {
+	fails := g.Failures()
+	if len(fails) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d metrics out of tolerance (worst first):\n", len(fails), len(g.devs))
+	for _, d := range fails {
+		fmt.Fprintf(&b,
+			"  %-14s got %.4f want %.4f: %.2f%% rel / %.4f abs exceeds max(%.2f%% rel, %.4f abs) by %.1fx; passing floor needs Abs >= %.4f\n",
+			d.Metric, d.Got, d.Want, d.Rel*100, d.Abs, d.Tol.Rel*100, d.Tol.Abs, d.Excess(), d.Abs)
+	}
+	return b.String()
+}

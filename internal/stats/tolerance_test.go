@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestToleranceWithin(t *testing.T) {
+	cases := []struct {
+		name      string
+		tol       Tolerance
+		got, want float64
+		ok        bool
+	}{
+		{"rel pass", Tolerance{Rel: 0.02}, 1.01, 1.0, true},
+		{"rel fail", Tolerance{Rel: 0.02}, 1.05, 1.0, false},
+		{"abs rescues rel", Tolerance{Rel: 0.02, Abs: 0.5}, 1.4, 1.0, true},
+		{"both fail", Tolerance{Rel: 0.02, Abs: 0.1}, 1.4, 1.0, false},
+		{"abs only pass", Tolerance{Abs: 2}, 5, 4, true},
+		{"abs only fail", Tolerance{Abs: 0.5}, 5, 4, false},
+		{"exact-match tol, equal", Tolerance{}, 3, 3, true},
+		{"exact-match tol, off", Tolerance{}, 3, 3.0001, false},
+		{"zero reference uses abs as rel", Tolerance{Rel: 0.02}, 0.01, 0, true},
+		{"zero reference fail", Tolerance{Rel: 0.02}, 0.5, 0, false},
+		{"negative reference", Tolerance{Rel: 0.1}, -1.05, -1.0, true},
+	}
+	for _, tc := range cases {
+		if got := tc.tol.Within(tc.got, tc.want); got != tc.ok {
+			t.Errorf("%s: Within(%v, %v) with %+v = %v, want %v",
+				tc.name, tc.got, tc.want, tc.tol, got, tc.ok)
+		}
+	}
+}
+
+func TestErrsZeroWant(t *testing.T) {
+	rel, abs := Errs(0.25, 0)
+	if rel != 0.25 || abs != 0.25 {
+		t.Errorf("Errs(0.25, 0) = %v, %v, want 0.25, 0.25", rel, abs)
+	}
+	rel, abs = Errs(1.1, 1.0)
+	if abs < 0.0999 || abs > 0.1001 || rel < 0.0999 || rel > 0.1001 {
+		t.Errorf("Errs(1.1, 1.0) = %v, %v", rel, abs)
+	}
+}
+
+// TestGateWorstFirst: the report lists offenders by how many multiples
+// of their bound they exceed, not by raw error size.
+func TestGateWorstFirst(t *testing.T) {
+	var g Gate
+	g.Check("mild", 1.10, 1.0, Tolerance{Rel: 0.05})     // 2x over
+	g.Check("fine", 1.01, 1.0, Tolerance{Rel: 0.02})     // within
+	g.Check("severe", 2.0, 1.0, Tolerance{Rel: 0.02})    // 50x over
+	g.Check("floored", 5.0, 4.5, Tolerance{Abs: 1})      // within via floor
+	g.Check("medium", 0.30, 0.10, Tolerance{Abs: 0.025}) // 8x over
+	if g.OK() {
+		t.Fatal("gate with three offenders reported OK")
+	}
+	fails := g.Failures()
+	order := []string{"severe", "medium", "mild"}
+	if len(fails) != len(order) {
+		t.Fatalf("got %d failures, want %d: %+v", len(fails), len(order), fails)
+	}
+	for i, want := range order {
+		if fails[i].Metric != want {
+			t.Errorf("failure[%d] = %s, want %s", i, fails[i].Metric, want)
+		}
+	}
+	rep := g.Report()
+	if !strings.Contains(rep, "3/5 metrics") {
+		t.Errorf("report header wrong:\n%s", rep)
+	}
+	if strings.Index(rep, "severe") > strings.Index(rep, "mild") {
+		t.Errorf("report not worst-first:\n%s", rep)
+	}
+	if !strings.Contains(rep, "passing floor needs Abs >= 1.0000") {
+		t.Errorf("report missing the suggested floor for severe:\n%s", rep)
+	}
+}
+
+func TestGateEmptyAndClean(t *testing.T) {
+	var g Gate
+	if !g.OK() || g.Report() != "" {
+		t.Error("empty gate should pass with an empty report")
+	}
+	g.Check("a", 1.0, 1.0, Tolerance{Rel: 0.02})
+	if !g.OK() || g.Report() != "" {
+		t.Error("clean gate should pass with an empty report")
+	}
+}

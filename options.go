@@ -75,6 +75,11 @@ func WithSampling(s Sampling) Option {
 	return func(o *Options) { o.Sampling = s }
 }
 
+// WithFidelity selects the simulation tier (exact, sampled, analytic).
+func WithFidelity(f Fidelity) Option {
+	return func(o *Options) { o.Fidelity = f }
+}
+
 // WithProgress registers a campaign progress callback, invoked after
 // each completed pair.
 func WithProgress(fn func(Progress)) Option {

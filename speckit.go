@@ -153,6 +153,23 @@ func DefaultSampling() Sampling { return machine.DefaultSampling() }
 // "32768/4096/8192") sets the knob explicitly.
 func ParseSampling(s string) (Sampling, error) { return machine.ParseSampling(s) }
 
+// Fidelity selects the simulation tier for Options.Fidelity: exact
+// simulation of every uop, SMARTS-style sampled simulation, or analytic
+// miss-curve prediction from a reuse-distance profile (the fastest
+// tier; see DESIGN.md). The zero value is FidelityExact.
+type Fidelity = machine.Fidelity
+
+// Fidelity tiers, slowest/most faithful first.
+const (
+	FidelityExact    = machine.FidelityExact
+	FidelitySampled  = machine.FidelitySampled
+	FidelityAnalytic = machine.FidelityAnalytic
+)
+
+// ParseFidelity parses the -fidelity flag syntax shared by the cmd
+// tools: "exact" (or ""), "sampled", or "analytic".
+func ParseFidelity(s string) (Fidelity, error) { return machine.ParseFidelity(s) }
+
 // Characteristics is one application-input pair's characterization.
 type Characteristics = core.Characteristics
 
