@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke race-fanout ci
+.PHONY: build vet test race bench fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke sweep-smoke race-fanout ci
 
 build:
 	$(GO) build ./...
@@ -58,9 +58,16 @@ fleet-smoke:
 	$(GO) test -run='^TestFleetSmoke$$' -count=1 ./cmd/specserved
 	$(GO) test -run='^TestServeBenchBaselines$$' -count=1 .
 
+# Run a 2x2x2 design-space sweep against the built specserved binary,
+# restart it on the same store, re-run the identical sweep and assert it
+# simulates zero cells with a byte-identical knee report, then drive the
+# grid through the specsweep CLI.
+sweep-smoke:
+	$(GO) test -run='^TestSweepSmoke$$' -count=1 ./cmd/specserved
+
 # Race-check the fan-out path specifically: the coordinator/dispatcher,
 # the typed client's retry loop, and the registry the handlers hammer.
 race-fanout:
 	$(GO) test -race ./internal/server/... ./internal/sched/... ./internal/client/...
 
-ci: build vet test race fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke race-fanout
+ci: build vet test race fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke sweep-smoke race-fanout

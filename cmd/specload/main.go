@@ -1,13 +1,15 @@
 // Command specload is the load generator for specserved (single node or
-// fleet coordinator): it drives concurrent campaigns through the typed
-// client, measures per-campaign latency into an internal/obs histogram,
-// and gates the run against latency and throughput SLOs.
+// fleet coordinator): it drives concurrent campaigns — or, with
+// -sweeps, design-space sweeps — through the typed client, measures
+// per-job latency into an internal/obs histogram, and gates the run
+// against latency and throughput SLOs.
 //
 // Usage:
 //
 //	specload -addr http://127.0.0.1:8217 [-campaigns 8] [-concurrency 4]
 //	         [-suite cpu2017] [-mini rate-int] [-size test] [-n 20000]
 //	         [-sampling off] [-unique]
+//	         [-sweeps 0] [-sweep-axes "l3.size=1MiB,2MiB"] [-escalate sampled]
 //	         [-slo-p50 0] [-slo-p99 0] [-min-pairs-per-sec 0]
 //	         [-bench BENCH_serve.json] [-label ""]
 //
@@ -18,9 +20,15 @@
 // serving tier; without it, repeats are served from the target's cache
 // and the run measures pure serving latency.
 //
-// The report is one JSON object on stdout: p50/p99/mean campaign
-// latency (interpolated from the obs histogram), campaigns/s and
-// pairs/s over the wall clock, and error counts. When -slo-p50,
+// With -sweeps N the generator submits N /v1/sweeps jobs instead of
+// campaigns: -sweep-axes takes semicolon-separated axes in specsweep's
+// param=v1,v2 syntax, -unique widens the instruction window per sweep,
+// and the report counts grid cells (simulated vs served) instead of
+// pairs. The -min-pairs-per-sec floor then gates cells per second.
+//
+// The report is one JSON object on stdout: p50/p99/mean latency
+// (interpolated from the obs histogram), jobs/s and pairs/s (or
+// cells/s) over the wall clock, and error counts. When -slo-p50,
 // -slo-p99 or -min-pairs-per-sec are set, a violation prints to stderr
 // and exits 1 — the CI gate. With -bench, the report is also appended
 // to the file's "trajectory" array (created as needed), preserving the
@@ -33,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +49,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/sweep"
 )
 
 // report is the JSON result of one specload run; also the trajectory
@@ -48,6 +58,7 @@ type report struct {
 	Date        string  `json:"date"`
 	Label       string  `json:"label,omitempty"`
 	Target      string  `json:"target"`
+	Mode        string  `json:"mode,omitempty"`
 	Campaigns   int     `json:"campaigns"`
 	Concurrency int     `json:"concurrency"`
 	Unique      bool    `json:"unique"`
@@ -59,122 +70,236 @@ type report struct {
 	MeanS       float64 `json:"mean_s"`
 	CampaignsPS float64 `json:"campaigns_per_s"`
 	PairsPS     float64 `json:"pairs_per_s"`
+	// Sweep-mode extras: grid cells across all sweeps, split by
+	// whether the target simulated them or served them from a cache
+	// tier (memory, store or a fleet worker's cache).
+	Cells          int     `json:"cells,omitempty"`
+	CellsSimulated int     `json:"cells_simulated,omitempty"`
+	CellsServed    int     `json:"cells_served,omitempty"`
+	CellsPS        float64 `json:"cells_per_s,omitempty"`
+}
+
+// config carries the parsed flags.
+type config struct {
+	addr              string
+	campaigns         int
+	concurrency       int
+	suite, mini, size string
+	n                 uint64
+	sampling          string
+	unique            bool
+	sweeps            int
+	sweepAxes         string
+	escalate          string
+	sloP50, sloP99    time.Duration
+	minPairs          float64
+	bench, label      string
+	timeout           time.Duration
 }
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8217", "specserved base URL")
-	campaigns := flag.Int("campaigns", 8, "campaigns to submit in total")
-	concurrency := flag.Int("concurrency", 4, "campaigns in flight at once")
-	suite := flag.String("suite", "cpu2017", "benchmark suite")
-	mini := flag.String("mini", "rate-int", "mini-suite filter")
-	size := flag.String("size", "test", "input size")
-	n := flag.Uint64("n", 20000, "instructions per pair")
-	sampling := flag.String("sampling", "", "sampling knob forwarded to the server")
-	unique := flag.Bool("unique", false, "give every campaign distinct content keys (campaign i runs n+i instructions)")
-	sloP50 := flag.Duration("slo-p50", 0, "fail when p50 campaign latency exceeds this (0 = no gate)")
-	sloP99 := flag.Duration("slo-p99", 0, "fail when p99 campaign latency exceeds this (0 = no gate)")
-	minPairs := flag.Float64("min-pairs-per-sec", 0, "fail when pair throughput falls below this (0 = no gate)")
-	bench := flag.String("bench", "", "append the report to this BENCH_serve.json trajectory file")
-	label := flag.String("label", "", "free-form label recorded in the report (e.g. \"fleet-3\")")
-	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8217", "specserved base URL")
+	flag.IntVar(&cfg.campaigns, "campaigns", 8, "campaigns to submit in total")
+	flag.IntVar(&cfg.concurrency, "concurrency", 4, "jobs in flight at once")
+	flag.StringVar(&cfg.suite, "suite", "cpu2017", "benchmark suite")
+	flag.StringVar(&cfg.mini, "mini", "rate-int", "mini-suite filter")
+	flag.StringVar(&cfg.size, "size", "test", "input size")
+	flag.Uint64Var(&cfg.n, "n", 20000, "instructions per pair")
+	flag.StringVar(&cfg.sampling, "sampling", "", "sampling knob forwarded to the server")
+	flag.BoolVar(&cfg.unique, "unique", false, "give every job distinct content keys (job i runs n+i instructions)")
+	flag.IntVar(&cfg.sweeps, "sweeps", 0, "drive this many /v1/sweeps jobs instead of campaigns")
+	flag.StringVar(&cfg.sweepAxes, "sweep-axes", "l3.size=1MiB,2MiB", "semicolon-separated sweep axes (param=v1,v2,...)")
+	flag.StringVar(&cfg.escalate, "escalate", "off", "sweep escalation tier: sampled, exact, analytic or off")
+	flag.DurationVar(&cfg.sloP50, "slo-p50", 0, "fail when p50 job latency exceeds this (0 = no gate)")
+	flag.DurationVar(&cfg.sloP99, "slo-p99", 0, "fail when p99 job latency exceeds this (0 = no gate)")
+	flag.Float64Var(&cfg.minPairs, "min-pairs-per-sec", 0, "fail when pair (or sweep-cell) throughput falls below this (0 = no gate)")
+	flag.StringVar(&cfg.bench, "bench", "", "append the report to this BENCH_serve.json trajectory file")
+	flag.StringVar(&cfg.label, "label", "", "free-form label recorded in the report (e.g. \"fleet-3\")")
+	flag.DurationVar(&cfg.timeout, "timeout", 10*time.Minute, "overall deadline")
 	flag.Parse()
 
-	if err := run(*addr, *campaigns, *concurrency, *suite, *mini, *size, *n, *sampling,
-		*unique, *sloP50, *sloP99, *minPairs, *bench, *label, *timeout); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "specload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, campaigns, concurrency int, suite, mini, size string, n uint64,
-	sampling string, unique bool, sloP50, sloP99 time.Duration, minPairs float64,
-	bench, label string, timeout time.Duration) error {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+func run(cfg config) error {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 	defer cancel()
-	cl := client.New(addr)
+	cl := client.New(cfg.addr)
 	if ok, err := cl.Health(ctx); err != nil || !ok {
-		return fmt.Errorf("target %s is not healthy (err: %v)", addr, err)
+		return fmt.Errorf("target %s is not healthy (err: %v)", cfg.addr, err)
 	}
 
-	hist := obs.Default().Histogram("specload_campaign_seconds",
-		"End-to-end campaign latency as observed by specload.", obs.LatencyBuckets)
-	var (
-		errs  atomic.Int64
-		pairs atomic.Int64
-		wg    sync.WaitGroup
-		sem   = make(chan struct{}, max(concurrency, 1))
-	)
-	start := time.Now()
-	for i := 0; i < campaigns; i++ {
-		spec := server.CampaignSpec{
-			Suite: suite, Mini: mini, Size: size,
-			Instructions: n, Sampling: sampling,
-		}
-		if unique {
-			spec.Instructions = n + uint64(i)
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(spec server.CampaignSpec) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			t0 := time.Now()
-			st, err := cl.SubmitWait(ctx, spec)
-			hist.ObserveDuration(time.Since(t0))
-			if err != nil || st.Status != server.StatusDone {
-				errs.Add(1)
-				fmt.Fprintf(os.Stderr, "specload: campaign failed: status=%s err=%v\n", st.Status, err)
-				return
-			}
-			pairs.Add(int64(st.Pairs))
-		}(spec)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	snap := hist.Snapshot()
 	rep := report{
 		Date:        time.Now().UTC().Format("2006-01-02"),
-		Label:       label,
-		Target:      addr,
-		Campaigns:   campaigns,
-		Concurrency: concurrency,
-		Unique:      unique,
-		Errors:      int(errs.Load()),
-		TotalPairs:  int(pairs.Load()),
-		ElapsedS:    elapsed.Seconds(),
-		P50S:        snap.Quantile(0.50),
-		P99S:        snap.Quantile(0.99),
-		CampaignsPS: float64(campaigns) / elapsed.Seconds(),
-		PairsPS:     float64(pairs.Load()) / elapsed.Seconds(),
+		Label:       cfg.label,
+		Target:      cfg.addr,
+		Concurrency: cfg.concurrency,
+		Unique:      cfg.unique,
 	}
-	if snap.Count > 0 {
-		rep.MeanS = snap.Sum / float64(snap.Count)
+	var err error
+	if cfg.sweeps > 0 {
+		err = runSweeps(ctx, cl, cfg, &rep)
+	} else {
+		err = runCampaigns(ctx, cl, cfg, &rep)
 	}
+	if err != nil {
+		return err
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	fmt.Println(string(out))
 
-	if bench != "" {
-		if err := appendTrajectory(bench, rep); err != nil {
+	if cfg.bench != "" {
+		if err := appendTrajectory(cfg.bench, rep); err != nil {
 			return fmt.Errorf("recording trajectory: %w", err)
 		}
 	}
+	return gate(cfg, rep)
+}
 
+// runCampaigns drives cfg.campaigns concurrent campaign jobs.
+func runCampaigns(ctx context.Context, cl *client.Client, cfg config, rep *report) error {
+	hist := obs.Default().Histogram("specload_campaign_seconds",
+		"End-to-end campaign latency as observed by specload.", obs.LatencyBuckets)
+	var (
+		errs  atomic.Int64
+		pairs atomic.Int64
+	)
+	elapsed := fanOut(cfg.campaigns, cfg.concurrency, func(i int) {
+		spec := server.CampaignSpec{
+			Suite: cfg.suite, Mini: cfg.mini, Size: cfg.size,
+			Instructions: cfg.n, Sampling: cfg.sampling,
+		}
+		if cfg.unique {
+			spec.Instructions = cfg.n + uint64(i)
+		}
+		t0 := time.Now()
+		st, err := cl.SubmitWait(ctx, spec)
+		hist.ObserveDuration(time.Since(t0))
+		if err != nil || st.Status != server.StatusDone {
+			errs.Add(1)
+			fmt.Fprintf(os.Stderr, "specload: campaign failed: status=%s err=%v\n", st.Status, err)
+			return
+		}
+		pairs.Add(int64(st.Pairs))
+	})
+
+	rep.Campaigns = cfg.campaigns
+	rep.Errors = int(errs.Load())
+	rep.TotalPairs = int(pairs.Load())
+	fill(rep, hist, cfg.campaigns, elapsed)
+	rep.PairsPS = float64(pairs.Load()) / elapsed.Seconds()
+	return nil
+}
+
+// runSweeps drives cfg.sweeps concurrent /v1/sweeps jobs and counts
+// grid cells by how the target satisfied them.
+func runSweeps(ctx context.Context, cl *client.Client, cfg config, rep *report) error {
+	var axes []sweep.Axis
+	for _, part := range strings.Split(cfg.sweepAxes, ";") {
+		ax, err := sweep.ParseAxis(strings.TrimSpace(part))
+		if err != nil {
+			return err
+		}
+		axes = append(axes, ax)
+	}
+	hist := obs.Default().Histogram("specload_sweep_seconds",
+		"End-to-end sweep latency as observed by specload.", obs.LatencyBuckets)
+	var (
+		errs                     atomic.Int64
+		cells, simulated, served atomic.Int64
+	)
+	elapsed := fanOut(cfg.sweeps, cfg.concurrency, func(i int) {
+		spec := server.SweepSpec{
+			Suite: cfg.suite, Mini: cfg.mini, Size: cfg.size,
+			Instructions: cfg.n, Sampling: cfg.sampling,
+			Axes: axes, Escalate: cfg.escalate,
+		}
+		if cfg.unique {
+			spec.Instructions = cfg.n + uint64(i)
+		}
+		t0 := time.Now()
+		st, err := cl.SubmitSweepWait(ctx, spec)
+		hist.ObserveDuration(time.Since(t0))
+		if err != nil || st.Status != server.StatusDone || st.Result == nil {
+			errs.Add(1)
+			fmt.Fprintf(os.Stderr, "specload: sweep failed: status=%s err=%v\n", st.Status, err)
+			return
+		}
+		for _, c := range []sweep.CellCounts{st.Result.Screen, st.Result.Escalate} {
+			cells.Add(int64(c.Total()))
+			simulated.Add(int64(c.Simulated))
+			served.Add(int64(c.Total() - c.Simulated))
+		}
+	})
+
+	rep.Mode = "sweeps"
+	rep.Campaigns = cfg.sweeps
+	rep.Errors = int(errs.Load())
+	fill(rep, hist, cfg.sweeps, elapsed)
+	rep.Cells = int(cells.Load())
+	rep.CellsSimulated = int(simulated.Load())
+	rep.CellsServed = int(served.Load())
+	rep.CellsPS = float64(cells.Load()) / elapsed.Seconds()
+	return nil
+}
+
+// fanOut runs fn(0..jobs-1) with at most concurrency in flight and
+// returns the wall time.
+func fanOut(jobs, concurrency int, fn func(i int)) time.Duration {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(concurrency, 1))
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// fill records the shared latency/throughput fields from the histogram.
+func fill(rep *report, hist *obs.Histogram, jobs int, elapsed time.Duration) {
+	snap := hist.Snapshot()
+	rep.ElapsedS = elapsed.Seconds()
+	rep.P50S = snap.Quantile(0.50)
+	rep.P99S = snap.Quantile(0.99)
+	rep.CampaignsPS = float64(jobs) / elapsed.Seconds()
+	if snap.Count > 0 {
+		rep.MeanS = snap.Sum / float64(snap.Count)
+	}
+}
+
+// gate checks the SLO flags against the report.
+func gate(cfg config, rep report) error {
+	throughput, floor := rep.PairsPS, "pairs/s"
+	if rep.Mode == "sweeps" {
+		throughput, floor = rep.CellsPS, "cells/s"
+	}
 	var violations []string
 	if rep.Errors > 0 {
-		violations = append(violations, fmt.Sprintf("%d/%d campaigns failed", rep.Errors, campaigns))
+		violations = append(violations, fmt.Sprintf("%d/%d jobs failed", rep.Errors, rep.Campaigns))
 	}
-	if sloP50 > 0 && rep.P50S > sloP50.Seconds() {
-		violations = append(violations, fmt.Sprintf("p50 %.3fs exceeds SLO %s", rep.P50S, sloP50))
+	if cfg.sloP50 > 0 && rep.P50S > cfg.sloP50.Seconds() {
+		violations = append(violations, fmt.Sprintf("p50 %.3fs exceeds SLO %s", rep.P50S, cfg.sloP50))
 	}
-	if sloP99 > 0 && rep.P99S > sloP99.Seconds() {
-		violations = append(violations, fmt.Sprintf("p99 %.3fs exceeds SLO %s", rep.P99S, sloP99))
+	if cfg.sloP99 > 0 && rep.P99S > cfg.sloP99.Seconds() {
+		violations = append(violations, fmt.Sprintf("p99 %.3fs exceeds SLO %s", rep.P99S, cfg.sloP99))
 	}
-	if minPairs > 0 && rep.PairsPS < minPairs {
-		violations = append(violations, fmt.Sprintf("throughput %.1f pairs/s below floor %.1f", rep.PairsPS, minPairs))
+	if cfg.minPairs > 0 && throughput < cfg.minPairs {
+		violations = append(violations, fmt.Sprintf("throughput %.1f %s below floor %.1f", throughput, floor, cfg.minPairs))
 	}
 	if len(violations) > 0 {
 		for _, v := range violations {

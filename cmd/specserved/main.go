@@ -25,9 +25,13 @@
 //
 // Endpoints: POST/GET/DELETE /v1/campaigns[/{id}], SSE at
 // /v1/campaigns/{id}/events, the JSONL run manifest at
-// /v1/campaigns/{id}/manifest, GET /healthz, Prometheus text metrics at
+// /v1/campaigns/{id}/manifest, the same shape again under /v1/sweeps
+// for design-space sweep jobs (cartesian machine-config grids screened
+// at a cheap fidelity tier with Pareto-frontier escalation — see the
+// specsweep command), GET /healthz, Prometheus text metrics at
 // GET /metrics (expvar mirror at /metrics/expvar). See the README's
-// "Serving characterizations" walkthrough.
+// "Serving characterizations" and "Sweeping the design space"
+// walkthroughs.
 //
 // SIGINT/SIGTERM drain gracefully: admission stops (429/503), queued
 // campaigns are reported cancelled, in-flight campaigns finish (or are

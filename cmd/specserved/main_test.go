@@ -313,6 +313,151 @@ func TestFleetSmoke(t *testing.T) {
 	sigtermAndWait(t, w2cmd)
 }
 
+// submitSweepWait posts a sweep spec with ?wait=1 and returns the final
+// status with the result kept raw for byte-identity checks.
+func submitSweepWait(t *testing.T, base string, spec map[string]any) (status, errMsg string, result json.RawMessage) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/sweeps?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("sweep submit = %d: %s", resp.StatusCode, raw)
+	}
+	var st struct {
+		Status string          `json:"status"`
+		Error  string          `json:"error,omitempty"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Status, st.Error, st.Result
+}
+
+// sweepCells scrapes the expvar mirror's sweeps.cells block.
+func sweepCells(t *testing.T, base string) map[string]uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics/expvar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var metrics struct {
+		Specserved struct {
+			Sweeps struct {
+				Cells map[string]uint64 `json:"cells"`
+			} `json:"sweeps"`
+		} `json:"specserved"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	return metrics.Specserved.Sweeps.Cells
+}
+
+// TestSweepSmoke is the `make sweep-smoke` gate: build the real
+// binaries, run a 2x2x2 design-space sweep over /v1/sweeps, restart the
+// server on the same cache dir, re-run the identical sweep and assert
+// it simulates zero cells while reproducing the result — knee report
+// included — byte for byte; then drive the same grid through the
+// specsweep CLI against the live server.
+func TestSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the specserved and specsweep binaries")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "specserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build specserved: %v", err)
+	}
+	sweepBin := filepath.Join(tmp, "specsweep")
+	build = exec.Command("go", "build", "-o", sweepBin, "../specsweep")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build specsweep: %v", err)
+	}
+
+	cacheDir := filepath.Join(tmp, "speccache")
+	spec := map[string]any{
+		"suite": "cpu2017", "mini": "rate-int", "size": "test",
+		"instructions": 10000,
+		"axes": []map[string]any{
+			{"param": "l3.size", "values": []int64{1 << 20, 2 << 20}},
+			{"param": "l2.size", "values": []int64{128 << 10, 256 << 10}},
+			{"param": "l1d.size", "values": []int64{16 << 10, 32 << 10}},
+		},
+	}
+
+	// First lifetime: every screen cell is simulated, escalation runs.
+	base, cmd := specserved(t, bin, "-cache-dir", cacheDir, "-workers", "1")
+	status, errMsg, first := submitSweepWait(t, base, spec)
+	if status != "done" {
+		t.Fatalf("first sweep = %s (%s)", status, errMsg)
+	}
+	cells := sweepCells(t, base)
+	if cells["screen_simulated"] == 0 || cells["escalate_simulated"] == 0 {
+		t.Fatalf("cold sweep cells = %v, want simulated screen and escalate work", cells)
+	}
+	sigtermAndWait(t, cmd)
+
+	// Second lifetime on the same store: zero simulated cells, and the
+	// full result — grid, counters aside, knee reports — is
+	// byte-identical.
+	base2, cmd2 := specserved(t, bin, "-cache-dir", cacheDir, "-workers", "1")
+	status, errMsg, second := submitSweepWait(t, base2, spec)
+	if status != "done" {
+		t.Fatalf("second sweep = %s (%s)", status, errMsg)
+	}
+	cells = sweepCells(t, base2)
+	if cells["screen_simulated"] != 0 || cells["escalate_simulated"] != 0 {
+		t.Errorf("restarted server simulated sweep cells: %v, want 0", cells)
+	}
+	if cells["screen_store"] == 0 {
+		t.Errorf("restarted server cells = %v, want store-served screen cells", cells)
+	}
+
+	// The result embeds the cell scoreboard, which legitimately differs
+	// between a cold and a warm run — compare the science: grid points
+	// and knee reports.
+	var r1, r2 struct {
+		Points json.RawMessage `json:"points"`
+		Knees  json.RawMessage `json:"knees"`
+	}
+	if err := json.Unmarshal(first, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1.Points, r2.Points) {
+		t.Error("restarted server returned a different grid for the same sweep")
+	}
+	if !bytes.Equal(r1.Knees, r2.Knees) {
+		t.Errorf("restarted server returned a different knee report:\n%s\n%s", r1.Knees, r2.Knees)
+	}
+
+	// The specsweep CLI drives the same grid over HTTP and renders it.
+	cli := exec.Command(sweepBin, "-addr", base2,
+		"-mini", "rate-int", "-size", "test", "-n", "10000",
+		"-axis", "l3.size=1MiB,2MiB", "-axis", "l2.size=128KiB,256KiB", "-axis", "l1d.size=16KiB,32KiB")
+	cli.Stderr = os.Stderr
+	cliOut, err := cli.Output()
+	if err != nil {
+		t.Fatalf("specsweep failed: %v", err)
+	}
+	if !bytes.Contains(cliOut, []byte("Design-space grid (8 points")) ||
+		!bytes.Contains(cliOut, []byte("Knee report:")) {
+		t.Errorf("specsweep output missing tables:\n%s", cliOut)
+	}
+	sigtermAndWait(t, cmd2)
+}
+
 // TestServeSmokeMetrics is the `make metrics-smoke` gate: the binary's
 // /metrics endpoint serves valid Prometheus text with the tier-split
 // pair counters and stage histograms after a campaign runs.

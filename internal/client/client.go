@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/sweep"
 )
 
 // Client talks to one specserved instance.
@@ -330,8 +331,11 @@ var ErrEventTooLarge = fmt.Errorf("client: SSE event exceeds the %d MiB line lim
 // line larger than the 16 MiB scanner limit surfaces as
 // ErrEventTooLarge rather than silently truncating the stream.
 func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/v1/campaigns/"+url.PathEscape(id)+"/events", nil)
+	return c.events(ctx, "/v1/campaigns/"+url.PathEscape(id)+"/events", id, fn)
+}
+
+func (c *Client) events(ctx context.Context, path, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return err
 	}
@@ -364,7 +368,7 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil {
 		if errors.Is(err, bufio.ErrTooLong) {
-			return fmt.Errorf("campaign %s events: %w", id, ErrEventTooLarge)
+			return fmt.Errorf("job %s events: %w", id, ErrEventTooLarge)
 		}
 		return err
 	}
@@ -374,8 +378,11 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 // Manifest fetches a campaign's JSONL run manifest and the digest the
 // server advertises for it.
 func (c *Client) Manifest(ctx context.Context, id string) (manifest []byte, digest string, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/v1/campaigns/"+url.PathEscape(id)+"/manifest", nil)
+	return c.manifest(ctx, "/v1/campaigns/"+url.PathEscape(id)+"/manifest")
+}
+
+func (c *Client) manifest(ctx context.Context, path string) (manifest []byte, digest string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return nil, "", err
 	}
@@ -389,6 +396,116 @@ func (c *Client) Manifest(ctx context.Context, id string) (manifest []byte, dige
 	}
 	manifest, err = io.ReadAll(resp.Body)
 	return manifest, resp.Header.Get("X-Manifest-Digest"), err
+}
+
+// --- Sweeps -----------------------------------------------------------
+
+// SubmitSweep enqueues a design-space sweep and returns its accepted
+// status (202).
+func (c *Client) SubmitSweep(ctx context.Context, spec server.SweepSpec) (server.SweepStatus, error) {
+	var st server.SweepStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", spec, &st)
+	return st, err
+}
+
+// SubmitSweepWait submits a sweep with ?wait=1, blocking until it
+// reaches a terminal state. 429 queue-full rejections retry under the
+// client's RetryPolicy exactly as SubmitWait's do.
+func (c *Client) SubmitSweepWait(ctx context.Context, spec server.SweepSpec) (server.SweepStatus, error) {
+	var st server.SweepStatus
+	var err error
+	for attempt := 1; ; attempt++ {
+		st = server.SweepStatus{}
+		err = c.do(ctx, http.MethodPost, "/v1/sweeps?wait=1", spec, &st)
+		if err == nil || !IsQueueFull(err) || attempt >= c.retry.MaxAttempts {
+			return st, err
+		}
+		var ae *APIError
+		delay := c.retry.BaseDelay << (attempt - 1)
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			delay = ae.RetryAfter
+		}
+		if delay > c.retry.MaxDelay {
+			delay = c.retry.MaxDelay
+		}
+		delay = delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// Sweep fetches one sweep's status; withResult includes the grid and
+// knee reports once the sweep is done.
+func (c *Client) Sweep(ctx context.Context, id string, withResult bool) (server.SweepStatus, error) {
+	path := "/v1/sweeps/" + url.PathEscape(id)
+	if !withResult {
+		path += "?results=0"
+	}
+	var st server.SweepStatus
+	err := c.do(ctx, http.MethodGet, path, nil, &st)
+	return st, err
+}
+
+// Sweeps fetches every sweep's status in submission order.
+func (c *Client) Sweeps(ctx context.Context) ([]server.SweepStatus, error) {
+	var out []server.SweepStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps", nil, &out)
+	return out, err
+}
+
+// CancelSweep requests cancellation of a queued or running sweep.
+func (c *Client) CancelSweep(ctx context.Context, id string) (server.SweepStatus, error) {
+	var st server.SweepStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/sweeps/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// WaitSweep polls until the sweep reaches a terminal status and returns
+// it with the result.
+func (c *Client) WaitSweep(ctx context.Context, id string) (server.SweepStatus, error) {
+	for {
+		st, err := c.Sweep(ctx, id, true)
+		if err != nil {
+			return st, err
+		}
+		switch st.Status {
+		case server.StatusDone, server.StatusFailed, server.StatusCancelled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// SweepStatus decodes the event payload as a sweep status.
+func (e Event) SweepStatus() (server.SweepStatus, error) {
+	var st server.SweepStatus
+	err := json.Unmarshal(e.Data, &st)
+	return st, err
+}
+
+// SweepProgress decodes the event payload as a sweep progress snapshot.
+func (e Event) SweepProgress() (sweep.Progress, error) {
+	var p sweep.Progress
+	err := json.Unmarshal(e.Data, &p)
+	return p, err
+}
+
+// SweepEvents streams the sweep's SSE feed with Events' semantics:
+// status, progress (sweep.Progress payloads), then done.
+func (c *Client) SweepEvents(ctx context.Context, id string, fn func(Event) error) error {
+	return c.events(ctx, "/v1/sweeps/"+url.PathEscape(id)+"/events", id, fn)
+}
+
+// SweepManifest fetches a sweep's JSONL run manifest and its digest.
+func (c *Client) SweepManifest(ctx context.Context, id string) (manifest []byte, digest string, err error) {
+	return c.manifest(ctx, "/v1/sweeps/"+url.PathEscape(id)+"/manifest")
 }
 
 // Health reports whether the server is accepting work (false while

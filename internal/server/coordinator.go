@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/sched"
 )
 
@@ -166,12 +167,15 @@ func (s *Server) probeFleet(ctx context.Context) []int {
 // runFleet is the coordinator's campaign engine: serve what the local
 // tiers hold, scatter the rest across the fleet by consistent hash of
 // each pair's content key, gather and write through. opt carries the
-// merged per-campaign options (run() applied the spec overrides).
-func (s *Server) runFleet(c *campaign, opt core.Options) ([]core.Characteristics, error) {
-	// Normalize so the instruction window and sampling knob forwarded in
-	// chunk specs are the exact values the content keys encode.
+// merged per-campaign options (the caller applied the spec overrides);
+// base provides the suite/size identity the chunk specs inherit. The id
+// namespaces chunk names and trace spans — campaigns pass their job id,
+// sweeps a per-grid-point sub-id.
+func (s *Server) runFleet(ctx context.Context, id string, base CampaignSpec, pairs []profile.Pair, opt core.Options) ([]core.Characteristics, error) {
+	// Normalize so the machine, instruction window and sampling knob
+	// forwarded in chunk specs are the exact values the content keys
+	// encode.
 	opt = opt.Normalized()
-	pairs := c.pairs
 	keys := core.CampaignKeys(pairs, opt)
 
 	// Mirror Characterize's cache wiring so local lookups see the store
@@ -228,7 +232,7 @@ func (s *Server) runFleet(c *campaign, opt core.Options) ([]core.Characteristics
 
 	// Probe the fleet: dead workers lose their ring ranges for this
 	// campaign, recovered ones re-admit themselves.
-	alive := s.probeFleet(c.ctx)
+	alive := s.probeFleet(ctx)
 	if len(alive) == 0 {
 		return nil, fmt.Errorf("no healthy fleet worker among %d configured", len(s.cfg.Fleet))
 	}
@@ -265,26 +269,29 @@ func (s *Server) runFleet(c *campaign, opt core.Options) ([]core.Characteristics
 		}
 	}
 
+	// The chunk specs carry the merged machine, window, multiplexing,
+	// sampling and fidelity values explicitly so worker-side content
+	// keys match the coordinator's regardless of each worker's base
+	// flags. The machine travels in its fingerprint-stable JSON form —
+	// this is what lets a sweep scatter per-grid-point configurations.
+	chunkMachine := opt.Machine
 	tasks := make([]sched.RemoteTask[[]core.Characteristics], len(chunks))
 	for t, ch := range chunks {
 		names := make([]string, len(ch.idx))
 		for j, i := range ch.idx {
 			names[j] = pairs[i].Name()
 		}
-		// The chunk spec carries the merged window, multiplexing,
-		// sampling and fidelity values explicitly so worker-side content
-		// keys match the coordinator's regardless of each worker's base
-		// flags.
 		spec := CampaignSpec{
-			Suite:          c.spec.Suite,
-			Size:           c.spec.Size,
+			Suite:          base.Suite,
+			Size:           base.Size,
 			Pairs:          names,
 			Instructions:   opt.Instructions,
 			MultiplexSlots: opt.MultiplexSlots,
+			Machine:        &chunkMachine,
 			Sampling:       opt.Sampling.String(),
 			Fidelity:       opt.Fidelity.String(),
 		}
-		name := fmt.Sprintf("%s/chunk%d", c.id, t)
+		name := fmt.Sprintf("%s/chunk%d", id, t)
 		tasks[t] = sched.RemoteTask[[]core.Characteristics]{
 			Name:     name,
 			Affinity: dispatchOf[ch.owner],
@@ -316,7 +323,7 @@ func (s *Server) runFleet(c *campaign, opt core.Options) ([]core.Characteristics
 		}
 	}
 
-	_, err := sched.RunRemote(c.ctx, len(alive), tasks, sched.RemoteOptions[[]core.Characteristics]{
+	_, err := sched.RunRemote(ctx, len(alive), tasks, sched.RemoteOptions[[]core.Characteristics]{
 		MaxAttempts: 3,
 		EvictAfter:  2,
 		Speculate:   true,

@@ -20,6 +20,16 @@
 //	GET    /v1/campaigns/{id}/manifest JSONL run manifest (the span tree
 //	                                 recorded while the campaign ran);
 //	                                 available once terminal.
+//	POST   /v1/sweeps                submit a design-space sweep
+//	                                 (internal/sweep): same queue,
+//	                                 backpressure and ?wait=1 semantics
+//	                                 as campaigns.
+//	GET    /v1/sweeps                list sweep statuses.
+//	GET    /v1/sweeps/{id}           status; grid + knee reports once
+//	                                 done.
+//	DELETE /v1/sweeps/{id}           cancel a queued or running sweep.
+//	GET    /v1/sweeps/{id}/events    SSE progress stream.
+//	GET    /v1/sweeps/{id}/manifest  JSONL run manifest.
 //	GET    /healthz                  200 ok / 503 draining.
 //	GET    /metrics                  Prometheus text format: the
 //	                                 process-wide obs registry (pair
@@ -127,6 +137,13 @@ type CampaignSpec struct {
 	// separately from exact runs in every cache tier, and their pairs
 	// are reported under the sampled_* counters in /metrics.
 	Sampling string `json:"sampling,omitempty"`
+	// Machine, when non-nil, overrides the server's base machine
+	// configuration for this campaign (the declarative JSON form;
+	// decoding validates it). This is how sweep coordinators forward a
+	// grid point's configuration to fleet workers: the JSON round-trip
+	// is fingerprint-stable, so worker-side content keys match the
+	// coordinator's exactly.
+	Machine *machine.Config `json:"machine,omitempty"`
 	// Fidelity selects this campaign's simulation tier: "exact",
 	// "sampled" (shorthand for the default sampling knob), or "analytic"
 	// (miss-curve prediction — the fastest tier, with per-metric error
@@ -417,17 +434,39 @@ func (c *campaign) broadcast(ev sseEvent) {
 	c.mu.Unlock()
 }
 
+// job is what the shared worker pool pulls off the bounded queue:
+// campaigns and sweeps ride the same queue, so QueueDepth bounds (and
+// 429 backpressure covers) the server's total admitted work.
+type job interface {
+	jobCtx() context.Context
+	// abort finishes the job as cancelled without running it (drain, or
+	// cancellation while still queued).
+	abort(reason string)
+	cancelReasonOr(fallback string) string
+	execute(s *Server)
+}
+
+func (c *campaign) jobCtx() context.Context { return c.ctx }
+func (c *campaign) abort(reason string)     { c.finish(StatusCancelled, nil, reason) }
+func (c *campaign) execute(s *Server)       { s.run(c) }
+func (c *campaign) cancelReasonOr(fallback string) string {
+	return c.reason(fallback)
+}
+
 // Server is the characterization service.
 type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
-	queue chan *campaign
+	queue chan job
 
-	mu       sync.Mutex
-	jobs     map[string]*campaign
-	order    []string // submission order, for listing
-	nextID   int
-	draining bool
+	mu          sync.Mutex
+	jobs        map[string]*campaign
+	order       []string // submission order, for listing
+	nextID      int
+	sweeps      map[string]*sweepJob
+	sweepOrder  []string
+	nextSweepID int
+	draining    bool
 
 	wg      sync.WaitGroup
 	started time.Time
@@ -453,6 +492,13 @@ type Server struct {
 	analyticFromStore  atomic.Uint64
 	analyticFromRemote atomic.Uint64
 
+	// Sweep cells account separately from campaign pairs, split by
+	// phase: the screen/escalate ratio is the fidelity-escalation
+	// scoreboard, and the simulated/store split is the differential-
+	// scheduling one.
+	sweepScreenCells   cellCounters
+	sweepEscalateCells cellCounters
+
 	// fleetUp tracks each configured fleet worker's last observed health
 	// (pre-scatter probes and dispatch evictions write it); 1:1 with
 	// cfg.Fleet, nil on a non-coordinator server.
@@ -468,8 +514,9 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		queue:   make(chan *campaign, cfg.QueueDepth),
+		queue:   make(chan job, cfg.QueueDepth),
 		jobs:    make(map[string]*campaign),
+		sweeps:  make(map[string]*sweepJob),
 		started: time.Now(),
 	}
 	if n := len(cfg.Fleet); n > 0 {
@@ -485,6 +532,12 @@ func New(cfg Config) *Server {
 	s.handle("DELETE /v1/campaigns/{id}", "delete", s.handleDelete)
 	s.handle("GET /v1/campaigns/{id}/events", "events", s.handleEvents)
 	s.handle("GET /v1/campaigns/{id}/manifest", "manifest", s.handleManifest)
+	s.handle("POST /v1/sweeps", "sweep-submit", s.handleSweepSubmit)
+	s.handle("GET /v1/sweeps", "sweep-list", s.handleSweepList)
+	s.handle("GET /v1/sweeps/{id}", "sweep-get", s.handleSweepGet)
+	s.handle("DELETE /v1/sweeps/{id}", "sweep-delete", s.handleSweepDelete)
+	s.handle("GET /v1/sweeps/{id}/events", "sweep-events", s.handleSweepEvents)
+	s.handle("GET /v1/sweeps/{id}/manifest", "sweep-manifest", s.handleSweepManifest)
 	s.handle("GET /healthz", "health", s.handleHealth)
 	s.handle("GET /metrics", "metrics", handlePrometheus)
 	s.handle("GET /metrics/expvar", "expvar", expvar.Handler().ServeHTTP)
@@ -583,9 +636,16 @@ func (s *Server) cancelAll(reason string) {
 	for _, c := range s.jobs {
 		jobs = append(jobs, c)
 	}
+	sweeps := make([]*sweepJob, 0, len(s.sweeps))
+	for _, j := range s.sweeps {
+		sweeps = append(sweeps, j)
+	}
 	s.mu.Unlock()
 	for _, c := range jobs {
 		c.requestCancel(reason)
+	}
+	for _, j := range sweeps {
+		j.requestCancel(reason)
 	}
 }
 
@@ -595,19 +655,20 @@ func (s *Server) isDraining() bool {
 	return s.draining
 }
 
-// worker pulls campaigns off the bounded queue until Drain closes it.
+// worker pulls jobs (campaigns and sweeps) off the bounded queue until
+// Drain closes it.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for c := range s.queue {
+	for j := range s.queue {
 		if s.isDraining() {
-			c.finish(StatusCancelled, nil, "server draining")
+			j.abort("server draining")
 			continue
 		}
-		if c.ctx.Err() != nil {
-			c.finish(StatusCancelled, nil, c.reason("cancelled before start"))
+		if j.jobCtx().Err() != nil {
+			j.abort(j.cancelReasonOr("cancelled before start"))
 			continue
 		}
-		s.run(c)
+		j.execute(s)
 	}
 }
 
@@ -629,6 +690,9 @@ func (s *Server) run(c *campaign) {
 	if c.spec.MultiplexSlots > 0 {
 		opt.MultiplexSlots = c.spec.MultiplexSlots
 	}
+	if c.spec.Machine != nil {
+		opt.Machine = *c.spec.Machine
+	}
 	if c.spec.Sampling != "" {
 		opt.Sampling = c.sampling
 	}
@@ -649,7 +713,7 @@ func (s *Server) run(c *campaign) {
 	var results []core.Characteristics
 	var err error
 	if len(s.cfg.Fleet) > 0 {
-		results, err = s.runFleet(c, opt)
+		results, err = s.runFleet(c.ctx, c.id, c.spec, c.pairs, opt)
 	} else {
 		results, err = runCampaign(c.pairs, opt)
 	}
@@ -857,6 +921,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
 		return
 	}
+	serveSSE(w, r, c.subscribe, c.unsubscribe, c.done,
+		func() []byte { return mustJSON(c.snapshot(false)) })
+}
+
+// serveSSE streams one job's event feed: an initial status event, live
+// progress events, then a final done event once the job is terminal.
+// Campaigns and sweeps share it.
+func serveSSE(w http.ResponseWriter, r *http.Request,
+	subscribe func() chan sseEvent, unsubscribe func(chan sseEvent),
+	done <-chan struct{}, snapshot func() []byte) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
@@ -867,24 +941,24 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
-	ch := c.subscribe()
-	defer c.unsubscribe(ch)
+	ch := subscribe()
+	defer unsubscribe(ch)
 
-	writeSSE(w, sseEvent{name: "status", data: mustJSON(c.snapshot(false))})
+	writeSSE(w, sseEvent{name: "status", data: snapshot()})
 	flusher.Flush()
 	for {
 		select {
 		case ev := <-ch:
 			writeSSE(w, ev)
 			flusher.Flush()
-		case <-c.done:
+		case <-done:
 			// Flush any progress still buffered, then the terminal event.
 			for {
 				select {
 				case ev := <-ch:
 					writeSSE(w, ev)
 				default:
-					writeSSE(w, sseEvent{name: "done", data: mustJSON(c.snapshot(false))})
+					writeSSE(w, sseEvent{name: "done", data: snapshot()})
 					flusher.Flush()
 					return
 				}
@@ -1057,6 +1131,7 @@ func (s *Server) MetricsSnapshot() map[string]any {
 			"analytic_from_remote": s.analyticFromRemote.Load(),
 		},
 	}
+	m["sweeps"] = s.sweepSnapshot()
 	if n := len(s.cfg.Fleet); n > 0 {
 		workers := make([]map[string]any, n)
 		for i, w := range s.cfg.Fleet {
