@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke sweep-smoke race-fanout ci
+.PHONY: build vet test race bench fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke sweep-smoke race-fanout race-kernel ci
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,8 @@ fuzz-seed:
 # no longer build or crash without paying for stable timings. The
 # baseline gate then checks the ratios recorded in BENCH_kernel.json
 # against the acceptance floors (batched >=1.5x per-uop, sampled >=3x
-# exact, analytic >=100x exact) — recorded numbers, so a loaded machine
-# can't flake it.
+# exact, analytic >=100x exact, parallel critical path >=2x sequential)
+# — recorded numbers, so a loaded machine can't flake it.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Kernel -benchtime=1x .
 	$(GO) test -run='^TestKernelBenchBaselines$$' -count=1 .
@@ -70,4 +70,11 @@ sweep-smoke:
 race-fanout:
 	$(GO) test -race ./internal/server/... ./internal/sched/... ./internal/client/...
 
-ci: build vet test race fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke sweep-smoke race-fanout
+# Race-check the intra-pair parallel kernel specifically: the
+# equivalence, determinism, fallback, tolerance and stats tests spawn
+# real worker pools at K in {2,3,4,8} (short stream lengths under
+# -short keep it fast).
+race-kernel:
+	$(GO) test -race -short -run='^TestParallel' -count=1 ./internal/machine
+
+ci: build vet test race fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke sweep-smoke race-fanout race-kernel

@@ -18,8 +18,9 @@ type benchBaselines struct {
 // TestKernelBenchBaselines gates the recorded kernel baselines against
 // the acceptance floors: the batched machine kernel must be >=1.5x the
 // per-uop reference, the sampled kernel >=3x the exact per-pair cost,
-// and the analytic tier >=100x it. It checks the numbers recorded in
-// BENCH_kernel.json — not a
+// the analytic tier >=100x it, and the 8-window parallel kernel's
+// critical path >=2x the sequential per-pair wall clock. It checks the
+// numbers recorded in BENCH_kernel.json — not a
 // live timing, which a loaded CI machine would make flaky — so a kernel
 // regression is caught at re-record time and a stale record that never
 // met the floor is caught on every run (bench-smoke re-times the
@@ -54,6 +55,7 @@ func TestKernelBenchBaselines(t *testing.T) {
 		{"machine_batched_over_peruop", "BenchmarkKernelMachine/batched", "BenchmarkKernelMachine/peruop"},
 		{"sampled_over_exact", "BenchmarkKernelSampled/sampled", "BenchmarkKernelSampled/exact"},
 		{"analytic_over_exact", "BenchmarkKernelAnalytic", "BenchmarkKernelSampled/exact"},
+		{"parallel_over_sequential", "BenchmarkKernelParallel/par8", "BenchmarkKernelParallel/sequential"},
 	}
 	for _, r := range ratios {
 		got := uops(r.num) / uops(r.den)

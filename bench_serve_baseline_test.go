@@ -12,11 +12,20 @@ import (
 type serveBaselines struct {
 	Trajectory []struct {
 		Label     string  `json:"label"`
+		Mode      string  `json:"mode"`
 		Unique    bool    `json:"unique"`
 		Errors    int     `json:"errors"`
 		Pairs     int     `json:"total_pairs"`
 		P99S      float64 `json:"p99_s"`
 		PairsPerS float64 `json:"pairs_per_s"`
+		Cells     int     `json:"cells"`
+		CellsPerS float64 `json:"cells_per_s"`
+		Screen    *struct {
+			Cells int `json:"cells"`
+		} `json:"screen_cell_latency"`
+		Escalate *struct {
+			Cells int `json:"cells"`
+		} `json:"escalate_cell_latency"`
 	} `json:"trajectory"`
 	Floors map[string]float64 `json:"floors"`
 }
@@ -47,9 +56,16 @@ func TestServeBenchBaselines(t *testing.T) {
 		return f
 	}
 	// Latest entry per mode wins: the trajectory accumulates, the gate
-	// tracks the most recent record of each kind.
+	// tracks the most recent record of each kind. Sweep-mode entries
+	// form their own kind — they report cells, not pairs, so folding
+	// them into the campaign gates would compare zeros to pair floors.
 	latest := map[bool]int{true: -1, false: -1}
+	latestSweep := -1
 	for i, e := range b.Trajectory {
+		if e.Mode == "sweeps" {
+			latestSweep = i
+			continue
+		}
 		latest[e.Unique] = i
 	}
 	checks := []struct {
@@ -84,5 +100,32 @@ func TestServeBenchBaselines(t *testing.T) {
 		} else {
 			t.Logf("%s: p99 %.3fs (ceiling %.3fs)", c.mode, e.P99S, max)
 		}
+	}
+
+	// The latest sweep run must clear the cell-throughput floor and
+	// carry the per-phase latency split the report exists to expose
+	// (escalation was on, so both phases observed cells).
+	if latestSweep < 0 {
+		t.Error("BENCH_serve.json has no sweep-mode trajectory entry")
+		return
+	}
+	e := b.Trajectory[latestSweep]
+	if e.Errors != 0 {
+		t.Errorf("sweep entry %q recorded %d errors, want 0", e.Label, e.Errors)
+	}
+	if want := floor("sweep_cells_per_s_min"); e.CellsPerS < want {
+		t.Errorf("sweep: recorded %.1f cells/s below floor %.1f", e.CellsPerS, want)
+	} else {
+		t.Logf("sweep: %.1f cells/s (floor %.1f)", e.CellsPerS, want)
+	}
+	if e.Screen == nil || e.Screen.Cells <= 0 {
+		t.Error("sweep entry lacks screen-phase cell latency quantiles")
+	}
+	if e.Escalate == nil || e.Escalate.Cells <= 0 {
+		t.Error("sweep entry lacks escalate-phase cell latency quantiles")
+	}
+	if e.Screen != nil && e.Escalate != nil && e.Screen.Cells+e.Escalate.Cells != e.Cells {
+		t.Errorf("sweep phase cells %d+%d do not cover the %d recorded cells",
+			e.Screen.Cells, e.Escalate.Cells, e.Cells)
 	}
 }

@@ -797,6 +797,71 @@ func BenchmarkKernelSampled(b *testing.B) {
 	b.Run("sampled", func(b *testing.B) { run(b, machine.DefaultSampling()) })
 }
 
+// BenchmarkKernelParallel measures intra-pair parallel simulation: one
+// pair run sequentially against the same pair split into 8 concurrent
+// windows (machine.RunParallel) on an 8Mi-instruction stream — the
+// single-large-pair regime the windowed kernel exists for. The par8
+// sub-benchmark reports two metrics: uops/s over wall time (on a
+// machine with fewer cores than windows, executor-pool serialization
+// makes this near-sequential) and crituops/s over the critical path —
+// the slowest single window, i.e. the wall clock an 8-core run
+// achieves, which is the honest speedup proxy this box (often 1-2
+// CPUs in CI) can measure. The crituops_per_s(par8) /
+// uops_per_s(sequential) ratio is the tentpole acceptance metric
+// (floor: 2x; BENCH_kernel.json records the measured baselines and
+// TestKernelBenchBaselines gates the floor in bench-smoke).
+func BenchmarkKernelParallel(b *testing.B) {
+	pair := kernelPair()
+	cfg := machine.HaswellScaled()
+	const instr = 8 << 20
+	newSource := func() (trace.Source, error) {
+		return synth.New(pair.Model, cfg.Geometry())
+	}
+	options := func(gen *synth.Generator) machine.Options {
+		return machine.Options{
+			Instructions:       instr,
+			WarmupInstructions: gen.Prologue(),
+			Workload:           pipeline.Workload{ILP: 2, MLP: pair.Model.MLP},
+			CalibrateIPC:       pair.Model.TargetIPC,
+		}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			gen := kernelGen(b, pair)
+			opt := options(gen)
+			b.StartTimer()
+			if _, err := machine.Run(cfg, gen, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportUops(b, instr)
+	})
+	b.Run("par8", func(b *testing.B) {
+		var crit float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			gen := kernelGen(b, pair)
+			opt := options(gen)
+			b.StartTimer()
+			res, err := machine.RunParallel(cfg, newSource, opt, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if res.Parallel == nil || res.Parallel.Workers != 8 {
+				b.Fatalf("expected 8 parallel windows, got %+v", res.Parallel)
+			}
+			crit += res.Parallel.CriticalPathSeconds()
+			b.StartTimer()
+		}
+		reportUops(b, instr)
+		if crit > 0 {
+			b.ReportMetric(float64(instr)*float64(b.N)/crit, "crituops/s")
+		}
+	})
+}
+
 // BenchmarkKernelAnalytic measures the analytic fidelity tier on the
 // same pair, machine and 16Mi-instruction window as
 // BenchmarkKernelSampled: the per-pair cost of predicting the hierarchy

@@ -77,6 +77,37 @@ type report struct {
 	CellsSimulated int     `json:"cells_simulated,omitempty"`
 	CellsServed    int     `json:"cells_served,omitempty"`
 	CellsPS        float64 `json:"cells_per_s,omitempty"`
+	// ScreenCells and EscalateCells summarize per-cell completion
+	// latency by sweep phase, attributed from each sweep's SSE
+	// progress stream: the screen phase is dominated by cheap
+	// (possibly cache-served) cells, escalation by the expensive
+	// re-simulations — one aggregate latency would hide the split the
+	// fidelity-escalation design exists to create.
+	ScreenCells   *phaseLatency `json:"screen_cell_latency,omitempty"`
+	EscalateCells *phaseLatency `json:"escalate_cell_latency,omitempty"`
+}
+
+// phaseLatency is one sweep phase's cell-latency summary.
+type phaseLatency struct {
+	Cells int     `json:"cells"`
+	P50S  float64 `json:"p50_s"`
+	P99S  float64 `json:"p99_s"`
+	MeanS float64 `json:"mean_s"`
+}
+
+// summarize converts a phase histogram snapshot into the report form;
+// empty phases (e.g. -escalate off) report nil so they stay out of the
+// JSON.
+func summarize(snap obs.HistogramSnapshot) *phaseLatency {
+	if snap.Count == 0 {
+		return nil
+	}
+	return &phaseLatency{
+		Cells: int(snap.Count),
+		P50S:  snap.Quantile(0.50),
+		P99S:  snap.Quantile(0.99),
+		MeanS: snap.Sum / float64(snap.Count),
+	}
 }
 
 // config carries the parsed flags.
@@ -212,6 +243,13 @@ func runSweeps(ctx context.Context, cl *client.Client, cfg config, rep *report) 
 	}
 	hist := obs.Default().Histogram("specload_sweep_seconds",
 		"End-to-end sweep latency as observed by specload.", obs.LatencyBuckets)
+	phaseHist := map[string]*obs.Histogram{
+		"screen": obs.Default().Histogram("specload_sweep_cell_seconds",
+			"Per-cell completion latency by sweep phase, attributed from the sweep's SSE progress stream.",
+			obs.LatencyBuckets, "phase", "screen"),
+		"escalate": obs.Default().Histogram("specload_sweep_cell_seconds", "",
+			obs.LatencyBuckets, "phase", "escalate"),
+	}
 	var (
 		errs                     atomic.Int64
 		cells, simulated, served atomic.Int64
@@ -226,7 +264,7 @@ func runSweeps(ctx context.Context, cl *client.Client, cfg config, rep *report) 
 			spec.Instructions = cfg.n + uint64(i)
 		}
 		t0 := time.Now()
-		st, err := cl.SubmitSweepWait(ctx, spec)
+		st, err := runSweep(ctx, cl, spec, phaseHist)
 		hist.ObserveDuration(time.Since(t0))
 		if err != nil || st.Status != server.StatusDone || st.Result == nil {
 			errs.Add(1)
@@ -248,7 +286,66 @@ func runSweeps(ctx context.Context, cl *client.Client, cfg config, rep *report) 
 	rep.CellsSimulated = int(simulated.Load())
 	rep.CellsServed = int(served.Load())
 	rep.CellsPS = float64(cells.Load()) / elapsed.Seconds()
+	rep.ScreenCells = summarize(phaseHist["screen"].Snapshot())
+	rep.EscalateCells = summarize(phaseHist["escalate"].Snapshot())
 	return nil
+}
+
+// runSweep submits one sweep without ?wait=1 (retrying queue-full
+// rejections) and follows its SSE event stream to completion,
+// attributing per-cell completion latency to the phase histograms: the
+// wall time between consecutive progress snapshots is split evenly over
+// the cells that completed in the interval and observed under the
+// snapshot's phase. The stream's done event omits the result payload,
+// so the terminal status comes from one final poll (immediate — the
+// sweep is already terminal when the stream closes).
+func runSweep(ctx context.Context, cl *client.Client, spec server.SweepSpec,
+	phaseHist map[string]*obs.Histogram) (server.SweepStatus, error) {
+	var st server.SweepStatus
+	var err error
+	for {
+		st, err = cl.SubmitSweep(ctx, spec)
+		if err == nil || !client.IsQueueFull(err) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	if err != nil {
+		return st, err
+	}
+
+	last, lastCells := time.Now(), 0
+	err = cl.SweepEvents(ctx, st.ID, func(ev client.Event) error {
+		if ev.Name != "progress" {
+			return nil
+		}
+		p, perr := ev.SweepProgress()
+		if perr != nil {
+			return nil
+		}
+		now := time.Now()
+		if d := p.CellsDone - lastCells; d > 0 {
+			h := phaseHist[p.Phase]
+			if h == nil {
+				h = phaseHist["screen"]
+			}
+			per := now.Sub(last).Seconds() / float64(d)
+			for i := 0; i < d; i++ {
+				h.Observe(per)
+			}
+			lastCells = p.CellsDone
+		}
+		last = now
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+	return cl.WaitSweep(ctx, st.ID)
 }
 
 // fanOut runs fn(0..jobs-1) with at most concurrency in flight and

@@ -45,6 +45,9 @@ type Campaign struct {
 	Batch int
 	// Parallelism bounds concurrent pair simulations (-j, 0 = NumCPU).
 	Parallelism int
+	// PairWorkers splits each pair's measured stream into that many
+	// concurrently simulated windows (-j-pair, <=1 = sequential kernel).
+	PairWorkers int
 	// TraceFile, when set, records the campaign's span tree and writes
 	// it there as a JSONL run manifest (-trace).
 	TraceFile string
@@ -75,6 +78,7 @@ func (c *Campaign) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Fidelity, "fidelity", c.Fidelity, "simulation tier: exact (every uop), sampled (periodic detailed windows; same as -sampling default), or analytic (miss-curve prediction from a reuse-distance profile — the fastest tier); non-exact results are bounded-error estimates and never share cache entries across tiers")
 	fs.IntVar(&c.Batch, "batch", c.Batch, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
 	fs.IntVar(&c.Parallelism, "j", c.Parallelism, "concurrent pair simulations (0 = NumCPU)")
+	fs.IntVar(&c.PairWorkers, "j-pair", c.PairWorkers, "intra-pair parallelism: split each pair's measured stream into N windows simulated concurrently and stitched with frozen-cache warm state (exact tier only; other tiers ignore it); results are tolerance-gated estimates of the sequential run, bit-reproducible for a fixed N and cached under separate keys (<=1 = sequential kernel)")
 	fs.StringVar(&c.TraceFile, "trace", c.TraceFile, "write the campaign's span tree (campaign -> pair -> simulation stages, with cache-tier outcomes) to FILE as a JSONL run manifest; never affects results or cache identity")
 	fs.DurationVar(&c.SlowPair, "slow-pair", c.SlowPair, "warn on stderr about pairs slower than this wall-time threshold (e.g. 2s; 0 = off)")
 }
@@ -105,6 +109,7 @@ func (c *Campaign) Options(ctx context.Context) (speckit.Options, error) {
 		speckit.WithFidelity(fidelity),
 		speckit.WithBatchSize(c.Batch),
 		speckit.WithParallelism(c.Parallelism),
+		speckit.WithIntraPairParallelism(c.PairWorkers),
 	}
 	if c.Progress {
 		opts = append(opts, speckit.WithProgress(speckit.ProgressPrinter(os.Stderr)))

@@ -21,14 +21,14 @@ func TestRegisterAndParse(t *testing.T) {
 	err := fs.Parse([]string{
 		"-progress", "-cache-dir", "/tmp/x", "-sampling", "default",
 		"-fidelity", "sampled",
-		"-batch", "128", "-j", "2", "-trace", "run.jsonl", "-slow-pair", "2s",
+		"-batch", "128", "-j", "2", "-j-pair", "8", "-trace", "run.jsonl", "-slow-pair", "2s",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := Campaign{
 		Progress: true, CacheDir: "/tmp/x", Sampling: "default", Fidelity: "sampled",
-		Batch: 128, Parallelism: 2, TraceFile: "run.jsonl", SlowPair: 2 * time.Second,
+		Batch: 128, Parallelism: 2, PairWorkers: 8, TraceFile: "run.jsonl", SlowPair: 2 * time.Second,
 	}
 	if c != want {
 		t.Errorf("parsed = %+v, want %+v", c, want)
@@ -67,6 +67,17 @@ func TestOptionsFidelity(t *testing.T) {
 	if _, err := (&Campaign{Fidelity: "turbo"}).Options(context.Background()); err == nil {
 		t.Error("bad fidelity tier accepted")
 	}
+
+	// -j-pair reaches the campaign options untranslated.
+	pw := Campaign{PairWorkers: 8}
+	popt, err := pw.Options(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if popt.IntraPairWorkers != 8 {
+		t.Errorf("IntraPairWorkers = %d, want 8", popt.IntraPairWorkers)
+	}
+
 	bad := Campaign{Fidelity: "analytic", Sampling: "default"}
 	if _, err := bad.Options(context.Background()); err == nil ||
 		!strings.Contains(err.Error(), "analytic") {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/sched"
 	"repro/internal/synth"
+	"repro/internal/trace"
 )
 
 // Options configure a characterization campaign.
@@ -31,6 +32,19 @@ type Options struct {
 	Instructions uint64
 	// Parallelism bounds concurrent pair simulations (default NumCPU).
 	Parallelism int
+	// IntraPairWorkers, when >1, splits each pair's measured stream into
+	// that many windows simulated concurrently and stitched with the
+	// frozen-cache warm-state technique (machine.RunParallel) — the knob
+	// that makes a single large pair scale past one core where
+	// Parallelism maxes out at the number of pairs. Results are an
+	// estimate of the sequential run (bit-reproducible for a fixed
+	// worker count, tolerance-gated against sequential), so the knob is
+	// folded into every result-cache key and can never alias an exact
+	// sequential entry. Exact-tier only: the sampled and analytic tiers
+	// already re-tile or skip the stream, so the knob normalizes away
+	// there instead of erroring — a globally set flag composes with
+	// every tier.
+	IntraPairWorkers int
 	// MultiplexSlots, when positive, emulates perf's counter multiplexing
 	// with that many hardware counter slots (the paper programs 15
 	// events on a 4-slot Haswell PMU): all derived metrics then carry the
@@ -113,6 +127,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Sampling.Enabled() && o.Fidelity == machine.FidelityExact {
 		o.Fidelity = machine.FidelitySampled
+	}
+	// Intra-pair parallelism is an exact-tier execution knob; on the
+	// other tiers (or at trivial worker counts) it normalizes to zero so
+	// cache keys stay byte-stable and the dispatch below never has to
+	// reconcile it with sampling.
+	if o.IntraPairWorkers <= 1 || o.Fidelity != machine.FidelityExact {
+		o.IntraPairWorkers = 0
 	}
 	return o
 }
@@ -263,9 +284,16 @@ func characterizePairCtx(ctx context.Context, pair profile.Pair, opt Options) (*
 		mopt.WarmupFraction = -1
 	}
 	var res *machine.Result
-	if opt.Fidelity == machine.FidelityAnalytic {
+	switch {
+	case opt.Fidelity == machine.FidelityAnalytic:
 		res, err = analytic.Run(opt.Machine, gen, mopt)
-	} else {
+	case opt.IntraPairWorkers > 1:
+		// Every window needs an independently positioned copy of the
+		// stream, so the kernel gets the factory, not gen.
+		res, err = machine.RunParallel(opt.Machine, func() (trace.Source, error) {
+			return synth.New(m, opt.Machine.Geometry())
+		}, mopt, opt.IntraPairWorkers)
+	default:
 		res, err = machine.Run(opt.Machine, gen, mopt)
 	}
 	if err != nil {

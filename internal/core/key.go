@@ -38,6 +38,14 @@ func campaignKeyPrefix(opt *Options) string {
 	if opt.Fidelity == machine.FidelityAnalytic {
 		key += "|fidelity=analytic-v1"
 	}
+	if opt.IntraPairWorkers > 1 {
+		// Parallel windowed results are stitched estimates, keyed per
+		// worker count so they never alias a sequential entry and a
+		// re-shard at a different K re-simulates instead of serving a
+		// differently-stitched cached result. Versioned like the
+		// analytic tag so a stitching revision invalidates old entries.
+		key += fmt.Sprintf("|pairwindows=%d-v1", opt.IntraPairWorkers)
+	}
 	return key
 }
 

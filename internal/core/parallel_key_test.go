@@ -1,0 +1,110 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+// TestParallelKeyNoAlias: intra-pair parallel results are stitched
+// estimates, so a K>1 key may never alias a sequential key — nor a key
+// at a different K — while exact keys stay byte-stable across the
+// feature's introduction (K<=1 normalizes away entirely, so a live
+// cache written before the knob existed keeps serving exact runs).
+func TestParallelKeyNoAlias(t *testing.T) {
+	pair := profile.CPU2017()[2].Expand(profile.Ref)[0]
+	key := func(mut func(*Options)) string {
+		o := testOpt()
+		if mut != nil {
+			mut(&o)
+		}
+		o = o.withDefaults()
+		return pairKey(campaignKeyPrefix(&o), &pair)
+	}
+
+	exact := key(nil)
+	eo := testOpt().withDefaults()
+	if p := campaignKeyPrefix(&eo); strings.Contains(p, "pairwindows") {
+		t.Errorf("exact prefix %q mentions pairwindows; exact keys must not move with the feature", p)
+	}
+	for _, k := range []int{0, 1} {
+		if key(func(o *Options) { o.IntraPairWorkers = k }) != exact {
+			t.Errorf("IntraPairWorkers=%d changes the key over the zero value", k)
+		}
+	}
+
+	k8 := key(func(o *Options) { o.IntraPairWorkers = 8 })
+	k4 := key(func(o *Options) { o.IntraPairWorkers = 4 })
+	if k8 == exact || k4 == exact {
+		t.Error("parallel key aliases the sequential exact key")
+	}
+	if k8 == k4 {
+		t.Error("K=8 key aliases K=4: different stitchings must not share cache entries")
+	}
+
+	// The tag is versioned so a stitching revision invalidates stored
+	// estimates instead of serving ones stitched by an older algorithm.
+	po := testOpt()
+	po.IntraPairWorkers = 8
+	po = po.withDefaults()
+	if p := campaignKeyPrefix(&po); !strings.Contains(p, "pairwindows=8-v1") {
+		t.Errorf("parallel prefix %q lacks a versioned pairwindows tag", p)
+	}
+}
+
+// TestParallelKeyNormalizesOffExact: intra-pair parallelism is an
+// exact-tier knob; under the sampled and analytic tiers it normalizes
+// to zero — same key, same dispatch — so a globally configured
+// worker count composes with every fidelity tier instead of erroring
+// or silently forking the cache namespace.
+func TestParallelKeyNormalizesOffExact(t *testing.T) {
+	pair := profile.CPU2017()[2].Expand(profile.Ref)[0]
+	key := func(mut func(*Options)) string {
+		o := testOpt()
+		mut(&o)
+		o = o.withDefaults()
+		return pairKey(campaignKeyPrefix(&o), &pair)
+	}
+
+	sampled := key(func(o *Options) { o.Sampling = machine.DefaultSampling() })
+	sampledK := key(func(o *Options) {
+		o.Sampling = machine.DefaultSampling()
+		o.IntraPairWorkers = 8
+	})
+	if sampled != sampledK {
+		t.Error("IntraPairWorkers forks the sampled-tier key instead of normalizing away")
+	}
+
+	analytic := key(func(o *Options) { o.Fidelity = machine.FidelityAnalytic })
+	analyticK := key(func(o *Options) {
+		o.Fidelity = machine.FidelityAnalytic
+		o.IntraPairWorkers = 8
+	})
+	if analytic != analyticK {
+		t.Error("IntraPairWorkers forks the analytic-tier key instead of normalizing away")
+	}
+}
+
+// TestParallelDispatchShortStream: CharacterizePair with a worker count
+// on a stream too short to window falls back to the sequential kernel
+// inside machine.RunParallel and returns bit-identical characteristics
+// — the campaign-level proof of the kernel's short-stream guarantee.
+func TestParallelDispatchShortStream(t *testing.T) {
+	pair := profile.CPU2017()[2].Expand(profile.Ref)[0]
+	seq, err := CharacterizePair(pair, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := testOpt()
+	po.IntraPairWorkers = 8
+	par, err := CharacterizePair(pair, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("short-stream parallel characteristics differ from sequential")
+	}
+}

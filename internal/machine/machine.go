@@ -44,6 +44,20 @@ var metStageSeconds = map[string]*obs.Histogram{
 	"detail":       obs.Default().Histogram("speckit_stage_seconds", "", obs.LatencyBuckets, "stage", "detail"),
 }
 
+// Window-level instrumentation, shared by the two stream-tiling run
+// modes: "sampled" counts the periodic detail windows of a sampled run,
+// "parallel" the concurrently simulated sub-windows of a RunParallel
+// run. Observations happen once per window (thousands of instructions),
+// never per uop, and are mirrored into specserved's expvar snapshot.
+var metPairWindows = map[string]*obs.Counter{
+	"sampled":  obs.Default().Counter("speckit_pair_windows_total", "Detailed windows simulated, by windowing source (sampled periods vs parallel workers).", "source", "sampled"),
+	"parallel": obs.Default().Counter("speckit_pair_windows_total", "", "source", "parallel"),
+}
+var metWindowSeconds = map[string]*obs.Histogram{
+	"sampled":  obs.Default().Histogram("speckit_pair_window_seconds", "Wall time per detailed window, by windowing source.", obs.LatencyBuckets, "source", "sampled"),
+	"parallel": obs.Default().Histogram("speckit_pair_window_seconds", "", obs.LatencyBuckets, "source", "parallel"),
+}
+
 // Config describes a simulated machine.
 type Config struct {
 	// Name labels the configuration in reports.
@@ -268,6 +282,9 @@ type Result struct {
 	// Sampling describes how the run was sampled and the estimated
 	// extrapolation error per headline metric; nil for exact runs.
 	Sampling *SamplingStats
+	// Parallel describes how a RunParallel run was split into concurrent
+	// windows and how long each took; nil for sequential runs.
+	Parallel *ParallelStats
 }
 
 // Run simulates one uop stream on the machine. The source must produce at
@@ -317,15 +334,21 @@ type core struct {
 	fetchDedup, dataDedup bool
 	fetchShift, dataShift uint
 
-	// Kind-index lists for the split sweeps: fetchSweep, which touches
-	// every record anyway, classifies kinds into these packed position
-	// lists with branch-free table lookups, and dataSweep then walks only
-	// the memory and branch records — no data-dependent kind tests, which
-	// on a mixed stream mispredict almost every record. memIdx entries
-	// carry the record position in the low bits and the store flag in bit
-	// 31 (batch buffers are nowhere near 2^31 records).
-	memIdx, brIdx []uint32
-	nMem, nBr     int
+	// Structure-of-arrays scratch for the split sweeps: fetchSweep, which
+	// touches every record anyway, classifies kinds with branch-free
+	// table lookups, and dataSweep then walks only the memory and branch
+	// records — no data-dependent kind tests, which on a mixed stream
+	// mispredict almost every record. The memory side is packed densely:
+	// memAddr carries each memory uop's data address with the store flag
+	// in bit 63 (virtual addresses never occupy the top bit on any real
+	// ISA or any generator in the tree), so the data sweep streams an
+	// 8-byte array instead of chasing 4-byte indices back into 32-byte
+	// records. Branches keep an index list — Resolve needs the whole
+	// record. Both arrays are per-core arenas, allocated on first use and
+	// reused for every subsequent batch and window.
+	memAddr   []uint64
+	brIdx     []uint32
+	nMem, nBr int
 }
 
 // Branch-free kind classification tables for fetchSweep's index-list
@@ -334,9 +357,13 @@ type core struct {
 var (
 	kindIsMem    = [trace.NumKinds]uint32{trace.KindLoad: 1, trace.KindStore: 1}
 	kindIsBranch = [trace.NumKinds]uint32{trace.KindBranch: 1}
-	kindStoreBit = [trace.NumKinds]uint32{trace.KindStore: 1 << 31}
+	kindStoreBit = [trace.NumKinds]uint64{trace.KindStore: 1 << 63}
 	accessBySBit = [2]cache.AccessKind{cache.AccessLoad, cache.AccessStore}
 )
+
+// storeBit flags a store in a packed memAddr entry; the low 63 bits are
+// the data address.
+const storeBit = uint64(1) << 63
 
 func newCore(cfg Config, hier *cache.Hierarchy) *core {
 	pred := cfg.NewPredictor
@@ -425,8 +452,8 @@ func (c *core) processBatch(buf []trace.Uop) {
 	// every record into the kind-index lists as it passes, so dataSweep
 	// streams only the memory and branch records instead of re-scanning
 	// (and re-mispredicting) the whole buffer.
-	if cap(c.memIdx) < len(buf) {
-		c.memIdx = make([]uint32, len(buf))
+	if cap(c.memAddr) < len(buf) {
+		c.memAddr = make([]uint64, len(buf))
 		c.brIdx = make([]uint32, len(buf))
 	}
 	c.fetchSweep(buf)
@@ -445,14 +472,14 @@ func (c *core) processBatch(buf []trace.Uop) {
 // the line and must execute.
 func (c *core) fetchSweep(buf []trace.Uop) {
 	l1i := c.hier.L1I()
-	memIdx, brIdx := c.memIdx, c.brIdx
+	memAddr, brIdx := c.memAddr, c.brIdx
 	nm, nb := uint32(0), uint32(0)
 	if !c.fetchDedup {
 		for i := range buf {
 			u := &buf[i]
 			k := u.Kind
 			c.kinds[k]++
-			memIdx[nm] = uint32(i) | kindStoreBit[k]
+			memAddr[nm] = u.Addr | kindStoreBit[k]
 			nm += kindIsMem[k]
 			brIdx[nb] = uint32(i)
 			nb += kindIsBranch[k]
@@ -472,7 +499,7 @@ func (c *core) fetchSweep(buf []trace.Uop) {
 		u := &buf[i]
 		k := u.Kind
 		c.kinds[k]++
-		memIdx[nm] = uint32(i) | kindStoreBit[k]
+		memAddr[nm] = u.Addr | kindStoreBit[k]
 		nm += kindIsMem[k]
 		brIdx[nb] = uint32(i)
 		nb += kindIsBranch[k]
@@ -499,16 +526,19 @@ func (c *core) fetchSweep(buf []trace.Uop) {
 }
 
 // dataSweep runs the branch and data sides of a batch on a non-unified
-// machine, walking the kind-index lists fetchSweep built instead of
-// re-scanning the buffer. Under an idempotent-touch L1D policy
-// consecutive memory uops to one line are deduplicated in a register once the line has HIT in the L1D:
-// the hit's touch left the line resident with its touch state freshly
-// set, so a same-line follow-up is a guaranteed L1 hit whose repeated
-// touch is a no-op, and — lines being smaller than pages — a guaranteed
-// repeat of the just-translated page. It is answered by crediting the
-// L1 hit, the per-level counters and the DTLB hit. A miss does not arm
-// the dedup (an SRRIP-style fill inserts cold; the follow-up hit's
-// touch genuinely promotes the line and must execute).
+// machine, walking the structure-of-arrays scratch fetchSweep built
+// instead of re-scanning the buffer: the memory loop streams the dense
+// packed-address array (one 8-byte load per record, no pointer chase
+// back into the 32-byte uop buffer). Under an idempotent-touch L1D
+// policy consecutive memory uops to one line are deduplicated in a
+// register once the line has HIT in the L1D: the hit's touch left the
+// line resident with its touch state freshly set, so a same-line
+// follow-up is a guaranteed L1 hit whose repeated touch is a no-op,
+// and — lines being smaller than pages — a guaranteed repeat of the
+// just-translated page. It is answered by crediting the L1 hit, the
+// per-level counters and the DTLB hit. A miss does not arm the dedup
+// (an SRRIP-style fill inserts cold; the follow-up hit's touch
+// genuinely promotes the line and must execute).
 func (c *core) dataSweep(buf []trace.Uop) {
 	// Branch state is disjoint from the data path's, so draining the
 	// branch list first is the same commuting reordering as the sweep
@@ -517,8 +547,8 @@ func (c *core) dataSweep(buf []trace.Uop) {
 		c.unit.Resolve(&buf[i])
 	}
 	if !c.dataDedup {
-		for _, p := range c.memIdx[:c.nMem] {
-			c.processData(&buf[p&^(1<<31)])
+		for _, p := range c.memAddr[:c.nMem] {
+			c.processDataAddr(p&^storeBit, p>>63)
 		}
 		return
 	}
@@ -526,13 +556,13 @@ func (c *core) dataSweep(buf []trace.Uop) {
 	shift := c.dataShift
 	lastLine := ^uint64(0)
 	// credit[0] accumulates deferred load hits, credit[1] store hits; the
-	// store bit from the packed index selects arithmetically so the
+	// store bit from the packed address selects arithmetically so the
 	// load-vs-store distinction never costs a branch.
 	var credit [2]uint64
-	for _, p := range c.memIdx[:c.nMem] {
-		u := &buf[p&^(1<<31)]
-		s := uint64(p >> 31)
-		line := u.Addr >> shift
+	for _, p := range c.memAddr[:c.nMem] {
+		s := p >> 63
+		addr := p &^ storeBit
+		line := addr >> shift
 		if line == lastLine {
 			c.dataLevel[cache.HitL1]++
 			c.loadLevel[cache.HitL1] += 1 - s
@@ -548,22 +578,22 @@ func (c *core) dataSweep(buf []trace.Uop) {
 		// would have made.
 		kind := accessBySBit[s]
 		level := cache.HitL1
-		if l1d.MemoHit(u.Addr) {
+		if l1d.MemoHit(addr) {
 			credit[s]++
 			lastLine = line
-		} else if l1d.AccessHot(u.Addr, kind) {
+		} else if l1d.AccessHot(addr, kind) {
 			lastLine = line
 		} else {
-			level = c.hier.DataHotMiss(u.Addr, kind)
+			level = c.hier.DataHotMiss(addr, kind)
 			lastLine = ^uint64(0)
 		}
 		c.dataLevel[level]++
 		c.loadLevel[level] += 1 - s
-		if page := u.Addr >> tlb.PageBits; page == c.dataPage {
+		if page := addr >> tlb.PageBits; page == c.dataPage {
 			c.tlb.RecordL1Hits(1)
 		} else {
-			c.tlb.Translate(u.Addr)
-			c.foot.Touch(u.Addr)
+			c.tlb.Translate(addr)
+			c.foot.Touch(addr)
 			c.dataPage = page
 		}
 	}
@@ -621,20 +651,22 @@ func (c *core) processBatchUnified(buf []trace.Uop) {
 // DTLB translation and footprint touch. It reports where the access hit
 // so callers can arm the same-line register dedup on L1 hits.
 func (c *core) processData(u *trace.Uop) cache.HitLevel {
-	kind := cache.AccessLoad
-	if u.Kind == trace.KindStore {
-		kind = cache.AccessStore
-	}
-	level := c.hier.DataHot(u.Addr, kind)
+	sbit := kindStoreBit[u.Kind] >> 63
+	return c.processDataAddr(u.Addr, sbit)
+}
+
+// processDataAddr is processData on an unpacked (address, store-bit)
+// pair, the form dataSweep's dense packed-address walk produces; sbit
+// is 1 for stores, 0 for loads, and selects counters arithmetically.
+func (c *core) processDataAddr(addr, sbit uint64) cache.HitLevel {
+	level := c.hier.DataHot(addr, accessBySBit[sbit])
 	c.dataLevel[level]++
-	if u.Kind == trace.KindLoad {
-		c.loadLevel[level]++
-	}
-	if page := u.Addr >> tlb.PageBits; page == c.dataPage {
+	c.loadLevel[level] += 1 - sbit
+	if page := addr >> tlb.PageBits; page == c.dataPage {
 		c.tlb.RecordL1Hits(1)
 	} else {
-		c.tlb.Translate(u.Addr)
-		c.foot.Touch(u.Addr)
+		c.tlb.Translate(addr)
+		c.foot.Touch(addr)
 		c.dataPage = page
 	}
 	return level

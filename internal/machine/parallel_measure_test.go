@@ -1,0 +1,61 @@
+package machine
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// TestParallelMeasure is a measurement harness, not a gate: it prints
+// the boundary-stitching error table and speedup-vs-K curve recorded in
+// DESIGN.md section 15 (EXPERIMENTS.md has the recipe). Opt-in because
+// it costs ~20s:
+//
+//	SPECKIT_MEASURE=1 go test ./internal/machine/ -run TestParallelMeasure -v
+func TestParallelMeasure(t *testing.T) {
+	if os.Getenv("SPECKIT_MEASURE") == "" {
+		t.Skip("measurement harness; set SPECKIT_MEASURE=1 to run")
+	}
+	const n = 8 << 20
+	cfg := HaswellScaled()
+	models := map[string]profile.Model{"testModel": testModel()}
+	for _, app := range profile.CPU2017() {
+		switch app.Name {
+		case "505.mcf_r", "525.x264_r", "519.lbm_r":
+			models[app.Name] = app.Expand(profile.Ref)[0].Model
+		}
+	}
+	for name, m := range models {
+		opt, newSource := parallelOptions(t, cfg, m, n)
+		src, err := newSource()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqStart := time.Now()
+		seq, err := Run(cfg, src, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqS := time.Since(seqStart).Seconds()
+		fmt.Printf("%s seq: %.2fs IPC=%.4f L1=%.4f L2=%.4f L3=%.4f misp=%.4f\n",
+			name, seqS, seq.IPC, seq.Counters.CacheMissPct(1), seq.Counters.CacheMissPct(2),
+			seq.Counters.CacheMissPct(3), seq.Counters.MispredictPct())
+		for _, k := range []int{2, 4, 8, 16} {
+			par, err := RunParallel(cfg, newSource, opt, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp := par.Parallel.CriticalPathSeconds()
+			fmt.Printf("%s K=%-2d speedup=%.2fx crit=%.2fs dIPC=%+.2f%% dL1=%+.3fpp dL2=%+.3fpp dL3=%+.3fpp dmisp=%+.3fpp\n",
+				name, k, seqS/cp, cp,
+				(par.IPC-seq.IPC)/seq.IPC*100,
+				par.Counters.CacheMissPct(1)-seq.Counters.CacheMissPct(1),
+				par.Counters.CacheMissPct(2)-seq.Counters.CacheMissPct(2),
+				par.Counters.CacheMissPct(3)-seq.Counters.CacheMissPct(3),
+				par.Counters.MispredictPct()-seq.Counters.MispredictPct())
+		}
+	}
+}

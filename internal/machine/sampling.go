@@ -425,7 +425,9 @@ func (c *core) runSampled(cfg Config, src trace.BatchSource, buf []trace.Uop, op
 			windows = append(windows, win)
 			agg.add(win)
 			detailed += d
-			detailDur += time.Since(detailStart)
+			winDur := time.Since(detailStart)
+			detailDur += winDur
+			metWindowSeconds["sampled"].ObserveDuration(winDur)
 			for i, ch := range ageCaches {
 				fillAcc[i] += ch.Fills() - f0[i]
 			}
@@ -435,6 +437,7 @@ func (c *core) runSampled(cfg Config, src trace.BatchSource, buf []trace.Uop, op
 	recordStage(opt.Span, "fast-forward", ffDur)
 	recordStage(opt.Span, "warmup", warmDur)
 	recordStage(opt.Span, "detail", detailDur)
+	metPairWindows["sampled"].Add(uint64(len(windows)))
 	opt.Span.SetAttr("windows", len(windows))
 	if detailed == 0 {
 		// Unreachable once total >= 2*Period and DetailLen > 0, but a

@@ -290,6 +290,7 @@ func (s *Server) runFleet(ctx context.Context, id string, base CampaignSpec, pai
 			Machine:        &chunkMachine,
 			Sampling:       opt.Sampling.String(),
 			Fidelity:       opt.Fidelity.String(),
+			WorkersPerPair: opt.IntraPairWorkers,
 		}
 		name := fmt.Sprintf("%s/chunk%d", id, t)
 		tasks[t] = sched.RemoteTask[[]core.Characteristics]{

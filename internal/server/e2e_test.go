@@ -216,6 +216,60 @@ func TestEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPairWindowMetrics: a campaign with workers_per_pair counts its
+// concurrently simulated sub-windows under the parallel source in both
+// /metrics (speckit_pair_windows_total and the per-window latency
+// histogram) and the expvar snapshot's pair_windows block.
+func TestPairWindowMetrics(t *testing.T) {
+	s, c, _ := newTestServer(t, server.Config{Workers: 1, QueueDepth: 4})
+	ctx := ctxT(t)
+
+	winBefore := s.MetricsSnapshot()["pair_windows"].(map[string]any)["parallel"].(map[string]any)
+	metricsBefore, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Long enough that the geometric split keeps both windows above the
+	// kernel's minimum window: every pair really simulates 2 windows.
+	spec := server.CampaignSpec{
+		Suite: "cpu2017", Mini: "rate-int", Size: "test",
+		Instructions: 120000, WorkersPerPair: 2,
+	}
+	st, err := c.SubmitWait(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != server.StatusDone {
+		t.Fatalf("status %s: %s", st.Status, st.Error)
+	}
+	wantWindows := uint64(2 * len(st.Results))
+
+	winAfter := s.MetricsSnapshot()["pair_windows"].(map[string]any)["parallel"].(map[string]any)
+	if d := winAfter["windows"].(uint64) - winBefore["windows"].(uint64); d != wantWindows {
+		t.Errorf("expvar parallel windows grew by %d, want %d", d, wantWindows)
+	}
+	if winAfter["seconds_sum"].(float64) <= winBefore["seconds_sum"].(float64) {
+		t.Error("expvar parallel window seconds_sum did not grow")
+	}
+
+	metricsAfter, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := `speckit_pair_windows_total{source="parallel"}`
+	if d := promSeries(metricsAfter, series) - promSeries(metricsBefore, series); d != float64(wantWindows) {
+		t.Errorf("%s grew by %v, want %d", series, d, wantWindows)
+	}
+	countSeries := `speckit_pair_window_seconds_count{source="parallel"}`
+	if d := promSeries(metricsAfter, countSeries) - promSeries(metricsBefore, countSeries); d != float64(wantWindows) {
+		t.Errorf("%s grew by %v, want %d", countSeries, d, wantWindows)
+	}
+	if !strings.Contains(metricsAfter, `speckit_pair_window_seconds_bucket{source="parallel"`) {
+		t.Error("/metrics is missing the parallel pair-window latency histogram")
+	}
+}
+
 // TestQueueFull429: with one worker wedged and a single queue slot
 // filled, the next submission is rejected with 429 + Retry-After.
 func TestQueueFull429(t *testing.T) {
@@ -431,6 +485,7 @@ func TestSubmitValidation(t *testing.T) {
 		`{"suite":"cpu2017","mini":"rate-bf16","size":"ref"}`,
 		`{"suite":`,
 		`{"unknown_field":1}`,
+		`{"suite":"cpu2017","size":"ref","workers_per_pair":-2}`,
 	} {
 		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
 		if err != nil {

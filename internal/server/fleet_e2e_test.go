@@ -277,6 +277,82 @@ func TestFleetAnalyticBitIdentical(t *testing.T) {
 	}
 }
 
+// TestFleetParallelBitIdentical: a campaign carrying workers_per_pair
+// scattered over the fleet is bit-identical to a single-node run at the
+// same knob. The stream is long enough that the knob really windows
+// (not the short-stream fallback), so a match proves both that the
+// coordinator forwards the knob in every chunk spec — the workers' base
+// options don't carry it, and an unforwarded knob would produce
+// sequential results under different store keys — and that the stitched
+// estimate is reproducible across process boundaries.
+func TestFleetParallelBitIdentical(t *testing.T) {
+	// Long enough that the geometric split keeps both windows above the
+	// kernel's minimum window — genuinely parallel, not the fallback.
+	const instructions = 120000
+	spec := server.CampaignSpec{
+		Suite: "cpu2017", Mini: "rate-int", Size: "test",
+		Instructions: instructions, WorkersPerPair: 2,
+	}
+
+	workers, _ := startWorkers(t, 3, core.Options{Instructions: 11111, Parallelism: 2})
+	_, c, coordStore := newCoordinator(t, workers, 2, core.Options{Instructions: 77777, Parallelism: 2})
+	ctx := ctxT(t)
+
+	st, err := c.SubmitWait(ctx, spec)
+	if err != nil {
+		t.Fatalf("sharded parallel campaign: %v", err)
+	}
+	if st.Status != server.StatusDone {
+		t.Fatalf("status %s: %s", st.Status, st.Error)
+	}
+
+	// Single-node baseline with the same knob and window.
+	pairs, err := server.ResolveSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseDir := t.TempDir()
+	baseSt, err := store.Open(baseDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Characterize(pairs, core.Options{
+		Instructions: instructions, IntraPairWorkers: 2,
+		Cache: sched.NewCache(), Store: baseSt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(asJSON(t, st.Results), asJSON(t, want)) {
+		t.Error("sharded parallel results differ from the single-node run")
+	}
+
+	// Store records carry the pairwindows key suffix on both sides, so
+	// key sets matching proves the knob survived the scatter.
+	wantKeys := storeKeys(t, baseDir)
+	gotKeys := storeKeys(t, coordStore)
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("coordinator store holds %d records, single-node %d", len(gotKeys), len(wantKeys))
+	}
+	for k := range wantKeys {
+		if !gotKeys[k] {
+			t.Errorf("store record %s missing from the coordinator store", k)
+		}
+	}
+
+	// A resubmission is served from the coordinator's own tiers.
+	st2, err := c.SubmitWait(ctx, spec)
+	if err != nil {
+		t.Fatalf("resubmission: %v", err)
+	}
+	if st2.Progress.CacheHits != len(want) || st2.Progress.Remote != 0 {
+		t.Errorf("resubmission progress = %+v, want %d local cache hits and 0 remote", st2.Progress, len(want))
+	}
+	if !bytes.Equal(asJSON(t, st2.Results), asJSON(t, want)) {
+		t.Error("locally re-served parallel results differ from the single-node run")
+	}
+}
+
 // TestFleetWorkerKilledMidCampaign: killing a worker while its chunks
 // are in flight loses zero pairs — the dispatcher resubmits them to the
 // survivors — and the final results (and a store-served resubmission)

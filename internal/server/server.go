@@ -153,6 +153,16 @@ type CampaignSpec struct {
 	// counters in /metrics and keyed separately from both simulation
 	// tiers in every cache tier.
 	Fidelity string `json:"fidelity,omitempty"`
+	// WorkersPerPair, when >1, splits each pair's measured stream into
+	// that many windows simulated concurrently and stitched with
+	// frozen-cache warm state (intra-pair parallelism). Exact tier
+	// only — the sampled and analytic tiers normalize the knob away.
+	// Results are tolerance-gated estimates of the sequential run,
+	// bit-reproducible for a fixed count and keyed separately in every
+	// cache tier; the coordinator forwards the knob to fleet workers
+	// verbatim so a sharded campaign derives the same keys a
+	// single-node run would.
+	WorkersPerPair int `json:"workers_per_pair,omitempty"`
 	// Pairs, when non-empty, filters the expanded suite to exactly the
 	// named pairs (profile.Pair.Name, e.g. "502.gcc_r-in3"), in the
 	// order given. Unknown or duplicate names reject the spec. This is
@@ -696,6 +706,9 @@ func (s *Server) run(c *campaign) {
 	if c.spec.Sampling != "" {
 		opt.Sampling = c.sampling
 	}
+	if c.spec.WorkersPerPair > 0 {
+		opt.IntraPairWorkers = c.spec.WorkersPerPair
+	}
 	if c.spec.Fidelity != "" {
 		opt.Fidelity = c.fidelity
 		if c.fidelity == machine.FidelityAnalytic {
@@ -804,6 +817,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if fidelity == machine.FidelityAnalytic && sampling.Enabled() {
 		writeError(w, http.StatusBadRequest,
 			"bad campaign spec: the analytic fidelity tier does not compose with sampling")
+		return
+	}
+	if spec.WorkersPerPair < 0 {
+		writeError(w, http.StatusBadRequest,
+			"bad campaign spec: workers_per_pair must be non-negative")
 		return
 	}
 
@@ -1020,6 +1038,39 @@ var metServedPairs = func() map[string]*obs.Counter {
 	return m
 }()
 
+// Window-level simulation metrics, mirrored into the expvar snapshot.
+// The machine kernels feed these series (the obs registry get-or-create
+// contract hands back the same instances here): "sampled" counts a
+// sampled run's periodic detail windows, "parallel" the concurrently
+// simulated sub-windows of intra-pair parallel runs.
+var (
+	metWinCount = map[string]*obs.Counter{
+		"sampled":  obs.Default().Counter("speckit_pair_windows_total", "", "source", "sampled"),
+		"parallel": obs.Default().Counter("speckit_pair_windows_total", "", "source", "parallel"),
+	}
+	metWinSeconds = map[string]*obs.Histogram{
+		"sampled":  obs.Default().Histogram("speckit_pair_window_seconds", "", obs.LatencyBuckets, "source", "sampled"),
+		"parallel": obs.Default().Histogram("speckit_pair_window_seconds", "", obs.LatencyBuckets, "source", "parallel"),
+	}
+)
+
+// pairWindowsSnapshot summarizes the window-level series for the expvar
+// map: total windows plus wall-time count/sum and latency quantiles per
+// windowing source.
+func pairWindowsSnapshot() map[string]any {
+	out := make(map[string]any, len(metWinCount))
+	for src, c := range metWinCount {
+		h := metWinSeconds[src].Snapshot()
+		out[src] = map[string]any{
+			"windows":     c.Value(),
+			"seconds_sum": h.Sum,
+			"p50_seconds": h.Quantile(0.5),
+			"p99_seconds": h.Quantile(0.99),
+		}
+	}
+	return out
+}
+
 func (s *Server) publishMetrics() {
 	activeServer.Store(s)
 	reg := obs.Default()
@@ -1131,6 +1182,7 @@ func (s *Server) MetricsSnapshot() map[string]any {
 			"analytic_from_remote": s.analyticFromRemote.Load(),
 		},
 	}
+	m["pair_windows"] = pairWindowsSnapshot()
 	m["sweeps"] = s.sweepSnapshot()
 	if n := len(s.cfg.Fleet); n > 0 {
 		workers := make([]map[string]any, n)

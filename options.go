@@ -48,6 +48,18 @@ func WithParallelism(n int) Option {
 	return func(o *Options) { o.Parallelism = n }
 }
 
+// WithIntraPairParallelism splits each pair's measured stream into n
+// windows simulated concurrently and stitched with the frozen-cache
+// warm-state technique — the knob that scales a single large pair past
+// one core where WithParallelism maxes out at the number of pairs.
+// Results are a tolerance-gated estimate of the sequential run,
+// bit-reproducible for a fixed n and keyed separately in every cache
+// tier. Exact-tier only: the sampled and analytic tiers normalize the
+// knob away. n <= 1 selects the sequential kernel.
+func WithIntraPairParallelism(n int) Option {
+	return func(o *Options) { o.IntraPairWorkers = n }
+}
+
 // WithMachine selects the simulated machine model.
 func WithMachine(m MachineConfig) Option {
 	return func(o *Options) { o.Machine = m }
