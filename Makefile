@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke sweep-smoke race-fanout race-kernel ci
+.PHONY: build vet test race bench fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke sweep-smoke rate-smoke race-fanout race-kernel ci
 
 build:
 	$(GO) build ./...
@@ -65,10 +65,19 @@ fleet-smoke:
 sweep-smoke:
 	$(GO) test -run='^TestSweepSmoke$$' -count=1 ./cmd/specserved
 
+# Run an N=4 rate-mode campaign against the built specserved binary,
+# restart it on the same store, and assert both the flat and structured
+# scenario spellings are served with zero pairs simulated, byte-identical
+# to a direct library run on the shared-L3 kernel.
+rate-smoke:
+	$(GO) test -run='^TestRateSmoke$$' -count=1 ./cmd/specserved
+
 # Race-check the fan-out path specifically: the coordinator/dispatcher,
-# the typed client's retry loop, and the registry the handlers hammer.
+# the typed client's retry loop, the registry the handlers hammer, and
+# the shared-L3 rate kernel's core interleaving.
 race-fanout:
 	$(GO) test -race ./internal/server/... ./internal/sched/... ./internal/client/...
+	$(GO) test -race -short -run='^TestRunShared|^TestRate|^TestScenario|^TestTopology' -count=1 ./internal/machine ./internal/core
 
 # Race-check the intra-pair parallel kernel specifically: the
 # equivalence, determinism, fallback, tolerance and stats tests spawn
@@ -77,4 +86,4 @@ race-fanout:
 race-kernel:
 	$(GO) test -race -short -run='^TestParallel' -count=1 ./internal/machine
 
-ci: build vet test race fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke sweep-smoke race-fanout race-kernel
+ci: build vet test race fuzz-seed bench-smoke analytic-smoke serve-smoke metrics-smoke fleet-smoke sweep-smoke rate-smoke race-fanout race-kernel

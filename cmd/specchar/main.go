@@ -7,12 +7,21 @@
 //	specchar [-suite cpu2017|cpu2006] [-mini all|rate-int|rate-fp|speed-int|speed-fp]
 //	         [-size test|train|ref] [-n instructions] [-csv] [-progress]
 //	         [-cache-dir DIR] [-sampling off|default|P/D/W] [-j N]
+//	         [-scenario S | -rate N | -topo T]
 //	         [-trace FILE] [-slow-pair DUR]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // -trace writes the campaign's span tree (campaign -> pair -> simulation
 // stages, with cache-tier outcomes) as a JSONL run manifest; -slow-pair
 // warns about pairs whose wall time exceeds the threshold.
+//
+// -rate N characterizes each pair as a SPECrate-style run of N copies
+// contending on the shared L3 and appends a contention table
+// (aggregate IPC, shared-L3 MPKI, back-invalidations); -topo runs each
+// pair on a heterogeneous P/E topology ("4P4E-random") and appends the
+// placement runtime distribution. -scenario expresses the whole
+// measurement scenario in one string ("exact,rate=4,topo=4P4E-random")
+// and replaces the individual knob flags.
 //
 // Ctrl-C (or SIGTERM) cancels the in-flight campaign through the
 // scheduler's context path rather than killing the process mid-write.
@@ -165,6 +174,13 @@ func run(ctx context.Context, cfg config) error {
 			sampling, 100*worst)
 	}
 
+	if err := writeRateTable(chars, cfg.csv); err != nil {
+		return err
+	}
+	if err := writeRuntimeTable(chars, cfg.csv); err != nil {
+		return err
+	}
+
 	fmt.Println()
 	sum := report.NewTable("Suite aggregates (per-application means)",
 		"Metric", "Mean", "StdDev")
@@ -187,6 +203,77 @@ func run(ctx context.Context, cfg config) error {
 		sum.AddRowf(m.name, s.Mean, s.Std)
 	}
 	return sum.WriteText(os.Stdout)
+}
+
+// writeRateTable prints the shared-L3 contention table when the
+// campaign ran in rate mode (Characteristics.Rate set).
+func writeRateTable(chars []speckit.Characteristics, csv bool) error {
+	any := false
+	for i := range chars {
+		if chars[i].Rate != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	fmt.Println()
+	t := report.NewTable("Rate-mode contention (shared L3)",
+		"Pair", "Copies", "Agg IPC", "Per-copy IPC", "L3 MPKI", "Back-inv")
+	for i := range chars {
+		c := &chars[i]
+		if c.Rate == nil {
+			continue
+		}
+		perCopy := 0.0
+		for _, v := range c.Rate.PerCopyIPC {
+			perCopy += v
+		}
+		if n := len(c.Rate.PerCopyIPC); n > 0 {
+			perCopy /= float64(n)
+		}
+		t.AddRowf(c.Pair.Name(), c.Rate.Copies, c.Rate.AggregateIPC,
+			perCopy, c.Rate.SharedL3MPKI, c.Rate.BackInvalidations)
+	}
+	if csv {
+		return t.WriteCSV(os.Stdout)
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// writeRuntimeTable prints the placement runtime distribution when the
+// campaign ran on a heterogeneous topology (Characteristics.Runtime
+// set): one row per (pair, mode), so a random placement's multimodal
+// runtime is visible directly.
+func writeRuntimeTable(chars []speckit.Characteristics, csv bool) error {
+	any := false
+	for i := range chars {
+		if chars[i].Runtime != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	fmt.Println()
+	t := report.NewTable("Placement runtime distribution",
+		"Pair", "Topology", "Core class", "Weight", "Time (s)", "IPC")
+	for i := range chars {
+		c := &chars[i]
+		if c.Runtime == nil {
+			continue
+		}
+		for _, m := range c.Runtime.Modes {
+			t.AddRowf(c.Pair.Name(), c.Runtime.Topology, m.Class,
+				m.Weight, m.ExecSeconds, m.IPC)
+		}
+	}
+	if csv {
+		return t.WriteCSV(os.Stdout)
+	}
+	return t.WriteText(os.Stdout)
 }
 
 func pickSuite(name string) (speckit.Suite, error) {

@@ -202,6 +202,111 @@ func TestServeSmoke(t *testing.T) {
 	sigtermAndWait(t, cmd2)
 }
 
+// TestRateSmoke is the `make rate-smoke` gate: build the real binary,
+// run an N=4 rate-mode campaign over HTTP, assert parity with the
+// library's shared-L3 kernel, then restart on the same cache dir and
+// assert both the flat spec and the equivalent structured scenario spec
+// are served from the persistent store — zero pairs simulated, bytes
+// identical — with the rate-tier counters split out on the expvar
+// mirror.
+func TestRateSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the specserved binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "specserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+	cacheDir := filepath.Join(tmp, "speccache")
+	const instructions = 10000
+	const copies = 4
+	spec := map[string]any{
+		"suite": "cpu2017", "mini": "rate-int", "size": "test",
+		"instructions": instructions, "rate_copies": copies,
+	}
+
+	// First server lifetime: every rate pair simulates on the
+	// interleaved kernel and lands in the store.
+	base, cmd := specserved(t, bin, "-cache-dir", cacheDir, "-workers", "1")
+	first := submitWait(t, base, spec)
+	if first.Status != "done" {
+		t.Fatalf("first rate campaign = %s (%s)", first.Status, first.Error)
+	}
+	if first.Progress.CacheHits != 0 {
+		t.Fatalf("first rate campaign had %d cache hits, want 0", first.Progress.CacheHits)
+	}
+	sigtermAndWait(t, cmd)
+
+	// Parity with a direct library run under the same scenario.
+	pairs := speckit.CPU2017().Mini(speckit.RateInt)
+	direct, err := speckit.Characterize(pairs, speckit.Test,
+		speckit.Options{Instructions: instructions, RateCopies: copies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directJSON, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(directJSON, first.Results) {
+		t.Error("served rate results are not bit-identical to a direct library run")
+	}
+
+	// Second lifetime on the same cache dir: the flat spec and the
+	// structured scenario spelling of the same campaign are both served
+	// from the store, byte-identically, with zero simulation.
+	base2, cmd2 := specserved(t, bin, "-cache-dir", cacheDir, "-workers", "1")
+	second := submitWait(t, base2, spec)
+	if second.Status != "done" {
+		t.Fatalf("second rate campaign = %s (%s)", second.Status, second.Error)
+	}
+	if second.Progress.StoreHits != second.Pairs {
+		t.Errorf("second rate campaign hits = %+v, want all %d pairs from the store tier",
+			second.Progress, second.Pairs)
+	}
+	if !bytes.Equal(first.Results, second.Results) {
+		t.Error("restarted server returned different bytes for the same rate campaign")
+	}
+	structured := submitWait(t, base2, map[string]any{
+		"suite": "cpu2017", "mini": "rate-int", "size": "test",
+		"instructions": instructions,
+		"scenario":     map[string]any{"rate_copies": copies},
+	})
+	if structured.Status != "done" {
+		t.Fatalf("structured scenario campaign = %s (%s)", structured.Status, structured.Error)
+	}
+	if !bytes.Equal(first.Results, structured.Results) {
+		t.Error("structured scenario spec keyed a different result than the flat spec")
+	}
+
+	// The expvar mirror splits the rate tier out: everything was served
+	// from the store, nothing simulated in either accounting mode.
+	mresp, err := http.Get(base2 + "/metrics/expvar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics struct {
+		Specserved struct {
+			Pairs map[string]uint64 `json:"pairs"`
+		} `json:"specserved"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if sim := metrics.Specserved.Pairs["rate_simulated"] + metrics.Specserved.Pairs["simulated"]; sim != 0 {
+		t.Errorf("restarted server simulated %d pairs, want 0", sim)
+	}
+	served := metrics.Specserved.Pairs["rate_from_store"] + metrics.Specserved.Pairs["rate_from_memory"]
+	if served != uint64(second.Pairs+structured.Pairs) {
+		t.Errorf("rate tier served %d pairs, want %d", served, second.Pairs+structured.Pairs)
+	}
+	sigtermAndWait(t, cmd2)
+}
+
 // TestFleetSmoke is the `make fleet-smoke` gate: build the real
 // binaries, start two worker specserveds and a coordinator in front of
 // them, drive campaigns through the specload generator under generous

@@ -24,6 +24,17 @@
 // Axis values accept KiB/MiB/GiB suffixes; known parameters are listed
 // by -axis help. Cells simulated vs served from cache are reported on
 // stderr after the tables.
+//
+// Beyond the machine parameters, the scenario pseudo-axis
+// "rate.copies" sweeps the rate-mode copy count — each grid cell
+// becomes an N-copy shared-L3 contention run — charting the
+// contention knee directly:
+//
+//	specsweep -axis rate.copies=1,2,4,8 -screen exact -escalate off \
+//	          -metrics aggregate_ipc,l3_mpki
+//
+// Rate cells only exist at exact fidelity, so a rate axis requires
+// -screen exact and -escalate exact (or off).
 package main
 
 import (
@@ -45,14 +56,14 @@ import (
 )
 
 type config struct {
-	addr                   string
-	suite, mini, size      string
-	n                      uint64
-	axes                   axisFlags
-	screen, escalate       string
-	metrics                string
-	sseWeight              float64
-	csv                    bool
+	addr              string
+	suite, mini, size string
+	n                 uint64
+	axes              axisFlags
+	screen, escalate  string
+	metrics           string
+	sseWeight         float64
+	csv               bool
 	cliflags.Campaign
 }
 
@@ -82,7 +93,7 @@ func main() {
 
 func run(ctx context.Context, cfg config) error {
 	if len(cfg.axes) == 0 {
-		return fmt.Errorf("no -axis given; known parameters: %s", strings.Join(machine.AxisParams(), ", "))
+		return fmt.Errorf("no -axis given; known parameters: %s", axisParamList())
 	}
 	var metrics []string
 	if cfg.metrics != "" {
@@ -353,6 +364,12 @@ func resolvePairs(suite, mini, size string) ([]profile.Pair, error) {
 	return pairs, nil
 }
 
+// axisParamList names every -axis parameter: the machine axes plus the
+// rate-mode scenario pseudo-axis.
+func axisParamList() string {
+	return strings.Join(append(machine.AxisParams(), sweep.RateAxis), ", ")
+}
+
 // axisFlags collects repeatable -axis param=v1,v2,... flags.
 type axisFlags []sweep.Axis
 
@@ -370,7 +387,7 @@ func (a *axisFlags) String() string {
 
 func (a *axisFlags) Set(s string) error {
 	if s == "help" {
-		return fmt.Errorf("known axis parameters: %s", strings.Join(machine.AxisParams(), ", "))
+		return fmt.Errorf("known axis parameters: %s", axisParamList())
 	}
 	ax, err := sweep.ParseAxis(s)
 	if err != nil {

@@ -123,6 +123,13 @@ type Cache struct {
 	// evictions across sets.
 	fills     uint64
 	ageCursor int
+
+	// OnEvict, when non-nil, is called with the base address of every
+	// valid line a fill displaces, before the line is overwritten. A
+	// shared last-level cache uses it to back-invalidate the private
+	// copies of the victim line (inclusive-hierarchy accounting). The
+	// callback must not access this cache.
+	OnEvict func(addr uint64)
 }
 
 // New constructs a cache from cfg. It panics if cfg is invalid; callers
@@ -273,9 +280,44 @@ func (c *Cache) fill(set int, tag uint64) int {
 		panic(fmt.Sprintf("cache %q: policy returned invalid victim way %d", c.cfg.Name, w))
 	}
 	c.stats.Evictions++
+	if c.OnEvict != nil {
+		c.OnEvict(c.lineAddr(set, c.tags[base+w]))
+	}
 	c.tags[base+w] = tag
 	c.keys[base+w] = tag | keyValid
 	return w
+}
+
+// lineAddr reconstructs a line's base address from its set and tag,
+// inverting index.
+func (c *Cache) lineAddr(set int, tag uint64) uint64 {
+	line := tag
+	if c.pow2 {
+		line = tag<<c.tagShift | uint64(set)
+	}
+	return line << c.lineShift
+}
+
+// Invalidate drops the line holding addr if it is resident, reporting
+// whether it was. The vacated way is refilled first on the set's next
+// miss (fill scans for empty ways before consulting the policy), and
+// the set's fetch memo is cleared so memo short-circuits can never
+// resurrect an invalidated line. Statistics are untouched: an
+// invalidation is not a demand access.
+func (c *Cache) Invalidate(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.valid[base+w] = false
+			c.keys[base+w] = 0
+			if c.memoLine != nil {
+				c.memoHit[set] = false
+			}
+			return true
+		}
+	}
+	return false
 }
 
 func (c *Cache) record(kind AccessKind, hit bool) {

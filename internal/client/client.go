@@ -95,13 +95,31 @@ type APIError struct {
 	// Message is the server's error string (or the raw body when the
 	// response was not the JSON envelope).
 	Message string
+	// Field names the campaign-spec JSON field a 400 validation error
+	// is about (e.g. "rate_copies", "topology"); empty when the server
+	// did not attribute the error to one field.
+	Field string
 	// RetryAfter is the parsed Retry-After hint on 429 responses; zero
 	// when absent.
 	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("server: %s (field %q, HTTP %d)", e.Message, e.Field, e.Code)
+	}
 	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.Code)
+}
+
+// FieldError returns the field-tagged validation error behind err: the
+// offending campaign-spec field and the server's message. ok is false
+// when err carries no field attribution.
+func FieldError(err error) (field, msg string, ok bool) {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Field != "" {
+		return ae.Field, ae.Message, true
+	}
+	return "", "", false
 }
 
 // IsQueueFull reports whether err is the server's 429 queue-full
@@ -184,9 +202,11 @@ func decodeError(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var envelope struct {
 		Error string `json:"error"`
+		Field string `json:"field"`
 	}
 	if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
 		ae.Message = envelope.Error
+		ae.Field = envelope.Field
 	} else {
 		ae.Message = strings.TrimSpace(string(raw))
 	}

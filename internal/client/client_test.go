@@ -115,6 +115,38 @@ func TestDecodeErrorRetryAfterDate(t *testing.T) {
 	}
 }
 
+// TestFieldError: a 400 carrying a "field" member surfaces through
+// APIError.Field and the FieldError helper, and the field is named in
+// the rendered message; errors without one report ok=false.
+func TestFieldError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"bad campaign spec: rate and topology scenarios run at exact fidelity only","field":"fidelity"}`)
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL).Submit(context.Background(), server.CampaignSpec{Suite: "cpu2017", Size: "train"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	field, msg, ok := FieldError(err)
+	if !ok || field != "fidelity" {
+		t.Errorf("FieldError = (%q, %q, %v), want field %q", field, msg, ok, "fidelity")
+	}
+	if !strings.Contains(ae.Error(), `"fidelity"`) {
+		t.Errorf("rendered error %q does not name the field", ae.Error())
+	}
+
+	if f, _, ok := FieldError(errors.New("plain")); ok || f != "" {
+		t.Errorf("FieldError(plain error) = (%q, _, %v), want not-ok", f, ok)
+	}
+	plain := &APIError{Code: http.StatusBadRequest, Message: "no field"}
+	if f, _, ok := FieldError(plain); ok || f != "" {
+		t.Errorf("FieldError(fieldless APIError) = (%q, _, %v), want not-ok", f, ok)
+	}
+}
+
 // TestSubmitWaitRetries429: SubmitWait keeps retrying a queue-full
 // server under its policy, honoring the Retry-After hint, and succeeds
 // once capacity frees up.

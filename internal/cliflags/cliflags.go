@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +50,16 @@ type Campaign struct {
 	// PairWorkers splits each pair's measured stream into that many
 	// concurrently simulated windows (-j-pair, <=1 = sequential kernel).
 	PairWorkers int
+	// Rate is the rate-mode copy count (-rate, <=1 = single copy).
+	Rate int
+	// Topo is the raw heterogeneous-topology selector (-topo); empty
+	// means homogeneous.
+	Topo string
+	// Scenario is the raw consolidated scenario selector (-scenario);
+	// when non-empty it replaces the individual scenario knobs
+	// (-sampling, -fidelity, -j-pair, -rate, -topo), which must then
+	// stay at their defaults.
+	Scenario string
 	// TraceFile, when set, records the campaign's span tree and writes
 	// it there as a JSONL run manifest (-trace).
 	TraceFile string
@@ -59,8 +71,7 @@ type Campaign struct {
 	// State captured by Options for Finish.
 	cache    *speckit.Cache
 	trace    *speckit.Trace
-	sampling speckit.Sampling
-	fidelity speckit.Fidelity
+	scenario speckit.Scenario
 }
 
 // Register installs the shared flags on fs (flag.CommandLine in the
@@ -79,6 +90,9 @@ func (c *Campaign) Register(fs *flag.FlagSet) {
 	fs.IntVar(&c.Batch, "batch", c.Batch, "simulation kernel batch size in uops (0 = default; results are batch-size independent)")
 	fs.IntVar(&c.Parallelism, "j", c.Parallelism, "concurrent pair simulations (0 = NumCPU)")
 	fs.IntVar(&c.PairWorkers, "j-pair", c.PairWorkers, "intra-pair parallelism: split each pair's measured stream into N windows simulated concurrently and stitched with frozen-cache warm state (exact tier only; other tiers ignore it); results are tolerance-gated estimates of the sequential run, bit-reproducible for a fixed N and cached under separate keys (<=1 = sequential kernel)")
+	fs.IntVar(&c.Rate, "rate", c.Rate, "rate-mode copy count: characterize each pair as N co-running copies with private L1/L2 contending on one shared inclusive L3, reporting per-copy and aggregate throughput plus shared-level contention stats (exact tier only; cached under separate keys; <=1 = single copy)")
+	fs.StringVar(&c.Topo, "topo", c.Topo, "heterogeneous topology, e.g. 4P4E-random: run each pair on a P-core/E-core machine under the given OS-placement policy (pinned-p, pinned-e, random, best, worst); random placement yields a runtime distribution (exact tier only; cached under separate keys; empty = homogeneous)")
+	fs.StringVar(&c.Scenario, "scenario", c.Scenario, "consolidated measurement scenario, comma-separated tokens: a fidelity tier (exact, sampled, analytic), sampling=PERIOD/DETAIL/WARMUP, j-pair=N, rate=N, topo=4P4E-random; replaces -sampling, -fidelity, -j-pair, -rate and -topo, which must then stay unset")
 	fs.StringVar(&c.TraceFile, "trace", c.TraceFile, "write the campaign's span tree (campaign -> pair -> simulation stages, with cache-tier outcomes) to FILE as a JSONL run manifest; never affects results or cache identity")
 	fs.DurationVar(&c.SlowPair, "slow-pair", c.SlowPair, "warn on stderr about pairs slower than this wall-time threshold (e.g. 2s; 0 = off)")
 }
@@ -88,28 +102,18 @@ func (c *Campaign) Register(fs *flag.FlagSet) {
 // the progress meter, and a run trace when -trace or -slow-pair asks
 // for one.
 func (c *Campaign) Options(ctx context.Context) (speckit.Options, error) {
-	sampling, err := speckit.ParseSampling(c.Sampling)
+	scenario, err := c.resolveScenario()
 	if err != nil {
 		return speckit.Options{}, err
 	}
-	fidelity, err := speckit.ParseFidelity(c.Fidelity)
-	if err != nil {
-		return speckit.Options{}, err
-	}
-	if fidelity == speckit.FidelityAnalytic && sampling.Enabled() {
-		return speckit.Options{}, fmt.Errorf("-fidelity analytic does not compose with -sampling")
-	}
-	c.sampling = sampling
-	c.fidelity = fidelity
+	c.scenario = scenario
 	c.cache = speckit.NewCache()
 	opts := []speckit.Option{
 		speckit.WithContext(ctx),
 		speckit.WithCache(c.cache),
-		speckit.WithSampling(sampling),
-		speckit.WithFidelity(fidelity),
+		speckit.WithScenario(scenario),
 		speckit.WithBatchSize(c.Batch),
 		speckit.WithParallelism(c.Parallelism),
-		speckit.WithIntraPairParallelism(c.PairWorkers),
 	}
 	if c.Progress {
 		opts = append(opts, speckit.WithProgress(speckit.ProgressPrinter(os.Stderr)))
@@ -128,11 +132,113 @@ func (c *Campaign) Options(ctx context.Context) (speckit.Options, error) {
 	return speckit.NewOptions(opts...), nil
 }
 
+// resolveScenario folds the scenario flags into one speckit.Scenario:
+// -scenario when set (the individual knobs must then stay at their
+// defaults), otherwise the individual -sampling/-fidelity/-j-pair/
+// -rate/-topo flags.
+func (c *Campaign) resolveScenario() (speckit.Scenario, error) {
+	if c.Scenario != "" {
+		conflict := ""
+		switch {
+		case c.Sampling != "" && c.Sampling != "off":
+			conflict = "-sampling"
+		case c.Fidelity != "" && c.Fidelity != "exact":
+			conflict = "-fidelity"
+		case c.PairWorkers > 1:
+			conflict = "-j-pair"
+		case c.Rate > 1:
+			conflict = "-rate"
+		case c.Topo != "" && c.Topo != "off":
+			conflict = "-topo"
+		}
+		if conflict != "" {
+			return speckit.Scenario{}, fmt.Errorf("-scenario replaces %s; set the knob in the scenario string instead", conflict)
+		}
+		return ParseScenario(c.Scenario)
+	}
+	sampling, err := speckit.ParseSampling(c.Sampling)
+	if err != nil {
+		return speckit.Scenario{}, err
+	}
+	fidelity, err := speckit.ParseFidelity(c.Fidelity)
+	if err != nil {
+		return speckit.Scenario{}, err
+	}
+	if fidelity == speckit.FidelityAnalytic && sampling.Enabled() {
+		return speckit.Scenario{}, fmt.Errorf("-fidelity analytic does not compose with -sampling")
+	}
+	topo, err := speckit.ParseTopology(c.Topo)
+	if err != nil {
+		return speckit.Scenario{}, err
+	}
+	s := speckit.Scenario{
+		Fidelity:         fidelity,
+		Sampling:         sampling,
+		IntraPairWorkers: c.PairWorkers,
+		RateCopies:       c.Rate,
+		Topology:         topo,
+	}
+	return s, s.Validate()
+}
+
+// ParseScenario parses the -scenario flag syntax shared by the cmd
+// tools and the server API: comma-separated tokens, each either a bare
+// fidelity tier ("exact", "sampled", "analytic") or a key=value knob
+// ("fidelity=sampled", "sampling=262144/8192/8192", "j-pair=8",
+// "rate=4", "topo=4P4E-random"). The empty string is the default
+// (exact, single-copy, homogeneous) scenario. The scenario's canonical
+// String() round-trips through this parser.
+func ParseScenario(s string) (speckit.Scenario, error) {
+	var sc speckit.Scenario
+	raw := strings.TrimSpace(s)
+	if raw == "" {
+		return sc, nil
+	}
+	for _, tok := range strings.Split(raw, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val := tok, ""
+		if i := strings.IndexByte(tok, '='); i >= 0 {
+			key, val = tok[:i], tok[i+1:]
+		}
+		var err error
+		switch strings.ToLower(key) {
+		case "exact", "sampled", "analytic":
+			if val != "" {
+				return speckit.Scenario{}, fmt.Errorf("scenario: tier token %q takes no value", tok)
+			}
+			sc.Fidelity, err = speckit.ParseFidelity(key)
+		case "fidelity":
+			sc.Fidelity, err = speckit.ParseFidelity(val)
+		case "sampling":
+			sc.Sampling, err = speckit.ParseSampling(val)
+		case "j-pair", "jpair":
+			sc.IntraPairWorkers, err = strconv.Atoi(val)
+		case "rate":
+			sc.RateCopies, err = strconv.Atoi(val)
+		case "topo", "topology":
+			sc.Topology, err = speckit.ParseTopology(val)
+		default:
+			return speckit.Scenario{}, fmt.Errorf("scenario: unknown knob %q (want a fidelity tier, sampling=, j-pair=, rate= or topo=)", key)
+		}
+		if err != nil {
+			return speckit.Scenario{}, fmt.Errorf("scenario: %q: %v", tok, err)
+		}
+	}
+	return sc, sc.Validate()
+}
+
+// ScenarioKnob returns the scenario resolved by Options (zero before
+// then).
+func (c *Campaign) ScenarioKnob() speckit.Scenario { return c.scenario }
+
 // SamplingKnob returns the knob parsed by Options (zero before then).
-func (c *Campaign) SamplingKnob() speckit.Sampling { return c.sampling }
+func (c *Campaign) SamplingKnob() speckit.Sampling { return c.scenario.Sampling }
 
 // FidelityTier returns the tier parsed by Options (exact before then).
-func (c *Campaign) FidelityTier() speckit.Fidelity { return c.fidelity }
+func (c *Campaign) FidelityTier() speckit.Fidelity { return c.scenario.Fidelity }
 
 // Finish completes the shared end-of-run reporting: the tiered
 // cache-stats line under -progress, slow-pair warnings, and the JSONL

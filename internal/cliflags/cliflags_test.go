@@ -85,6 +85,116 @@ func TestOptionsFidelity(t *testing.T) {
 	}
 }
 
+func TestParseScenario(t *testing.T) {
+	cases := []struct {
+		in   string
+		want speckit.Scenario
+	}{
+		{"", speckit.Scenario{}},
+		{"exact", speckit.Scenario{}},
+		{"sampled", speckit.Scenario{Fidelity: speckit.FidelitySampled}},
+		{"analytic", speckit.Scenario{Fidelity: speckit.FidelityAnalytic}},
+		{"sampling=131072/4096/4096", speckit.Scenario{
+			Sampling: speckit.Sampling{Period: 131072, DetailLen: 4096, WarmupLen: 4096}}},
+		{"j-pair=8", speckit.Scenario{IntraPairWorkers: 8}},
+		{"rate=4", speckit.Scenario{RateCopies: 4}},
+		{"exact,rate=4,topo=4P4E-random", speckit.Scenario{
+			RateCopies: 4,
+			Topology:   speckit.Topology{PCores: 4, ECores: 4, Placement: speckit.PlaceRandom}}},
+		{" Exact , Rate=2 ", speckit.Scenario{RateCopies: 2}},
+	}
+	for _, tc := range cases {
+		got, err := ParseScenario(tc.in)
+		if err != nil {
+			t.Errorf("ParseScenario(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseScenario(%q) = %+v, want %+v", tc.in, got, tc.want)
+			continue
+		}
+		// The canonical string round-trips through the parser.
+		back, err := ParseScenario(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip %q -> %q -> %+v (%v)", tc.in, got.String(), back, err)
+		}
+	}
+
+	for _, in := range []string{
+		"turbo",                              // unknown tier
+		"exact=1",                            // tier tokens take no value
+		"rate=x",                             // non-numeric knob
+		"warp=9",                             // unknown knob
+		"analytic,sampling=262144/8192/8192", // analytic rejects sampling
+		"analytic,rate=4",                    // rate is exact-tier only
+		"sampled,topo=4P4E-random",           // so is topology
+		"topo=4X4E-random",                   // malformed topology
+	} {
+		if sc, err := ParseScenario(in); err == nil {
+			t.Errorf("ParseScenario(%q) = %+v, want error", in, sc)
+		}
+	}
+}
+
+// TestScenarioFlagConflicts: -scenario replaces the individual knobs;
+// setting both is an error naming the conflicting flag, never a silent
+// merge.
+func TestScenarioFlagConflicts(t *testing.T) {
+	cases := []struct {
+		c    Campaign
+		flag string
+	}{
+		{Campaign{Scenario: "rate=4", Sampling: "default"}, "-sampling"},
+		{Campaign{Scenario: "rate=4", Fidelity: "sampled"}, "-fidelity"},
+		{Campaign{Scenario: "rate=4", PairWorkers: 8}, "-j-pair"},
+		{Campaign{Scenario: "exact", Rate: 4}, "-rate"},
+		{Campaign{Scenario: "exact", Topo: "4P4E-random"}, "-topo"},
+	}
+	for _, tc := range cases {
+		_, err := tc.c.Options(context.Background())
+		if err == nil || !strings.Contains(err.Error(), tc.flag) {
+			t.Errorf("%+v: err = %v, want conflict naming %s", tc.c, err, tc.flag)
+		}
+	}
+
+	// Default spellings of the individual flags do not conflict.
+	ok := Campaign{Scenario: "rate=4,topo=4P4E-random", Sampling: "off", Fidelity: "exact"}
+	opt, err := ok.Options(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.RateCopies != 4 || !opt.Topology.Enabled() {
+		t.Errorf("scenario did not reach the options: %+v", opt)
+	}
+	if s := ok.ScenarioKnob().String(); s != "rate=4,topo=4P4E-random" {
+		t.Errorf("ScenarioKnob = %q", s)
+	}
+}
+
+// TestScenarioFlagEquivalence: a -scenario string and the individual
+// flags it replaces resolve to identical campaign options — one
+// scenario, one cache keyspace, regardless of spelling.
+func TestScenarioFlagEquivalence(t *testing.T) {
+	composed := Campaign{Scenario: "sampled,j-pair=4"}
+	split := Campaign{Fidelity: "sampled", PairWorkers: 4}
+	co, err := composed.Options(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := split.Options(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.ScenarioKnob() != split.ScenarioKnob() {
+		t.Errorf("scenarios differ: %+v vs %+v", composed.ScenarioKnob(), split.ScenarioKnob())
+	}
+	if co.Fidelity != so.Fidelity || co.Sampling != so.Sampling ||
+		co.IntraPairWorkers != so.IntraPairWorkers ||
+		co.RateCopies != so.RateCopies || co.Topology != so.Topology {
+		t.Error("composed and split scenario flags derive different options")
+	}
+}
+
 // captureStderr runs fn with os.Stderr redirected and returns what it
 // wrote.
 func captureStderr(t *testing.T, fn func() error) string {

@@ -45,6 +45,23 @@ type Options struct {
 	// there instead of erroring — a globally set flag composes with
 	// every tier.
 	IntraPairWorkers int
+	// RateCopies, when >1, characterizes each pair as a rate-mode run:
+	// that many copies of the workload on identical cores with private
+	// L1/L2 contending on one shared inclusive L3
+	// (machine.RunShared), reported with per-copy and aggregate
+	// throughput plus shared-level contention stats
+	// (Characteristics.Rate). Contention changes result bits, so the
+	// copy count is folded into every result-cache key with a versioned
+	// suffix and can never alias a single-copy entry. Exact-tier only.
+	RateCopies int
+	// Topology, when enabled, runs each pair on a heterogeneous
+	// P-core/E-core machine under the topology's OS-placement policy;
+	// non-deterministic policies (random) yield a runtime distribution
+	// (Characteristics.Runtime) instead of a point estimate. Folded into
+	// every result-cache key via its canonical string. Exact-tier only;
+	// composes with RateCopies (each mode runs the full contention
+	// scenario on its class).
+	Topology machine.Topology
 	// MultiplexSlots, when positive, emulates perf's counter multiplexing
 	// with that many hardware counter slots (the paper programs 15
 	// events on a 4-slot Haswell PMU): all derived metrics then carry the
@@ -128,11 +145,19 @@ func (o Options) withDefaults() Options {
 	if o.Sampling.Enabled() && o.Fidelity == machine.FidelityExact {
 		o.Fidelity = machine.FidelitySampled
 	}
+	// A single copy is not a rate run: normalize so "rate=1" and "no
+	// rate knob" derive byte-identical cache keys.
+	if o.RateCopies <= 1 {
+		o.RateCopies = 0
+	}
 	// Intra-pair parallelism is an exact-tier execution knob; on the
 	// other tiers (or at trivial worker counts) it normalizes to zero so
 	// cache keys stay byte-stable and the dispatch below never has to
-	// reconcile it with sampling.
-	if o.IntraPairWorkers <= 1 || o.Fidelity != machine.FidelityExact {
+	// reconcile it with sampling. Rate and topology scenarios run on the
+	// shared-L3 interleaved kernel, which the window split does not
+	// compose with, so the knob normalizes away there too.
+	if o.IntraPairWorkers <= 1 || o.Fidelity != machine.FidelityExact ||
+		o.RateCopies > 0 || o.Topology.Enabled() {
 		o.IntraPairWorkers = 0
 	}
 	return o
@@ -180,6 +205,13 @@ type Characteristics struct {
 	// extrapolation-error estimates when the pair was characterized with
 	// Options.Sampling; nil for exact runs.
 	Sampling *machine.SamplingStats
+	// Rate carries the contention accounting of a rate-mode run
+	// (Options.RateCopies); nil for single-copy runs. Tagged omitempty
+	// so single-copy results keep their pre-rate serialized bytes.
+	Rate *RateStats `json:",omitempty"`
+	// Runtime carries the placement runtime distribution of a
+	// heterogeneous-topology run (Options.Topology); nil otherwise.
+	Runtime *RuntimeDist `json:",omitempty"`
 }
 
 // MemPct returns loads+stores as a percentage of uops.
@@ -252,6 +284,17 @@ func validateFidelity(opt *Options) error {
 	if opt.Fidelity == machine.FidelityAnalytic && opt.Sampling.Enabled() {
 		return fmt.Errorf("core: the analytic fidelity tier does not compose with sampling")
 	}
+	if opt.RateCopies > 0 || opt.Topology.Enabled() {
+		// Sampling skips stream regions and the analytic tier skips the
+		// simulation entirely; neither can carry shared-level
+		// interleaving, so contention scenarios are exact-tier only.
+		if opt.Fidelity != machine.FidelityExact {
+			return fmt.Errorf("core: rate and topology scenarios run at exact fidelity only (got %s)", opt.Fidelity)
+		}
+		if err := opt.Topology.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -259,6 +302,12 @@ func characterizePairCtx(ctx context.Context, pair profile.Pair, opt Options) (*
 	opt = opt.withDefaults()
 	if err := validateFidelity(&opt); err != nil {
 		return nil, err
+	}
+	if opt.RateCopies > 0 || opt.Topology.Enabled() {
+		// Multi-copy contention and heterogeneous-topology scenarios run
+		// on the shared-L3 interleaved kernel and derive their own
+		// Characteristics shape (per-mode aggregation, distributions).
+		return characterizeScenario(ctx, pair, opt)
 	}
 	m := pair.Model
 	gen, err := synth.New(m, opt.Machine.Geometry())

@@ -46,6 +46,21 @@ func campaignKeyPrefix(opt *Options) string {
 		// analytic tag so a stitching revision invalidates old entries.
 		key += fmt.Sprintf("|pairwindows=%d-v1", opt.IntraPairWorkers)
 	}
+	if opt.RateCopies > 0 {
+		// Rate-mode results measure contention on the shared L3, so the
+		// copy count is part of what was measured; versioned so a change
+		// to the interleaving model (sharedQuantum, back-invalidation
+		// accounting) invalidates stored curves instead of mixing models
+		// within one sweep.
+		key += fmt.Sprintf("|rate=%d-v1", opt.RateCopies)
+	}
+	if opt.Topology.Enabled() {
+		// The canonical topology string is bijective with the value, and
+		// the E-core derivation is deterministic from the base config, so
+		// the string plus the machine fingerprint fully keys the
+		// heterogeneous scenario.
+		key += fmt.Sprintf("|topo=%s-v1", opt.Topology)
+	}
 	return key
 }
 

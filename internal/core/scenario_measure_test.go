@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+// TestRateMeasure is a measurement harness, not a gate: it prints the
+// rate-mode scaling curves (aggregate IPC / per-copy IPC / shared-L3
+// MPKI / back-invalidations vs. copy count) and the placement runtime
+// distributions recorded in DESIGN.md section 16 (EXPERIMENTS.md has
+// the recipe). Opt-in because it costs ~30s:
+//
+//	SPECKIT_MEASURE=1 go test ./internal/core/ -run TestRateMeasure -v
+func TestRateMeasure(t *testing.T) {
+	if os.Getenv("SPECKIT_MEASURE") == "" {
+		t.Skip("measurement harness; set SPECKIT_MEASURE=1 to run")
+	}
+	const n = 1 << 20
+	// The shared L3 is shrunk so the aggregate footprint exceeds it
+	// within the measured window — the same contention regime the
+	// monotonicity gate runs in, at a longer window for stable numbers.
+	cfg, err := machine.ApplyAxis(machine.HaswellScaled(), "l2.size", 128<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg, err = machine.ApplyAxis(cfg, "l3.size", 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	var pairs []profile.Pair
+	for _, app := range profile.CPU2017() {
+		switch app.Name {
+		case "500.perlbench_r", "505.mcf_r", "525.x264_r", "519.lbm_r":
+			pairs = append(pairs, app.Expand(profile.Ref)[0])
+		}
+	}
+	for _, pair := range pairs {
+		for _, copies := range []int{1, 2, 4, 8} {
+			o := Options{Instructions: n, Machine: cfg}
+			o = o.withDefaults()
+			o.RateCopies = copies
+			c, err := characterizeScenario(context.Background(), pair, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perCopy := 0.0
+			for _, v := range c.Rate.PerCopyIPC {
+				perCopy += v
+			}
+			perCopy /= float64(len(c.Rate.PerCopyIPC))
+			fmt.Printf("%s copies=%d aggIPC=%.3f perCopyIPC=%.3f L3MPKI=%.2f backinv=%d\n",
+				pair.Name(), copies, c.Rate.AggregateIPC, perCopy,
+				c.Rate.SharedL3MPKI, c.Rate.BackInvalidations)
+		}
+	}
+
+	// Placement distributions on the default machine: random placement's
+	// multimodal runtime plus the best/worst bracket.
+	base := machine.HaswellScaled()
+	for _, pl := range []machine.Placement{machine.PlaceRandom, machine.PlaceBest, machine.PlaceWorst} {
+		for _, pair := range pairs {
+			o := Options{Instructions: n, Machine: base}
+			o.Topology = machine.Topology{PCores: 4, ECores: 4, Placement: pl}
+			c, err := CharacterizePair(pair, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range c.Runtime.Modes {
+				fmt.Printf("%s topo=%s class=%s weight=%.2f time=%.4fs ipc=%.3f\n",
+					pair.Name(), c.Runtime.Topology, m.Class, m.Weight, m.ExecSeconds, m.IPC)
+			}
+		}
+	}
+}

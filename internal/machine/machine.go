@@ -52,10 +52,12 @@ var metStageSeconds = map[string]*obs.Histogram{
 var metPairWindows = map[string]*obs.Counter{
 	"sampled":  obs.Default().Counter("speckit_pair_windows_total", "Detailed windows simulated, by windowing source (sampled periods vs parallel workers).", "source", "sampled"),
 	"parallel": obs.Default().Counter("speckit_pair_windows_total", "", "source", "parallel"),
+	"rate":     obs.Default().Counter("speckit_pair_windows_total", "", "source", "rate"),
 }
 var metWindowSeconds = map[string]*obs.Histogram{
 	"sampled":  obs.Default().Histogram("speckit_pair_window_seconds", "Wall time per detailed window, by windowing source.", obs.LatencyBuckets, "source", "sampled"),
 	"parallel": obs.Default().Histogram("speckit_pair_window_seconds", "", obs.LatencyBuckets, "source", "parallel"),
+	"rate":     obs.Default().Histogram("speckit_pair_window_seconds", "", obs.LatencyBuckets, "source", "rate"),
 }
 
 // Config describes a simulated machine.

@@ -2,25 +2,46 @@ package machine
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
 
+// sharedQuantum is the round-robin scheduling quantum of a shared-L3
+// run, in instructions: each core advances this far through the batched
+// kernel before the next core runs. It approximates fine-grained
+// co-execution while keeping whole batches on one core's state; like
+// BatchSize it is a fixed model constant, but unlike BatchSize it IS
+// observable in the results (it sets the shared-level interleaving), so
+// changing it requires bumping the rate key version in core.
+const sharedQuantum = 1024
+
 // SharedResult is the outcome of a multi-core shared-L3 run.
 type SharedResult struct {
 	// PerCore holds each stream's individual result.
 	PerCore []*Result
 	// AggregateIPC is total instructions over the slowest core's cycles —
-	// the throughput view of a SPECspeed OpenMP run.
+	// the throughput view of a SPECrate-style run.
 	AggregateIPC float64
+	// SharedL3Misses and SharedL3MPKI describe the shared level itself:
+	// demand misses summed over all cores, and the same per thousand
+	// simulated instructions (the contention scaling-curve metric).
+	SharedL3Misses uint64
+	SharedL3MPKI   float64
+	// BackInvalidations counts private-cache lines invalidated because a
+	// shared-L3 eviction displaced their line (inclusive back-
+	// invalidation accounting), over the measured window.
+	BackInvalidations uint64
 }
 
 // RunShared simulates several uop streams on identical cores that share a
-// single L3 cache, interleaving round-robin at instruction granularity.
-// It models the paper's multi-threaded SPECspeed runs and the shared-L3
-// contention ablation.
+// single L3 cache, interleaving round-robin at sharedQuantum granularity
+// through the batched kernel. The L3 is inclusive: evicting a shared
+// line back-invalidates every core's private copy, and the accounting is
+// reported on the result. It models the paper's multi-threaded SPECspeed
+// runs and the rate-mode contention scenarios.
 func RunShared(cfg Config, srcs []trace.Source, opt Options) (*SharedResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -37,31 +58,94 @@ func RunShared(cfg Config, srcs []trace.Source, opt Options) (*SharedResult, err
 		return nil, fmt.Errorf("machine: sampling is not supported for shared-L3 runs")
 	}
 	l3 := cache.New(cfg.Hierarchy.L3)
-	cores := make([]*core, len(srcs))
+	n := len(srcs)
+	cores := make([]*core, n)
+	hiers := make([]*cache.Hierarchy, n)
+	bsrcs := make([]trace.BatchSource, n)
 	for i := range cores {
-		cores[i] = newCore(cfg, cache.NewShared(cfg.Hierarchy, l3))
+		h := cache.NewShared(cfg.Hierarchy, l3)
+		c := newCore(cfg, h)
+		// A shared-L3 eviction can back-invalidate a privately cached
+		// line between any two accesses, so the hit-armed soundness
+		// argument behind the register dedups and set memos does not
+		// hold here: a deduplicated "guaranteed hit" could have been
+		// invalidated since it was armed. Run with both dedups off and
+		// the memos never enabled; the batched sweeps still carry the
+		// run.
+		c.fetchDedup, c.dataDedup = false, false
+		cores[i] = c
+		hiers[i] = h
+		bsrcs[i] = trace.AsBatch(srcs[i])
 	}
-	var u trace.Uop
-	if warm := warmupLength(opt); warm > 0 {
-		for i := uint64(0); i < warm; i++ {
+	var backInv uint64
+	l3.OnEvict = func(addr uint64) {
+		for _, h := range hiers {
+			if h.Cache(cache.L1).Invalidate(addr) {
+				backInv++
+			}
+			if h.Cache(cache.L2).Invalidate(addr) {
+				backInv++
+			}
+			if cfg.UnifiedCodePath && h.L1I().Invalidate(addr) {
+				backInv++
+			}
+		}
+	}
+	bs := opt.BatchSize
+	if bs <= 0 {
+		bs = DefaultBatchSize
+	}
+	buf := make([]trace.Uop, bs)
+
+	// roundRobin advances every core through `total` instructions, one
+	// quantum per core per round. In the measured phase each round feeds
+	// the rate window metrics (one observation per round, never per uop).
+	roundRobin := func(total uint64, stage string, measured bool) error {
+		done := uint64(0)
+		for done < total {
+			q := min64(sharedQuantum, total-done)
+			roundStart := time.Now()
 			for ci, c := range cores {
-				if !c.step(srcs[ci], &u) {
-					return nil, fmt.Errorf("machine: stream %d exhausted during warmup", ci)
+				got, err := c.runWindow(bsrcs[ci], buf, q, opt.Context)
+				if err != nil {
+					return err
+				}
+				if got < q {
+					return fmt.Errorf("machine: stream %d exhausted during %s after %d instructions", ci, stage, done+got)
 				}
 			}
+			if measured {
+				metWindowSeconds["rate"].Observe(time.Since(roundStart).Seconds())
+				metPairWindows["rate"].Add(uint64(n))
+			}
+			done += q
+		}
+		return nil
+	}
+
+	if warm := warmupLength(opt); warm > 0 {
+		warmStart := time.Now()
+		if err := roundRobin(warm, "warmup", false); err != nil {
+			return nil, err
 		}
 		for _, c := range cores {
 			c.resetStats()
 		}
+		backInv = 0
+		recordStage(opt.Span, "warmup", time.Since(warmStart))
 	}
-	for i := uint64(0); i < opt.Instructions; i++ {
-		for ci, c := range cores {
-			if !c.step(srcs[ci], &u) {
-				return nil, fmt.Errorf("machine: stream %d exhausted after %d instructions", ci, i)
-			}
-		}
+	simStart := time.Now()
+	if err := roundRobin(opt.Instructions, "measurement", true); err != nil {
+		return nil, err
 	}
-	out := &SharedResult{PerCore: make([]*Result, len(cores))}
+	recordStage(opt.Span, "simulate", time.Since(simStart))
+	opt.Span.SetAttr("rate_copies", n)
+
+	out := &SharedResult{
+		PerCore:           make([]*Result, n),
+		SharedL3Misses:    l3.Stats().Misses,
+		BackInvalidations: backInv,
+	}
 	maxCycles := 0.0
 	totalInstr := uint64(0)
 	for i, c := range cores {
@@ -77,6 +161,9 @@ func RunShared(cfg Config, srcs []trace.Source, opt Options) (*SharedResult, err
 	}
 	if maxCycles > 0 {
 		out.AggregateIPC = float64(totalInstr) / maxCycles
+	}
+	if totalInstr > 0 {
+		out.SharedL3MPKI = 1000 * float64(out.SharedL3Misses) / float64(totalInstr)
 	}
 	return out, nil
 }

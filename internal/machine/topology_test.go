@@ -1,0 +1,134 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTopologyParseRoundTrip: the canonical "4P4E-random" spelling must
+// round-trip through ParseTopology bijectively — the string is folded
+// into result-cache keys, so two spellings of one topology must
+// normalize to one canonical form and one key.
+func TestTopologyParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Topology
+	}{
+		{"", Topology{}},
+		{"off", Topology{}},
+		{"none", Topology{}},
+		{"4P4E-random", Topology{PCores: 4, ECores: 4, Placement: PlaceRandom}},
+		{"4p4e-random", Topology{PCores: 4, ECores: 4, Placement: PlaceRandom}},
+		{"4P+4E/random", Topology{PCores: 4, ECores: 4, Placement: PlaceRandom}},
+		{"8P0E-pinned-p", Topology{PCores: 8, Placement: PlacePinnedP}},
+		{"0P8E-pinned-e", Topology{ECores: 8, Placement: PlacePinnedE}},
+		{"2P6E-best", Topology{PCores: 2, ECores: 6, Placement: PlaceBest}},
+		{"2P6E-worst", Topology{PCores: 2, ECores: 6, Placement: PlaceWorst}},
+		{"6P2E", Topology{PCores: 6, ECores: 2, Placement: PlacePinnedP}},
+	}
+	for _, tc := range cases {
+		got, err := ParseTopology(tc.in)
+		if err != nil {
+			t.Errorf("ParseTopology(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseTopology(%q) = %+v, want %+v", tc.in, got, tc.want)
+			continue
+		}
+		if !got.Enabled() {
+			continue
+		}
+		back, err := ParseTopology(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip %q -> %q -> %+v (%v)", tc.in, got.String(), back, err)
+		}
+	}
+}
+
+// TestTopologyParseRejects: malformed strings and un-runnable
+// placements fail at parse time, not deep inside a campaign.
+func TestTopologyParseRejects(t *testing.T) {
+	for _, in := range []string{
+		"4X4E-random", "4P4-random", "PE-random", "4P4E-sideways",
+		"4E4P-random",    // class order is fixed
+		"0P4E-random",    // random needs both classes
+		"4P0E-best",      // best compares both classes
+		"0P4E-pinned-p",  // pinning to a class that has no cores
+		"4P0E-pinned-e",  //
+		"-1P4E-random",   // negative counts never parse
+		"4P4E-random-x9", // trailing junk in the placement
+	} {
+		if tp, err := ParseTopology(in); err == nil {
+			t.Errorf("ParseTopology(%q) = %+v, want error", in, tp)
+		}
+	}
+}
+
+// TestECoreConfig: the efficiency class derives deterministically from
+// the base — narrower, slower, half the private L2 — and never mutates
+// the base. Determinism is what lets the topology string alone key the
+// scenario.
+func TestECoreConfig(t *testing.T) {
+	base := HaswellScaled()
+	e := ECoreConfig(base)
+	if e2 := ECoreConfig(base); e2.Name != e.Name || e2.ClockHz != e.ClockHz ||
+		e2.Pipeline.Width != e.Pipeline.Width ||
+		e2.Hierarchy.L2.SizeBytes != e.Hierarchy.L2.SizeBytes {
+		t.Error("ECoreConfig is not deterministic")
+	}
+	if !strings.HasSuffix(e.Name, "+ecore") {
+		t.Errorf("E-core name %q lacks the +ecore suffix", e.Name)
+	}
+	if e.Pipeline.Width != base.Pipeline.Width/2 {
+		t.Errorf("E-core width %v, want %v", e.Pipeline.Width, base.Pipeline.Width/2)
+	}
+	if e.ClockHz >= base.ClockHz {
+		t.Errorf("E-core clock %v not below base %v", e.ClockHz, base.ClockHz)
+	}
+	if e.Hierarchy.L2.SizeBytes != base.Hierarchy.L2.SizeBytes/2 {
+		t.Errorf("E-core L2 %d, want half of %d", e.Hierarchy.L2.SizeBytes, base.Hierarchy.L2.SizeBytes)
+	}
+	if e.Hierarchy.L3.SizeBytes != base.Hierarchy.L3.SizeBytes {
+		t.Error("E-core L3 differs: the shared level is a package property, not a class one")
+	}
+	if err := e.Validate(); err != nil {
+		t.Errorf("derived E-core config invalid: %v", err)
+	}
+	// A minimum-width base still derives a runnable class.
+	narrow := base
+	narrow.Pipeline.Width = 1
+	if w := ECoreConfig(narrow).Pipeline.Width; w != 1 {
+		t.Errorf("E-core width floor: got %v, want 1", w)
+	}
+}
+
+// TestTopologyModes: the placement distribution is deterministic, P
+// before E, with weights proportional to core counts and summing to 1.
+func TestTopologyModes(t *testing.T) {
+	cases := []struct {
+		topo Topology
+		want []Mode
+	}{
+		{Topology{PCores: 4, ECores: 4, Placement: PlacePinnedP},
+			[]Mode{{Class: "P", Weight: 1}}},
+		{Topology{PCores: 4, ECores: 4, Placement: PlacePinnedE},
+			[]Mode{{Class: "E", Weight: 1}}},
+		{Topology{PCores: 2, ECores: 6, Placement: PlaceRandom},
+			[]Mode{{Class: "P", Weight: 0.25}, {Class: "E", Weight: 0.75}}},
+		{Topology{PCores: 1, ECores: 1, Placement: PlaceBest},
+			[]Mode{{Class: "P", Weight: 0.5}, {Class: "E", Weight: 0.5}}},
+	}
+	for _, tc := range cases {
+		got := tc.topo.Modes()
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: %d modes, want %d", tc.topo, len(got), len(tc.want))
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s mode %d = %+v, want %+v", tc.topo, i, got[i], tc.want[i])
+			}
+		}
+	}
+}

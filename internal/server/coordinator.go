@@ -291,6 +291,12 @@ func (s *Server) runFleet(ctx context.Context, id string, base CampaignSpec, pai
 			Sampling:       opt.Sampling.String(),
 			Fidelity:       opt.Fidelity.String(),
 			WorkersPerPair: opt.IntraPairWorkers,
+			// Rate/topology travel in their normalized form (RateCopies
+			// 0 or >1; the canonical topology string, "" when disabled)
+			// so worker-side keys — and therefore store records — match
+			// the coordinator's bit for bit.
+			RateCopies: opt.RateCopies,
+			Topology:   opt.Topology.String(),
 		}
 		name := fmt.Sprintf("%s/chunk%d", id, t)
 		tasks[t] = sched.RemoteTask[[]core.Characteristics]{

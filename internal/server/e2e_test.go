@@ -818,3 +818,101 @@ func TestFidelityCampaigns(t *testing.T) {
 		t.Errorf("exact simulated = %d, want 0", pairs["simulated"])
 	}
 }
+
+// TestScenarioCampaigns: the structured scenario object and the flat
+// spec fields resolve to the same campaign options, mixing both is a
+// typed 400 naming the conflicting field, and rate-mode pairs land in
+// their own metrics quartet.
+func TestScenarioCampaigns(t *testing.T) {
+	var mu sync.Mutex
+	type seenOpt struct {
+		rate int
+		topo string
+	}
+	var seen []seenOpt
+	stubCampaigns(t, func(pairs []profile.Pair, opt core.Options) ([]core.Characteristics, error) {
+		mu.Lock()
+		seen = append(seen, seenOpt{opt.RateCopies, opt.Topology.String()})
+		mu.Unlock()
+		if opt.Progress != nil {
+			opt.Progress(sched.Progress{Done: len(pairs), Total: len(pairs)})
+		}
+		return make([]core.Characteristics, len(pairs)), nil
+	})
+	s, c, _ := newTestServer(t, server.Config{Workers: 1, QueueDepth: 8})
+	ctx := ctxT(t)
+
+	base := server.CampaignSpec{Suite: "cpu2017", Mini: "rate-int", Size: "train"}
+
+	// Validation errors carry the offending field through the typed
+	// client error.
+	badCases := []struct {
+		mut   func(*server.CampaignSpec)
+		field string
+	}{
+		{func(s *server.CampaignSpec) { s.Topology = "4X4E-random" }, "topology"},
+		{func(s *server.CampaignSpec) { s.RateCopies = -2 }, "rate_copies"},
+		{func(s *server.CampaignSpec) { s.RateCopies = 4; s.Fidelity = "analytic" }, "fidelity"},
+		{func(s *server.CampaignSpec) { s.RateCopies = 4; s.Sampling = "default" }, "sampling"},
+		{func(s *server.CampaignSpec) { // flat field conflicting with the scenario object
+			s.Scenario = &server.ScenarioSpec{RateCopies: 4}
+			s.RateCopies = 8
+		}, "rate_copies"},
+		{func(s *server.CampaignSpec) {
+			s.Scenario = &server.ScenarioSpec{Fidelity: "sampled"}
+			s.Sampling = "default"
+		}, "sampling"},
+	}
+	for _, tc := range badCases {
+		spec := base
+		tc.mut(&spec)
+		_, err := c.Submit(ctx, spec)
+		var ae *client.APIError
+		if !errors.As(err, &ae) || ae.Code != http.StatusBadRequest {
+			t.Fatalf("spec %+v: err = %v, want 400", spec, err)
+		}
+		if field, _, ok := client.FieldError(err); !ok || field != tc.field {
+			t.Errorf("spec %+v: error field = %q (ok=%v), want %q", spec, field, ok, tc.field)
+		}
+	}
+
+	// Flat fields and the scenario object express the same campaign.
+	flat := base
+	flat.RateCopies = 4
+	flat.Topology = "4P4E-random"
+	structured := base
+	structured.Scenario = &server.ScenarioSpec{RateCopies: 4, Topology: "4P4E-random"}
+	var pairsPer int
+	for _, spec := range []server.CampaignSpec{flat, structured} {
+		st, err := c.SubmitWait(ctx, spec)
+		if err != nil {
+			t.Fatalf("submit %+v: %v", spec, err)
+		}
+		pairsPer = st.Pairs
+	}
+
+	mu.Lock()
+	got := append([]seenOpt(nil), seen...)
+	mu.Unlock()
+	want := seenOpt{rate: 4, topo: "4P4E-random"}
+	if len(got) != 2 {
+		t.Fatalf("ran %d campaigns, want 2", len(got))
+	}
+	for i, g := range got {
+		if g != want {
+			t.Errorf("campaign %d options = %+v, want %+v", i, g, want)
+		}
+	}
+
+	// Rate pairs are accounted in their own quartet, not the exact one.
+	pairs := s.MetricsSnapshot()["pairs"].(map[string]uint64)
+	if pairs["rate_simulated"] != uint64(2*pairsPer) {
+		t.Errorf("rate simulated = %d, want %d", pairs["rate_simulated"], 2*pairsPer)
+	}
+	if pairs["simulated"] != 0 {
+		t.Errorf("exact simulated = %d, want 0", pairs["simulated"])
+	}
+	if pairs["rate_from_memory"] != 0 || pairs["rate_from_store"] != 0 {
+		t.Errorf("rate cache tiers = %v, want zero", pairs)
+	}
+}

@@ -163,12 +163,92 @@ type CampaignSpec struct {
 	// verbatim so a sharded campaign derives the same keys a
 	// single-node run would.
 	WorkersPerPair int `json:"workers_per_pair,omitempty"`
+	// RateCopies, when >1, characterizes each pair as a rate-mode run:
+	// that many co-running copies with private L1/L2 contending on one
+	// shared inclusive L3, reported with per-copy and aggregate
+	// throughput plus contention stats (Characteristics.Rate). Exact
+	// tier only; rate pairs are reported under the rate_* counters in
+	// /metrics and keyed separately in every cache tier.
+	RateCopies int `json:"rate_copies,omitempty"`
+	// Topology, when non-empty, runs each pair on a heterogeneous
+	// P-core/E-core machine under an OS-placement policy, e.g.
+	// "4P4E-random" (machine.ParseTopology syntax). Random placement
+	// yields a runtime distribution (Characteristics.Runtime). Exact
+	// tier only; keyed separately in every cache tier.
+	Topology string `json:"topology,omitempty"`
+	// Scenario, when non-nil, is the structured form of the measurement
+	// scenario. It replaces the flat sampling, fidelity,
+	// workers_per_pair, rate_copies and topology fields, which must then
+	// stay unset — a spec naming a knob in both forms is rejected with a
+	// field-tagged 400. Flat-only specs keep working unchanged: they are
+	// normalized into the same internal view.
+	Scenario *ScenarioSpec `json:"scenario,omitempty"`
 	// Pairs, when non-empty, filters the expanded suite to exactly the
 	// named pairs (profile.Pair.Name, e.g. "502.gcc_r-in3"), in the
 	// order given. Unknown or duplicate names reject the spec. This is
 	// how the coordinator scatters a campaign: each worker receives the
 	// same suite/size spec narrowed to its chunk of pairs.
 	Pairs []string `json:"pairs,omitempty"`
+}
+
+// ScenarioSpec is the wire form of a campaign's measurement scenario
+// (core.Scenario): which tier simulates the pairs and under what
+// contention/topology model. Field semantics match the equally named
+// flat CampaignSpec fields; empty fields inherit the server's base
+// options.
+type ScenarioSpec struct {
+	Fidelity       string `json:"fidelity,omitempty"`
+	Sampling       string `json:"sampling,omitempty"`
+	WorkersPerPair int    `json:"workers_per_pair,omitempty"`
+	RateCopies     int    `json:"rate_copies,omitempty"`
+	Topology       string `json:"topology,omitempty"`
+}
+
+// scenarioView returns the spec's scenario knobs in structured form
+// regardless of which form carried them, rejecting specs that use both
+// forms for any knob.
+func (spec *CampaignSpec) scenarioView() (ScenarioSpec, error) {
+	if spec.Scenario == nil {
+		return ScenarioSpec{
+			Fidelity:       spec.Fidelity,
+			Sampling:       spec.Sampling,
+			WorkersPerPair: spec.WorkersPerPair,
+			RateCopies:     spec.RateCopies,
+			Topology:       spec.Topology,
+		}, nil
+	}
+	conflict := ""
+	switch {
+	case spec.Sampling != "":
+		conflict = "sampling"
+	case spec.Fidelity != "":
+		conflict = "fidelity"
+	case spec.WorkersPerPair != 0:
+		conflict = "workers_per_pair"
+	case spec.RateCopies != 0:
+		conflict = "rate_copies"
+	case spec.Topology != "":
+		conflict = "topology"
+	}
+	if conflict != "" {
+		return ScenarioSpec{}, badField(conflict,
+			"%q conflicts with the scenario object; set scenario.%s instead", conflict, conflict)
+	}
+	return *spec.Scenario, nil
+}
+
+// specError ties a campaign-spec validation failure to the JSON field
+// that caused it, so a 400 response carries a machine-readable "field"
+// alongside the human-readable "error".
+type specError struct {
+	field string
+	msg   string
+}
+
+func (e *specError) Error() string { return e.msg }
+
+func badField(field, format string, args ...any) *specError {
+	return &specError{field: field, msg: fmt.Sprintf(format, args...)}
 }
 
 // resolve expands the spec into the campaign's pair list.
@@ -180,7 +260,7 @@ func (spec *CampaignSpec) resolve() ([]profile.Pair, error) {
 	case "cpu2006", "cpu06":
 		apps = profile.CPU2006()
 	default:
-		return nil, fmt.Errorf("unknown suite %q", spec.Suite)
+		return nil, badField("suite", "unknown suite %q", spec.Suite)
 	}
 	switch strings.ToLower(spec.Mini) {
 	case "all", "":
@@ -197,7 +277,7 @@ func (spec *CampaignSpec) resolve() ([]profile.Pair, error) {
 		}
 		apps = kept
 	default:
-		return nil, fmt.Errorf("unknown mini-suite %q", spec.Mini)
+		return nil, badField("mini", "unknown mini-suite %q", spec.Mini)
 	}
 	var size profile.InputSize
 	switch strings.ToLower(spec.Size) {
@@ -208,7 +288,7 @@ func (spec *CampaignSpec) resolve() ([]profile.Pair, error) {
 	case "ref", "":
 		size = profile.Ref
 	default:
-		return nil, fmt.Errorf("unknown input size %q", spec.Size)
+		return nil, badField("size", "unknown input size %q", spec.Size)
 	}
 	pairs := profile.ExpandSuite(apps, size)
 	if len(pairs) > 0 && len(spec.Pairs) > 0 {
@@ -221,10 +301,10 @@ func (spec *CampaignSpec) resolve() ([]profile.Pair, error) {
 		for _, name := range spec.Pairs {
 			i, ok := byName[name]
 			if !ok {
-				return nil, fmt.Errorf("pair %q is not in the selected suite", name)
+				return nil, badField("pairs", "pair %q is not in the selected suite", name)
 			}
 			if seen[name] {
-				return nil, fmt.Errorf("pair %q named twice", name)
+				return nil, badField("pairs", "pair %q named twice", name)
 			}
 			seen[name] = true
 			picked = append(picked, pairs[i])
@@ -288,11 +368,15 @@ type campaign struct {
 	id    string
 	spec  CampaignSpec
 	pairs []profile.Pair
-	// sampling and fidelity are parsed from the spec at submit time
-	// (validation happens before the campaign is admitted); the zero
-	// values with empty spec fields inherit the server's base options.
+	// view is the spec's scenario knobs in structured form (whichever
+	// spec form carried them); sampling, fidelity and topology are their
+	// parsed values, resolved at submit time (validation happens before
+	// the campaign is admitted). Empty view fields inherit the server's
+	// base options.
+	view     ScenarioSpec
 	sampling machine.Sampling
 	fidelity machine.Fidelity
+	topology machine.Topology
 
 	// ctx is cancelled by DELETE, a waiting client's disconnect, or the
 	// drain timeout; the sched engine aborts queued and in-flight pairs
@@ -502,6 +586,14 @@ type Server struct {
 	analyticFromStore  atomic.Uint64
 	analyticFromRemote atomic.Uint64
 
+	// Rate-mode and topology campaigns likewise: exact simulations of a
+	// different experiment (shared-L3 contention, placement
+	// distributions), never conflated with plain exact pairs.
+	rateSimulated  atomic.Uint64
+	rateFromCache  atomic.Uint64
+	rateFromStore  atomic.Uint64
+	rateFromRemote atomic.Uint64
+
 	// Sweep cells account separately from campaign pairs, split by
 	// phase: the screen/escalate ratio is the fidelity-escalation
 	// scoreboard, and the simulated/store split is the differential-
@@ -703,13 +795,13 @@ func (s *Server) run(c *campaign) {
 	if c.spec.Machine != nil {
 		opt.Machine = *c.spec.Machine
 	}
-	if c.spec.Sampling != "" {
+	if c.view.Sampling != "" {
 		opt.Sampling = c.sampling
 	}
-	if c.spec.WorkersPerPair > 0 {
-		opt.IntraPairWorkers = c.spec.WorkersPerPair
+	if c.view.WorkersPerPair > 0 {
+		opt.IntraPairWorkers = c.view.WorkersPerPair
 	}
-	if c.spec.Fidelity != "" {
+	if c.view.Fidelity != "" {
 		opt.Fidelity = c.fidelity
 		if c.fidelity == machine.FidelityAnalytic {
 			// An explicit analytic request overrides any server-side
@@ -717,6 +809,21 @@ func (s *Server) run(c *campaign) {
 			// rejected specs that name both knobs themselves.
 			opt.Sampling = machine.Sampling{}
 		}
+	}
+	if c.view.RateCopies > 0 {
+		opt.RateCopies = c.view.RateCopies
+	}
+	if c.view.Topology != "" {
+		opt.Topology = c.topology
+	}
+	if (opt.RateCopies > 1 || opt.Topology.Enabled()) &&
+		c.view.Fidelity == "" && c.view.Sampling == "" {
+		// Like an explicit analytic request, an explicit rate/topology
+		// request overrides any server-side sampling default: the
+		// scenario is exact-tier only, and submit-time validation
+		// already rejected specs that name both knobs themselves.
+		opt.Fidelity = machine.FidelityExact
+		opt.Sampling = machine.Sampling{}
 	}
 	opt.Context = c.ctx
 	opt.Progress = c.setProgress
@@ -751,6 +858,12 @@ func (s *Server) run(c *campaign) {
 	fromStore, fromCache, fromRemote, simulated := &s.pairsFromStore, &s.pairsFromCache, &s.pairsFromRemote, &s.pairsSimulated
 	mode := "exact"
 	switch {
+	case opt.RateCopies > 1 || opt.Topology.Enabled():
+		// Rate/topology pairs are exact-tier simulations, but of a
+		// different experiment (contention, placement distributions), so
+		// their tier split reports separately from plain exact pairs.
+		fromStore, fromCache, fromRemote, simulated = &s.rateFromStore, &s.rateFromCache, &s.rateFromRemote, &s.rateSimulated
+		mode = "rate"
 	case opt.Fidelity == machine.FidelityAnalytic:
 		fromStore, fromCache, fromRemote, simulated = &s.analyticFromStore, &s.analyticFromCache, &s.analyticFromRemote, &s.analyticComputed
 		mode = "analytic"
@@ -791,43 +904,89 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// writeSpecError renders a 400 for a spec validation failure; when the
+// error is field-tagged (specError) the envelope carries the offending
+// JSON field so typed clients can point at it.
+func writeSpecError(w http.ResponseWriter, err error) {
+	var se *specError
+	if errors.As(err, &se) {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": "bad campaign spec: " + se.msg,
+			"field": se.field,
+		})
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec CampaignSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		writeSpecError(w, err)
 		return
 	}
 	pairs, err := spec.resolve()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		writeSpecError(w, err)
 		return
 	}
-	sampling, err := machine.ParseSampling(spec.Sampling)
+	view, err := spec.scenarioView()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		writeSpecError(w, err)
 		return
 	}
-	fidelity, err := machine.ParseFidelity(spec.Fidelity)
+	sampling, err := machine.ParseSampling(view.Sampling)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		writeSpecError(w, badField("sampling", "%v", err))
+		return
+	}
+	fidelity, err := machine.ParseFidelity(view.Fidelity)
+	if err != nil {
+		writeSpecError(w, badField("fidelity", "%v", err))
+		return
+	}
+	topology, err := machine.ParseTopology(view.Topology)
+	if err != nil {
+		writeSpecError(w, badField("topology", "%v", err))
 		return
 	}
 	if fidelity == machine.FidelityAnalytic && sampling.Enabled() {
-		writeError(w, http.StatusBadRequest,
-			"bad campaign spec: the analytic fidelity tier does not compose with sampling")
+		writeSpecError(w, badField("fidelity",
+			"the analytic fidelity tier does not compose with sampling"))
 		return
 	}
-	if spec.WorkersPerPair < 0 {
-		writeError(w, http.StatusBadRequest,
-			"bad campaign spec: workers_per_pair must be non-negative")
+	if view.WorkersPerPair < 0 {
+		writeSpecError(w, badField("workers_per_pair",
+			"workers_per_pair must be non-negative"))
 		return
+	}
+	if view.RateCopies < 0 {
+		writeSpecError(w, badField("rate_copies",
+			"rate_copies must be non-negative"))
+		return
+	}
+	if view.RateCopies > 1 || topology.Enabled() {
+		// Contention and topology scenarios are exact-tier only (see
+		// core.Options); an explicitly non-exact tier in the same spec
+		// cannot be honored.
+		switch {
+		case fidelity != machine.FidelityExact:
+			writeSpecError(w, badField("fidelity",
+				"rate and topology scenarios run at exact fidelity only (got %s)", fidelity))
+			return
+		case sampling.Enabled():
+			writeSpecError(w, badField("sampling",
+				"rate and topology scenarios run at exact fidelity only"))
+			return
+		}
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &campaign{
-		spec: spec, pairs: pairs, sampling: sampling, fidelity: fidelity,
+		spec: spec, pairs: pairs,
+		view: view, sampling: sampling, fidelity: fidelity, topology: topology,
 		ctx: ctx, cancel: cancel,
 		status: StatusQueued, created: time.Now(),
 		subs: make(map[chan sseEvent]struct{}),
@@ -1028,7 +1187,7 @@ var (
 var metServedPairs = func() map[string]*obs.Counter {
 	m := make(map[string]*obs.Counter)
 	help := "Pairs in completed campaigns by fidelity tier and satisfying source."
-	for _, mode := range []string{"exact", "sampled", "analytic"} {
+	for _, mode := range []string{"exact", "sampled", "analytic", "rate"} {
 		for _, src := range []string{"simulated", "memory", "store", "remote"} {
 			m[mode+"/"+src] = obs.Default().Counter("speckit_served_pairs_total", help,
 				"mode", mode, "source", src)
@@ -1042,15 +1201,18 @@ var metServedPairs = func() map[string]*obs.Counter {
 // The machine kernels feed these series (the obs registry get-or-create
 // contract hands back the same instances here): "sampled" counts a
 // sampled run's periodic detail windows, "parallel" the concurrently
-// simulated sub-windows of intra-pair parallel runs.
+// simulated sub-windows of intra-pair parallel runs, and "rate" the
+// round-robin interleaving rounds of shared-L3 rate runs.
 var (
 	metWinCount = map[string]*obs.Counter{
 		"sampled":  obs.Default().Counter("speckit_pair_windows_total", "", "source", "sampled"),
 		"parallel": obs.Default().Counter("speckit_pair_windows_total", "", "source", "parallel"),
+		"rate":     obs.Default().Counter("speckit_pair_windows_total", "", "source", "rate"),
 	}
 	metWinSeconds = map[string]*obs.Histogram{
 		"sampled":  obs.Default().Histogram("speckit_pair_window_seconds", "", obs.LatencyBuckets, "source", "sampled"),
 		"parallel": obs.Default().Histogram("speckit_pair_window_seconds", "", obs.LatencyBuckets, "source", "parallel"),
+		"rate":     obs.Default().Histogram("speckit_pair_window_seconds", "", obs.LatencyBuckets, "source", "rate"),
 	}
 )
 
@@ -1168,10 +1330,10 @@ func (s *Server) MetricsSnapshot() map[string]any {
 			"rejected": s.rejected.Load(),
 		},
 		"pairs": map[string]uint64{
-			"simulated":           s.pairsSimulated.Load(),
-			"from_memory":         s.pairsFromCache.Load(),
-			"from_store":          s.pairsFromStore.Load(),
-			"from_remote":         s.pairsFromRemote.Load(),
+			"simulated":            s.pairsSimulated.Load(),
+			"from_memory":          s.pairsFromCache.Load(),
+			"from_store":           s.pairsFromStore.Load(),
+			"from_remote":          s.pairsFromRemote.Load(),
 			"sampled_simulated":    s.sampledSimulated.Load(),
 			"sampled_from_memory":  s.sampledFromCache.Load(),
 			"sampled_from_store":   s.sampledFromStore.Load(),
@@ -1180,6 +1342,10 @@ func (s *Server) MetricsSnapshot() map[string]any {
 			"analytic_from_memory": s.analyticFromCache.Load(),
 			"analytic_from_store":  s.analyticFromStore.Load(),
 			"analytic_from_remote": s.analyticFromRemote.Load(),
+			"rate_simulated":       s.rateSimulated.Load(),
+			"rate_from_memory":     s.rateFromCache.Load(),
+			"rate_from_store":      s.rateFromStore.Load(),
+			"rate_from_remote":     s.rateFromRemote.Load(),
 		},
 	}
 	m["pair_windows"] = pairWindowsSnapshot()

@@ -34,9 +34,26 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/perf"
 	"repro/internal/profile"
 	"repro/internal/sched"
 )
+
+// RateAxis is the scenario pseudo-axis sweeping the rate-mode copy
+// count ("rate.copies=1,2,4,8"). It is not a machine.ApplyAxis
+// parameter: the copy count leaves the configuration untouched and is
+// recorded on the expanded Point instead, turning each grid cell into a
+// shared-L3 contention run (core.Options.RateCopies). Rate cells only
+// exist at exact fidelity, so specs carrying this axis must screen
+// exact and escalate exact or not at all — contention has no analytic
+// shortcut, and Validate rejects the combination rather than silently
+// dropping it.
+const RateAxis = "rate.copies"
+
+// MaxRateCopies bounds the swept copy count; beyond it the round-robin
+// interleave's memory footprint (one hierarchy per copy) stops being a
+// sensible single-process simulation.
+const MaxRateCopies = 64
 
 // MaxPoints bounds a sweep's grid: axes multiply fast, and a grid this
 // size at the analytic screen tier is already hours of work at exact
@@ -46,7 +63,9 @@ const MaxPoints = 1024
 // Axis is one swept machine-configuration dimension.
 type Axis struct {
 	// Param is the machine axis parameter (machine.AxisParams):
-	// "l2.size", "l3.ways", "line", ...
+	// "l2.size", "l3.ways", "line", ... — or the scenario pseudo-axis
+	// RateAxis ("rate.copies"), which sweeps the rate-mode copy count
+	// instead of a configuration field.
 	Param string `json:"param"`
 	// Values are the swept settings, in sweep order.
 	Values []int64 `json:"values"`
@@ -118,6 +137,26 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("sweep: axis %q listed twice", ax.Param)
 		}
 		seen[ax.Param] = true
+		if ax.Param != RateAxis {
+			continue
+		}
+		for _, v := range ax.Values {
+			if v < 1 {
+				return fmt.Errorf("sweep: %s value %d: copy counts start at 1", RateAxis, v)
+			}
+			if v > MaxRateCopies {
+				return fmt.Errorf("sweep: %s value %d exceeds %d", RateAxis, v, MaxRateCopies)
+			}
+		}
+		// Rate cells run on the shared-L3 interleaved kernel, which only
+		// exists at exact fidelity; an analytic screen would silently
+		// score contention-free cells, so the combination is an error.
+		if s.Screen != machine.FidelityExact {
+			return fmt.Errorf("sweep: axis %s requires an exact screen tier (got %s): contention cannot be screened analytically", RateAxis, s.Screen)
+		}
+		if !s.EscalateOff && s.Escalate != machine.FidelityExact {
+			return fmt.Errorf("sweep: axis %s requires an exact (or disabled) escalate tier (got %s)", RateAxis, s.Escalate)
+		}
 	}
 	return nil
 }
@@ -134,8 +173,12 @@ type Point struct {
 	Values map[string]int64
 	// Config is the validated machine configuration.
 	Config machine.Config
+	// RateCopies is the point's rate-mode copy count when the spec
+	// sweeps RateAxis; 0 otherwise (single-copy).
+	RateCopies int
 	// CostBytes is the configuration cost proxy used on every Pareto
-	// frontier: total cache capacity.
+	// frontier: total cache capacity, with private levels multiplied by
+	// the copy count on rate points.
 	CostBytes int64
 }
 
@@ -143,10 +186,19 @@ type Point struct {
 // capacity in bytes. Silicon area is overwhelmingly SRAM for the
 // parameters the axes expose, so capacity orders design points the way
 // an area budget would.
-func ConfigCost(cfg machine.Config) int64 {
+func ConfigCost(cfg machine.Config) int64 { return RateCost(cfg, 1) }
+
+// RateCost extends ConfigCost to rate-mode points: each copy owns
+// private L1I/L1D/L2 slices while the inclusive L3 is shared, so
+// capacity scales as copies x private + shared. copies <= 1 reproduces
+// ConfigCost.
+func RateCost(cfg machine.Config, copies int) int64 {
+	if copies < 1 {
+		copies = 1
+	}
 	h := cfg.Hierarchy
-	return int64(h.L1I.SizeBytes) + int64(h.L1D.SizeBytes) +
-		int64(h.L2.SizeBytes) + int64(h.L3.SizeBytes)
+	private := int64(h.L1I.SizeBytes) + int64(h.L1D.SizeBytes) + int64(h.L2.SizeBytes)
+	return private*int64(copies) + int64(h.L3.SizeBytes)
 }
 
 // FormatAxisValue renders one axis value the way point labels do:
@@ -231,12 +283,22 @@ func Expand(base machine.Config, axes []Axis) ([]Point, error) {
 		cfg := base
 		values := make(map[string]int64, len(axes))
 		label := ""
+		copies := 0
 		for a, ax := range axes {
 			v := ax.Values[idx[a]]
-			var err error
-			cfg, err = machine.ApplyAxis(cfg, ax.Param, v)
-			if err != nil {
-				return nil, err
+			if ax.Param == RateAxis {
+				// Scenario pseudo-axis: the copy count is recorded on
+				// the point, not applied to the configuration.
+				if v < 1 || v > MaxRateCopies {
+					return nil, fmt.Errorf("sweep: %s value %d out of range [1,%d]", RateAxis, v, MaxRateCopies)
+				}
+				copies = int(v)
+			} else {
+				var err error
+				cfg, err = machine.ApplyAxis(cfg, ax.Param, v)
+				if err != nil {
+					return nil, err
+				}
 			}
 			values[ax.Param] = v
 			if label != "" {
@@ -254,7 +316,8 @@ func Expand(base machine.Config, axes []Axis) ([]Point, error) {
 		}
 		points = append(points, Point{
 			Index: len(points), Label: label, Values: values,
-			Config: cfg, CostBytes: ConfigCost(cfg),
+			Config: cfg, RateCopies: copies,
+			CostBytes: RateCost(cfg, copies),
 		})
 		// Odometer increment, last axis fastest.
 		a := len(axes) - 1
@@ -288,6 +351,29 @@ var metricDefs = map[string]metricDef{
 	"l2_miss_pct":    {func(c *core.Characteristics) float64 { return c.L2MissPct }, false},
 	"l3_miss_pct":    {func(c *core.Characteristics) float64 { return c.L3MissPct }, false},
 	"mispredict_pct": {func(c *core.Characteristics) float64 { return c.MispredictPct }, false},
+	// aggregate_ipc is the rate-mode scaling metric: summed throughput
+	// across the contending copies. On single-copy cells it degrades to
+	// plain IPC, so a rate.copies axis charts the scaling curve and the
+	// copies=1 point anchors it.
+	"aggregate_ipc": {func(c *core.Characteristics) float64 {
+		if c.Rate != nil {
+			return c.Rate.AggregateIPC
+		}
+		return c.IPC
+	}, true},
+	// l3_mpki is last-level misses per kilo-instruction — the paper's
+	// contention unit. Rate cells report the shared L3's; single-copy
+	// cells derive it from the counter snapshot (0 when the tier carries
+	// no counters, i.e. analytic).
+	"l3_mpki": {func(c *core.Characteristics) float64 {
+		if c.Rate != nil {
+			return c.Rate.SharedL3MPKI
+		}
+		if c.Counters == nil {
+			return 0
+		}
+		return 1000 * c.Counters.Ratio(perf.L3Miss, perf.InstRetired)
+	}, false},
 }
 
 // MetricNames returns the sweepable metric names, sorted.
@@ -465,15 +551,20 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 }
 
 // tierOptions derives one grid point's campaign options.
-func (e *engine) tierOptions(ctx context.Context, cfg machine.Config, tier machine.Fidelity) core.Options {
+func (e *engine) tierOptions(ctx context.Context, pt Point, tier machine.Fidelity) core.Options {
 	opt := e.opt.Base
-	opt.Machine = cfg
+	opt.Machine = pt.Config
 	opt.Fidelity = tier
 	if tier != machine.FidelitySampled {
 		// The base sampling knob applies only to the sampled tier: it
 		// does not compose with analytic and would silently turn an
 		// exact tier into a sampled one.
 		opt.Sampling = machine.Sampling{}
+	}
+	if pt.RateCopies > 0 {
+		// Rate points own their copy count; points without a rate axis
+		// inherit whatever the base options carry.
+		opt.RateCopies = pt.RateCopies
 	}
 	opt.Context = ctx
 	return opt
@@ -483,7 +574,7 @@ func (e *engine) tierOptions(ctx context.Context, cfg machine.Config, tier machi
 // returning the campaign's final scheduling snapshot for tier
 // accounting.
 func (e *engine) runPoint(ctx context.Context, pt Point, tier machine.Fidelity, phase string, baseCells int) ([]core.Characteristics, sched.Progress, error) {
-	opt := e.tierOptions(ctx, pt.Config, tier)
+	opt := e.tierOptions(ctx, pt, tier)
 	var last sched.Progress
 	opt.Progress = func(p sched.Progress) {
 		last = p

@@ -163,6 +163,162 @@ func TestMetricNames(t *testing.T) {
 	}
 }
 
+// TestRateAxisExpand: the rate.copies pseudo-axis expands into points
+// that carry the copy count out-of-band — the machine geometry is the
+// base config at every point, the label folds the copy count into the
+// cache keyspace, and the cost proxy multiplies only the private levels.
+func TestRateAxisExpand(t *testing.T) {
+	base := machine.HaswellScaled()
+	points, err := sweep.Expand(base, []sweep.Axis{
+		{Param: sweep.RateAxis, Values: []int64{1, 2, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("expanded %d points, want 3", len(points))
+	}
+	for i, copies := range []int{1, 2, 4} {
+		pt := points[i]
+		if pt.RateCopies != copies {
+			t.Errorf("point %d RateCopies = %d, want %d", i, pt.RateCopies, copies)
+		}
+		wantLabel := "rate.copies=" + sweep.FormatAxisValue(sweep.RateAxis, int64(copies))
+		if pt.Label != wantLabel {
+			t.Errorf("point %d label = %q, want %q", i, pt.Label, wantLabel)
+		}
+		if !strings.HasSuffix(pt.Config.Name, "@"+wantLabel) {
+			t.Errorf("point %d config name %q lacks label suffix", i, pt.Config.Name)
+		}
+		// Copies are a scenario knob, not a hardware knob: the geometry
+		// never moves.
+		if pt.Config.Hierarchy.L3.SizeBytes != base.Hierarchy.L3.SizeBytes ||
+			pt.Config.Hierarchy.L2.SizeBytes != base.Hierarchy.L2.SizeBytes {
+			t.Errorf("point %d mutated the cache geometry", i)
+		}
+		if want := sweep.RateCost(base, copies); pt.CostBytes != want {
+			t.Errorf("point %d cost = %d, want %d", i, pt.CostBytes, want)
+		}
+	}
+	// Cost grows with copies (private slices replicate) but sub-linearly
+	// (the shared L3 is paid once).
+	if points[0].CostBytes >= points[2].CostBytes {
+		t.Errorf("cost did not grow with copies: %d vs %d", points[0].CostBytes, points[2].CostBytes)
+	}
+	if 4*points[0].CostBytes <= points[2].CostBytes {
+		t.Errorf("cost scaled super-linearly: 1 copy %d, 4 copies %d — shared L3 double-counted?",
+			points[0].CostBytes, points[2].CostBytes)
+	}
+	// RateCost degenerates to ConfigCost at and below one copy.
+	if sweep.RateCost(base, 1) != sweep.ConfigCost(base) || sweep.RateCost(base, 0) != sweep.ConfigCost(base) {
+		t.Error("RateCost(1)/RateCost(0) differ from ConfigCost")
+	}
+
+	// Out-of-range copy counts fail at expansion, naming the bound.
+	for _, v := range []int64{0, -1, sweep.MaxRateCopies + 1} {
+		if _, err := sweep.Expand(base, []sweep.Axis{{Param: sweep.RateAxis, Values: []int64{v}}}); err == nil {
+			t.Errorf("rate.copies=%d expanded, want range error", v)
+		}
+	}
+}
+
+// TestRateAxisValidate: rate cells only exist on the exact interleaved
+// kernel, so specs pairing the axis with analytic screening or sampled
+// escalation are rejected at validation, naming the axis.
+func TestRateAxisValidate(t *testing.T) {
+	pairs := testPairs()
+	run := func(mutate func(*sweep.Spec)) error {
+		s := sweep.Spec{
+			Axes:        []sweep.Axis{{Param: sweep.RateAxis, Values: []int64{1, 2}}},
+			Pairs:       pairs,
+			Screen:      machine.FidelityExact,
+			EscalateOff: true,
+			Metrics:     []string{"aggregate_ipc", "l3_mpki"},
+		}
+		mutate(&s)
+		_, err := sweep.Run(context.Background(), s, sweep.Options{Base: baseOptions()})
+		return err
+	}
+	if err := run(func(s *sweep.Spec) { s.Screen = machine.FidelityAnalytic }); err == nil ||
+		!strings.Contains(err.Error(), sweep.RateAxis) || !strings.Contains(err.Error(), "screen") {
+		t.Errorf("analytic screen over rate axis: err = %v", err)
+	}
+	if err := run(func(s *sweep.Spec) {
+		s.EscalateOff = false
+		s.Escalate = machine.FidelitySampled
+	}); err == nil || !strings.Contains(err.Error(), "escalate") {
+		t.Errorf("sampled escalate over rate axis: err = %v", err)
+	}
+	if err := run(func(s *sweep.Spec) { s.Axes[0].Values = []int64{0, 2} }); err == nil {
+		t.Error("copy count 0 validated")
+	}
+	if err := run(func(s *sweep.Spec) {
+		s.Axes[0].Values = []int64{sweep.MaxRateCopies + 1}
+	}); err == nil {
+		t.Error("copy count beyond MaxRateCopies validated")
+	}
+
+	// The rate-aware metrics are registered with the right directions.
+	names := sweep.MetricNames()
+	for _, want := range []string{"aggregate_ipc", "l3_mpki"} {
+		i := sort.SearchStrings(names, want)
+		if i >= len(names) || names[i] != want {
+			t.Errorf("metric %q missing from registry %v", want, names)
+		}
+	}
+	if !sweep.MetricMaximize("aggregate_ipc") || sweep.MetricMaximize("l3_mpki") {
+		t.Error("rate metric directions wrong")
+	}
+}
+
+// TestRateSweepEndToEnd: a two-point copy-count sweep runs through the
+// engine on the exact tier, scoring every cell on the interleaved kernel
+// and producing the scaling-curve metrics per point.
+func TestRateSweepEndToEnd(t *testing.T) {
+	pairs := testPairs()
+	spec := sweep.Spec{
+		Axes:        []sweep.Axis{{Param: sweep.RateAxis, Values: []int64{1, 2}}},
+		Pairs:       pairs,
+		Screen:      machine.FidelityExact,
+		EscalateOff: true,
+		Metrics:     []string{"aggregate_ipc", "l3_mpki"},
+	}
+	res, err := sweep.Run(context.Background(), spec, sweep.Options{Base: baseOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Cells != 2*len(pairs) {
+		t.Fatalf("points=%d cells=%d, want 2 points / %d cells", len(res.Points), res.Cells, 2*len(pairs))
+	}
+	if res.Screen.Simulated != 2*len(pairs) {
+		t.Errorf("screen simulated %d cells, want %d", res.Screen.Simulated, 2*len(pairs))
+	}
+	var agg1, agg2 float64
+	for _, p := range res.Points {
+		v, ok := p.Metrics["aggregate_ipc"]
+		if !ok || v <= 0 {
+			t.Errorf("point %s: aggregate_ipc = %v (present=%v)", p.Label, v, ok)
+		}
+		if _, ok := p.Metrics["l3_mpki"]; !ok {
+			t.Errorf("point %s: l3_mpki missing", p.Label)
+		}
+		switch p.Values[sweep.RateAxis] {
+		case 1:
+			agg1 = v
+		case 2:
+			agg2 = v
+		default:
+			t.Errorf("point %s: unexpected %s value %d", p.Label, sweep.RateAxis, p.Values[sweep.RateAxis])
+		}
+	}
+	// Two copies on an uncontended hierarchy retire roughly twice the
+	// aggregate work; any contention only lowers the ratio, so a factor
+	// comfortably above 1 proves the copy count reached the kernel.
+	if agg2 < agg1*1.2 {
+		t.Errorf("aggregate IPC did not scale with copies: 1 copy %.4f, 2 copies %.4f", agg1, agg2)
+	}
+}
+
 // TestSweepDifferential is the tentpole's core guarantee: a repeated
 // sweep simulates zero cells and reproduces a byte-identical knee
 // report, and an overlapping sweep simulates only the delta.

@@ -87,6 +87,36 @@ func WithSampling(s Sampling) Option {
 	return func(o *Options) { o.Sampling = s }
 }
 
+// WithScenario applies a complete measurement scenario — fidelity tier,
+// sampling knob, intra-pair parallelism, rate-mode copy count and
+// machine topology — in one step, overwriting whatever those five knobs
+// were before. It is the composed form of WithFidelity, WithSampling,
+// WithIntraPairParallelism, WithRateCopies and WithTopology; prefer it
+// when the scenario arrives as one value (a -scenario flag, a campaign
+// spec's scenario object).
+func WithScenario(s Scenario) Option {
+	return func(o *Options) { *o = s.Apply(*o) }
+}
+
+// WithRateCopies characterizes each pair as a SPECrate-style run: n
+// copies of the workload on identical cores with private L1/L2
+// contending on one shared inclusive L3, reported with per-copy and
+// aggregate throughput plus shared-level contention stats
+// (Characteristics.Rate). Keyed separately in every cache tier;
+// exact-tier only. n <= 1 selects the ordinary single-copy run.
+func WithRateCopies(n int) Option {
+	return func(o *Options) { o.RateCopies = n }
+}
+
+// WithTopology runs each pair on a heterogeneous P-core/E-core machine
+// under the topology's OS-placement policy; non-deterministic policies
+// (random) yield a runtime distribution (Characteristics.Runtime)
+// instead of a point estimate. Keyed separately in every cache tier;
+// exact-tier only; composes with WithRateCopies.
+func WithTopology(t Topology) Option {
+	return func(o *Options) { o.Topology = t }
+}
+
 // WithFidelity selects the simulation tier (exact, sampled, analytic).
 func WithFidelity(f Fidelity) Option {
 	return func(o *Options) { o.Fidelity = f }

@@ -170,6 +170,54 @@ const (
 // tools: "exact" (or ""), "sampled", or "analytic".
 func ParseFidelity(s string) (Fidelity, error) { return machine.ParseFidelity(s) }
 
+// Scenario bundles every knob that changes what a campaign measures —
+// fidelity tier, sampling knob, intra-pair parallelism, rate-mode copy
+// count and machine topology — into one typed value with a canonical
+// string form (Options keeps the individual fields for compatibility).
+// Build one directly or with ParseScenario (internal/cliflags syntax),
+// then attach it with WithScenario.
+type Scenario = core.Scenario
+
+// Topology describes a heterogeneous machine for Options.Topology /
+// Scenario.Topology: P-core and E-core class sizes plus the OS
+// placement policy mapping workload copies to classes. The zero value
+// means a homogeneous machine.
+type Topology = machine.Topology
+
+// Placement is a topology's OS scheduling policy.
+type Placement = machine.Placement
+
+// Placement policies.
+const (
+	PlacePinnedP = machine.PlacePinnedP
+	PlacePinnedE = machine.PlacePinnedE
+	PlaceRandom  = machine.PlaceRandom
+	PlaceBest    = machine.PlaceBest
+	PlaceWorst   = machine.PlaceWorst
+)
+
+// ParseTopology parses the -topo flag syntax shared by the cmd tools:
+// "" (or "off") disables topology modelling, otherwise "4P4E-random"
+// style (class sizes plus a placement policy).
+func ParseTopology(s string) (Topology, error) { return machine.ParseTopology(s) }
+
+// ParsePlacement parses a placement policy name: "pinned-p" (or "" or
+// "pinned"), "pinned-e", "random", "best", "worst".
+func ParsePlacement(s string) (Placement, error) { return machine.ParsePlacement(s) }
+
+// RateStats is the shared-L3 contention accounting of a rate-mode run
+// (Characteristics.Rate, present when Options.RateCopies > 1).
+type RateStats = core.RateStats
+
+// RuntimeDist is the placement runtime distribution of a
+// heterogeneous-topology run (Characteristics.Runtime); under a random
+// (topology-unaware) placement it is multimodal — one mode per core
+// class.
+type RuntimeDist = core.RuntimeDist
+
+// RuntimeMode is one branch of a RuntimeDist.
+type RuntimeMode = core.RuntimeMode
+
 // Characteristics is one application-input pair's characterization.
 type Characteristics = core.Characteristics
 
